@@ -1,0 +1,67 @@
+// Ablation — how much of Centaur's failure-time advantage comes from
+// root-cause information alone?
+//
+// The paper (S1, S7) positions Centaur against BGP-RCN: path vector with
+// piggy-backed link-level failure notices.  RCN suppresses path
+// exploration (no stale alternatives crossing the failed link) but still
+// pays one message per affected destination; Centaur withdraws the link
+// itself.  This bench runs identical link-flip sequences under plain BGP,
+// BGP-RCN, and Centaur and compares per-event message counts.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "eval/experiments.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace centaur;
+
+}  // namespace
+
+int main() {
+  const auto params = bench::banner(
+      "bench_ablation_rcn",
+      "Ablation: plain BGP vs BGP-RCN vs Centaur on identical link flips");
+
+  util::Rng topo_rng(params.seed ^ 0xAB2C);
+  const topo::AsGraph g = topo::brite_like(
+      params.proto_nodes, 2, std::max<std::size_t>(4, params.proto_nodes / 40),
+      topo_rng);
+  std::cout << topo::compute_stats(g, "ablation topology") << "\n\n";
+
+  const eval::Protocol protocols[] = {
+      eval::Protocol::kBgp, eval::Protocol::kBgpRcn, eval::Protocol::kCentaur};
+
+  util::TextTable table("Messages per link-flip event");
+  table.header({"protocol", "mean", "median", "p90", "max", "cold-start"});
+  std::vector<double> means;
+  for (const eval::Protocol proto : protocols) {
+    const auto series = eval::run_link_flips(
+        g, proto, params.proto_flip_sample, util::Rng(params.seed ^ 0xAB2D));
+    util::Accumulator acc;
+    for (double m : series.message_counts) acc.add(m);
+    means.push_back(acc.mean());
+    table.row({eval::to_string(proto), util::fmt_double(acc.mean(), 1),
+               util::fmt_double(acc.median(), 1),
+               util::fmt_double(acc.quantile(0.9), 1),
+               util::fmt_double(acc.max(), 0),
+               util::fmt_count(series.cold_start.messages_sent)});
+  }
+  table.print(std::cout);
+
+  std::cout << "Reduction vs plain BGP: RCN "
+            << util::fmt_double(means[0] / std::max(1.0, means[1]), 2)
+            << "x, Centaur "
+            << util::fmt_double(means[0] / std::max(1.0, means[2]), 2)
+            << "x.\n"
+               "RCN only prunes *exploration* — paths that get advertised,\n"
+               "briefly adopted, and withdrawn again.  With low uniform\n"
+               "delays and no MRAI, exploration windows are milliseconds\n"
+               "wide, so RCN's savings are small while it still pays one\n"
+               "withdrawal per affected destination.  Centaur's gap comes\n"
+               "from changing the announcement unit from paths to links —\n"
+               "supporting the paper's argument (S1, S7) that piggy-backed\n"
+               "root-cause info on path vector is not enough.\n";
+  return 0;
+}

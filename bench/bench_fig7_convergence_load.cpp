@@ -1,0 +1,68 @@
+// Figure 7 — CDF of convergence load (messages per link flip), Centaur vs
+// OSPF.
+//
+// OSPF has no policies: every link-state change floods over every link in
+// the network, so its per-event load is Theta(E) regardless of how many
+// destinations care.  The paper observes Centaur converging with fewer
+// messages than OSPF in 82% of the flip events.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "eval/experiments.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace centaur;
+
+}  // namespace
+
+int main() {
+  const auto params = bench::banner(
+      "bench_fig7_convergence_load",
+      "Figure 7: CDF of message load per link flip (Centaur vs OSPF)");
+
+  util::Rng topo_rng(params.seed ^ 0xF170);
+  const topo::AsGraph g = topo::brite_like(
+      params.proto_nodes, 2, std::max<std::size_t>(4, params.proto_nodes / 40),
+      topo_rng);
+  std::cout << topo::compute_stats(g, "BRITE-like prototype topology")
+            << "\n\n";
+
+  const auto centaur_series = eval::run_link_flips(
+      g, eval::Protocol::kCentaur, params.proto_flip_sample,
+      util::Rng(params.seed ^ 0xF7F7));
+  const auto ospf_series = eval::run_link_flips(
+      g, eval::Protocol::kOspf, params.proto_flip_sample,
+      util::Rng(params.seed ^ 0xF7F7));  // identical flip sequence
+
+  const util::Cdf centaur_cdf(centaur_series.message_counts);
+  const util::Cdf ospf_cdf(ospf_series.message_counts);
+
+  util::TextTable table("Figure 7 — message count CDF per flip");
+  table.header({"CDF", "Centaur", "OSPF"});
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.82, 0.9, 0.99}) {
+    table.row({util::fmt_percent(q, 0),
+               util::fmt_double(centaur_cdf.inverse(q), 0),
+               util::fmt_double(ospf_cdf.inverse(q), 0)});
+  }
+  table.print(std::cout);
+
+  std::size_t centaur_fewer = 0;
+  for (std::size_t i = 0; i < centaur_series.message_counts.size(); ++i) {
+    if (centaur_series.message_counts[i] < ospf_series.message_counts[i]) {
+      ++centaur_fewer;
+    }
+  }
+  std::cout << "Centaur sends fewer messages than OSPF in "
+            << util::fmt_percent(
+                   static_cast<double>(centaur_fewer) /
+                   static_cast<double>(
+                       std::max<std::size_t>(1,
+                                             centaur_series.message_counts.size())))
+            << " of flip events (paper: 82%).\n"
+            << "OSPF floods every change over every link (no policies);\n"
+               "Centaur's tail cases are flips near well-connected cores\n"
+               "where selected-path churn touches many neighbors.\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Microbenchmarks for the core data-structure operations whose complexity
+// S6.3 analyses: BuildGraph (O(|E| * alpha)), DerivePath (O(d * i)), the
+// announcement diff/apply path, the valley-free solver, and the Bloom
+// filter used for Permission-List compression.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "centaur/announce.hpp"
+#include "centaur/build_graph.hpp"
+#include "policy/valley_free.hpp"
+#include "topology/generator.hpp"
+#include "util/bloom.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace centaur;
+using core::PGraph;
+using topo::NodeId;
+using topo::Path;
+
+topo::AsGraph make_topology(std::size_t n) {
+  util::Rng rng(0xBE7C4 ^ n);
+  return topo::tiered_internet(topo::caida_like_params(n), rng);
+}
+
+std::map<NodeId, Path> selected_paths(const topo::AsGraph& g, NodeId vantage) {
+  std::map<NodeId, Path> selected;
+  for (NodeId dest = 0; dest < g.num_nodes(); ++dest) {
+    if (dest == vantage) {
+      selected[dest] = Path{vantage};
+      continue;
+    }
+    const auto routes = policy::ValleyFreeRoutes::compute(
+        g, dest, policy::TieBreak::kPerDestRandom, 42);
+    if (routes.at(vantage).reachable()) {
+      selected[dest] = routes.path_from(vantage);
+    }
+  }
+  return selected;
+}
+
+void BM_ValleyFreeSolver(benchmark::State& state) {
+  const auto g = make_topology(static_cast<std::size_t>(state.range(0)));
+  NodeId dest = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy::ValleyFreeRoutes::compute(g, dest));
+    dest = (dest + 1) % g.num_nodes();
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ValleyFreeSolver)->Range(64, 1024)->Complexity();
+
+void BM_MultipathSolver(benchmark::State& state) {
+  const auto g = make_topology(static_cast<std::size_t>(state.range(0)));
+  NodeId dest = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy::MultipathRoutes::compute(g, dest));
+    dest = (dest + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_MultipathSolver)->Range(64, 1024);
+
+void BM_BuildGraph(benchmark::State& state) {
+  const auto g = make_topology(static_cast<std::size_t>(state.range(0)));
+  const auto selected = selected_paths(g, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_local_pgraph(1, selected));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildGraph)->Range(64, 1024)->Complexity();
+
+void BM_DerivePath(benchmark::State& state) {
+  const auto g = make_topology(static_cast<std::size_t>(state.range(0)));
+  const auto selected = selected_paths(g, 1);
+  const PGraph pg = core::build_local_pgraph(1, selected);
+  NodeId dest = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pg.derive_path(dest));
+    dest = (dest + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_DerivePath)->Range(64, 1024);
+
+void BM_ExportViewAndDiff(benchmark::State& state) {
+  const auto g = make_topology(static_cast<std::size_t>(state.range(0)));
+  const auto selected = selected_paths(g, 1);
+  const PGraph pg = core::build_local_pgraph(1, selected);
+  const auto all = [](NodeId) { return true; };
+  const core::ExportedView base = core::make_export_view(pg, all);
+  for (auto _ : state) {
+    core::ExportedView view = core::make_export_view(pg, all);
+    benchmark::DoNotOptimize(core::diff_views(base, view));
+  }
+}
+BENCHMARK(BM_ExportViewAndDiff)->Range(64, 512);
+
+void BM_ApplyFullDelta(benchmark::State& state) {
+  const auto g = make_topology(static_cast<std::size_t>(state.range(0)));
+  const auto selected = selected_paths(g, 1);
+  const PGraph pg = core::build_local_pgraph(1, selected);
+  const auto all = [](NodeId) { return true; };
+  const core::GraphDelta delta =
+      core::diff_views(core::ExportedView{}, core::make_export_view(pg, all));
+  for (auto _ : state) {
+    PGraph fresh(1);
+    benchmark::DoNotOptimize(core::apply_delta(fresh, delta, 2));
+  }
+}
+BENCHMARK(BM_ApplyFullDelta)->Range(64, 512);
+
+void BM_BloomInsertContains(benchmark::State& state) {
+  util::BloomFilter f(static_cast<std::size_t>(state.range(0)), 0.01);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    f.insert(i);
+    benchmark::DoNotOptimize(f.contains(i / 2));
+    ++i;
+  }
+}
+BENCHMARK(BM_BloomInsertContains)->Range(64, 4096);
+
+void BM_PermissionListLookup(benchmark::State& state) {
+  core::PermissionList pl;
+  for (NodeId d = 0; d < static_cast<NodeId>(state.range(0)); ++d) {
+    pl.add(d, d % 3);
+  }
+  NodeId d = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pl.permits(d, d % 3));
+    d = (d + 1) % static_cast<NodeId>(state.range(0));
+  }
+}
+BENCHMARK(BM_PermissionListLookup)->Range(8, 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

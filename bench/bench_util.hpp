@@ -1,0 +1,57 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary is a standalone executable that regenerates one table
+// or figure of the paper, printing (a) the run configuration, (b) our
+// measured rows/series, and (c) the paper's reference values for
+// side-by-side comparison.  All benches honour CENTAUR_SCALE
+// ({smoke,default,large}) and are deterministic for a fixed scale.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "topology/generator.hpp"
+#include "topology/stats.hpp"
+#include "util/rng.hpp"
+#include "util/scale.hpp"
+#include "util/table.hpp"
+
+namespace centaur::bench {
+
+using util::Scale;
+using util::ScaleParams;
+
+/// Prints the standard bench banner and returns the active scale params.
+inline ScaleParams banner(const std::string& name, const std::string& what) {
+  const Scale scale = util::scale_from_env();
+  const ScaleParams params = util::params_for(scale);
+  std::cout << "################################################################\n"
+            << "# " << name << "\n"
+            << "# " << what << "\n"
+            << "# scale=" << util::to_string(scale)
+            << " (set CENTAUR_SCALE=smoke|default|large)\n"
+            << "################################################################\n\n";
+  return params;
+}
+
+/// The two synthetic measured-topology stand-ins (see DESIGN.md for the
+/// substitution rationale).  Deterministic per scale.
+struct MeasuredStandIns {
+  topo::AsGraph caida_like;
+  topo::AsGraph hetop_like;
+};
+
+inline MeasuredStandIns make_measured_standins(const ScaleParams& params) {
+  MeasuredStandIns out;
+  util::Rng caida_rng(params.seed ^ 0xCA1DA);
+  out.caida_like =
+      topo::tiered_internet(topo::caida_like_params(params.caida_like_nodes),
+                            caida_rng);
+  util::Rng hetop_rng(params.seed ^ 0x4E709);
+  out.hetop_like =
+      topo::tiered_internet(topo::hetop_like_params(params.hetop_like_nodes),
+                            hetop_rng);
+  return out;
+}
+
+}  // namespace centaur::bench

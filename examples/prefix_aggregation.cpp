@@ -1,0 +1,85 @@
+// Prefix (de)aggregation and update isolation — the paper's S6.4.
+//
+// Centaur disseminates routing updates per link, orthogonal to prefix
+// granularity: an AS can announce one aggregate for its whole address
+// space, or split itself into several logical destination "nodes" with
+// finer prefixes.  This example routes actual IP addresses: destinations
+// own prefixes, lookups combine longest-prefix match (who owns this
+// address?) with valley-free path computation (how do I reach the owner?),
+// and aggregation level decides how many logical destinations — and hence
+// how much update state — a domain exposes.
+#include <iostream>
+
+#include "policy/valley_free.hpp"
+#include "topology/generator.hpp"
+#include "topology/prefix.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace centaur;
+
+int main() {
+  util::Rng rng(88);
+  const topo::AsGraph g =
+      topo::tiered_internet(topo::caida_like_params(60), rng);
+  std::cout << "Topology: " << g.num_nodes() << " ASes, " << g.num_links()
+            << " links\n\n";
+
+  // 1. Address plan: every AS owns one /16 out of 10.0.0.0/8.
+  topo::PrefixTable table;
+  for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto prefix =
+        topo::Ipv4Prefix::of(0x0A000000u | (std::uint32_t{v} << 16), 16);
+    table.insert(prefix, v);
+  }
+  std::cout << "Announced " << table.size() << " /16 prefixes.\n";
+
+  // 2. Route a packet: longest-prefix match, then the valley-free path.
+  const std::uint32_t dst_ip = 0x0A2A1234;  // 10.42.18.52 -> AS 42
+  const auto route = table.lookup(dst_ip);
+  const auto paths = policy::ValleyFreeRoutes::compute(g, route->origin);
+  const topo::NodeId src = 7;
+  std::cout << "10.42.18.52 matches " << route->prefix.to_string()
+            << " (AS " << route->origin << "); AS " << src << " forwards via "
+            << topo::to_string(paths.path_from(src)) << "\n\n";
+
+  // 3. De-aggregation: AS 42 splits its /16 into four /18 sub-prefixes
+  //    (logically four destination "nodes" in Centaur's topology view).
+  const topo::PrefixRoute owned{route->prefix, route->origin};
+  const auto subs = topo::deaggregate(owned, 18);
+  table.erase(owned.prefix);
+  for (const auto& s : subs) table.insert(s.prefix, s.origin);
+  std::cout << "AS 42 de-aggregates into " << subs.size()
+            << " /18s; the table now holds " << table.size()
+            << " routes.  Lookups still resolve: 10.42.18.52 -> "
+            << table.lookup(dst_ip)->prefix.to_string() << "\n";
+
+  // 4. Update isolation: an internal failure affecting only one /18 needs
+  //    an update for that sub-prefix only; with one aggregate, the whole
+  //    /16 would have churned.
+  const auto& failed = subs[1];
+  table.erase(failed.prefix);
+  std::cout << "Sub-prefix " << failed.prefix.to_string()
+            << " withdrawn (internal failure): 1 of " << subs.size()
+            << " sub-prefixes affected; 10.42.18.52 ("
+            << (table.lookup(dst_ip)
+                    ? "still routed via " +
+                          table.lookup(dst_ip)->prefix.to_string()
+                    : std::string("now unrouted"))
+            << ").\n\n";
+
+  // 5. Re-aggregation restores the compact table.
+  table.insert(failed.prefix, failed.origin);
+  auto routes = table.routes();
+  const auto aggregated = topo::aggregate(routes);
+  util::TextTable t("Aggregation effect");
+  t.header({"view", "routes"});
+  t.row({"de-aggregated table", util::fmt_count(routes.size())});
+  t.row({"after CIDR aggregation", util::fmt_count(aggregated.size())});
+  t.print(std::cout);
+  std::cout << "Centaur carries either granularity unchanged: destination\n"
+               "marks name prefixes, link-level updates stay the same —\n"
+               "update isolation comes from the aggregation level alone\n"
+               "(S6.4), exactly as in BGP.\n";
+  return 0;
+}

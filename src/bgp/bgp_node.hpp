@@ -1,0 +1,154 @@
+// BGP-style path-vector baseline, with an optional BGP-RCN mode.
+//
+// A session-level model of eBGP with Gao-Rexford policies, the comparison
+// protocol in the paper's Figures 5, 6 and 8.  Each node originates one
+// prefix (itself).  UPDATE messages carry a single NLRI — one announcement
+// with its full AS path, or one withdrawal — which is the unit the paper's
+// message counts use (link-level Centaur updates vs per-destination
+// path-vector updates is exactly the asymmetry Figure 5 measures).
+//
+// Faithfully path-vector: no root-cause information, so after a failure
+// nodes explore alternative stale paths (Labovitz et al.'s slow-convergence
+// behaviour) until withdrawals propagate.  An optional per-neighbor MRAI
+// timer batches updates like real BGP speakers.
+//
+// Config::root_cause_notification enables a BGP-RCN mode (Pei et al., the
+// piggy-backed link-level failure information the paper contrasts Centaur
+// with in S1/S7): withdrawals triggered by a link failure carry the failed
+// link, and receivers immediately stop using — and stop exploring — any
+// RIB path that crosses it.  Routes learned after the failure notice
+// supersede it (our stand-in for RCN's per-link sequence numbers).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "policy/policy.hpp"
+#include "policy/valley_free.hpp"
+#include "sim/network.hpp"
+
+namespace centaur::bgp {
+
+using policy::RankingOverride;
+using topo::NodeId;
+using topo::Path;
+
+/// An undirected AS adjacency, normalised so a <= b.
+struct AsLink {
+  NodeId a = topo::kInvalidNode;
+  NodeId b = topo::kInvalidNode;
+
+  static AsLink of(NodeId x, NodeId y) {
+    return x < y ? AsLink{x, y} : AsLink{y, x};
+  }
+  auto operator<=>(const AsLink&) const = default;
+};
+
+/// True if consecutive nodes of `path` traverse `link` (either direction).
+bool path_crosses(const Path& path, const AsLink& link);
+
+/// One UPDATE: announce (dest, path) or withdraw (dest), optionally
+/// carrying the root-cause failed link (BGP-RCN mode).
+class BgpUpdate : public sim::Message {
+ public:
+  static BgpUpdate announce(NodeId dest, Path path) {
+    return BgpUpdate(dest, std::move(path), false, std::nullopt);
+  }
+  static BgpUpdate withdraw(NodeId dest,
+                            std::optional<AsLink> cause = std::nullopt) {
+    return BgpUpdate(dest, {}, true, cause);
+  }
+
+  NodeId dest() const { return dest_; }
+  bool is_withdraw() const { return withdraw_; }
+  /// Announced path, sender..dest order.
+  const Path& path() const { return path_; }
+  const std::optional<AsLink>& cause() const { return cause_; }
+
+  std::size_t byte_size() const override {
+    // 19-byte BGP header + 4 bytes NLRI + 4 bytes per AS-path element
+    // (+ 8 bytes root-cause attribute in RCN mode).
+    return 23 + 4 * path_.size() + (cause_ ? 8 : 0);
+  }
+  std::string describe() const override;
+
+ private:
+  BgpUpdate(NodeId dest, Path path, bool withdraw, std::optional<AsLink> cause)
+      : dest_(dest), path_(std::move(path)), withdraw_(withdraw),
+        cause_(cause) {}
+
+  NodeId dest_;
+  Path path_;
+  bool withdraw_;
+  std::optional<AsLink> cause_;
+};
+
+class BgpNode : public sim::Node {
+ public:
+  struct Config {
+    bool originate_prefix = true;
+    /// Minimum Route Advertisement Interval per neighbor, seconds.
+    /// 0 disables batching (the paper's prototype measures raw convergence
+    /// with link delays only).
+    sim::Time mrai = 0.0;
+    /// BGP-RCN mode: attach root-cause links to failure-triggered
+    /// withdrawals and prune RIB paths crossing a notified failed link
+    /// (see file header).  Off for the plain path-vector baseline.
+    bool root_cause_notification = false;
+    /// Optional local ranking override (same semantics as CentaurNode's).
+    RankingOverride ranking;
+  };
+
+  explicit BgpNode(const topo::AsGraph& graph);
+  BgpNode(const topo::AsGraph& graph, Config config);
+
+  void start() override;
+  void on_message(NodeId from, const sim::MessagePtr& msg) override;
+  void on_link_change(NodeId neighbor, bool up) override;
+
+  // --- inspection ---------------------------------------------------------
+  /// Selected path self..dest, if any.
+  std::optional<Path> selected_path(NodeId dest) const;
+  const std::map<NodeId, Path>& loc_rib() const { return loc_rib_; }
+
+ private:
+  /// A route in Adj-RIB-In, stamped with its arrival time so RCN can tell
+  /// pre-failure state from post-failure re-announcements.
+  struct RouteIn {
+    Path path;
+    sim::Time received = 0;
+  };
+
+  void redecide(NodeId dest);
+  void export_route(NodeId dest);
+  void enqueue_or_send(NodeId neighbor, NodeId dest);
+  void arm_mrai(NodeId neighbor);
+  void flush_pending(NodeId neighbor);
+  void send_current(NodeId neighbor, NodeId dest);
+  bool neighbor_usable(NodeId neighbor) const;
+  /// RCN: is this RIB entry invalidated by a notified link failure?
+  bool rcn_invalidated(const RouteIn& route) const;
+  /// RCN: record a failure notice and redecide every destination whose
+  /// candidate paths cross the link.
+  void rcn_record_failure(const AsLink& link);
+
+  const topo::AsGraph& graph_;
+  Config config_;
+  std::map<NodeId, std::map<NodeId, RouteIn>> rib_in_;  // nbr -> dest -> rte
+  std::map<NodeId, std::map<NodeId, Path>> rib_out_;    // nbr -> dest -> path
+  std::map<NodeId, Path> loc_rib_;                      // dest -> selected
+  std::map<NodeId, bool> session_up_;
+  // MRAI state: dests with deferred updates and timer status per neighbor.
+  std::map<NodeId, std::set<NodeId>> pending_;
+  std::map<NodeId, bool> mrai_armed_;
+  // RCN state: most recent failure notice per link, and the cause (if any)
+  // of the event currently being processed — withdrawals emitted while
+  // handling a caused event inherit it.
+  std::map<AsLink, sim::Time> failed_links_;
+  std::optional<AsLink> active_cause_;
+};
+
+}  // namespace centaur::bgp

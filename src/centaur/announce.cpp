@@ -1,0 +1,109 @@
+#include "centaur/announce.hpp"
+
+namespace centaur::core {
+
+std::size_t GraphDelta::byte_size(bool bloom_compressed) const {
+  std::size_t bytes = 16;  // header
+  for (const auto& [link, plist] : upserts) {
+    bytes += 8 + plist.byte_size(bloom_compressed);
+  }
+  bytes += 8 * removes.size();
+  bytes += 4 * (dest_adds.size() + dest_removes.size());
+  return bytes;
+}
+
+ExportedView make_export_view(const PGraph& local,
+                              const DestFilter& dest_allowed,
+                              const LinkFilter& link_allowed) {
+  ExportedView view;
+  for (NodeId d : local.destinations()) {
+    if (!dest_allowed || dest_allowed(d)) view.destinations.insert(d);
+  }
+  for (const auto& [link, data] : local.links()) {
+    if (link_allowed && !link_allowed(link.from, link.to)) continue;
+    // BuildGraph records, in the (always-populated) permission entries, the
+    // exact destination set routed through each link; the link is exported
+    // iff an allowed destination uses it.  Only multi-homed heads carry
+    // Permission Lists on the wire (S4.1).
+    const bool multi_homed = local.multi_homed(link.to);
+    if (!dest_allowed) {
+      view.links.emplace(link,
+                         multi_homed ? data.plist : PermissionList{});
+      continue;
+    }
+    if (multi_homed) {
+      PermissionList filtered = data.plist.filtered(dest_allowed);
+      if (filtered.empty()) continue;  // no allowed destination uses it
+      view.links.emplace(link, std::move(filtered));
+    } else {
+      if (!data.plist.any_dest(dest_allowed)) continue;
+      view.links.emplace(link, PermissionList{});
+    }
+  }
+  return view;
+}
+
+GraphDelta diff_views(const ExportedView& before, const ExportedView& after) {
+  GraphDelta delta;
+  // Links: ordered-map merge walk.
+  auto a = before.links.begin();
+  auto b = after.links.begin();
+  while (a != before.links.end() || b != after.links.end()) {
+    if (b == after.links.end() ||
+        (a != before.links.end() && a->first < b->first)) {
+      delta.removes.push_back(a->first);
+      ++a;
+    } else if (a == before.links.end() || b->first < a->first) {
+      delta.upserts.emplace_back(b->first, b->second);
+      ++b;
+    } else {
+      if (!(a->second == b->second)) {
+        delta.upserts.emplace_back(b->first, b->second);  // plist changed
+      }
+      ++a;
+      ++b;
+    }
+  }
+  // Destination marks.
+  for (NodeId d : after.destinations) {
+    if (!before.destinations.count(d)) delta.dest_adds.push_back(d);
+  }
+  for (NodeId d : before.destinations) {
+    if (!after.destinations.count(d)) delta.dest_removes.push_back(d);
+  }
+  return delta;
+}
+
+bool apply_delta(PGraph& g, const GraphDelta& delta, NodeId self,
+                 const LinkFilter& import_allowed) {
+  bool changed = false;
+  if (delta.reset) {
+    changed = g.num_links() > 0 || !g.destinations().empty();
+    g.reset(g.root());
+  }
+  for (const DirectedLink& link : delta.removes) {
+    changed |= g.remove_link(link.from, link.to);
+  }
+  for (NodeId d : delta.dest_removes) {
+    changed |= g.unmark_destination(d);
+  }
+  for (const auto& [link, plist] : delta.upserts) {
+    if (link.to == self) continue;  // loop elimination (Step 2)
+    if (import_allowed && !import_allowed(link.from, link.to)) continue;
+    const bool added = g.add_link(link.from, link.to);
+    LinkData& data = g.link_data(link.from, link.to);
+    if (added || !(data.plist == plist)) {
+      data.plist = plist;
+      changed = true;
+    }
+  }
+  for (NodeId d : delta.dest_adds) {
+    if (!g.is_destination(d)) {
+      g.mark_destination(d);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace centaur::core

@@ -1,0 +1,86 @@
+// Downstream link announcements (paper S3.2.1, S4.3).
+//
+// Centaur nodes exchange *directed downstream links* — never full paths.
+// This module defines:
+//   * ExportedView — the subgraph of a local P-graph that one neighbor is
+//     allowed to see after export filtering (Exp in the protocol flow);
+//   * GraphDelta — the incremental per-link update message body (Step 5):
+//     link upserts (with Permission Lists), link removes (root-cause
+//     withdrawals), and destination-mark changes;
+//   * diff_views — computes the delta between two exported views (the
+//     paper's counter mechanism produces exactly this set: a link leaves
+//     the view when no selected exported path contains it any longer);
+//   * apply_delta — the import side (Imp): drops links pointing at the
+//     importer, applies the import filter, and merges into the stored
+//     per-neighbor P-graph (the G'_{B->A} equation of S4.3.2).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "centaur/pgraph.hpp"
+
+namespace centaur::core {
+
+/// Filter deciding whether a directed link may cross a boundary.
+using LinkFilter = std::function<bool(NodeId from, NodeId to)>;
+
+/// Filter deciding whether a destination may be announced.
+using DestFilter = std::function<bool(NodeId dest)>;
+
+/// What one neighbor sees of a local P-graph: announced links with their
+/// (active, destination-filtered) Permission Lists, plus destination marks.
+struct ExportedView {
+  std::map<DirectedLink, PermissionList> links;
+  std::set<NodeId> destinations;
+
+  bool operator==(const ExportedView&) const = default;
+  bool empty() const { return links.empty() && destinations.empty(); }
+};
+
+/// Incremental update message body.  `upserts` carries new links and links
+/// whose Permission List changed (the new list is authoritative);
+/// `removes` carries root-cause link withdrawals.
+struct GraphDelta {
+  bool reset = false;  ///< session (re)start: clear the stored graph first
+  std::vector<std::pair<DirectedLink, PermissionList>> upserts;
+  std::vector<DirectedLink> removes;
+  std::vector<NodeId> dest_adds;
+  std::vector<NodeId> dest_removes;
+
+  bool empty() const {
+    return !reset && upserts.empty() && removes.empty() &&
+           dest_adds.empty() && dest_removes.empty();
+  }
+
+  /// Approximate wire size; `bloom_compressed` selects the Permission-List
+  /// encoding (S4.1).
+  std::size_t byte_size(bool bloom_compressed) const;
+};
+
+/// Export side: the view of `local` a neighbor may see.
+///
+/// A link is announced iff (a) at least one destination permitted by
+/// `dest_allowed` routes through it (the destination sets recorded by
+/// BuildGraph tell us which), and (b) `link_allowed` accepts it.  Announced
+/// links whose head is multi-homed in `local` carry their Permission List
+/// filtered to the allowed destinations.  Destination marks are the local
+/// marks that pass `dest_allowed`.
+ExportedView make_export_view(const PGraph& local,
+                              const DestFilter& dest_allowed,
+                              const LinkFilter& link_allowed = nullptr);
+
+/// The incremental update turning `before` into `after`.
+GraphDelta diff_views(const ExportedView& before, const ExportedView& after);
+
+/// Import side: merges `delta` (received from the owner of `g`) into the
+/// stored per-neighbor P-graph.  Links pointing at `self` are removed for
+/// loop elimination (Step 2), then `import_allowed` (if set) filters the
+/// rest.  Returns true if anything changed.
+bool apply_delta(PGraph& g, const GraphDelta& delta, NodeId self,
+                 const LinkFilter& import_allowed = nullptr);
+
+}  // namespace centaur::core

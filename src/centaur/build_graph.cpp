@@ -1,0 +1,107 @@
+#include "centaur/build_graph.hpp"
+
+#include <set>
+#include <tuple>
+#include <stdexcept>
+
+namespace centaur::core {
+
+void add_path_to_pgraph(PGraph& g, const Path& path) {
+  if (path.empty() || path.front() != g.root()) {
+    throw std::invalid_argument("add_path_to_pgraph: path must start at root");
+  }
+  const NodeId dest = path.back();
+  g.mark_destination(dest);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const NodeId a = path[i];
+    const NodeId b = path[i + 1];
+    g.add_link(a, b);
+    LinkData& data = g.link_data(a, b);
+    ++data.counter;
+    // Next hop of B toward dest (kNoNextHop when B is the destination).
+    const NodeId next = (i + 2 < path.size()) ? path[i + 2] : kNoNextHop;
+    data.plist.add(dest, next);
+  }
+}
+
+void remove_path_from_pgraph(PGraph& g, const Path& path) {
+  if (path.empty() || path.front() != g.root()) {
+    throw std::invalid_argument(
+        "remove_path_from_pgraph: path must start at root");
+  }
+  const NodeId dest = path.back();
+  g.unmark_destination(dest);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const NodeId a = path[i];
+    const NodeId b = path[i + 1];
+    LinkData& data = g.link_data(a, b);
+    if (data.counter == 0) {
+      throw std::logic_error("remove_path_from_pgraph: counter underflow");
+    }
+    const NodeId next = (i + 2 < path.size()) ? path[i + 2] : kNoNextHop;
+    data.plist.remove(dest, next);
+    if (--data.counter == 0) {
+      g.remove_link(a, b);
+    }
+  }
+}
+
+std::size_t minimize_permission_lists(PGraph& g) {
+  // Collect multi-homed heads first (mutating payloads below does not
+  // change the link structure, but keep the walk simple).
+  std::size_t cleared = 0;
+  std::set<NodeId> heads;
+  for (const auto& [link, data] : g.links()) {
+    if (g.multi_homed(link.to)) heads.insert(link.to);
+  }
+  for (NodeId b : heads) {
+    // Default link: the in-link whose permissions include b itself as the
+    // destination (so DerivePath(b)'s fallback lands on the right parent);
+    // ties, and heads never appearing as destinations, resolve to the
+    // in-link carrying the most destinations, then the lowest parent id.
+    NodeId best_parent = topo::kInvalidNode;
+    bool best_sentinel = false;
+    std::size_t best_count = 0;
+    for (NodeId a : g.parents(b)) {
+      const PermissionList& plist = g.link_data(a, b).plist;
+      const bool sentinel = plist.permits(b, kNoNextHop);
+      const std::size_t count = plist.dest_count();
+      const bool better = best_parent == topo::kInvalidNode ||
+                          std::tuple(sentinel, count) >
+                              std::tuple(best_sentinel, best_count);
+      if (better) {
+        best_parent = a;
+        best_sentinel = sentinel;
+        best_count = count;
+      }
+    }
+    for (NodeId a : g.parents(b)) {
+      PermissionList& plist = g.link_data(a, b).plist;
+      if (a == best_parent) {
+        if (!plist.empty()) ++cleared;
+        plist = PermissionList{};
+      } else {
+        // The head-as-destination case is handled by the default link;
+        // other in-links only need entries for traffic crossing the head
+        // (redundant co-optimal sentinel entries would double-resolve).
+        plist.remove(b, kNoNextHop);
+      }
+    }
+  }
+  return cleared;
+}
+
+PGraph build_local_pgraph(NodeId root,
+                          const std::map<NodeId, Path>& selected) {
+  PGraph g(root);
+  for (const auto& [dest, path] : selected) {
+    if (path.empty() || path.front() != root || path.back() != dest) {
+      throw std::invalid_argument(
+          "build_local_pgraph: path must run root..dest");
+    }
+    add_path_to_pgraph(g, path);
+  }
+  return g;
+}
+
+}  // namespace centaur::core

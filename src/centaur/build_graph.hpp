@@ -1,0 +1,47 @@
+// BuildGraph (paper S4.2, Table 2): construct a local P-graph, with
+// Permission Lists and per-link path counters, from a selected path set.
+#pragma once
+
+#include <map>
+
+#include "centaur/pgraph.hpp"
+
+namespace centaur::core {
+
+/// Builds the local P-graph of `root` from its selected paths.
+///
+/// `selected` maps each destination to the (unique, single-path routing)
+/// selected path root..dest; every path must start at `root` and end at its
+/// destination (std::invalid_argument otherwise).  The trivial path {root}
+/// marks `root` itself as a destination.
+///
+/// Per Table 2, for every link A->B on the path for destination D a
+/// permission entry (D, nextHop(B)) is recorded; entries are *active* (shown
+/// to DerivePath and announcements) only while B is multi-homed, which also
+/// realises S4.3.2's rule that Permission Lists appear when a node becomes
+/// multi-homed and disappear when it reverts to single-homed.  Link counters
+/// are set to the number of selected paths traversing each link.
+PGraph build_local_pgraph(NodeId root, const std::map<NodeId, Path>& selected);
+
+/// Incremental form of BuildGraph's inner loop: merges one selected path
+/// (root..dest) into `g` — links, counters, and permission entries.
+/// Precondition: path runs g.root()..dest.
+void add_path_to_pgraph(PGraph& g, const Path& path);
+
+/// Inverse of add_path_to_pgraph: decrements counters, removes the path's
+/// permission entries, unmarks the destination, and drops links whose
+/// counter reaches zero (S4.3.2's counter rule).  Precondition: the exact
+/// path was previously added and not yet removed.
+void remove_path_from_pgraph(PGraph& g, const Path& path);
+
+/// Minimal Permission-List scheme (the paper's Figure 4(c)): for every
+/// multi-homed node, the in-link carrying the most destinations becomes the
+/// unlisted *default* link (ties to the lowest parent id); the other
+/// in-links keep their explicit entries.  DerivePath resolves a multi-homed
+/// node by explicit permission first and falls back to the single unlisted
+/// link, so derived paths are unchanged — this purely shrinks announcement
+/// state (Table 4 counts one Permission List per *extra* in-link under this
+/// scheme).  Returns the number of lists cleared.
+std::size_t minimize_permission_lists(PGraph& g);
+
+}  // namespace centaur::core

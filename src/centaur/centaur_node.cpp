@@ -1,0 +1,466 @@
+#include "centaur/centaur_node.hpp"
+
+#include <algorithm>
+
+namespace centaur::core {
+
+using policy::Candidate;
+using policy::classify_path;
+using policy::may_export;
+using topo::NodeId;
+
+namespace {
+
+/// Is a route of this class exportable to peers/providers (the cone view)?
+bool cone_exportable(policy::RouteSource source) {
+  return may_export(source, topo::Relationship::kPeer);
+}
+
+}  // namespace
+
+std::string CentaurUpdate::describe() const {
+  return "centaur-update(+" + std::to_string(delta_.upserts.size()) +
+         " links, -" + std::to_string(delta_.removes.size()) + " links, +" +
+         std::to_string(delta_.dest_adds.size()) + " dests, -" +
+         std::to_string(delta_.dest_removes.size()) + " dests" +
+         (delta_.reset ? ", reset)" : ")");
+}
+
+CentaurNode::CentaurNode(const topo::AsGraph& graph)
+    : CentaurNode(graph, Config()) {}
+
+CentaurNode::CentaurNode(const topo::AsGraph& graph, Config config)
+    : graph_(graph), config_(std::move(config)) {}
+
+bool CentaurNode::neighbor_usable(NodeId neighbor) const {
+  const auto it = session_up_.find(neighbor);
+  return it != session_up_.end() && it->second;
+}
+
+void CentaurNode::start() {
+  local_.reset(self());
+  for (const topo::Neighbor& nb : graph_.neighbors(self())) {
+    session_up_[nb.node] = graph_.link_up(nb.link);
+  }
+  if (config_.originate_prefix) {
+    selected_[self()] = Path{self()};
+    selected_class_[self()] = policy::RouteSource::kSelf;
+    add_path_to_pgraph(local_, Path{self()});
+    cone_dests_.insert(self());
+    changed_dests_.insert(self());
+  }
+  flood();
+}
+
+// --------------------------------------------------------------- derive ---
+
+std::set<NodeId> CentaurNode::refresh_derived(NeighborState& state,
+                                              const std::set<NodeId>& dests) {
+  std::set<NodeId> changed;
+  std::vector<NodeId> visited;
+  for (const NodeId dest : dests) {
+    const bool marked = state.graph.is_destination(dest);
+    std::optional<Path> fresh;
+    visited.clear();
+    if (marked) {
+      fresh = state.graph.derive_path(dest, &visited);
+    }
+
+    // Re-index the walk if it changed (failed walks are indexed too: their
+    // outcome can only flip when an in-link of a walked node changes).
+    const auto chain_it = state.chains.find(dest);
+    const bool had_chain = chain_it != state.chains.end();
+    if (!had_chain || chain_it->second != visited) {
+      if (had_chain) {
+        for (const NodeId node : chain_it->second) {
+          const auto idx = state.chain_index.find(node);
+          if (idx != state.chain_index.end()) {
+            idx->second.erase(dest);
+            if (idx->second.empty()) state.chain_index.erase(idx);
+          }
+        }
+      }
+      if (marked) {
+        for (const NodeId node : visited) {
+          state.chain_index[node].insert(dest);
+        }
+        state.chains[dest] = visited;
+      } else if (had_chain) {
+        state.chains.erase(chain_it);
+      }
+    }
+
+    // Report only selection-relevant changes (path appeared/changed/gone).
+    const auto old_it = state.derived.find(dest);
+    const bool had = old_it != state.derived.end();
+    if (fresh) {
+      if (had && *fresh == old_it->second) continue;
+      state.derived[dest] = std::move(*fresh);
+    } else {
+      if (!had) continue;
+      state.derived.erase(old_it);
+    }
+    changed.insert(dest);
+  }
+  return changed;
+}
+
+// ------------------------------------------------------------- selection --
+
+void CentaurNode::note_path_removed(NodeId dest, const Path& path,
+                                    bool cone_class) {
+  changed_dests_.insert(dest);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const DirectedLink link{path[i], path[i + 1]};
+    touched_links_.insert(link);
+    if (cone_class) {
+      const auto it = cone_entries_.find(link);
+      if (it != cone_entries_.end()) {
+        const NodeId next = (i + 2 < path.size()) ? path[i + 2] : kNoNextHop;
+        it->second.remove(dest, next);
+        if (it->second.empty()) cone_entries_.erase(it);
+      }
+    }
+  }
+  // In-degree changes flip other in-links' wire form (a Permission List is
+  // only on the wire while the head is multi-homed); touch every current
+  // in-link of the path's nodes.  Called before the P-graph mutation, so
+  // parents() still includes the path's own links.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    for (const NodeId p : local_.parents(path[i])) {
+      touched_links_.insert(DirectedLink{p, path[i]});
+    }
+  }
+}
+
+void CentaurNode::note_path_added(NodeId dest, const Path& path,
+                                  bool cone_class) {
+  changed_dests_.insert(dest);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const DirectedLink link{path[i], path[i + 1]};
+    touched_links_.insert(link);
+    if (cone_class) {
+      const NodeId next = (i + 2 < path.size()) ? path[i + 2] : kNoNextHop;
+      cone_entries_[link].add(dest, next);
+    }
+  }
+  // Called after the P-graph mutation: parents() includes the new links.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    for (const NodeId p : local_.parents(path[i])) {
+      touched_links_.insert(DirectedLink{p, path[i]});
+    }
+  }
+}
+
+bool CentaurNode::reselect(const std::set<NodeId>& dests) {
+  bool any_change = false;
+  for (const NodeId dest : dests) {
+    if (dest == self()) continue;  // the origin route is fixed
+    std::optional<Path> best_path;
+    Candidate best{};
+    for (const auto& [nbr, state] : rib_) {
+      if (!neighbor_usable(nbr)) continue;
+      const auto it = state.derived.find(dest);
+      if (it == state.derived.end()) continue;
+      const Path& sub = it->second;
+      // Loop detection (Observation 1): discard downstream paths that
+      // already contain this node.
+      if (std::find(sub.begin(), sub.end(), self()) != sub.end()) continue;
+      Path full;
+      full.reserve(sub.size() + 1);
+      full.push_back(self());
+      full.insert(full.end(), sub.begin(), sub.end());
+      const Candidate cand{classify_path(graph_, full),
+                           static_cast<std::uint32_t>(full.size() - 1), nbr};
+      bool adopt;
+      if (!best_path) {
+        adopt = true;
+      } else if (config_.ranking) {
+        if (config_.ranking(cand, full, best, *best_path)) {
+          adopt = true;
+        } else if (config_.ranking(best, *best_path, cand, full)) {
+          adopt = false;
+        } else {
+          adopt = policy::better(cand, best);
+        }
+      } else {
+        adopt = policy::better(cand, best);
+      }
+      if (adopt) {
+        best = cand;
+        best_path = std::move(full);
+      }
+    }
+
+    const auto cur = selected_.find(dest);
+    const bool had = cur != selected_.end();
+    if (best_path && had && cur->second == *best_path) continue;
+    if (had) {
+      const bool old_cone = cone_exportable(selected_class_.at(dest));
+      note_path_removed(dest, cur->second, old_cone);
+      remove_path_from_pgraph(local_, cur->second);
+      if (old_cone) cone_dests_.erase(dest);
+    }
+    if (best_path) {
+      const bool new_cone = cone_exportable(best.source);
+      add_path_to_pgraph(local_, *best_path);
+      note_path_added(dest, *best_path, new_cone);
+      if (new_cone) cone_dests_.insert(dest);
+      selected_[dest] = std::move(*best_path);
+      selected_class_[dest] = best.source;
+    } else if (had) {
+      selected_.erase(dest);
+      selected_class_.erase(dest);
+    } else {
+      continue;  // still no route
+    }
+    any_change = true;
+  }
+  return any_change;
+}
+
+// ----------------------------------------------------------------- export --
+
+ExportedView CentaurNode::view_for(NodeId neighbor) const {
+  const topo::Relationship rel_to = graph_.rel(self(), neighbor);
+  DestFilter dest_allowed = [this, rel_to](NodeId dest) {
+    const auto it = selected_class_.find(dest);
+    if (it == selected_class_.end()) return false;
+    return may_export(it->second, rel_to);
+  };
+  LinkFilter link_allowed;
+  if (config_.export_link_filter) {
+    link_allowed = [this, neighbor](NodeId a, NodeId b) {
+      return config_.export_link_filter(neighbor, a, b);
+    };
+  }
+  return make_export_view(local_, dest_allowed, link_allowed);
+}
+
+void CentaurNode::flood() {
+  if (config_.export_link_filter) {
+    // Legacy per-neighbor path: a custom link filter breaks the two-view
+    // sharing, so recompute each neighbor's view in full (used by the
+    // link-hiding examples; fine at example scale).
+    touched_links_.clear();
+    changed_dests_.clear();
+    for (const topo::Neighbor& nb : graph_.neighbors(self())) {
+      if (!neighbor_usable(nb.node)) continue;
+      const ExportedView view = view_for(nb.node);
+      auto [it, inserted] = exported_custom_.try_emplace(nb.node);
+      GraphDelta delta = diff_views(it->second, view);
+      if (inserted) delta.reset = true;
+      if (delta.empty()) continue;
+      it->second = view;
+      net().send(self(), nb.node,
+                 std::make_shared<CentaurUpdate>(std::move(delta),
+                                                 config_.bloom_plists));
+    }
+    return;
+  }
+
+  // Incrementally update the two category views from the flood scratch,
+  // collecting the per-category deltas along the way.
+  GraphDelta full_delta, cone_delta;
+  auto update_link = [this](ExportedView& exp, const DirectedLink& link,
+                            std::optional<PermissionList> now,
+                            GraphDelta& delta) {
+    const auto it = exp.links.find(link);
+    if (now) {
+      if (it == exp.links.end()) {
+        delta.upserts.emplace_back(link, *now);
+        exp.links.emplace(link, std::move(*now));
+      } else if (!(it->second == *now)) {
+        delta.upserts.emplace_back(link, *now);
+        it->second = std::move(*now);
+      }
+    } else if (it != exp.links.end()) {
+      delta.removes.push_back(link);
+      exp.links.erase(it);
+    }
+  };
+  for (const DirectedLink& link : touched_links_) {
+    // Full view: every link of the local P-graph, Permission List on the
+    // wire only while the head is multi-homed.
+    std::optional<PermissionList> full_now;
+    const bool present = local_.has_link(link.from, link.to);
+    const bool multi = present && local_.multi_homed(link.to);
+    if (present) {
+      full_now = multi ? local_.link_data(link.from, link.to).plist
+                       : PermissionList{};
+    }
+    update_link(exported_full_, link, std::move(full_now), full_delta);
+
+    // Cone view: only links carrying cone-class destinations, with the
+    // Permission List filtered to those destinations (cone_entries_ keeps
+    // exactly that).
+    std::optional<PermissionList> cone_now;
+    const auto ce = cone_entries_.find(link);
+    if (present && ce != cone_entries_.end() && !ce->second.empty()) {
+      cone_now = multi ? ce->second : PermissionList{};
+    }
+    update_link(exported_cone_, link, std::move(cone_now), cone_delta);
+  }
+  for (const NodeId dest : changed_dests_) {
+    const bool full_now = selected_.count(dest) > 0;
+    const bool cone_now = full_now && cone_dests_.count(dest) > 0;
+    auto update_dest = [dest](ExportedView& exp, bool now, GraphDelta& delta) {
+      const bool was = exp.destinations.count(dest) > 0;
+      if (now && !was) {
+        delta.dest_adds.push_back(dest);
+        exp.destinations.insert(dest);
+      } else if (!now && was) {
+        delta.dest_removes.push_back(dest);
+        exp.destinations.erase(dest);
+      }
+    };
+    update_dest(exported_full_, full_now, full_delta);
+    update_dest(exported_cone_, cone_now, cone_delta);
+  }
+  touched_links_.clear();
+  changed_dests_.clear();
+
+  for (const topo::Neighbor& nb : graph_.neighbors(self())) {
+    if (!neighbor_usable(nb.node)) continue;
+    const bool cone_nbr = nb.rel == topo::Relationship::kPeer ||
+                          nb.rel == topo::Relationship::kProvider;
+    const ExportedView& exp = cone_nbr ? exported_cone_ : exported_full_;
+    const GraphDelta& delta = cone_nbr ? cone_delta : full_delta;
+    if (initialized_nbrs_.insert(nb.node).second) {
+      // First contact (or session restart): baseline snapshot.
+      GraphDelta snapshot = diff_views(ExportedView{}, exp);
+      snapshot.reset = true;
+      if (!snapshot.empty()) {
+        net().send(self(), nb.node,
+                   std::make_shared<CentaurUpdate>(std::move(snapshot),
+                                                   config_.bloom_plists));
+      }
+    } else if (!delta.empty()) {
+      net().send(self(), nb.node,
+                 std::make_shared<CentaurUpdate>(GraphDelta(delta),
+                                                 config_.bloom_plists));
+    }
+  }
+}
+
+// ----------------------------------------------------------------- events --
+
+void CentaurNode::on_message(NodeId from, const sim::MessagePtr& msg) {
+  const auto* update = dynamic_cast<const CentaurUpdate*>(msg.get());
+  if (update == nullptr || !neighbor_usable(from)) return;
+  const GraphDelta& delta = update->delta();
+
+  auto [it, inserted] = rib_.try_emplace(from, NeighborState(from));
+  NeighborState& state = it->second;
+  if (delta.reset && !inserted) {
+    // Session restart: every previously derived destination is suspect.
+    state.derived.clear();
+    state.chains.clear();
+    state.chain_index.clear();
+  }
+
+  LinkFilter import_filter;
+  if (config_.import_link_filter) {
+    import_filter = [this, from](NodeId a, NodeId b) {
+      return config_.import_link_filter(from, a, b);
+    };
+  }
+  const bool changed = apply_delta(state.graph, delta, self(), import_filter);
+  if (!changed && !inserted) return;
+
+  // Dirty destinations: a delta touching node X only affects derivations
+  // whose backtracking chain visits X, plus destination-mark changes, plus
+  // (whenever the link set or permissions changed) the destinations that
+  // were underivable so far.
+  std::set<NodeId> dirty;
+  if (delta.reset) {
+    dirty = state.graph.destinations();
+    for (const auto& [dest, path] : state.derived) dirty.insert(dest);
+  } else {
+    auto touch = [&](NodeId node) {
+      const auto idx = state.chain_index.find(node);
+      if (idx != state.chain_index.end()) {
+        dirty.insert(idx->second.begin(), idx->second.end());
+      }
+    };
+    for (const auto& [link, plist] : delta.upserts) touch(link.to);
+    for (const DirectedLink& link : delta.removes) touch(link.to);
+    for (const NodeId d : delta.dest_adds) dirty.insert(d);
+    for (const NodeId d : delta.dest_removes) dirty.insert(d);
+  }
+
+  const std::set<NodeId> derived_changed = refresh_derived(state, dirty);
+  if (derived_changed.empty()) return;
+  if (reselect(derived_changed)) flood();
+}
+
+void CentaurNode::on_link_change(NodeId neighbor, bool up) {
+  session_up_[neighbor] = up;
+  if (!up) {
+    std::set<NodeId> affected;
+    const auto it = rib_.find(neighbor);
+    if (it != rib_.end()) {
+      for (const auto& [dest, path] : it->second.derived) {
+        affected.insert(dest);
+      }
+      rib_.erase(it);
+    }
+    initialized_nbrs_.erase(neighbor);
+    exported_custom_.erase(neighbor);
+    if (reselect(affected)) flood();
+    return;
+  }
+  // Session (re)establishment: send a baseline snapshot; the neighbor
+  // cleared its state for us symmetrically and does the same.
+  if (config_.export_link_filter) {
+    const ExportedView view = view_for(neighbor);
+    GraphDelta snapshot = diff_views(ExportedView{}, view);
+    snapshot.reset = true;
+    exported_custom_[neighbor] = view;
+    if (!snapshot.empty()) {
+      net().send(self(), neighbor,
+                 std::make_shared<CentaurUpdate>(std::move(snapshot),
+                                                 config_.bloom_plists));
+    }
+    return;
+  }
+  const bool cone_nbr =
+      graph_.rel(self(), neighbor) == topo::Relationship::kPeer ||
+      graph_.rel(self(), neighbor) == topo::Relationship::kProvider;
+  const ExportedView& exp = cone_nbr ? exported_cone_ : exported_full_;
+  GraphDelta snapshot = diff_views(ExportedView{}, exp);
+  snapshot.reset = true;
+  initialized_nbrs_.insert(neighbor);
+  if (!snapshot.empty()) {
+    net().send(self(), neighbor,
+               std::make_shared<CentaurUpdate>(std::move(snapshot),
+                                               config_.bloom_plists));
+  }
+}
+
+void CentaurNode::policy_changed() {
+  if (reselect(known_dests())) flood();
+}
+
+std::set<NodeId> CentaurNode::known_dests() const {
+  std::set<NodeId> dests;
+  for (const auto& [nbr, state] : rib_) {
+    dests.insert(state.graph.destinations().begin(),
+                 state.graph.destinations().end());
+  }
+  for (const auto& [dest, path] : selected_) dests.insert(dest);
+  return dests;
+}
+
+const PGraph* CentaurNode::neighbor_pgraph(NodeId neighbor) const {
+  const auto it = rib_.find(neighbor);
+  return it == rib_.end() ? nullptr : &it->second.graph;
+}
+
+std::optional<Path> CentaurNode::selected_path(NodeId dest) const {
+  const auto it = selected_.find(dest);
+  if (it == selected_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace centaur::core

@@ -1,0 +1,157 @@
+// The Centaur protocol node (paper S4.3): one instance per AS, running on
+// the discrete-event simulator.
+//
+// Protocol flow implemented here:
+//   Initialization (Steps 1-4): on start() each node originates itself as a
+//   destination and announces export-filtered views of its local P-graph to
+//   every neighbor; on receiving announcements it assembles per-neighbor
+//   P-graphs in its RIB, runs the local solver (derive candidate paths via
+//   DerivePath, rank them under Gao-Rexford preferences plus any local
+//   ranking override), rebuilds its local P-graph with BuildGraph, and
+//   re-announces.
+//   Steady phase (Step 5): every state change is flooded as an incremental
+//   per-link GraphDelta; a failed adjacent link leaves the selected path
+//   set, so its withdrawal (the root cause) propagates as a single link
+//   remove per neighbor instead of per-destination withdrawals.
+//
+// The paper computes deltas with per-link counters that hit zero when no
+// selected path uses a link; we rebuild the local P-graph (counters
+// included) and diff consecutive exported views, which yields exactly the
+// same delta with less mutable state.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "centaur/announce.hpp"
+#include "centaur/build_graph.hpp"
+#include "policy/policy.hpp"
+#include "policy/valley_free.hpp"
+#include "sim/network.hpp"
+
+namespace centaur::core {
+
+/// Wire message: one incremental update (Step 5) or initial announcement
+/// (Steps 1/4, a delta against the empty view with reset set).
+class CentaurUpdate : public sim::Message {
+ public:
+  CentaurUpdate(GraphDelta delta, bool bloom_compressed)
+      : delta_(std::move(delta)), bloom_(bloom_compressed) {}
+
+  const GraphDelta& delta() const { return delta_; }
+  std::size_t byte_size() const override { return delta_.byte_size(bloom_); }
+  std::string describe() const override;
+
+ private:
+  GraphDelta delta_;
+  bool bloom_;
+};
+
+class CentaurNode : public sim::Node {
+ public:
+  struct Config {
+    /// Announce the node's own prefix (true for all experiment nodes).
+    bool originate_prefix = true;
+    /// Account Permission-List bytes as Bloom-compressed (S4.1).
+    bool bloom_plists = false;
+    /// Extra export-side link filter: may link from->to be announced to
+    /// `neighbor`?  Applied on top of the Gao-Rexford destination-based
+    /// export rule.  Null means allow.
+    std::function<bool(topo::NodeId neighbor, NodeId from, NodeId to)>
+        export_link_filter;
+    /// Import-side link filter (Imp in S4.3); null means allow.
+    std::function<bool(topo::NodeId neighbor, NodeId from, NodeId to)>
+        import_link_filter;
+    /// Optional local ranking override (e.g. the paper's Fig 4 scenario
+    /// where C prefers <C,A,B,D> over <C,D>).  Falls back to the standard
+    /// Gao-Rexford ranking when null or when it reports no preference both
+    /// ways.
+    policy::RankingOverride ranking;
+  };
+
+  explicit CentaurNode(const topo::AsGraph& graph);
+  CentaurNode(const topo::AsGraph& graph, Config config);
+
+  void start() override;
+  void on_message(topo::NodeId from, const sim::MessagePtr& msg) override;
+  void on_link_change(topo::NodeId neighbor, bool up) override;
+
+  /// Re-runs selection and floods any resulting deltas — used to inject
+  /// policy changes (S4.3.2 treats those like link-state changes).
+  void policy_changed();
+
+  // --- inspection (tests, experiments) -----------------------------------
+  const PGraph& local_pgraph() const { return local_; }
+  /// The assembled P-graph received from `neighbor`, if any.
+  const PGraph* neighbor_pgraph(topo::NodeId neighbor) const;
+  std::optional<Path> selected_path(NodeId dest) const;
+  const std::map<NodeId, Path>& selected_paths() const { return selected_; }
+
+ private:
+  /// Per-neighbor RIB state: the assembled P-graph plus caches that make
+  /// steady-phase processing incremental — the derived path per marked
+  /// destination, an index from chain nodes to the destinations whose
+  /// derived walk visits them (a delta touching node X can only change
+  /// derivations walking through X), and the set of marked-but-underivable
+  /// destinations (rechecked whenever links appear).
+  struct NeighborState {
+    explicit NeighborState(topo::NodeId root) : graph(root) {}
+    PGraph graph;                    // G_{B->self}
+    std::map<NodeId, Path> derived;  // dest -> path B..dest (successes)
+    /// Nodes examined by each destination's derivation walk — recorded for
+    /// failed walks too (the outcome can only change when an in-link of a
+    /// walked node changes, so this is a precise invalidation set).
+    std::map<NodeId, std::vector<NodeId>> chains;
+    std::map<NodeId, std::set<NodeId>> chain_index;  // node -> dests via it
+  };
+
+  ExportedView view_for(topo::NodeId neighbor) const;
+  bool neighbor_usable(topo::NodeId neighbor) const;
+  /// Re-derives `dests` in `state`, returning those whose result changed.
+  std::set<NodeId> refresh_derived(NeighborState& state,
+                                   const std::set<NodeId>& dests);
+  /// Re-selects routes for `dests`; updates selected_/local_, the class
+  /// cache, the cone-entry side map, and the flood scratch (touched links +
+  /// changed destinations).  Returns true if any selection changed.
+  bool reselect(const std::set<NodeId>& dests);
+  /// Applies the flood scratch to the two category views and sends the
+  /// resulting deltas; sends baseline snapshots to uninitialized neighbors.
+  /// Always call after reselect() so the category views never go stale.
+  void flood();
+  /// Records a changed selection for dest (old path out, new path in) in
+  /// the flood scratch and cone-entry map.
+  void note_path_removed(NodeId dest, const Path& path, bool cone_class);
+  void note_path_added(NodeId dest, const Path& path, bool cone_class);
+  /// All destinations any neighbor currently derives or marks.
+  std::set<NodeId> known_dests() const;
+
+  const topo::AsGraph& graph_;
+  Config config_;
+  std::map<topo::NodeId, NeighborState> rib_;
+  std::map<topo::NodeId, bool> session_up_;  // adjacency/session state
+  PGraph local_;                             // G_self
+  std::map<NodeId, Path> selected_;
+  std::map<NodeId, policy::RouteSource> selected_class_;  // classify cache
+
+  // Export machinery.  Under Gao-Rexford there are exactly two distinct
+  // exported views: customers/siblings see every selected route ("full"),
+  // peers/providers see only self/customer/sibling-class routes ("cone").
+  // Both views are maintained incrementally from the flood scratch, so a
+  // steady-phase update costs O(touched links), not O(P-graph).
+  // cone_entries_ mirrors local_'s permission entries restricted to
+  // cone-class destinations (it tells both which links the cone view
+  // carries and with which filtered Permission List).
+  ExportedView exported_full_;
+  ExportedView exported_cone_;
+  std::map<DirectedLink, PermissionList> cone_entries_;
+  std::set<NodeId> cone_dests_;
+  std::set<topo::NodeId> initialized_nbrs_;  // got a baseline snapshot
+  // Flood scratch, filled by reselect().
+  std::set<DirectedLink> touched_links_;
+  std::set<NodeId> changed_dests_;
+  // Legacy per-neighbor views, used only with a custom export_link_filter.
+  std::map<topo::NodeId, ExportedView> exported_custom_;
+};
+
+}  // namespace centaur::core

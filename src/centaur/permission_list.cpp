@@ -1,0 +1,96 @@
+#include "centaur/permission_list.hpp"
+
+#include <algorithm>
+
+namespace centaur::core {
+
+void PermissionList::add(NodeId dest, NodeId next_hop) {
+  by_next_[next_hop].insert(dest);
+}
+
+bool PermissionList::remove(NodeId dest, NodeId next_hop) {
+  const auto it = by_next_.find(next_hop);
+  if (it == by_next_.end()) return false;
+  const bool erased = it->second.erase(dest) > 0;
+  if (it->second.empty()) by_next_.erase(it);
+  return erased;
+}
+
+std::size_t PermissionList::remove_dest(NodeId dest) {
+  std::size_t removed = 0;
+  for (auto it = by_next_.begin(); it != by_next_.end();) {
+    removed += it->second.erase(dest);
+    if (it->second.empty()) {
+      it = by_next_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool PermissionList::permits(NodeId dest, NodeId next_hop) const {
+  const auto it = by_next_.find(next_hop);
+  return it != by_next_.end() && it->second.count(dest) > 0;
+}
+
+std::size_t PermissionList::dest_count() const {
+  std::size_t c = 0;
+  for (const auto& [next, dests] : by_next_) c += dests.size();
+  return c;
+}
+
+std::vector<PermissionList::Entry> PermissionList::entries() const {
+  std::vector<Entry> out;
+  out.reserve(by_next_.size());
+  for (const auto& [next, dests] : by_next_) {
+    out.push_back(Entry{next, std::vector<NodeId>(dests.begin(), dests.end())});
+  }
+  return out;
+}
+
+PermissionList PermissionList::filtered(
+    const std::function<bool(NodeId dest)>& keep_dest) const {
+  PermissionList out;
+  for (const auto& [next, dests] : by_next_) {
+    for (NodeId d : dests) {
+      if (keep_dest(d)) out.by_next_[next].insert(d);
+    }
+  }
+  return out;
+}
+
+std::size_t PermissionList::byte_size(bool bloom_compressed) const {
+  std::size_t bytes = 0;
+  for (const auto& [next, dests] : by_next_) {
+    bytes += 4;  // next-hop id
+    if (bloom_compressed) {
+      const util::BloomFilter f(dests.size(), 0.01);
+      bytes += f.byte_size();
+    } else {
+      bytes += 4 * dests.size();
+    }
+  }
+  return bytes;
+}
+
+util::BloomFilter PermissionList::compress_dests(
+    const std::vector<NodeId>& dests, double fp_rate) {
+  util::BloomFilter f(dests.size(), fp_rate);
+  for (NodeId d : dests) f.insert(d);
+  return f;
+}
+
+void ExhaustivePermissionList::add(const Path& path) { paths_.insert(path); }
+
+bool ExhaustivePermissionList::permits(const Path& path) const {
+  return paths_.count(path) > 0;
+}
+
+std::size_t ExhaustivePermissionList::byte_size() const {
+  std::size_t bytes = 0;
+  for (const Path& p : paths_) bytes += 4 * p.size() + 2;  // ids + length tag
+  return bytes;
+}
+
+}  // namespace centaur::core

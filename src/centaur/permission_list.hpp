@@ -1,0 +1,123 @@
+// Permission Lists (paper S4.1) — the key Centaur data structure.
+//
+// A Permission List is attached to a link A->B when B is multi-homed (has
+// more than one parent) in a P-graph.  It enumerates exactly the
+// policy-compliant paths that may traverse A->B, in the compact
+// "per-dest-next" encoding: each entry is a (destination set, next hop of B)
+// pair; destinations sharing B's next hop are grouped into one entry.  The
+// destination where B itself is the target uses the kNoNextHop sentinel
+// (B has no next hop on that path).
+//
+// The theoretically-equivalent "exhaustive per-path" encoding (used in the
+// paper's expressiveness proof, Claim 1) is also provided for the ablation
+// benches, together with an optional Bloom-compressed destination-set view
+// for size accounting (S4.1 suggests Bloom filters; Table 5 sizes assume
+// them).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "topology/types.hpp"
+#include "util/bloom.hpp"
+
+namespace centaur::core {
+
+using topo::NodeId;
+using topo::Path;
+
+/// Sentinel "next hop" used when the multi-homed node is itself the
+/// destination of the permitted path.
+inline constexpr NodeId kNoNextHop = topo::kInvalidNode;
+
+/// Per-dest-next Permission List.
+class PermissionList {
+ public:
+  /// Permits destination `dest` via `next_hop` (the next hop of the
+  /// multi-homed link head on the permitted path; kNoNextHop when the head
+  /// is the destination).  Idempotent.
+  void add(NodeId dest, NodeId next_hop);
+
+  /// Revokes a permission.  Returns true if the pair was present.
+  bool remove(NodeId dest, NodeId next_hop);
+
+  /// Drops every permission for `dest` regardless of next hop.
+  /// Returns the number of pairs removed.
+  std::size_t remove_dest(NodeId dest);
+
+  /// The Permit(D, next) predicate of the DerivePath algorithm (Table 1).
+  bool permits(NodeId dest, NodeId next_hop) const;
+
+  /// Number of (destination-list, next-hop) pair entries — the quantity
+  /// whose distribution the paper reports in Table 5.
+  std::size_t entry_count() const { return by_next_.size(); }
+
+  /// Total destinations across all entries.
+  std::size_t dest_count() const;
+
+  bool empty() const { return by_next_.empty(); }
+
+  /// One encoded entry: a next hop and its grouped destination list.
+  struct Entry {
+    NodeId next_hop;
+    std::vector<NodeId> dests;  // ascending
+  };
+
+  /// Entries in ascending next-hop order (deterministic wire order).
+  std::vector<Entry> entries() const;
+
+  /// Copy retaining only destinations accepted by `keep_dest` (export
+  /// filtering prunes permissions for destinations not announced).
+  PermissionList filtered(
+      const std::function<bool(NodeId dest)>& keep_dest) const;
+
+  /// True if any recorded destination satisfies `pred` — an allocation-free
+  /// "would filtered() be non-empty" test for export decisions.
+  template <typename Pred>
+  bool any_dest(Pred&& pred) const {
+    for (const auto& [next, dests] : by_next_) {
+      for (NodeId d : dests) {
+        if (pred(d)) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Approximate wire size in bytes.  Uncompressed: 4 bytes per next hop +
+  /// 4 per destination.  Bloom-compressed (paper S4.1): 4 bytes per next
+  /// hop + one fixed-size filter per entry sized for its destination count
+  /// at 1% false positives.
+  std::size_t byte_size(bool bloom_compressed) const;
+
+  /// Builds the Bloom-compressed representation of one entry's destination
+  /// list (used by the ablation bench to measure real FP behaviour).
+  static util::BloomFilter compress_dests(const std::vector<NodeId>& dests,
+                                          double fp_rate = 0.01);
+
+  bool operator==(const PermissionList& other) const {
+    return by_next_ == other.by_next_;
+  }
+
+ private:
+  // next hop -> destination set; std::map for deterministic iteration.
+  std::map<NodeId, std::set<NodeId>> by_next_;
+};
+
+/// Exhaustive per-path encoding (paper S4.1, S6.1): one full path per
+/// permitted traversal.  Used only for the expressiveness/ablation
+/// comparison — per-dest-next is what the protocol ships.
+class ExhaustivePermissionList {
+ public:
+  void add(const Path& path);
+  bool permits(const Path& path) const;
+  std::size_t path_count() const { return paths_.size(); }
+  std::size_t byte_size() const;
+
+ private:
+  std::set<Path> paths_;
+};
+
+}  // namespace centaur::core

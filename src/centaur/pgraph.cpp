@@ -1,0 +1,177 @@
+#include "centaur/pgraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace centaur::core {
+namespace {
+
+const std::vector<NodeId>& empty_vector() {
+  static const std::vector<NodeId> kEmpty;
+  return kEmpty;
+}
+
+/// Sorted-vector insert; returns false if already present.
+bool sorted_insert(std::vector<NodeId>& v, NodeId x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) return false;
+  v.insert(it, x);
+  return true;
+}
+
+/// Sorted-vector erase; returns false if absent.
+bool sorted_erase(std::vector<NodeId>& v, NodeId x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) return false;
+  v.erase(it);
+  return true;
+}
+
+}  // namespace
+
+void PGraph::reset(NodeId root) {
+  root_ = root;
+  links_.clear();
+  parents_.clear();
+  children_.clear();
+  destinations_.clear();
+}
+
+bool PGraph::add_link(NodeId from, NodeId to) {
+  if (from == to) throw std::invalid_argument("PGraph::add_link: self-loop");
+  const auto [it, inserted] = links_.try_emplace(DirectedLink{from, to});
+  if (!inserted) return false;
+  sorted_insert(parents_[to], from);
+  sorted_insert(children_[from], to);
+  return true;
+}
+
+bool PGraph::remove_link(NodeId from, NodeId to) {
+  if (links_.erase(DirectedLink{from, to}) == 0) return false;
+  auto pit = parents_.find(to);
+  sorted_erase(pit->second, from);
+  if (pit->second.empty()) parents_.erase(pit);
+  auto cit = children_.find(from);
+  sorted_erase(cit->second, to);
+  if (cit->second.empty()) children_.erase(cit);
+  return true;
+}
+
+std::size_t PGraph::in_degree(NodeId n) const {
+  const auto it = parents_.find(n);
+  return it == parents_.end() ? 0 : it->second.size();
+}
+
+const std::vector<NodeId>& PGraph::parents(NodeId n) const {
+  const auto it = parents_.find(n);
+  return it == parents_.end() ? empty_vector() : it->second;
+}
+
+const std::vector<NodeId>& PGraph::children(NodeId n) const {
+  const auto it = children_.find(n);
+  return it == children_.end() ? empty_vector() : it->second;
+}
+
+bool PGraph::contains(NodeId n) const {
+  return n == root_ || parents_.count(n) > 0 || children_.count(n) > 0;
+}
+
+LinkData& PGraph::link_data(NodeId from, NodeId to) {
+  const auto it = links_.find(DirectedLink{from, to});
+  if (it == links_.end()) throw std::out_of_range("PGraph::link_data");
+  return it->second;
+}
+
+const LinkData& PGraph::link_data(NodeId from, NodeId to) const {
+  const auto it = links_.find(DirectedLink{from, to});
+  if (it == links_.end()) throw std::out_of_range("PGraph::link_data");
+  return it->second;
+}
+
+std::size_t PGraph::active_plist_count() const {
+  std::size_t c = 0;
+  for (const auto& [key, data] : links_) {
+    if (multi_homed(key.to) && !data.plist.empty()) ++c;
+  }
+  return c;
+}
+
+std::optional<Path> PGraph::derive_path(NodeId dest,
+                                        std::vector<NodeId>* visited_out) const {
+  if (visited_out) {
+    visited_out->clear();
+    visited_out->push_back(dest);
+  }
+  if (dest == root_) return Path{root_};
+  if (!contains(dest)) return std::nullopt;
+
+  Path reversed{dest};
+  NodeId current = dest;
+  // Next hop of `current` toward `dest` during backtracking — the node we
+  // arrived from; kNoNextHop while current == dest (S4.1 per-dest-next
+  // semantics; see header note on Table 1).
+  NodeId came_from = kNoNextHop;
+  std::set<NodeId> visited{dest};
+
+  while (current != root_) {
+    const std::vector<NodeId>& ps = parents(current);
+    if (ps.empty()) return std::nullopt;
+    NodeId parent = topo::kInvalidNode;
+    if (ps.size() == 1) {
+      parent = ps.front();  // Table 1 lines 3-5: single-homed, follow up
+    } else {
+      // Table 1 lines 6-11: multi-homed, consult Permission Lists.
+      // Links with entries are explicit permissions; if none permits, an
+      // in-link *without* a Permission List acts as the default (the
+      // paper's Figure 4(c) lists only the exceptional link C->D and
+      // leaves B->D unlisted).  More than one unlisted in-link would be
+      // ambiguous, so derivation fails then.
+      NodeId fallback = topo::kInvalidNode;
+      bool fallback_ambiguous = false;
+      for (NodeId p : ps) {
+        const PermissionList& plist = link_data(p, current).plist;
+        if (plist.empty()) {
+          if (fallback == topo::kInvalidNode) {
+            fallback = p;
+          } else {
+            fallback_ambiguous = true;
+          }
+          continue;
+        }
+        if (plist.permits(dest, came_from)) {
+          parent = p;
+          break;
+        }
+      }
+      if (parent == topo::kInvalidNode && !fallback_ambiguous) {
+        parent = fallback;
+      }
+      if (parent == topo::kInvalidNode) return std::nullopt;
+    }
+    if (!visited.insert(parent).second) {
+      throw std::logic_error("PGraph::derive_path: backtrace cycle");
+    }
+    if (visited_out) visited_out->push_back(parent);
+    reversed.push_back(parent);
+    came_from = current;
+    current = parent;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+bool PGraph::operator==(const PGraph& other) const {
+  if (root_ != other.root_ || destinations_ != other.destinations_ ||
+      links_.size() != other.links_.size()) {
+    return false;
+  }
+  for (const auto& [key, data] : links_) {
+    const auto it = other.links_.find(key);
+    if (it == other.links_.end() || !(data.plist == it->second.plist)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace centaur::core

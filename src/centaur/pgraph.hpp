@@ -1,0 +1,160 @@
+// P-graph (policy graph) — Centaur's network data model (paper S3.2.2).
+//
+// A P-graph is a directed graph of downstream links rooted at its creator.
+// Each node stores one P-graph per neighbor (assembled from that neighbor's
+// downstream-link announcements) plus its own local P-graph built from its
+// selected path set.  Links whose head is multi-homed carry Permission
+// Lists; destination nodes are explicitly marked (prefixes in practice).
+//
+// The two operations the paper defines are provided here and in
+// build_graph.hpp:
+//   * DerivePath (Table 1) — backtrack from a destination to the root under
+//     Permission-List restrictions; yields the unique policy-compliant path.
+//   * BuildGraph (Table 2) — construct a local P-graph (links, counters,
+//     Permission Lists) from a selected path set.
+//
+// Note on pseudocode fidelity: Table 1 writes Permit(D, currentNode); the
+// Permission-List definition in S4.1 keys entries by the *next hop of the
+// multi-homed node on the permitted path*, which during backtracking is the
+// node we arrived from (kNoNextHop when the multi-homed node is the
+// destination itself).  derive_path implements that definition.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "centaur/permission_list.hpp"
+#include "topology/types.hpp"
+
+namespace centaur::core {
+
+/// Directed link identifier within a P-graph.
+struct DirectedLink {
+  NodeId from = topo::kInvalidNode;
+  NodeId to = topo::kInvalidNode;
+
+  auto operator<=>(const DirectedLink&) const = default;
+};
+
+struct DirectedLinkHash {
+  std::size_t operator()(const DirectedLink& l) const {
+    std::uint64_t x = (std::uint64_t{l.from} << 32) | l.to;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 29;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+/// Per-link P-graph payload.
+struct LinkData {
+  /// Permission entries for paths through this link.  Kept for every link
+  /// (BuildGraph records them as paths are inserted); they are *active* —
+  /// i.e. consulted by DerivePath and included in announcements — only
+  /// while the link head is multi-homed, per S4.1/S4.3.2.
+  PermissionList plist;
+  /// Number of selected paths traversing this link (paper S4.3.2: the link
+  /// is withdrawn when this drops to zero).
+  std::uint32_t counter = 0;
+};
+
+class PGraph {
+ public:
+  PGraph() = default;
+  explicit PGraph(NodeId root) : root_(root) {}
+
+  NodeId root() const { return root_; }
+  void reset(NodeId root);
+
+  // --- structure ---------------------------------------------------------
+
+  /// Inserts from->to.  Returns true if the link was new.
+  bool add_link(NodeId from, NodeId to);
+
+  /// Removes from->to and its payload.  Returns true if present.
+  bool remove_link(NodeId from, NodeId to);
+
+  bool has_link(NodeId from, NodeId to) const {
+    return links_.count({from, to}) > 0;
+  }
+
+  std::size_t num_links() const { return links_.size(); }
+
+  std::size_t in_degree(NodeId n) const;
+
+  /// "Multi-homed": more than one parent in this P-graph (S3.2.4).
+  bool multi_homed(NodeId n) const { return in_degree(n) > 1; }
+
+  /// Parents of `n` in ascending order (empty if none).
+  const std::vector<NodeId>& parents(NodeId n) const;
+
+  /// Children of `n` in ascending order (empty if none).
+  const std::vector<NodeId>& children(NodeId n) const;
+
+  /// True if `n` is the root or appears as an endpoint of some link.
+  bool contains(NodeId n) const;
+
+  // --- destinations -------------------------------------------------------
+
+  void mark_destination(NodeId d) { destinations_.insert(d); }
+  bool unmark_destination(NodeId d) { return destinations_.erase(d) > 0; }
+  bool is_destination(NodeId d) const { return destinations_.count(d) > 0; }
+  const std::set<NodeId>& destinations() const { return destinations_; }
+
+  // --- per-link payload ----------------------------------------------------
+
+  /// Payload accessors; the mutable overload creates the link if absent is
+  /// NOT provided — the link must exist (throws std::out_of_range).
+  LinkData& link_data(NodeId from, NodeId to);
+  const LinkData& link_data(NodeId from, NodeId to) const;
+
+  /// A link's Permission List is active iff its head is multi-homed.
+  bool plist_active(NodeId from, NodeId to) const {
+    return multi_homed(to) && !link_data(from, to).plist.empty();
+  }
+
+  /// Number of links with an active Permission List (Table 4 metric).
+  std::size_t active_plist_count() const;
+
+  // --- DerivePath (Table 1) -------------------------------------------------
+
+  /// Derives the unique policy-compliant path root..dest, or nullopt if no
+  /// permitted parent chain reaches the root.  For dest == root returns
+  /// {root}.  Throws std::logic_error if the backtrace cycles (corrupt
+  /// graph).
+  ///
+  /// If `visited` is non-null it receives every node the backtracking walk
+  /// examined (including `dest` and, on failure, the blocking node).  The
+  /// walk's outcome is a pure function of the in-links of these nodes, so
+  /// callers can use the set for precise invalidation: a graph change that
+  /// touches none of them cannot change this derivation.
+  std::optional<Path> derive_path(NodeId dest,
+                                  std::vector<NodeId>* visited = nullptr) const;
+
+  // --- iteration -----------------------------------------------------------
+
+  /// All links with their payloads (unordered; sort keys if a canonical
+  /// order is needed).
+  const std::unordered_map<DirectedLink, LinkData, DirectedLinkHash>& links()
+      const {
+    return links_;
+  }
+
+  /// Equality of structure, destination marks, and Permission Lists
+  /// (counters are local bookkeeping and excluded).
+  bool operator==(const PGraph& other) const;
+
+ private:
+  NodeId root_ = topo::kInvalidNode;
+  std::unordered_map<DirectedLink, LinkData, DirectedLinkHash> links_;
+  std::unordered_map<NodeId, std::vector<NodeId>> parents_;   // sorted values
+  std::unordered_map<NodeId, std::vector<NodeId>> children_;  // sorted values
+  std::set<NodeId> destinations_;
+};
+
+}  // namespace centaur::core

@@ -1,0 +1,100 @@
+#include "eval/experiments.hpp"
+
+#include <memory>
+
+#include "bgp/bgp_node.hpp"
+#include "centaur/centaur_node.hpp"
+#include "linkstate/ospf_node.hpp"
+
+namespace centaur::eval {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kBgp:
+      return "BGP";
+    case Protocol::kBgpRcn:
+      return "BGP-RCN";
+    case Protocol::kCentaur:
+      return "Centaur";
+    case Protocol::kOspf:
+      return "OSPF";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<sim::Node> make_node(Protocol p, const topo::AsGraph& g,
+                                     const RunOptions& options) {
+  switch (p) {
+    case Protocol::kBgp: {
+      bgp::BgpNode::Config cfg;
+      cfg.mrai = options.bgp_mrai;
+      return std::make_unique<bgp::BgpNode>(g, cfg);
+    }
+    case Protocol::kBgpRcn: {
+      bgp::BgpNode::Config cfg;
+      cfg.mrai = options.bgp_mrai;
+      cfg.root_cause_notification = true;
+      return std::make_unique<bgp::BgpNode>(g, cfg);
+    }
+    case Protocol::kCentaur:
+      return std::make_unique<core::CentaurNode>(g);
+    case Protocol::kOspf:
+      return std::make_unique<linkstate::OspfNode>(g);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ProtocolRun::ProtocolRun(const topo::AsGraph& graph, Protocol protocol,
+                         util::Rng& rng, const RunOptions& options)
+    : graph_(graph),
+      delay_rng_(rng.next()),
+      net_(graph_, delay_rng_),
+      protocol_(protocol) {
+  for (topo::NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    net_.attach(v, make_node(protocol, graph_, options));
+  }
+  net_.mark();
+  net_.start_all_and_converge();
+  cold_start_ = net_.window();
+  cold_start_time_ = net_.window_convergence_time();
+}
+
+ProtocolRun::Transition ProtocolRun::flip(topo::LinkId link, bool up) {
+  net_.mark();
+  net_.set_link_state(link, up);
+  net_.run_to_convergence();
+  Transition t;
+  t.messages = net_.window().messages_sent;
+  t.bytes = net_.window().bytes_sent;
+  t.convergence_time = net_.window_convergence_time();
+  return t;
+}
+
+FlipSeries run_link_flips(const topo::AsGraph& graph, Protocol protocol,
+                          std::size_t flip_sample, util::Rng rng,
+                          const RunOptions& options) {
+  ProtocolRun run(graph, protocol, rng, options);
+  FlipSeries series;
+  series.cold_start = run.cold_start();
+  series.cold_start_time = run.cold_start_time();
+
+  flip_sample = std::min<std::size_t>(flip_sample, graph.num_links());
+  const std::vector<std::size_t> links =
+      rng.sample_without_replacement(graph.num_links(), flip_sample);
+
+  for (std::size_t raw : links) {
+    const auto link = static_cast<topo::LinkId>(raw);
+    for (const bool up : {false, true}) {
+      const ProtocolRun::Transition t = run.flip(link, up);
+      series.convergence_times.push_back(t.convergence_time);
+      series.message_counts.push_back(static_cast<double>(t.messages));
+    }
+  }
+  return series;
+}
+
+}  // namespace centaur::eval

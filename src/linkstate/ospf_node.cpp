@@ -1,0 +1,115 @@
+#include "linkstate/ospf_node.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace centaur::linkstate {
+
+void OspfNode::start() { originate(); }
+
+void OspfNode::originate() {
+  Lsa lsa;
+  lsa.origin = self();
+  lsa.seq = ++own_seq_;
+  for (const topo::Neighbor& nb : graph_.neighbors(self())) {
+    if (graph_.link_up(nb.link)) lsa.up_neighbors.push_back(nb.node);
+  }
+  std::sort(lsa.up_neighbors.begin(), lsa.up_neighbors.end());
+  lsdb_[self()] = lsa;
+  flood(lsa, topo::kInvalidNode);
+}
+
+void OspfNode::flood(const Lsa& lsa, NodeId except) {
+  for (const topo::Neighbor& nb : graph_.neighbors(self())) {
+    if (nb.node == except || !graph_.link_up(nb.link)) continue;
+    net().send(self(), nb.node, std::make_shared<LsaMessage>(lsa));
+  }
+}
+
+void OspfNode::on_message(NodeId from, const sim::MessagePtr& msg) {
+  const auto* m = dynamic_cast<const LsaMessage*>(msg.get());
+  if (m == nullptr) return;
+  const Lsa& lsa = m->lsa();
+  const auto it = lsdb_.find(lsa.origin);
+  if (it != lsdb_.end() && it->second.seq >= lsa.seq) return;  // stale
+  lsdb_[lsa.origin] = lsa;
+  flood(lsa, from);
+}
+
+void OspfNode::on_link_change(NodeId neighbor, bool up) {
+  // Re-originate our own LSA with the new adjacency set.
+  originate();
+  if (up) {
+    // Database exchange with the new adjacency: push our whole LSDB.
+    for (const auto& [origin, lsa] : lsdb_) {
+      if (origin == self()) continue;  // already flooded by originate()
+      net().send(self(), neighbor, std::make_shared<LsaMessage>(lsa));
+    }
+  }
+}
+
+OspfNode::SpfResult OspfNode::spf() const {
+  const std::size_t n = graph_.num_nodes();
+  SpfResult r;
+  r.distance.assign(n, kUnreachable);
+  r.next_hop.assign(n, topo::kInvalidNode);
+
+  auto adjacent = [this](NodeId a, NodeId b) {
+    const auto ia = lsdb_.find(a);
+    const auto ib = lsdb_.find(b);
+    if (ia == lsdb_.end() || ib == lsdb_.end()) return false;
+    const auto& an = ia->second.up_neighbors;
+    const auto& bn = ib->second.up_neighbors;
+    return std::binary_search(an.begin(), an.end(), b) &&
+           std::binary_search(bn.begin(), bn.end(), a);
+  };
+
+  std::deque<NodeId> queue;
+  r.distance[self()] = 0;
+  queue.push_back(self());
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    const auto it = lsdb_.find(v);
+    if (it == lsdb_.end()) continue;
+    for (NodeId w : it->second.up_neighbors) {
+      if (w >= n || !adjacent(v, w)) continue;
+      const std::size_t cand = r.distance[v] + 1;
+      const NodeId cand_next = v == self() ? w : r.next_hop[v];
+      if (cand < r.distance[w]) {
+        if (r.distance[w] == kUnreachable) queue.push_back(w);
+        r.distance[w] = cand;
+        r.next_hop[w] = cand_next;
+      } else if (cand == r.distance[w] && cand_next < r.next_hop[w]) {
+        r.next_hop[w] = cand_next;  // deterministic equal-cost tie-break
+      }
+    }
+  }
+  return r;
+}
+
+Path OspfNode::shortest_path(NodeId dest) const {
+  const SpfResult r = spf();
+  if (dest >= r.distance.size() || r.distance[dest] == kUnreachable) return {};
+  // Rebuild by walking distances backwards from dest toward self.
+  Path reversed{dest};
+  NodeId cur = dest;
+  while (cur != self()) {
+    const auto it = lsdb_.find(cur);
+    if (it == lsdb_.end()) return {};
+    NodeId best = topo::kInvalidNode;
+    for (NodeId w : it->second.up_neighbors) {
+      if (w < r.distance.size() && r.distance[w] + 1 == r.distance[cur] &&
+          (best == topo::kInvalidNode || w < best)) {
+        best = w;
+      }
+    }
+    if (best == topo::kInvalidNode) return {};
+    reversed.push_back(best);
+    cur = best;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+}  // namespace centaur::linkstate

@@ -1,0 +1,79 @@
+// OSPF-style link-state baseline.
+//
+// The paper's Figure 7 compares Centaur's convergence load against OSPF:
+// a traditional link-state protocol with reliable flooding and Dijkstra
+// SPF, and *no* policy support — every link-state change is flooded over
+// every link in the network.  This model keeps the parts that determine
+// message counts and convergence: sequence-numbered LSAs, flood-on-newer,
+// database exchange on adjacency (re)establishment, and SPF over the LSDB.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace centaur::linkstate {
+
+using topo::NodeId;
+using topo::Path;
+
+/// Link State Advertisement: one router's current adjacency list.
+struct Lsa {
+  NodeId origin = topo::kInvalidNode;
+  std::uint64_t seq = 0;
+  std::vector<NodeId> up_neighbors;  // ascending
+};
+
+class LsaMessage : public sim::Message {
+ public:
+  explicit LsaMessage(Lsa lsa) : lsa_(std::move(lsa)) {}
+  const Lsa& lsa() const { return lsa_; }
+  std::size_t byte_size() const override {
+    return 24 + 4 * lsa_.up_neighbors.size();
+  }
+  std::string describe() const override {
+    return "lsa(origin=" + std::to_string(lsa_.origin) +
+           ", seq=" + std::to_string(lsa_.seq) + ")";
+  }
+
+ private:
+  Lsa lsa_;
+};
+
+class OspfNode : public sim::Node {
+ public:
+  explicit OspfNode(const topo::AsGraph& graph) : graph_(graph) {}
+
+  void start() override;
+  void on_message(NodeId from, const sim::MessagePtr& msg) override;
+  void on_link_change(NodeId neighbor, bool up) override;
+
+  // --- inspection ---------------------------------------------------------
+  const std::map<NodeId, Lsa>& lsdb() const { return lsdb_; }
+
+  /// Dijkstra over the LSDB (a link counts when both endpoints advertise
+  /// each other).  Returns hop distances and next hops; unreachable nodes
+  /// get distance kUnreachable.
+  struct SpfResult {
+    std::vector<std::size_t> distance;
+    std::vector<NodeId> next_hop;
+  };
+  static constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+  SpfResult spf() const;
+
+  /// Path self..dest from the current SPF, empty if unreachable.
+  Path shortest_path(NodeId dest) const;
+
+ private:
+  void originate();
+  void flood(const Lsa& lsa, NodeId except);
+
+  const topo::AsGraph& graph_;
+  std::map<NodeId, Lsa> lsdb_;
+  std::uint64_t own_seq_ = 0;
+};
+
+}  // namespace centaur::linkstate

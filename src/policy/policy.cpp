@@ -1,0 +1,75 @@
+#include "policy/policy.hpp"
+
+namespace centaur::policy {
+
+const char* to_string(RouteSource s) {
+  switch (s) {
+    case RouteSource::kSelf:
+      return "self";
+    case RouteSource::kCustomer:
+      return "customer";
+    case RouteSource::kSibling:
+      return "sibling";
+    case RouteSource::kPeer:
+      return "peer";
+    case RouteSource::kProvider:
+      return "provider";
+  }
+  return "?";
+}
+
+RouteSource source_from_rel(Relationship rel_of_neighbor) {
+  switch (rel_of_neighbor) {
+    case Relationship::kCustomer:
+      return RouteSource::kCustomer;
+    case Relationship::kSibling:
+      return RouteSource::kSibling;
+    case Relationship::kPeer:
+      return RouteSource::kPeer;
+    case Relationship::kProvider:
+      return RouteSource::kProvider;
+  }
+  return RouteSource::kProvider;
+}
+
+int preference_class(RouteSource s) {
+  switch (s) {
+    case RouteSource::kSelf:
+      return 0;
+    case RouteSource::kCustomer:
+    case RouteSource::kSibling:
+      return 1;
+    case RouteSource::kPeer:
+      return 2;
+    case RouteSource::kProvider:
+      return 3;
+  }
+  return 3;
+}
+
+bool may_export(RouteSource source, Relationship to_neighbor) {
+  if (to_neighbor == Relationship::kCustomer ||
+      to_neighbor == Relationship::kSibling) {
+    return true;
+  }
+  switch (source) {
+    case RouteSource::kSelf:
+    case RouteSource::kCustomer:
+    case RouteSource::kSibling:
+      return true;
+    case RouteSource::kPeer:
+    case RouteSource::kProvider:
+      return false;
+  }
+  return false;
+}
+
+bool better(const Candidate& a, const Candidate& b) {
+  const int ca = preference_class(a.source);
+  const int cb = preference_class(b.source);
+  if (ca != cb) return ca < cb;
+  if (a.length != b.length) return a.length < b.length;
+  return a.next_hop < b.next_hop;
+}
+
+}  // namespace centaur::policy

@@ -1,0 +1,70 @@
+// Gao-Rexford routing policies: import/export rules and route ranking.
+//
+// Centaur (S1) targets "basic routing policies, i.e., route filtering and
+// ranking, under standard customer/provider/peering business relationships".
+// This module is the single source of truth for those rules; the static
+// solver, the BGP baseline, and the Centaur protocol all consult it, which
+// is what makes the cross-protocol equivalence property tests meaningful.
+//
+// Sibling links (a fraction of a percent of real topologies) are treated as
+// mutual-customer links: routes cross them freely in either direction and
+// sibling-learned routes rank with customer-learned ones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "topology/types.hpp"
+
+namespace centaur::policy {
+
+using topo::NodeId;
+using topo::Path;
+using topo::Relationship;
+
+/// Where a route was learned from, which determines both its preference
+/// class and to whom it may be re-exported.
+enum class RouteSource : std::uint8_t {
+  kSelf = 0,      ///< the destination itself (origin route)
+  kCustomer = 1,  ///< learned from a customer
+  kSibling = 2,   ///< learned from a sibling (ranks with customer)
+  kPeer = 3,      ///< learned from a peer
+  kProvider = 4,  ///< learned from a provider
+};
+
+const char* to_string(RouteSource s);
+
+/// Maps the relationship of the announcing neighbor to a route source.
+RouteSource source_from_rel(Relationship rel_of_neighbor);
+
+/// Gao-Rexford preference class: lower is preferred.
+/// self(0) < customer/sibling(1) < peer(2) < provider(3).
+int preference_class(RouteSource s);
+
+/// Gao-Rexford export rule: may a route learned from `source` be announced
+/// to a neighbor whose role (relative to us) is `to_neighbor`?
+/// Everything goes to customers and siblings; peers and providers only hear
+/// routes we originated or learned from customers/siblings.
+bool may_export(RouteSource source, Relationship to_neighbor);
+
+/// A candidate route during best-path selection.
+struct Candidate {
+  RouteSource source = RouteSource::kProvider;
+  std::uint32_t length = 0;     ///< hop count (AS-path length)
+  NodeId next_hop = topo::kInvalidNode;
+};
+
+/// Standard ranking: preference class, then shortest path, then lowest
+/// next-hop id (deterministic tie-break).  Returns true if `a` is strictly
+/// preferred over `b`.
+bool better(const Candidate& a, const Candidate& b);
+
+/// Per-node policy hook overriding the default ranking.  Returning true
+/// means `a` is strictly preferred.  Used by examples reproducing the
+/// paper's Figures 2-4, where a node deliberately deviates from
+/// shortest-valley-free (e.g. C prefers <C,A,B,D> over <C,D>).
+using RankingOverride =
+    std::function<bool(const Candidate& a, const Path& path_a,
+                       const Candidate& b, const Path& path_b)>;
+
+}  // namespace centaur::policy

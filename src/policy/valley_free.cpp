@@ -1,0 +1,365 @@
+#include "policy/valley_free.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace centaur::policy {
+namespace {
+
+using topo::AsGraph;
+using topo::Neighbor;
+using topo::Relationship;
+using topo::kInvalidNode;
+
+/// Monotone Dial (bucket) queue for unit-weight multi-source shortest paths
+/// with heterogeneous source distances and (length, tie-break key)
+/// lexicographic settling.
+class BucketQueue {
+ public:
+  explicit BucketQueue(std::size_t max_len) : buckets_(max_len + 2) {}
+
+  void push(std::uint32_t len, NodeId node) {
+    buckets_.at(len).push_back(node);
+  }
+
+  /// Visits nodes in non-decreasing length order.  `visit(len, node)` is
+  /// called for every pushed entry (caller does stale-checking).
+  template <typename Fn>
+  void drain(Fn&& visit) {
+    for (std::uint32_t len = 0; len < buckets_.size(); ++len) {
+      // visit() may push into later buckets; index-based loop stays valid.
+      for (std::size_t i = 0; i < buckets_[len].size(); ++i) {
+        visit(len, buckets_[len][i]);
+      }
+    }
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> buckets_;
+};
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+struct Stage {
+  std::vector<std::uint32_t> len;
+  std::vector<NodeId> next;
+  // Tie-break salt; 0 => strict lowest-next-hop mode.
+  std::uint64_t tie_salt;
+
+  Stage(std::size_t n, std::uint64_t salt)
+      : len(n, kUnreachableLen), next(n, kInvalidNode), tie_salt(salt) {}
+
+  bool set(NodeId v) const { return len[v] != kUnreachableLen; }
+
+  std::uint64_t key(NodeId v, NodeId nh) const {
+    if (tie_salt == 0) return nh;
+    if (nh == kInvalidNode) return ~0ULL;
+    return mix64(tie_salt ^ (std::uint64_t{v} << 32) ^ nh);
+  }
+
+  /// Lexicographic improve on (len, tie-break key).  Returns true if updated.
+  bool improve(NodeId v, std::uint32_t l, NodeId nh) {
+    if (l < len[v] || (l == len[v] && key(v, nh) < key(v, next[v]))) {
+      len[v] = l;
+      next[v] = nh;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// The three-stage fixed point (see header): s1 = customer-class routes,
+/// s2 = peer-class, s3 = provider-class; each with sibling extensions.
+struct Stages {
+  Stage s1, s2, s3;
+  NodeId dest;
+
+  Stages(std::size_t n, NodeId d, std::uint64_t salt)
+      : s1(n, salt), s2(n, salt), s3(n, salt), dest(d) {}
+
+  std::uint32_t selected_len(NodeId v) const {
+    if (v == dest) return 0;
+    if (s1.set(v)) return s1.len[v];
+    if (s2.set(v)) return s2.len[v];
+    return s3.len[v];  // may be kUnreachableLen
+  }
+
+  /// 1, 2 or 3 for routed nodes; 0 for the destination; -1 unreachable.
+  int selected_stage(NodeId v) const {
+    if (v == dest) return 0;
+    if (s1.set(v)) return 1;
+    if (s2.set(v)) return 2;
+    if (s3.set(v)) return 3;
+    return -1;
+  }
+};
+
+Stages compute_stages(const AsGraph& g, NodeId dest, std::uint64_t salt) {
+  const std::size_t n = g.num_nodes();
+  Stages st(n, dest, salt);
+  auto link_ok = [&g](const Neighbor& nb) { return g.link_up(nb.link); };
+
+  // ---- Stage 1: descending ("customer-class") routes --------------------
+  // Paths matching (down|sibling)*: BFS from dest expanding u -> w where w
+  // is u's provider or sibling (so the route hop w->u goes down/sibling).
+  Stage& s1 = st.s1;
+  s1.len[dest] = 0;
+  {
+    BucketQueue q(n);
+    q.push(0, dest);
+    q.drain([&](std::uint32_t len, NodeId u) {
+      if (s1.len[u] != len) return;  // stale entry
+      for (const Neighbor& nb : g.neighbors(u)) {
+        if (!link_ok(nb)) continue;
+        if (nb.rel != Relationship::kProvider &&
+            nb.rel != Relationship::kSibling) {
+          continue;
+        }
+        const NodeId w = nb.node;
+        if (s1.improve(w, len + 1, u) && s1.len[w] == len + 1 &&
+            s1.next[w] == u) {
+          q.push(len + 1, w);
+        }
+      }
+    });
+  }
+
+  // ---- Stage 2: peer routes ----------------------------------------------
+  // One peer hop onto a node whose *selected* route is customer-class
+  // (exactly "has a stage-1 route", since class 1 dominates), then
+  // extension across sibling links between nodes lacking customer routes.
+  Stage& s2 = st.s2;
+  {
+    BucketQueue q(2 * n + 2);
+    for (NodeId w = 0; w < n; ++w) {
+      if (w == dest || s1.set(w)) continue;  // class 1 dominates
+      for (const Neighbor& nb : g.neighbors(w)) {
+        if (!link_ok(nb) || nb.rel != Relationship::kPeer) continue;
+        if (!s1.set(nb.node)) continue;
+        s2.improve(w, s1.len[nb.node] + 1, nb.node);
+      }
+      if (s2.set(w)) q.push(s2.len[w], w);
+    }
+    q.drain([&](std::uint32_t len, NodeId u) {
+      if (s2.len[u] != len || s1.set(u)) return;
+      // u's selected route is this class-2 route; export it to siblings.
+      for (const Neighbor& nb : g.neighbors(u)) {
+        if (!link_ok(nb) || nb.rel != Relationship::kSibling) continue;
+        const NodeId w = nb.node;
+        if (w == dest || s1.set(w)) continue;
+        if (s2.improve(w, len + 1, u) && s2.len[w] == len + 1 &&
+            s2.next[w] == u) {
+          q.push(len + 1, w);
+        }
+      }
+    });
+  }
+
+  // ---- Stage 3: provider routes ------------------------------------------
+  // Every routed node announces its selected route to its customers; a
+  // node whose selected route is provider-class additionally shares it with
+  // siblings.  Dial's algorithm with heterogeneous source distances.
+  Stage& s3 = st.s3;
+  {
+    BucketQueue q(2 * n + 2);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == dest || s1.set(v) || s2.set(v)) {
+        q.push(st.selected_len(v), v);
+      }
+    }
+    q.drain([&](std::uint32_t len, NodeId u) {
+      const bool settled_non3 = (u == dest) || s1.set(u) || s2.set(u);
+      if (settled_non3) {
+        if (st.selected_len(u) != len) return;
+      } else if (s3.len[u] != len) {
+        return;  // stale
+      }
+      const bool selected_is_class3 = !settled_non3;
+      for (const Neighbor& nb : g.neighbors(u)) {
+        if (!link_ok(nb)) continue;
+        const bool down = nb.rel == Relationship::kCustomer;
+        const bool sib = nb.rel == Relationship::kSibling;
+        if (!down && !(sib && selected_is_class3)) continue;
+        const NodeId w = nb.node;
+        if (w == dest || s1.set(w) || s2.set(w)) continue;  // never selected
+        if (s3.improve(w, len + 1, u) && s3.len[w] == len + 1 &&
+            s3.next[w] == u) {
+          q.push(len + 1, w);
+        }
+      }
+    });
+  }
+  return st;
+}
+
+}  // namespace
+
+ValleyFreeRoutes ValleyFreeRoutes::compute(const AsGraph& g, NodeId dest,
+                                           TieBreak tie_break,
+                                           std::uint64_t tie_seed) {
+  const std::size_t n = g.num_nodes();
+  if (dest >= n) throw std::invalid_argument("ValleyFreeRoutes: bad dest");
+  const std::uint64_t salt =
+      tie_break == TieBreak::kLowestNextHop
+          ? 0
+          : (mix64(tie_seed ^ 0x9e3779b97f4a7c15ULL ^ dest) | 1);
+  const Stages st = compute_stages(g, dest, salt);
+
+  ValleyFreeRoutes out(dest, n);
+  for (NodeId v = 0; v < n; ++v) {
+    RouteEntry& e = out.entries_[v];
+    switch (st.selected_stage(v)) {
+      case 0:
+        e = RouteEntry{kInvalidNode, RouteSource::kSelf, 0};
+        break;
+      case 1: {
+        const Relationship first = g.rel(v, st.s1.next[v]);
+        e = RouteEntry{st.s1.next[v],
+                       first == Relationship::kSibling
+                           ? RouteSource::kSibling
+                           : RouteSource::kCustomer,
+                       st.s1.len[v]};
+        break;
+      }
+      case 2:
+        e = RouteEntry{st.s2.next[v], RouteSource::kPeer, st.s2.len[v]};
+        break;
+      case 3:
+        e = RouteEntry{st.s3.next[v], RouteSource::kProvider, st.s3.len[v]};
+        break;
+      default:
+        break;  // unreachable: default entry
+    }
+  }
+  return out;
+}
+
+MultipathRoutes MultipathRoutes::compute(const AsGraph& g, NodeId dest) {
+  const std::size_t n = g.num_nodes();
+  if (dest >= n) throw std::invalid_argument("MultipathRoutes: bad dest");
+  const Stages st = compute_stages(g, dest, /*salt=*/0);
+
+  MultipathRoutes out(dest, n);
+  for (NodeId v = 0; v < n; ++v) {
+    MultipathEntry& e = out.entries_[v];
+    const int stage = st.selected_stage(v);
+    if (stage < 0) continue;
+    if (stage == 0) {
+      e.source = RouteSource::kSelf;
+      e.length = 0;
+      continue;
+    }
+    const std::uint32_t len = st.selected_len(v);
+    e.length = len;
+    e.source = stage == 1   ? RouteSource::kCustomer
+               : stage == 2 ? RouteSource::kPeer
+                            : RouteSource::kProvider;
+    // Enumerate every neighbor that yields a co-optimal route of the
+    // selected class — exactly the candidates the stage relaxations allow.
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (!g.link_up(nb.link)) continue;
+      const NodeId u = nb.node;
+      bool ok = false;
+      switch (stage) {
+        case 1:
+          // Hop v->u goes down or across a sibling onto a class-1 chain.
+          ok = (nb.rel == Relationship::kCustomer ||
+                nb.rel == Relationship::kSibling) &&
+               st.s1.set(u) && st.s1.len[u] + 1 == len;
+          break;
+        case 2:
+          // Peer hop onto a customer-class route, or sibling hop onto a
+          // node whose own selected route is class 2.
+          ok = (nb.rel == Relationship::kPeer && st.s1.set(u) &&
+                st.s1.len[u] + 1 == len) ||
+               (nb.rel == Relationship::kSibling && u != dest &&
+                !st.s1.set(u) && st.s2.set(u) && st.s2.len[u] + 1 == len);
+          break;
+        case 3:
+          // Up onto any routed provider, or sibling hop onto a node whose
+          // own selected route is class 3.
+          ok = (nb.rel == Relationship::kProvider &&
+                st.selected_stage(u) >= 0 && st.selected_len(u) + 1 == len) ||
+               (nb.rel == Relationship::kSibling && u != dest &&
+                !st.s1.set(u) && !st.s2.set(u) && st.s3.set(u) &&
+                st.s3.len[u] + 1 == len);
+          break;
+        default:
+          break;
+      }
+      if (ok) e.next_hops.push_back(u);
+    }
+    std::sort(e.next_hops.begin(), e.next_hops.end());
+  }
+  return out;
+}
+
+Path ValleyFreeRoutes::path_from(NodeId src) const {
+  Path path;
+  if (src >= entries_.size()) return path;
+  if (src == dest_) return {dest_};
+  if (!entries_[src].reachable()) return path;
+  NodeId cur = src;
+  path.push_back(cur);
+  std::size_t steps = 0;
+  while (cur != dest_) {
+    cur = entries_[cur].next_hop;
+    if (cur == kInvalidNode || ++steps > entries_.size()) {
+      throw std::logic_error("ValleyFreeRoutes: inconsistent next-hop chain");
+    }
+    path.push_back(cur);
+  }
+  return path;
+}
+
+std::size_t ValleyFreeRoutes::reachable_count() const {
+  std::size_t c = 0;
+  for (const RouteEntry& e : entries_) {
+    if (e.reachable()) ++c;
+  }
+  return c;
+}
+
+bool is_valley_free(const topo::AsGraph& g, const Path& path) {
+  if (path.empty()) return false;
+  // Phase 0: still ascending (up hops allowed, one peer hop allowed).
+  // Phase 1: descending only.
+  int phase = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const Relationship rel = g.rel(path[i], path[i + 1]);
+    switch (rel) {
+      case Relationship::kSibling:
+        break;  // transparent
+      case Relationship::kProvider:  // up hop
+        if (phase != 0) return false;
+        break;
+      case Relationship::kPeer:
+        if (phase != 0) return false;
+        phase = 1;
+        break;
+      case Relationship::kCustomer:  // down hop
+        phase = 1;
+        break;
+    }
+  }
+  return true;
+}
+
+RouteSource classify_path(const topo::AsGraph& g, const Path& path) {
+  if (path.empty()) throw std::invalid_argument("classify_path: empty path");
+  if (path.size() == 1) return RouteSource::kSelf;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const Relationship rel = g.rel(path[i], path[i + 1]);
+    if (rel != Relationship::kSibling) return source_from_rel(rel);
+  }
+  return RouteSource::kSibling;
+}
+
+}  // namespace centaur::policy

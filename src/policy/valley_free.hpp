@@ -1,0 +1,122 @@
+// Static valley-free best-path solver.
+//
+// Computes, for one destination, every node's Gao-Rexford best route in
+// O(E log V) — the ground truth against which the BGP and Centaur protocol
+// implementations are property-tested, and the engine behind the offline
+// evaluation pipeline (Tables 4/5, Fig 5).
+//
+// A valley-free path is up* [peer] down*, where "up" is customer->provider,
+// "down" is provider->customer, and sibling hops are transparent.  The
+// classic three-stage computation applies:
+//   stage 1: descending ("customer") routes, BFS from the destination
+//            upwards along provider direction;
+//   stage 2: peer routes — one peer hop onto a descending route;
+//   stage 3: provider routes — each routed node announces its *selected*
+//            route down to its customers (Dijkstra with unit edges and
+//            non-uniform source distances).
+// Within a class, shorter paths win; ties break to the lowest next-hop id,
+// making the selected path set unique and next-hop-consistent (following
+// next hops reproduces exactly the selected path).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "policy/policy.hpp"
+#include "topology/as_graph.hpp"
+
+namespace centaur::policy {
+
+inline constexpr std::uint32_t kUnreachableLen = ~0u;
+
+/// One node's best route toward the solver's destination.
+struct RouteEntry {
+  NodeId next_hop = topo::kInvalidNode;  ///< kInvalidNode at dest/unreachable
+  RouteSource source = RouteSource::kProvider;
+  std::uint32_t length = kUnreachableLen;  ///< hops to destination
+
+  bool reachable() const { return length != kUnreachableLen; }
+};
+
+/// How equal-(class, length) candidates are resolved.
+///
+/// kLowestNextHop is the strict deterministic rule shared with the BGP and
+/// Centaur protocol implementations (lowest next-hop id), used for the
+/// cross-protocol equivalence properties.  kPerDestRandom breaks each
+/// (node, destination) tie by a seeded hash — modelling real BGP's
+/// effectively arbitrary per-prefix tie-breakers (route age, IGP cost,
+/// router id), which is what gives measured P-graphs their multi-homing
+/// (paper Tables 4/5: ~1.5 links per node).  Both modes stay next-hop
+/// consistent per destination, so paths remain loop-free and valley-free.
+enum class TieBreak { kLowestNextHop, kPerDestRandom };
+
+/// Best valley-free routes of *all* nodes toward one destination.
+class ValleyFreeRoutes {
+ public:
+  /// Runs the three-stage computation over up links of `g`.  `tie_seed`
+  /// only matters for TieBreak::kPerDestRandom.
+  static ValleyFreeRoutes compute(const topo::AsGraph& g, NodeId dest,
+                                  TieBreak tie_break = TieBreak::kLowestNextHop,
+                                  std::uint64_t tie_seed = 0);
+
+  NodeId dest() const { return dest_; }
+  const RouteEntry& at(NodeId n) const { return entries_.at(n); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// The selected path src..dest by following next hops; empty if
+  /// unreachable.  For src == dest returns {dest}.
+  Path path_from(NodeId src) const;
+
+  /// Number of nodes with a route (including the destination itself).
+  std::size_t reachable_count() const;
+
+ private:
+  ValleyFreeRoutes(NodeId dest, std::size_t n) : dest_(dest), entries_(n) {}
+
+  NodeId dest_;
+  std::vector<RouteEntry> entries_;
+};
+
+/// One node's *complete* best-route set toward a destination: every
+/// co-optimal next hop under the Gao-Rexford ranking (same preference
+/// class, same minimal length).  The union of all maximally-preferred paths
+/// is the "complete path set" the paper's static evaluation (S5.2) derives
+/// per node; following any sequence of next hops from these sets yields a
+/// valid maximally-preferred valley-free path.
+struct MultipathEntry {
+  RouteSource source = RouteSource::kProvider;
+  std::uint32_t length = kUnreachableLen;
+  std::vector<NodeId> next_hops;  ///< ascending; empty at dest/unreachable
+
+  bool reachable() const { return length != kUnreachableLen; }
+};
+
+/// All-co-optimal-routes variant of ValleyFreeRoutes.
+class MultipathRoutes {
+ public:
+  static MultipathRoutes compute(const topo::AsGraph& g, NodeId dest);
+
+  NodeId dest() const { return dest_; }
+  const MultipathEntry& at(NodeId n) const { return entries_.at(n); }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  MultipathRoutes(NodeId dest, std::size_t n) : dest_(dest), entries_(n) {}
+
+  NodeId dest_;
+  std::vector<MultipathEntry> entries_;
+};
+
+/// True if `path` (source..dest order) is valley-free in `g`.
+/// Precondition: consecutive nodes are adjacent.
+bool is_valley_free(const topo::AsGraph& g, const Path& path);
+
+/// Classifies a path from its owner's perspective: kSelf for the trivial
+/// path, otherwise the relationship of the first non-sibling hop (kSibling
+/// if every hop is a sibling hop).  This is the classification BGP, Centaur,
+/// and the solver all use for ranking and export decisions, so sibling hops
+/// are transparent consistently everywhere.
+/// Precondition: path.size() >= 1 and consecutive nodes are adjacent.
+RouteSource classify_path(const topo::AsGraph& g, const Path& path);
+
+}  // namespace centaur::policy

@@ -1,0 +1,51 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace centaur::sim {
+
+void Simulator::schedule(Time delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("Simulator::schedule: delay < 0");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(Time when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!queue_.empty()) {
+    if (processed >= max_events) {
+      throw std::runtime_error("Simulator::run: event budget exhausted");
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t Simulator::run_until(Time deadline, std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    if (processed >= max_events) {
+      throw std::runtime_error("Simulator::run_until: event budget exhausted");
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++processed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return processed;
+}
+
+}  // namespace centaur::sim

@@ -1,0 +1,64 @@
+// Discrete-event simulation core.
+//
+// The paper prototypes Centaur on DistComm, a session-level BGP simulator on
+// the SSFNet code base; neither is available, so this is our equivalent
+// substrate.  It reproduces the paper's measurement model exactly:
+//   * per-link propagation delays (random 0-5 ms in the experiments),
+//   * CPU/processing delay ignored,
+//   * convergence = quiescence ("no further update messages are sent"),
+//   * message counts observed at delivery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace centaur::sim {
+
+/// Simulated seconds.
+using Time = double;
+
+/// Deterministic event queue: ties in time break by insertion order, so a
+/// run is a pure function of its inputs.
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at now() + delay (delay >= 0).
+  void schedule(Time delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute time (>= now()).
+  void schedule_at(Time when, std::function<void()> fn);
+
+  /// Runs events until the queue is empty.  Returns the number of events
+  /// processed.  `max_events` guards against livelock in buggy protocols;
+  /// exceeding it throws std::runtime_error.
+  std::size_t run(std::size_t max_events = 50'000'000);
+
+  /// Runs until the queue is empty or `deadline` is passed (events after
+  /// the deadline stay queued).  Returns events processed.
+  std::size_t run_until(Time deadline, std::size_t max_events = 50'000'000);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace centaur::sim

@@ -1,0 +1,118 @@
+#include "topology/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace centaur::topo {
+
+Components connected_components(const AsGraph& g) {
+  Components c;
+  c.label.assign(g.num_nodes(), static_cast<std::size_t>(-1));
+  std::deque<NodeId> queue;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (c.label[start] != static_cast<std::size_t>(-1)) continue;
+    const std::size_t id = c.count++;
+    c.label[start] = id;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const Neighbor& nb : g.neighbors(v)) {
+        if (!g.link_up(nb.link)) continue;
+        if (c.label[nb.node] == static_cast<std::size_t>(-1)) {
+          c.label[nb.node] = id;
+          queue.push_back(nb.node);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+bool is_connected(const AsGraph& g) {
+  if (g.num_nodes() <= 1) return true;
+  return connected_components(g).count == 1;
+}
+
+std::vector<std::size_t> bfs_distances(const AsGraph& g, NodeId src) {
+  std::vector<std::size_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist.at(src) = 0;
+  queue.push_back(src);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (!g.link_up(nb.link)) continue;
+      if (dist[nb.node] == kUnreachable) {
+        dist[nb.node] = dist[v] + 1;
+        queue.push_back(nb.node);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::size_t> degrees(const AsGraph& g) {
+  std::vector<std::size_t> d(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) d[v] = g.degree(v);
+  return d;
+}
+
+std::vector<NodeId> nodes_by_degree(const AsGraph& g) {
+  std::vector<NodeId> order(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&g](NodeId a, NodeId b) {
+    if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+    return a < b;
+  });
+  return order;
+}
+
+bool is_valid_path(const AsGraph& g, const Path& path) {
+  if (path.empty()) return false;
+  std::unordered_set<NodeId> seen;
+  seen.reserve(path.size());
+  for (NodeId v : path) {
+    if (v >= g.num_nodes()) return false;
+    if (!seen.insert(v).second) return false;
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto link = g.find_link(path[i], path[i + 1]);
+    if (!link || !g.link_up(*link)) return false;
+  }
+  return true;
+}
+
+Subgraph largest_component(const AsGraph& g) {
+  const Components comps = connected_components(g);
+  std::vector<std::size_t> size(comps.count, 0);
+  for (std::size_t label : comps.label) ++size[label];
+  const std::size_t best =
+      comps.count == 0
+          ? 0
+          : static_cast<std::size_t>(
+                std::max_element(size.begin(), size.end()) - size.begin());
+
+  Subgraph out;
+  out.old_to_new.assign(g.num_nodes(), kInvalidNode);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (comps.count != 0 && comps.label[v] == best) {
+      out.old_to_new[v] = out.graph.add_node();
+      out.new_to_old.push_back(v);
+    }
+  }
+  for (LinkId id = 0; id < g.num_links(); ++id) {
+    const Link& l = g.link(id);
+    const NodeId na = out.old_to_new[l.a];
+    const NodeId nb = out.old_to_new[l.b];
+    if (na != kInvalidNode && nb != kInvalidNode) {
+      const LinkId nl = out.graph.add_link(na, nb, l.rel_ab);
+      out.graph.set_link_up(nl, l.up);
+    }
+  }
+  return out;
+}
+
+}  // namespace centaur::topo

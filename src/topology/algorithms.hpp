@@ -1,0 +1,47 @@
+// Relationship-agnostic graph algorithms used across the library:
+// connectivity, BFS distances, degree statistics, and path validation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace centaur::topo {
+
+/// Component label per node (labels are dense, 0-based) plus component count.
+struct Components {
+  std::vector<std::size_t> label;
+  std::size_t count = 0;
+};
+
+/// Connected components over links that are currently up.
+Components connected_components(const AsGraph& g);
+
+bool is_connected(const AsGraph& g);
+
+/// BFS hop distances from `src` over up links; kUnreachable for unreached.
+inline constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+std::vector<std::size_t> bfs_distances(const AsGraph& g, NodeId src);
+
+/// Degrees of all nodes (counting down links too — structural degree).
+std::vector<std::size_t> degrees(const AsGraph& g);
+
+/// Node ids sorted by decreasing degree (stable: ties by ascending id).
+std::vector<NodeId> nodes_by_degree(const AsGraph& g);
+
+/// True if `path` is non-empty, loop-free, and every consecutive pair is
+/// connected by an up link in `g`.
+bool is_valid_path(const AsGraph& g, const Path& path);
+
+/// Extracts the largest connected component as a standalone graph.
+/// `old_to_new[v]` maps an original node to its id in the result
+/// (kInvalidNode if v was dropped).
+struct Subgraph {
+  AsGraph graph;
+  std::vector<NodeId> old_to_new;
+  std::vector<NodeId> new_to_old;
+};
+Subgraph largest_component(const AsGraph& g);
+
+}  // namespace centaur::topo

@@ -1,0 +1,64 @@
+#include "topology/as_graph.hpp"
+
+#include <stdexcept>
+
+namespace centaur::topo {
+
+NodeId AsGraph::add_node() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+LinkId AsGraph::add_link(NodeId a, NodeId b, Relationship rel_of_b_to_a) {
+  if (a == b) throw std::invalid_argument("AsGraph::add_link: self-loop");
+  if (a >= adj_.size() || b >= adj_.size()) {
+    throw std::invalid_argument("AsGraph::add_link: unknown node");
+  }
+  if (has_link(a, b)) {
+    throw std::invalid_argument("AsGraph::add_link: duplicate link");
+  }
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, rel_of_b_to_a, /*up=*/true});
+  adj_[a].push_back(Neighbor{b, rel_of_b_to_a, id});
+  adj_[b].push_back(Neighbor{a, invert(rel_of_b_to_a), id});
+  return id;
+}
+
+std::optional<LinkId> AsGraph::find_link(NodeId a, NodeId b) const {
+  if (a >= adj_.size() || b >= adj_.size()) return std::nullopt;
+  // Scan the smaller adjacency list.
+  const NodeId probe = adj_[a].size() <= adj_[b].size() ? a : b;
+  const NodeId target = probe == a ? b : a;
+  for (const Neighbor& nb : adj_[probe]) {
+    if (nb.node == target) return nb.link;
+  }
+  return std::nullopt;
+}
+
+Relationship AsGraph::rel(NodeId a, NodeId b) const {
+  for (const Neighbor& nb : adj_.at(a)) {
+    if (nb.node == b) return nb.rel;
+  }
+  throw std::out_of_range("AsGraph::rel: no link between nodes");
+}
+
+AsGraph::LinkCounts AsGraph::count_links() const {
+  LinkCounts c;
+  for (const Link& l : links_) {
+    switch (l.rel_ab) {
+      case Relationship::kPeer:
+        ++c.peering;
+        break;
+      case Relationship::kSibling:
+        ++c.sibling;
+        break;
+      case Relationship::kCustomer:
+      case Relationship::kProvider:
+        ++c.provider;
+        break;
+    }
+  }
+  return c;
+}
+
+}  // namespace centaur::topo

@@ -1,0 +1,91 @@
+// AS-level topology: an undirected multigraph-free graph whose links are
+// annotated with business relationships and an up/down state.
+//
+// This is the shared substrate for the static policy solver, the protocol
+// simulators (BGP / OSPF / Centaur), and the experiment harnesses.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "topology/types.hpp"
+
+namespace centaur::topo {
+
+/// One endpoint's view of an incident link.
+struct Neighbor {
+  NodeId node;       ///< the other endpoint
+  Relationship rel;  ///< role of `node` relative to the owner of this entry
+  LinkId link;       ///< index into AsGraph::link()
+};
+
+/// An undirected relationship-annotated link.
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  /// Role of `b` relative to `a` (so rel(b, a) == invert(rel_ab)).
+  Relationship rel_ab = Relationship::kPeer;
+  bool up = true;
+
+  /// Given one endpoint, returns the other. Precondition: n is an endpoint.
+  NodeId other(NodeId n) const { return n == a ? b : a; }
+};
+
+/// Relationship-annotated AS graph.
+///
+/// Nodes are dense ids [0, num_nodes()); at most one link per node pair;
+/// self-loops are rejected.  Links carry an `up` flag so failure experiments
+/// can flip state without rebuilding adjacency.
+class AsGraph {
+ public:
+  AsGraph() = default;
+  explicit AsGraph(std::size_t node_count) : adj_(node_count) {}
+
+  NodeId add_node();
+
+  /// Adds link a<->b where `rel_of_b_to_a` is b's role relative to a.
+  /// Throws std::invalid_argument on self-loops, unknown nodes, or
+  /// duplicate links.
+  LinkId add_link(NodeId a, NodeId b, Relationship rel_of_b_to_a);
+
+  std::size_t num_nodes() const { return adj_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+
+  /// All incident links of `n` (including ones currently down).
+  std::span<const Neighbor> neighbors(NodeId n) const {
+    return {adj_.at(n).data(), adj_.at(n).size()};
+  }
+
+  std::size_t degree(NodeId n) const { return adj_.at(n).size(); }
+
+  const Link& link(LinkId id) const { return links_.at(id); }
+
+  /// The link between a and b, if any.
+  std::optional<LinkId> find_link(NodeId a, NodeId b) const;
+
+  bool has_link(NodeId a, NodeId b) const {
+    return find_link(a, b).has_value();
+  }
+
+  /// Role of `b` relative to `a`.  Throws std::out_of_range if no link.
+  Relationship rel(NodeId a, NodeId b) const;
+
+  void set_link_up(LinkId id, bool up) { links_.at(id).up = up; }
+  bool link_up(LinkId id) const { return links_.at(id).up; }
+
+  /// Counts of undirected links by category.  A customer-provider link is
+  /// counted once as "provider" (matching how CAIDA tables report them).
+  struct LinkCounts {
+    std::size_t peering = 0;
+    std::size_t provider = 0;
+    std::size_t sibling = 0;
+  };
+  LinkCounts count_links() const;
+
+ private:
+  std::vector<std::vector<Neighbor>> adj_;
+  std::vector<Link> links_;
+};
+
+}  // namespace centaur::topo

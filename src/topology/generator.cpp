@@ -1,0 +1,293 @@
+#include "topology/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "topology/algorithms.hpp"
+
+namespace centaur::topo {
+namespace {
+
+/// Degree-proportional sampling: picks an endpoint of a uniformly random
+/// link-slot.  `slots` holds one entry per link endpoint.
+NodeId pick_by_degree(const std::vector<NodeId>& slots, util::Rng& rng) {
+  return slots[rng.index(slots.size())];
+}
+
+}  // namespace
+
+AsGraph barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng) {
+  if (m < 1) throw std::invalid_argument("barabasi_albert: m < 1");
+  if (n < m + 1) throw std::invalid_argument("barabasi_albert: n < m + 1");
+
+  AsGraph g(n);
+  std::vector<NodeId> slots;  // endpoint multiset for degree-biased choice
+  slots.reserve(2 * n * m);
+
+  // Seed clique of m + 1 nodes.
+  for (NodeId a = 0; a + 1 <= m; ++a) {
+    for (NodeId b = a + 1; b <= m; ++b) {
+      g.add_link(a, b, Relationship::kPeer);
+      slots.push_back(a);
+      slots.push_back(b);
+    }
+  }
+
+  for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    std::unordered_set<NodeId> targets;
+    while (targets.size() < m) {
+      targets.insert(pick_by_degree(slots, rng));
+    }
+    for (NodeId t : targets) {
+      g.add_link(v, t, Relationship::kPeer);
+      slots.push_back(v);
+      slots.push_back(t);
+    }
+  }
+  return g;
+}
+
+AsGraph waxman(std::size_t n, double alpha, double beta, util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("waxman: n == 0");
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& p : pos) p = {rng.uniform01(), rng.uniform01()};
+
+  AsGraph g(n);
+  const double max_dist = std::sqrt(2.0);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      const double dx = pos[a].first - pos[b].first;
+      const double dy = pos[a].second - pos[b].second;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      const double p = alpha * std::exp(-dist / (beta * max_dist));
+      if (rng.chance(p)) g.add_link(a, b, Relationship::kPeer);
+    }
+  }
+  return largest_component(g).graph;
+}
+
+AsGraph tiered_internet(const TieredParams& params, util::Rng& rng) {
+  const std::size_t n = params.nodes;
+  const std::size_t t1 = std::min(params.tier1_count, n);
+  if (n < 3 || t1 < 2) {
+    throw std::invalid_argument("tiered_internet: need nodes >= 3, tier1 >= 2");
+  }
+
+  AsGraph g(n);
+  // Nodes [0, t1) are tier 1; a full peer mesh.
+  for (NodeId a = 0; a < t1; ++a) {
+    for (NodeId b = a + 1; b < t1; ++b) {
+      g.add_link(a, b, Relationship::kPeer);
+    }
+  }
+
+  // Provider hierarchy: each node v >= t1 multi-homes into providers drawn
+  // degree-biased from the nodes before it.  Early nodes accumulate
+  // customers and become transit; late nodes stay stubs; hierarchy depth
+  // varies organically (1..~5 levels) like measured AS graphs — the
+  // variable depth plus the peering below is what makes nodes multi-homed
+  // in P-graphs (paper S3.2.4).
+  std::vector<NodeId> provider_slots;  // degree-biased customer-attraction
+  for (NodeId v = 0; v < t1; ++v) provider_slots.push_back(v);
+
+  const double extra_mean = std::max(0.0, params.avg_provider_links - 1.0);
+  auto provider_count = [&]() {
+    // 1 + geometric-ish extra with the requested mean.
+    std::size_t k = 1;
+    const double p = extra_mean / (1.0 + extra_mean);
+    while (rng.chance(p) && k < 6) ++k;
+    return k;
+  };
+
+  for (NodeId v = static_cast<NodeId>(t1); v < n; ++v) {
+    const std::size_t want = provider_count();
+    std::unordered_set<NodeId> chosen;
+    std::size_t attempts = 0;
+    while (chosen.size() < want && attempts < want * 20 + 20) {
+      ++attempts;
+      const NodeId p = pick_by_degree(provider_slots, rng);
+      if (p >= v || g.has_link(v, p)) continue;  // providers precede v
+      chosen.insert(p);
+    }
+    if (chosen.empty()) {
+      // Guarantee a provider for connectivity: first core node not yet
+      // linked (the core mesh is small, v has at most a few links here).
+      for (NodeId p = 0; p < t1; ++p) {
+        if (!g.has_link(v, p)) {
+          chosen.insert(p);
+          break;
+        }
+      }
+    }
+    for (NodeId p : chosen) {
+      g.add_link(v, p, Relationship::kProvider);  // p is v's provider
+      provider_slots.push_back(p);
+    }
+    // v itself becomes eligible as a provider, but with low initial weight.
+    provider_slots.push_back(v);
+  }
+
+  // Add same-tier peering links until the target fraction is met.
+  const double base_links = static_cast<double>(g.num_links());
+  const double denom = 1.0 - params.peer_fraction - params.sibling_fraction;
+  const std::size_t target_total =
+      denom > 0 ? static_cast<std::size_t>(base_links / denom)
+                : g.num_links();
+  const std::size_t peer_target = static_cast<std::size_t>(
+      params.peer_fraction * static_cast<double>(target_total));
+  const std::size_t sibling_target = static_cast<std::size_t>(
+      params.sibling_fraction * static_cast<double>(target_total));
+
+  // Peering links: degree-biased on one endpoint (transit nodes peer a
+  // lot) and free on the other, so peering crosses hierarchy levels — as in
+  // measured topologies, where regional ISPs peer with Tier-1s and stubs
+  // peer with transit.  Cross-level peering is what makes nodes multi-homed
+  // in P-graphs (paper S3.2.4): a node is then traversed both on ascending
+  // provider segments and on descending peer-class segments of different
+  // selected paths.
+  {
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = peer_target * 50 + 100;
+    while (added < peer_target && attempts < max_attempts) {
+      ++attempts;
+      const NodeId a = pick_by_degree(provider_slots, rng);
+      const NodeId b = rng.chance(0.5)
+                           ? pick_by_degree(provider_slots, rng)
+                           : static_cast<NodeId>(rng.index(n));
+      if (a == b || g.has_link(a, b)) continue;
+      g.add_link(a, b, Relationship::kPeer);
+      ++added;
+    }
+  }
+  // A sprinkle of sibling links.
+  {
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = sibling_target * 50 + 100;
+    while (added < sibling_target && attempts < max_attempts) {
+      ++attempts;
+      const NodeId a = static_cast<NodeId>(rng.index(n));
+      const NodeId b = static_cast<NodeId>(rng.index(n));
+      if (a == b || g.has_link(a, b)) continue;
+      g.add_link(a, b, Relationship::kSibling);
+      ++added;
+    }
+  }
+  return g;
+}
+
+TieredParams caida_like_params(std::size_t nodes) {
+  TieredParams p;
+  p.nodes = nodes;
+  p.tier1_count = std::max<std::size_t>(4, nodes / 2200);
+  p.avg_provider_links = 1.87;
+  p.peer_fraction = 0.076;
+  p.sibling_fraction = 0.0044;
+  return p;
+}
+
+TieredParams hetop_like_params(std::size_t nodes) {
+  TieredParams p;
+  p.nodes = nodes;
+  p.tier1_count = std::max<std::size_t>(4, nodes / 1800);
+  p.avg_provider_links = 1.93;
+  p.peer_fraction = 0.352;
+  p.sibling_fraction = 0.0044;
+  return p;
+}
+
+InferenceResult infer_relationships_by_degree(const AsGraph& plain,
+                                              std::size_t tier1_count,
+                                              util::Rng& rng) {
+  const std::size_t n = plain.num_nodes();
+  tier1_count = std::clamp<std::size_t>(tier1_count, 1, std::max<std::size_t>(n, 1));
+
+  const std::vector<NodeId> order = nodes_by_degree(plain);
+  InferenceResult out;
+  out.tier.assign(n, 2);
+
+  // Degree-quantile tiering: top `tier1_count` nodes are Tier-1, the next
+  // 15% Tier-2, the rest Tier-3 (the paper: "nodes with largest degrees to
+  // be Tier-1 provider, the nodes below them to be Tier-2 and so forth").
+  const std::size_t tier2_cut =
+      tier1_count + std::max<std::size_t>(1, (n - tier1_count) * 15 / 100);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.tier[order[i]] = i < tier1_count ? 0 : (i < tier2_cut ? 1 : 2);
+  }
+
+  out.graph = AsGraph(n);
+  auto customer_of = [&](NodeId a, NodeId b) {
+    // True if a should be b's customer.
+    if (out.tier[a] != out.tier[b]) return out.tier[a] > out.tier[b];
+    if (plain.degree(a) != plain.degree(b)) {
+      return plain.degree(a) < plain.degree(b);
+    }
+    return a > b;
+  };
+  for (LinkId id = 0; id < plain.num_links(); ++id) {
+    const Link& l = plain.link(id);
+    Relationship rel_ab;
+    if (out.tier[l.a] == 0 && out.tier[l.b] == 0) {
+      rel_ab = Relationship::kPeer;
+    } else if (customer_of(l.a, l.b)) {
+      rel_ab = Relationship::kProvider;  // b is a's provider
+    } else {
+      rel_ab = Relationship::kCustomer;
+    }
+    const LinkId nid = out.graph.add_link(l.a, l.b, rel_ab);
+    out.graph.set_link_up(nid, l.up);
+  }
+
+  // Repair pass (keeps valley-free reachability; see header).
+  std::vector<NodeId> tier1_nodes;
+  for (std::size_t i = 0; i < tier1_count && i < n; ++i) {
+    tier1_nodes.push_back(order[i]);
+  }
+  for (std::size_t i = 0; i < tier1_nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1_nodes.size(); ++j) {
+      if (!out.graph.has_link(tier1_nodes[i], tier1_nodes[j])) {
+        out.graph.add_link(tier1_nodes[i], tier1_nodes[j], Relationship::kPeer);
+        ++out.added_links;
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (out.tier[v] == 0) continue;
+    bool has_provider = false;
+    for (const Neighbor& nb : out.graph.neighbors(v)) {
+      if (nb.rel == Relationship::kProvider || nb.rel == Relationship::kSibling) {
+        has_provider = true;
+        break;
+      }
+    }
+    if (!has_provider) {
+      NodeId p = tier1_nodes[rng.index(tier1_nodes.size())];
+      if (!out.graph.has_link(v, p)) {
+        out.graph.add_link(v, p, Relationship::kProvider);
+        ++out.added_links;
+      } else {
+        // Already linked to that Tier-1 node as something else is impossible
+        // here (v would have had a provider); try any Tier-1 node.
+        for (NodeId q : tier1_nodes) {
+          if (!out.graph.has_link(v, q)) {
+            out.graph.add_link(v, q, Relationship::kProvider);
+            ++out.added_links;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+AsGraph brite_like(std::size_t n, std::size_t m, std::size_t tier1_count,
+                   util::Rng& rng) {
+  const AsGraph plain = barabasi_albert(n, m, rng);
+  return infer_relationships_by_degree(plain, tier1_count, rng).graph;
+}
+
+}  // namespace centaur::topo

@@ -1,0 +1,89 @@
+// Synthetic AS-topology generation.
+//
+// The paper uses (i) measured CAIDA / HeTop snapshots and (ii) BRITE-generated
+// topologies with degree-based relationship inference (S5.3).  Neither the
+// snapshots nor BRITE are redistributable here, so this module provides:
+//
+//  * barabasi_albert / waxman — BRITE's two generation modes, producing
+//    plain (relationship-free) graphs;
+//  * tiered_internet — a direct generator of relationship-annotated,
+//    Internet-like topologies whose link-category mix is parameterised to
+//    match the Table 3 shape of CAIDA (sparse peering) and HeTop (rich
+//    peering);
+//  * caida_like / hetop_like presets.
+//
+// All generators are deterministic given the Rng and produce connected
+// graphs (see each function's contract).
+#pragma once
+
+#include <cstddef>
+
+#include "topology/as_graph.hpp"
+#include "util/rng.hpp"
+
+namespace centaur::topo {
+
+/// Barabasi-Albert preferential attachment (BRITE's BA mode).
+///
+/// Starts from an (m+1)-clique; each subsequent node attaches to m distinct
+/// existing nodes chosen proportionally to degree.  Links carry kPeer as a
+/// placeholder relationship — run relationship inference afterwards.
+/// Result is connected.  Requires n >= m + 1 and m >= 1.
+AsGraph barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng);
+
+/// Waxman random geometric graph (BRITE's Waxman mode): nodes uniform in the
+/// unit square, link probability alpha * exp(-dist / (beta * sqrt(2))).
+/// Relationships are kPeer placeholders.  The returned graph is the largest
+/// connected component, so the node count can be slightly below n.
+AsGraph waxman(std::size_t n, double alpha, double beta, util::Rng& rng);
+
+/// Parameters for the tiered Internet-like generator.
+struct TieredParams {
+  std::size_t nodes = 1000;
+  std::size_t tier1_count = 10;      ///< fully peer-meshed core
+  double avg_provider_links = 1.9;   ///< mean provider links per non-core node
+  double peer_fraction = 0.08;       ///< target fraction of peering links
+  double sibling_fraction = 0.004;   ///< target fraction of sibling links
+};
+
+/// Generates a connected, relationship-annotated AS topology: a tier-1 peer
+/// mesh, a variable-depth provider hierarchy (each node multi-homes into
+/// degree-biased earlier nodes, so transit roles emerge organically), and
+/// cross-level peering plus a sprinkle of sibling links.  Every node has a
+/// provider chain into tier 1, so every node pair is valley-free reachable,
+/// and the provider digraph is acyclic, so Gao-Rexford routing is stable.
+AsGraph tiered_internet(const TieredParams& params, util::Rng& rng);
+
+/// Preset matching the CAIDA Sep'07 shape (Table 3): ~92% provider links,
+/// ~7.6% peering, ~0.4% sibling, average degree ~4.
+TieredParams caida_like_params(std::size_t nodes);
+
+/// Preset matching the HeTop May'05 shape (Table 3): ~64% provider links,
+/// ~35% peering (HeTop finds far more peering), average degree ~6.
+TieredParams hetop_like_params(std::size_t nodes);
+
+/// Degree-based relationship inference, as the paper applies to BRITE
+/// topologies (S5.3): the largest-degree nodes become Tier-1 providers, the
+/// nodes below them Tier-2, and so forth.  Tier-1 pairs peer; across tiers
+/// the lower-tier node is the customer; within a non-core tier the
+/// lower-degree endpoint is the customer (ties by id).
+///
+/// To guarantee valley-free reachability the pass then (a) peers the Tier-1
+/// nodes pairwise (adding links where absent) and (b) gives any provider-less
+/// non-core node a provider link to a random Tier-1 node.  `added_links`
+/// reports how many links this repair added (0 for typical BA graphs).
+struct InferenceResult {
+  AsGraph graph;
+  std::vector<std::size_t> tier;  ///< 0-based tier per node (0 = Tier-1)
+  std::size_t added_links = 0;
+};
+InferenceResult infer_relationships_by_degree(const AsGraph& plain,
+                                              std::size_t tier1_count,
+                                              util::Rng& rng);
+
+/// One-call BRITE-equivalent pipeline: barabasi_albert + degree inference.
+/// This is the topology used by the prototype experiments (Figs 6-8).
+AsGraph brite_like(std::size_t n, std::size_t m, std::size_t tier1_count,
+                   util::Rng& rng);
+
+}  // namespace centaur::topo

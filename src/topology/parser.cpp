@@ -1,0 +1,137 @@
+#include "topology/parser.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace centaur::topo {
+namespace {
+
+std::uint32_t parse_u32(std::string_view field, std::size_t line_no) {
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    throw std::runtime_error("as-rel parse error at line " +
+                             std::to_string(line_no) + ": bad AS number '" +
+                             std::string(field) + "'");
+  }
+  return value;
+}
+
+NodeId intern(ParsedTopology& topo, std::uint32_t as) {
+  const auto [it, inserted] =
+      topo.as_to_node.try_emplace(as, static_cast<NodeId>(topo.node_to_as.size()));
+  if (inserted) {
+    topo.node_to_as.push_back(as);
+    topo.graph.add_node();
+  }
+  return it->second;
+}
+
+}  // namespace
+
+ParsedTopology parse_as_rel(std::istream& in) {
+  ParsedTopology topo;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      ++topo.skipped_lines;
+      continue;
+    }
+    // Split on '|': exactly three fields expected.
+    const std::size_t p1 = line.find('|');
+    const std::size_t p2 = p1 == std::string::npos ? std::string::npos
+                                                   : line.find('|', p1 + 1);
+    if (p1 == std::string::npos || p2 == std::string::npos ||
+        line.find('|', p2 + 1) != std::string::npos) {
+      throw std::runtime_error("as-rel parse error at line " +
+                               std::to_string(line_no) +
+                               ": expected 'a|b|rel'");
+    }
+    const std::string_view sv(line);
+    const std::uint32_t as_a = parse_u32(sv.substr(0, p1), line_no);
+    const std::uint32_t as_b = parse_u32(sv.substr(p1 + 1, p2 - p1 - 1), line_no);
+    const std::string_view rel_field = sv.substr(p2 + 1);
+
+    Relationship rel_of_b_to_a;
+    if (rel_field == "-1") {
+      // a is a provider of b: b is a's customer.
+      rel_of_b_to_a = Relationship::kCustomer;
+    } else if (rel_field == "0") {
+      rel_of_b_to_a = Relationship::kPeer;
+    } else if (rel_field == "2") {
+      rel_of_b_to_a = Relationship::kSibling;
+    } else {
+      throw std::runtime_error("as-rel parse error at line " +
+                               std::to_string(line_no) +
+                               ": unknown relationship '" +
+                               std::string(rel_field) + "'");
+    }
+
+    if (as_a == as_b) {
+      ++topo.skipped_lines;
+      continue;
+    }
+    const NodeId a = intern(topo, as_a);
+    const NodeId b = intern(topo, as_b);
+    if (topo.graph.has_link(a, b)) {
+      ++topo.skipped_lines;
+      continue;
+    }
+    topo.graph.add_link(a, b, rel_of_b_to_a);
+  }
+  return topo;
+}
+
+ParsedTopology parse_as_rel_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_as_rel(in);
+}
+
+ParsedTopology load_as_rel_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open as-rel file: " + path);
+  }
+  return parse_as_rel(in);
+}
+
+void write_as_rel(std::ostream& out, const AsGraph& graph,
+                  const std::vector<std::uint32_t>& node_to_as) {
+  auto as_of = [&](NodeId n) -> std::uint32_t {
+    return node_to_as.empty() ? n : node_to_as.at(n);
+  };
+  out << "# centaur as-rel export: " << graph.num_nodes() << " nodes, "
+      << graph.num_links() << " links\n";
+  for (LinkId id = 0; id < graph.num_links(); ++id) {
+    const Link& l = graph.link(id);
+    switch (l.rel_ab) {
+      case Relationship::kCustomer:
+        // b is a's customer => a provides for b.
+        out << as_of(l.a) << '|' << as_of(l.b) << "|-1\n";
+        break;
+      case Relationship::kProvider:
+        out << as_of(l.b) << '|' << as_of(l.a) << "|-1\n";
+        break;
+      case Relationship::kPeer:
+        out << as_of(l.a) << '|' << as_of(l.b) << "|0\n";
+        break;
+      case Relationship::kSibling:
+        out << as_of(l.a) << '|' << as_of(l.b) << "|2\n";
+        break;
+    }
+  }
+}
+
+std::string write_as_rel_text(const AsGraph& graph,
+                              const std::vector<std::uint32_t>& node_to_as) {
+  std::ostringstream out;
+  write_as_rel(out, graph, node_to_as);
+  return out.str();
+}
+
+}  // namespace centaur::topo

@@ -1,0 +1,55 @@
+// Reader/writer for the CAIDA AS-relationship exchange format.
+//
+// The paper's measured topologies (CAIDA Sep'07, HeTop May'05) are published
+// in the "serial-1" as-rel format:
+//
+//   # comment lines start with '#'
+//   <as-a>|<as-b>|<relationship>
+//
+// where relationship -1 means "a is a provider of b" (i.e. b is a's
+// customer), 0 means peering, and 2 means siblings.  AS numbers are sparse;
+// we map them onto dense NodeIds and keep the mapping for round-tripping.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace centaur::topo {
+
+/// A parsed topology plus the AS-number <-> NodeId mapping.
+struct ParsedTopology {
+  AsGraph graph;
+  std::vector<std::uint32_t> node_to_as;  ///< NodeId -> AS number
+  std::unordered_map<std::uint32_t, NodeId> as_to_node;
+
+  /// Number of input lines skipped (comments / duplicates / self-loops).
+  std::size_t skipped_lines = 0;
+};
+
+/// Parses an as-rel stream.  Throws std::runtime_error on malformed lines
+/// (wrong field count, non-numeric AS, unknown relationship code).
+/// Duplicate links and self-loops are counted in `skipped_lines` rather than
+/// rejected, matching how published snapshots are usually cleaned.
+ParsedTopology parse_as_rel(std::istream& in);
+
+/// Convenience wrapper parsing from a string.
+ParsedTopology parse_as_rel_text(const std::string& text);
+
+/// Loads a topology from a file path.  Throws std::runtime_error if the file
+/// cannot be opened.
+ParsedTopology load_as_rel_file(const std::string& path);
+
+/// Serialises `graph` to as-rel format.  If `node_to_as` is empty the NodeId
+/// is used as the AS number.
+void write_as_rel(std::ostream& out, const AsGraph& graph,
+                  const std::vector<std::uint32_t>& node_to_as = {});
+
+std::string write_as_rel_text(const AsGraph& graph,
+                              const std::vector<std::uint32_t>& node_to_as = {});
+
+}  // namespace centaur::topo

@@ -1,0 +1,245 @@
+#include "topology/prefix.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+#include <stdexcept>
+
+namespace centaur::topo {
+
+Ipv4Prefix Ipv4Prefix::of(std::uint32_t addr, std::uint8_t len) {
+  if (len > 32) throw std::invalid_argument("Ipv4Prefix: len > 32");
+  Ipv4Prefix p;
+  p.len = len;
+  p.addr = len == 0 ? 0 : (addr & (~std::uint32_t{0} << (32 - len)));
+  return p;
+}
+
+Ipv4Prefix Ipv4Prefix::parse(const std::string& text) {
+  std::uint32_t addr = 0;
+  const char* cur = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    const auto [ptr, ec] = std::from_chars(cur, end, value);
+    if (ec != std::errc() || value > 255) {
+      throw std::invalid_argument("Ipv4Prefix::parse: bad octet in " + text);
+    }
+    addr = (addr << 8) | value;
+    cur = ptr;
+    const char expect = octet < 3 ? '.' : '/';
+    if (cur == end || *cur != expect) {
+      throw std::invalid_argument("Ipv4Prefix::parse: malformed " + text);
+    }
+    ++cur;
+  }
+  unsigned len = 0;
+  const auto [ptr, ec] = std::from_chars(cur, end, len);
+  if (ec != std::errc() || ptr != end || len > 32) {
+    throw std::invalid_argument("Ipv4Prefix::parse: bad length in " + text);
+  }
+  return of(addr, static_cast<std::uint8_t>(len));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return std::to_string((addr >> 24) & 0xff) + "." +
+         std::to_string((addr >> 16) & 0xff) + "." +
+         std::to_string((addr >> 8) & 0xff) + "." +
+         std::to_string(addr & 0xff) + "/" + std::to_string(len);
+}
+
+std::pair<Ipv4Prefix, Ipv4Prefix> Ipv4Prefix::split() const {
+  if (len >= 32) throw std::invalid_argument("Ipv4Prefix::split: /32");
+  const auto child_len = static_cast<std::uint8_t>(len + 1);
+  const std::uint32_t bit = std::uint32_t{1} << (32 - child_len);
+  return {of(addr, child_len), of(addr | bit, child_len)};
+}
+
+Ipv4Prefix Ipv4Prefix::parent() const {
+  if (len == 0) throw std::invalid_argument("Ipv4Prefix::parent: /0");
+  return of(addr, static_cast<std::uint8_t>(len - 1));
+}
+
+bool Ipv4Prefix::buddies(const Ipv4Prefix& a, const Ipv4Prefix& b) {
+  return a.len == b.len && a.len > 0 && a != b && a.parent() == b.parent();
+}
+
+// ----------------------------------------------------------- PrefixTable --
+
+struct PrefixTable::Node {
+  Node* child[2] = {nullptr, nullptr};
+  std::optional<NodeId> origin;
+
+  ~Node() {
+    delete child[0];
+    delete child[1];
+  }
+};
+
+PrefixTable::PrefixTable() : root_(new Node) {}
+PrefixTable::~PrefixTable() { delete root_; }
+
+PrefixTable::PrefixTable(PrefixTable&& other) noexcept
+    : root_(other.root_), size_(other.size_) {
+  other.root_ = new Node;
+  other.size_ = 0;
+}
+
+PrefixTable& PrefixTable::operator=(PrefixTable&& other) noexcept {
+  if (this != &other) {
+    delete root_;
+    root_ = other.root_;
+    size_ = other.size_;
+    other.root_ = new Node;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+namespace {
+
+int bit_at(std::uint32_t addr, int depth) {
+  return (addr >> (31 - depth)) & 1;
+}
+
+}  // namespace
+
+bool PrefixTable::insert(const Ipv4Prefix& prefix, NodeId origin) {
+  Node* cur = root_;
+  for (int depth = 0; depth < prefix.len; ++depth) {
+    Node*& next = cur->child[bit_at(prefix.addr, depth)];
+    if (next == nullptr) next = new Node;
+    cur = next;
+  }
+  const bool inserted = !cur->origin.has_value();
+  cur->origin = origin;
+  if (inserted) ++size_;
+  return inserted;
+}
+
+bool PrefixTable::erase(const Ipv4Prefix& prefix) {
+  Node* cur = root_;
+  for (int depth = 0; depth < prefix.len && cur != nullptr; ++depth) {
+    cur = cur->child[bit_at(prefix.addr, depth)];
+  }
+  if (cur == nullptr || !cur->origin.has_value()) return false;
+  cur->origin.reset();
+  --size_;
+  return true;  // nodes are kept; tables are small and rebuilt rarely
+}
+
+std::optional<PrefixRoute> PrefixTable::lookup(std::uint32_t ip) const {
+  const Node* cur = root_;
+  std::optional<PrefixRoute> best;
+  for (int depth = 0; cur != nullptr; ++depth) {
+    if (cur->origin) {
+      best = PrefixRoute{
+          Ipv4Prefix::of(ip, static_cast<std::uint8_t>(depth)), *cur->origin};
+    }
+    if (depth == 32) break;
+    cur = cur->child[bit_at(ip, depth)];
+  }
+  return best;
+}
+
+std::optional<NodeId> PrefixTable::find(const Ipv4Prefix& prefix) const {
+  const Node* cur = root_;
+  for (int depth = 0; depth < prefix.len && cur != nullptr; ++depth) {
+    cur = cur->child[bit_at(prefix.addr, depth)];
+  }
+  if (cur == nullptr) return std::nullopt;
+  return cur->origin;
+}
+
+std::vector<PrefixRoute> PrefixTable::routes() const {
+  std::vector<PrefixRoute> out;
+  // Depth-first walk tracking the path bits.
+  struct Frame {
+    const Node* node;
+    std::uint32_t addr;
+    std::uint8_t len;
+  };
+  std::vector<Frame> stack{{root_, 0, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.node->origin) {
+      out.push_back(PrefixRoute{Ipv4Prefix::of(f.addr, f.len), *f.node->origin});
+    }
+    if (f.len < 32) {
+      const std::uint32_t bit = std::uint32_t{1} << (31 - f.len);
+      if (f.node->child[1]) {
+        stack.push_back(
+            {f.node->child[1], f.addr | bit, static_cast<std::uint8_t>(f.len + 1)});
+      }
+      if (f.node->child[0]) {
+        stack.push_back(
+            {f.node->child[0], f.addr, static_cast<std::uint8_t>(f.len + 1)});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ----------------------------------------------------------- aggregation --
+
+std::vector<PrefixRoute> aggregate(std::vector<PrefixRoute> routes) {
+  // Iterate to a fixed point: each pass merges buddy pairs with a common
+  // origin into their parent and drops duplicates.
+  std::sort(routes.begin(), routes.end());
+  routes.erase(std::unique(routes.begin(), routes.end()), routes.end());
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    // Group by (len, parent) via a map pass; small inputs, clarity first.
+    std::map<std::pair<Ipv4Prefix, NodeId>, int> halves;
+    for (const PrefixRoute& r : routes) {
+      if (r.prefix.len == 0) continue;
+      halves[{r.prefix.parent(), r.origin}] += 1;
+    }
+    std::vector<PrefixRoute> next;
+    std::vector<PrefixRoute> parents;
+    for (const PrefixRoute& r : routes) {
+      if (r.prefix.len > 0 &&
+          halves[{r.prefix.parent(), r.origin}] == 2) {
+        parents.push_back(PrefixRoute{r.prefix.parent(), r.origin});
+      } else {
+        next.push_back(r);
+      }
+    }
+    if (!parents.empty()) {
+      merged = true;
+      std::sort(parents.begin(), parents.end());
+      parents.erase(std::unique(parents.begin(), parents.end()),
+                    parents.end());
+      next.insert(next.end(), parents.begin(), parents.end());
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+    }
+    routes = std::move(next);
+  }
+  return routes;
+}
+
+std::vector<PrefixRoute> deaggregate(const PrefixRoute& route,
+                                     std::uint8_t target_len) {
+  if (target_len < route.prefix.len) {
+    throw std::invalid_argument("deaggregate: target shorter than prefix");
+  }
+  const unsigned extra = target_len - route.prefix.len;
+  if (extra > 20) {
+    throw std::invalid_argument("deaggregate: expansion too large");
+  }
+  std::vector<PrefixRoute> out;
+  out.reserve(std::size_t{1} << extra);
+  const std::uint32_t count = std::uint32_t{1} << extra;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t addr =
+        route.prefix.addr | (extra == 0 ? 0 : i << (32 - target_len));
+    out.push_back(PrefixRoute{Ipv4Prefix::of(addr, target_len), route.origin});
+  }
+  return out;
+}
+
+}  // namespace centaur::topo

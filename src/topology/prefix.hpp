@@ -1,0 +1,115 @@
+// IPv4 prefixes, longest-prefix matching, and (de)aggregation.
+//
+// The paper's S6.4: Centaur disseminates routing updates for destinations
+// at whatever prefix granularity the owner chooses — a node can announce
+// one aggregate for its whole domain or split it into finer prefixes
+// (logically splitting itself into several "nodes"), achieving update
+// isolation exactly as BGP does.  This module supplies the machinery:
+// prefix arithmetic, a binary-trie forwarding table with longest-prefix
+// match, and aggregation/de-aggregation transforms.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/types.hpp"
+
+namespace centaur::topo {
+
+/// An IPv4 prefix (address/length), canonicalised: host bits are zero.
+struct Ipv4Prefix {
+  std::uint32_t addr = 0;  ///< network byte order as a host integer
+  std::uint8_t len = 0;    ///< 0..32
+
+  /// Canonicalising constructor helper: masks host bits.
+  static Ipv4Prefix of(std::uint32_t addr, std::uint8_t len);
+
+  /// Parses dotted-quad "a.b.c.d/len".  Throws std::invalid_argument on
+  /// malformed input (bad octets, len > 32, junk).
+  static Ipv4Prefix parse(const std::string& text);
+
+  std::string to_string() const;
+
+  std::uint32_t mask() const {
+    return len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+  }
+
+  bool contains(std::uint32_t ip) const {
+    return (ip & mask()) == addr;
+  }
+  /// True if `other` is equal to or more specific than this prefix.
+  bool contains(const Ipv4Prefix& other) const {
+    return other.len >= len && contains(other.addr);
+  }
+
+  /// The two /(len+1) halves.  Precondition: len < 32.
+  std::pair<Ipv4Prefix, Ipv4Prefix> split() const;
+
+  /// The enclosing /(len-1).  Precondition: len > 0.
+  Ipv4Prefix parent() const;
+
+  /// True if `a` and `b` are the two halves of the same parent.
+  static bool buddies(const Ipv4Prefix& a, const Ipv4Prefix& b);
+
+  auto operator<=>(const Ipv4Prefix&) const = default;
+};
+
+/// A prefix announced by an AS (who owns/originates it).
+struct PrefixRoute {
+  Ipv4Prefix prefix;
+  NodeId origin = kInvalidNode;
+
+  auto operator<=>(const PrefixRoute&) const = default;
+};
+
+/// Binary-trie forwarding table: longest-prefix match over announced
+/// prefixes.  Insertion replaces any previous origin for the same prefix.
+class PrefixTable {
+ public:
+  PrefixTable();
+  ~PrefixTable();
+  PrefixTable(PrefixTable&&) noexcept;
+  PrefixTable& operator=(PrefixTable&&) noexcept;
+  PrefixTable(const PrefixTable&) = delete;
+  PrefixTable& operator=(const PrefixTable&) = delete;
+
+  /// Returns true if the prefix was new (false: origin replaced).
+  bool insert(const Ipv4Prefix& prefix, NodeId origin);
+
+  /// Removes the exact prefix.  Returns true if it was present.
+  bool erase(const Ipv4Prefix& prefix);
+
+  /// Longest-prefix match for `ip`.
+  std::optional<PrefixRoute> lookup(std::uint32_t ip) const;
+
+  /// Exact-match origin for `prefix`, if announced.
+  std::optional<NodeId> find(const Ipv4Prefix& prefix) const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// All announced routes in ascending prefix order.
+  std::vector<PrefixRoute> routes() const;
+
+ private:
+  struct Node;
+  Node* root_;
+  std::size_t size_ = 0;
+};
+
+/// Merges same-origin buddy prefixes bottom-up until a fixed point: the
+/// minimal route set covering exactly the same address space with the same
+/// origins (classic CIDR aggregation).  Input order is irrelevant;
+/// duplicates collapse.  Overlapping prefixes with different origins are
+/// kept as-is (longest-prefix match preserves semantics).
+std::vector<PrefixRoute> aggregate(std::vector<PrefixRoute> routes);
+
+/// Splits `route` into all /(target_len) sub-prefixes (same origin).
+/// Throws std::invalid_argument if target_len < route.prefix.len or the
+/// expansion exceeds 2^20 prefixes.
+std::vector<PrefixRoute> deaggregate(const PrefixRoute& route,
+                                     std::uint8_t target_len);
+
+}  // namespace centaur::topo

@@ -1,0 +1,38 @@
+#include "topology/stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "topology/algorithms.hpp"
+
+namespace centaur::topo {
+
+TopologyStats compute_stats(const AsGraph& g, std::string name) {
+  TopologyStats s;
+  s.name = std::move(name);
+  s.nodes = g.num_nodes();
+  s.links = g.num_links();
+  const auto counts = g.count_links();
+  s.peering = counts.peering;
+  s.provider = counts.provider;
+  s.sibling = counts.sibling;
+  s.avg_degree = s.nodes == 0 ? 0
+                              : 2.0 * static_cast<double>(s.links) /
+                                    static_cast<double>(s.nodes);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    s.max_degree = std::max(s.max_degree, g.degree(v));
+  }
+  s.connected = is_connected(g);
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const TopologyStats& s) {
+  os << s.name << ": " << s.nodes << " nodes / " << s.links << " links"
+     << " (peering " << s.peering << ", provider " << s.provider
+     << ", sibling " << s.sibling << "), avg degree " << s.avg_degree
+     << ", max degree " << s.max_degree
+     << (s.connected ? ", connected" : ", NOT connected");
+  return os;
+}
+
+}  // namespace centaur::topo

@@ -1,0 +1,28 @@
+// Topology characterisation (Table 3 of the paper).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/as_graph.hpp"
+
+namespace centaur::topo {
+
+/// Summary row matching the paper's Table 3 plus degree diagnostics.
+struct TopologyStats {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+  std::size_t peering = 0;
+  std::size_t provider = 0;  ///< customer-provider links, counted once
+  std::size_t sibling = 0;
+  double avg_degree = 0;
+  std::size_t max_degree = 0;
+  bool connected = false;
+};
+
+TopologyStats compute_stats(const AsGraph& g, std::string name);
+
+std::ostream& operator<<(std::ostream& os, const TopologyStats& s);
+
+}  // namespace centaur::topo

@@ -1,0 +1,29 @@
+#include "topology/types.hpp"
+
+namespace centaur::topo {
+
+const char* to_string(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer:
+      return "customer";
+    case Relationship::kProvider:
+      return "provider";
+    case Relationship::kPeer:
+      return "peer";
+    case Relationship::kSibling:
+      return "sibling";
+  }
+  return "?";
+}
+
+std::string to_string(const Path& path) {
+  std::string out = "<";
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(path[i]);
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace centaur::topo

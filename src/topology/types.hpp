@@ -1,0 +1,57 @@
+// Fundamental identifiers and business-relationship types for AS topologies.
+//
+// Centaur (S1) models each AS as one node; links between nodes carry the
+// standard "customer / provider / peering" (plus sibling) business
+// relationships that the policy layer (Gao-Rexford rules) interprets.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace centaur::topo {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+
+/// Role of a neighbor B *relative to* a node A.
+///
+/// rel(A, B) == kProvider means B is A's provider (A pays B for transit);
+/// rel(A, B) == kCustomer means B is A's customer; kPeer is settlement-free
+/// peering; kSibling links ASes under common administration (they exchange
+/// all routes, like an internal link).
+enum class Relationship : std::uint8_t {
+  kCustomer = 0,
+  kProvider = 1,
+  kPeer = 2,
+  kSibling = 3,
+};
+
+/// The same link seen from the other endpoint: customer <-> provider,
+/// peer and sibling are symmetric.
+constexpr Relationship invert(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer:
+      return Relationship::kProvider;
+    case Relationship::kProvider:
+      return Relationship::kCustomer;
+    case Relationship::kPeer:
+    case Relationship::kSibling:
+      break;
+  }
+  return r;
+}
+
+const char* to_string(Relationship r);
+
+/// A loop-free node sequence source..destination (inclusive).
+using Path = std::vector<NodeId>;
+
+/// Renders "<A, B, C>" for diagnostics and test failure messages.
+std::string to_string(const Path& path);
+
+}  // namespace centaur::topo

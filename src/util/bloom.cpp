@@ -1,0 +1,83 @@
+#include "util/bloom.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+namespace centaur::util {
+namespace {
+
+// 64-bit finalizer (MurmurHash3 fmix64): good avalanche for double hashing.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t expected_items, double fp_rate) {
+  fp_rate = std::clamp(fp_rate, 1e-9, 0.5);
+  expected_items = std::max<std::size_t>(expected_items, 1);
+  const double ln2 = std::numbers::ln2_v<double>;
+  const double m =
+      -static_cast<double>(expected_items) * std::log(fp_rate) / (ln2 * ln2);
+  const double k = m / static_cast<double>(expected_items) * ln2;
+  const std::size_t bits = std::max<std::size_t>(64, static_cast<std::size_t>(m));
+  words_.assign((bits + 63) / 64, 0);
+  hashes_ = std::clamp<std::size_t>(static_cast<std::size_t>(std::lround(k)), 1, 16);
+}
+
+BloomFilter BloomFilter::with_geometry(std::size_t bits, std::size_t hashes) {
+  BloomFilter f;
+  bits = std::max<std::size_t>(bits, 64);
+  f.words_.assign((bits + 63) / 64, 0);
+  f.hashes_ = std::clamp<std::size_t>(hashes, 1, 16);
+  return f;
+}
+
+void BloomFilter::insert(std::uint32_t id) {
+  // Kirsch-Mitzenmacher double hashing: h_i = h1 + i * h2.
+  const std::uint64_t h = mix64(0x5bf03635ULL ^ id);
+  const std::uint64_t h1 = h;
+  const std::uint64_t h2 = mix64(h) | 1;  // odd, so it cycles all positions
+  const std::size_t nbits = bit_count();
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::size_t pos = (h1 + i * h2) % nbits;
+    words_[pos >> 6] |= (1ULL << (pos & 63));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::contains(std::uint32_t id) const {
+  const std::uint64_t h = mix64(0x5bf03635ULL ^ id);
+  const std::uint64_t h1 = h;
+  const std::uint64_t h2 = mix64(h) | 1;
+  const std::size_t nbits = bit_count();
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::size_t pos = (h1 + i * h2) % nbits;
+    if (!(words_[pos >> 6] & (1ULL << (pos & 63)))) return false;
+  }
+  return true;
+}
+
+double BloomFilter::fill_ratio() const {
+  std::size_t set = 0;
+  for (std::uint64_t w : words_) set += std::popcount(w);
+  return static_cast<double>(set) / static_cast<double>(bit_count());
+}
+
+double BloomFilter::estimated_fp_rate() const {
+  return std::pow(fill_ratio(), static_cast<double>(hashes_));
+}
+
+void BloomFilter::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  inserted_ = 0;
+}
+
+}  // namespace centaur::util

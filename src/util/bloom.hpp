@@ -1,0 +1,64 @@
+// Bloom filter over 32-bit identifiers.
+//
+// The paper (S4.1) proposes compressing the destination lists inside
+// Permission Lists with Bloom filters.  This is the substrate for that
+// optimisation: a compact, fixed-size approximate set with tunable false
+// positive rate.  Sizing follows the standard formulas
+//   m = -n ln(p) / (ln 2)^2,   k = (m/n) ln 2.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace centaur::util {
+
+/// Approximate membership set for 32-bit ids (e.g. AS numbers).
+///
+/// Supports insertion and membership queries; no deletion (rebuild instead,
+/// which matches Permission-List lifecycle where lists are reconstructed by
+/// BuildGraph).  False positives possible, false negatives impossible.
+class BloomFilter {
+ public:
+  /// Builds a filter sized for `expected_items` insertions at false-positive
+  /// probability `fp_rate` (clamped to [1e-9, 0.5]).
+  BloomFilter(std::size_t expected_items, double fp_rate);
+
+  /// Builds a filter with an explicit geometry (`bits` is rounded up to a
+  /// multiple of 64; `hashes` clamped to [1, 16]).
+  static BloomFilter with_geometry(std::size_t bits, std::size_t hashes);
+
+  void insert(std::uint32_t id);
+
+  /// True if `id` might be in the set (or definitely false).
+  bool contains(std::uint32_t id) const;
+
+  /// Number of bits in the filter.
+  std::size_t bit_count() const { return words_.size() * 64; }
+
+  /// Number of hash functions.
+  std::size_t hash_count() const { return hashes_; }
+
+  /// Serialized size in bytes (bit array only) — used for overhead accounting.
+  std::size_t byte_size() const { return words_.size() * 8; }
+
+  /// Number of insert() calls observed.
+  std::size_t inserted_count() const { return inserted_; }
+
+  /// Fraction of bits set; a saturation diagnostic.
+  double fill_ratio() const;
+
+  /// Predicted false-positive rate given the current fill.
+  double estimated_fp_rate() const;
+
+  void clear();
+
+ private:
+  BloomFilter() = default;
+
+  std::vector<std::uint64_t> words_;
+  std::size_t hashes_ = 1;
+  std::size_t inserted_ = 0;
+};
+
+}  // namespace centaur::util

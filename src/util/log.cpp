@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace centaur::util {
+namespace {
+
+LogLevel level_from_env() {
+  const char* raw = std::getenv("CENTAUR_LOG");
+  if (raw == nullptr) return LogLevel::kWarn;
+  const std::string v(raw);
+  if (v == "error") return LogLevel::kError;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "debug") return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "[error] ";
+    case LogLevel::kWarn:
+      return "[warn ] ";
+    case LogLevel::kInfo:
+      return "[info ] ";
+    case LogLevel::kDebug:
+      return "[debug] ";
+  }
+  return "";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level > log_level()) return;
+  std::cerr << prefix(level) << msg << "\n";
+}
+
+}  // namespace centaur::util

@@ -1,0 +1,52 @@
+// Minimal leveled logging.
+//
+// Protocol nodes log decision traces at kDebug; experiment harnesses log
+// progress at kInfo.  The level is process-global and settable from the
+// CENTAUR_LOG environment variable (error|warn|info|debug); default is warn
+// so tests and benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace centaur::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current process-wide level (initialised from CENTAUR_LOG on first use).
+LogLevel log_level();
+
+/// Overrides the process-wide level.
+void set_log_level(LogLevel level);
+
+/// Emits one line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+/// Stream-style builder: collects the message and emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, ss_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace detail
+
+}  // namespace centaur::util
+
+#define CENTAUR_LOG(level)                                            \
+  if (::centaur::util::log_level() >= ::centaur::util::LogLevel::level) \
+  ::centaur::util::detail::LogMessage(::centaur::util::LogLevel::level)

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All randomness in the library flows through Rng so that every test, bench,
+// and example is reproducible from a single 64-bit seed.  The generator is
+// xoshiro256**, seeded via SplitMix64 (the construction recommended by the
+// xoshiro authors), which is far faster than std::mt19937_64 and has no
+// observable bias for our use cases.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace centaur::util {
+
+/// Deterministic 64-bit PRNG (xoshiro256**) with convenience samplers.
+///
+/// The default-constructed generator uses a fixed seed so that code which
+/// forgets to seed explicitly is still reproducible.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialises the state from a 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct values uniformly from [0, n) without replacement.
+  /// Requires k <= n.  O(k) expected time for k << n, O(n) worst case.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Splits off an independent child generator (for per-trial streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace centaur::util

@@ -1,0 +1,82 @@
+#include "util/scale.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace centaur::util {
+
+Scale scale_from_env() {
+  const char* raw = std::getenv("CENTAUR_SCALE");
+  if (raw == nullptr) return Scale::kDefault;
+  std::string v(raw);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "smoke") return Scale::kSmoke;
+  if (v == "large") return Scale::kLarge;
+  return Scale::kDefault;
+}
+
+const char* to_string(Scale s) {
+  switch (s) {
+    case Scale::kSmoke:
+      return "smoke";
+    case Scale::kDefault:
+      return "default";
+    case Scale::kLarge:
+      return "large";
+  }
+  return "default";
+}
+
+ScaleParams params_for(Scale s) {
+  switch (s) {
+    case Scale::kSmoke:
+      return ScaleParams{
+          .caida_like_nodes = 600,
+          .hetop_like_nodes = 500,
+          .pgraph_vantage_sample = 30,
+          .fig5_link_sample = 60,
+          .proto_nodes = 60,
+          .proto_flip_sample = 20,
+          .fig8_min_nodes = 40,
+          .fig8_max_nodes = 160,
+          .fig8_steps = 3,
+          .fig8_events_per_size = 10,
+          .seed = 0xC3A7A0ULL,
+      };
+    case Scale::kLarge:
+      return ScaleParams{
+          .caida_like_nodes = 26022,
+          .hetop_like_nodes = 19940,
+          .pgraph_vantage_sample = 200,
+          .fig5_link_sample = 400,
+          .proto_nodes = 500,
+          .proto_flip_sample = 150,
+          .fig8_min_nodes = 100,
+          .fig8_max_nodes = 500,
+          .fig8_steps = 4,
+          .fig8_events_per_size = 60,
+          .seed = 0xC3A7A0ULL,
+      };
+    case Scale::kDefault:
+      break;
+  }
+  return ScaleParams{
+      .caida_like_nodes = 4000,
+      .hetop_like_nodes = 3200,
+      .pgraph_vantage_sample = 80,
+      .fig5_link_sample = 150,
+      .proto_nodes = 200,
+      .proto_flip_sample = 60,
+      .fig8_min_nodes = 50,
+      .fig8_max_nodes = 300,
+      .fig8_steps = 4,
+      .fig8_events_per_size = 40,
+      .seed = 0xC3A7A0ULL,
+  };
+}
+
+ScaleParams params_from_env() { return params_for(scale_from_env()); }
+
+}  // namespace centaur::util

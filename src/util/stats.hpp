@@ -1,0 +1,83 @@
+// Descriptive statistics and empirical CDFs for experiment reporting.
+//
+// The paper reports CDFs (Figs 6, 7), averages (Fig 5, Table 4), and bucketed
+// distributions (Table 5).  Accumulator and Cdf provide exactly those views.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace centaur::util {
+
+/// Online accumulator for a stream of doubles.  Keeps all samples so that
+/// exact quantiles are available (experiment sample counts are modest).
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Population standard deviation; 0 for fewer than 2 samples.
+  double stddev() const;
+  /// Exact quantile via linear interpolation, q in [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+};
+
+/// Empirical CDF over a sample set.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  /// P[X <= x].
+  double at(double x) const;
+
+  /// Smallest sample value v with P[X <= v] >= q.
+  double inverse(double q) const;
+
+  std::size_t count() const { return sorted_.size(); }
+
+  /// Evaluates the CDF at `points` evenly spaced sample quantiles, returning
+  /// (value, cumulative probability) pairs — a plot-ready series.
+  std::vector<std::pair<double, double>> series(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-boundary histogram; bucket i counts values in (bounds[i-1], bounds[i]]
+/// with an implicit final overflow bucket.  Used for Table-5-style
+/// "#entries = 1 / 2 / 3 / >3" breakdowns.
+class BucketHistogram {
+ public:
+  explicit BucketHistogram(std::vector<double> upper_bounds);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  double fraction(std::size_t bucket) const;
+  std::string label(std::size_t bucket) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::size_t> counts_;  // bounds_.size() + 1 entries
+  std::size_t total_ = 0;
+};
+
+}  // namespace centaur::util

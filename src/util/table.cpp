@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace centaur::util {
+
+TextTable& TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+TextTable& TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 3;
+  if (total > 0) total -= 1;
+
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[i])) << c;
+      if (i + 1 < widths.size()) os << " | ";
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) print_row(r);
+  os << "\n";
+}
+
+std::string fmt_double(double v, int digits) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(digits) << v;
+  return ss.str();
+}
+
+std::string fmt_percent(double fraction, int digits) {
+  return fmt_double(fraction * 100.0, digits) + "%";
+}
+
+std::string fmt_count(std::size_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  std::size_t lead = raw.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out.push_back(',');
+    out.push_back(raw[i]);
+  }
+  return out;
+}
+
+}  // namespace centaur::util

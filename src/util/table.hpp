@@ -1,0 +1,43 @@
+// Plain-text table rendering for bench/experiment output.
+//
+// Every reproduction bench prints its table or figure series through this
+// formatter so that the output of `for b in build/bench/*; do $b; done` is
+// uniform and diff-able.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace centaur::util {
+
+/// Column-aligned ASCII table with a title, header row, and data rows.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  TextTable& header(std::vector<std::string> cells);
+  TextTable& row(std::vector<std::string> cells);
+
+  /// Renders to `os`; pads each column to its widest cell.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string fmt_double(double v, int digits = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.919 -> "91.9%".
+std::string fmt_percent(double fraction, int digits = 1);
+
+/// Formats a count with thousands separators, e.g. 52691 -> "52,691".
+std::string fmt_count(std::size_t v);
+
+}  // namespace centaur::util

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "centaur/announce.hpp"
+#include "centaur/build_graph.hpp"
+
+namespace centaur::core {
+namespace {
+
+constexpr NodeId A = 0, B = 1, C = 2, D = 3, Dp = 4;
+
+std::map<NodeId, Path> fig4_selection() {
+  return {
+      {C, {C}},
+      {A, {C, A}},
+      {B, {C, A, B}},
+      {D, {C, A, B, D}},
+      {Dp, {C, D, Dp}},
+  };
+}
+
+PGraph fig4_local() { return build_local_pgraph(C, fig4_selection()); }
+
+DestFilter allow_all_dests() {
+  return [](NodeId) { return true; };
+}
+
+TEST(ExportView, AllDestsExportsEverything) {
+  const PGraph local = fig4_local();
+  const ExportedView v = make_export_view(local, allow_all_dests());
+  EXPECT_EQ(v.links.size(), local.num_links());
+  EXPECT_EQ(v.destinations, (std::set<NodeId>{A, B, C, D, Dp}));
+  // Multi-homed head links carry their permission lists on the wire.
+  EXPECT_TRUE(v.links.at(DirectedLink{B, D}).permits(D, kNoNextHop));
+  EXPECT_TRUE(v.links.at(DirectedLink{C, D}).permits(Dp, Dp));
+  // Single-homed heads ship empty lists.
+  EXPECT_TRUE(v.links.at(DirectedLink{C, A}).empty());
+}
+
+TEST(ExportView, DestFilterPrunesLinksAndPermissions) {
+  const PGraph local = fig4_local();
+  // Only D' may be exported: the only links carrying D' traffic are C->D
+  // and D->D'.
+  const ExportedView v = make_export_view(
+      local, [](NodeId dest) { return dest == Dp; });
+  EXPECT_EQ(v.destinations, (std::set<NodeId>{Dp}));
+  EXPECT_EQ(v.links.size(), 2u);
+  EXPECT_TRUE(v.links.count(DirectedLink{C, D}));
+  EXPECT_TRUE(v.links.count(DirectedLink{D, Dp}));
+  // The C->D permission list keeps only the D' entry.
+  EXPECT_TRUE(v.links.at(DirectedLink{C, D}).permits(Dp, Dp));
+  EXPECT_EQ(v.links.at(DirectedLink{C, D}).dest_count(), 1u);
+}
+
+TEST(ExportView, LinkFilterHidesSpecificLinks) {
+  const PGraph local = fig4_local();
+  const ExportedView v = make_export_view(
+      local, allow_all_dests(),
+      [](NodeId from, NodeId to) { return !(from == C && to == D); });
+  EXPECT_FALSE(v.links.count(DirectedLink{C, D}));
+  EXPECT_TRUE(v.links.count(DirectedLink{B, D}));
+}
+
+TEST(Diff, EmptyToFullIsAllUpserts) {
+  const ExportedView after = make_export_view(fig4_local(), allow_all_dests());
+  const GraphDelta d = diff_views(ExportedView{}, after);
+  EXPECT_EQ(d.upserts.size(), after.links.size());
+  EXPECT_TRUE(d.removes.empty());
+  EXPECT_EQ(d.dest_adds.size(), after.destinations.size());
+  EXPECT_FALSE(d.empty());
+}
+
+TEST(Diff, IdenticalViewsYieldEmptyDelta) {
+  const ExportedView v = make_export_view(fig4_local(), allow_all_dests());
+  EXPECT_TRUE(diff_views(v, v).empty());
+}
+
+TEST(Diff, DetectsRemovalsAndPlistChanges) {
+  const ExportedView before = make_export_view(fig4_local(), allow_all_dests());
+  ExportedView after = before;
+  after.links.erase(DirectedLink{D, Dp});
+  after.destinations.erase(Dp);
+  after.links.at(DirectedLink{C, D}).add(99, 98);  // plist change
+  const GraphDelta d = diff_views(before, after);
+  ASSERT_EQ(d.removes.size(), 1u);
+  EXPECT_EQ(d.removes[0], (DirectedLink{D, Dp}));
+  ASSERT_EQ(d.upserts.size(), 1u);
+  EXPECT_EQ(d.upserts[0].first, (DirectedLink{C, D}));
+  ASSERT_EQ(d.dest_removes.size(), 1u);
+  EXPECT_EQ(d.dest_removes[0], Dp);
+  EXPECT_TRUE(d.dest_adds.empty());
+}
+
+TEST(ApplyDelta, ReconstructsTheExportedView) {
+  const ExportedView v = make_export_view(fig4_local(), allow_all_dests());
+  const GraphDelta d = diff_views(ExportedView{}, v);
+  PGraph g(C);
+  EXPECT_TRUE(apply_delta(g, d, /*self=*/7));  // 7 not in the graph
+  EXPECT_EQ(g.num_links(), v.links.size());
+  for (const auto& [link, plist] : v.links) {
+    ASSERT_TRUE(g.has_link(link.from, link.to));
+    EXPECT_TRUE(g.link_data(link.from, link.to).plist == plist);
+  }
+  EXPECT_EQ(g.destinations(), v.destinations);
+  // The assembled graph must reproduce the creator's paths.
+  EXPECT_EQ(*g.derive_path(D), (Path{C, A, B, D}));
+  EXPECT_EQ(*g.derive_path(Dp), (Path{C, D, Dp}));
+}
+
+TEST(ApplyDelta, DropsLinksPointingAtSelf) {
+  const ExportedView v = make_export_view(fig4_local(), allow_all_dests());
+  const GraphDelta d = diff_views(ExportedView{}, v);
+  PGraph g(C);
+  apply_delta(g, d, /*self=*/A);
+  // C->A points at the importer and must be gone (Step 2).
+  EXPECT_FALSE(g.has_link(C, A));
+  EXPECT_TRUE(g.has_link(A, B));  // links *from* self survive
+}
+
+TEST(ApplyDelta, ImportFilterApplies) {
+  const ExportedView v = make_export_view(fig4_local(), allow_all_dests());
+  const GraphDelta d = diff_views(ExportedView{}, v);
+  PGraph g(C);
+  apply_delta(g, d, 7,
+              [](NodeId from, NodeId to) { return !(from == C && to == D); });
+  EXPECT_FALSE(g.has_link(C, D));
+  EXPECT_TRUE(g.has_link(B, D));
+}
+
+TEST(ApplyDelta, IncrementalRemoveAndReset) {
+  const ExportedView v = make_export_view(fig4_local(), allow_all_dests());
+  PGraph g(C);
+  apply_delta(g, diff_views(ExportedView{}, v), 7);
+
+  GraphDelta removal;
+  removal.removes.push_back(DirectedLink{C, D});
+  removal.dest_removes.push_back(Dp);
+  EXPECT_TRUE(apply_delta(g, removal, 7));
+  EXPECT_FALSE(g.has_link(C, D));
+  EXPECT_FALSE(g.is_destination(Dp));
+
+  GraphDelta reset;
+  reset.reset = true;
+  EXPECT_TRUE(apply_delta(g, reset, 7));
+  EXPECT_EQ(g.num_links(), 0u);
+  EXPECT_FALSE(apply_delta(g, reset, 7));  // already empty: no change
+}
+
+TEST(ApplyDelta, UpsertReplacesPlist) {
+  PGraph g(C);
+  GraphDelta d1;
+  PermissionList p1;
+  p1.add(1, 2);
+  d1.upserts.emplace_back(DirectedLink{A, B}, p1);
+  apply_delta(g, d1, 7);
+  GraphDelta d2;
+  PermissionList p2;
+  p2.add(3, 4);
+  d2.upserts.emplace_back(DirectedLink{A, B}, p2);
+  EXPECT_TRUE(apply_delta(g, d2, 7));
+  EXPECT_FALSE(g.link_data(A, B).plist.permits(1, 2));
+  EXPECT_TRUE(g.link_data(A, B).plist.permits(3, 4));
+  // Same upsert again: no change.
+  EXPECT_FALSE(apply_delta(g, d2, 7));
+}
+
+TEST(GraphDelta, ByteSizeAccounting) {
+  GraphDelta d;
+  EXPECT_EQ(d.byte_size(false), 16u);
+  PermissionList p;
+  p.add(1, 2);
+  d.upserts.emplace_back(DirectedLink{A, B}, p);
+  d.removes.push_back(DirectedLink{B, C});
+  d.dest_adds.push_back(D);
+  EXPECT_EQ(d.byte_size(false), 16u + (8u + 8u) + 8u + 4u);
+  EXPECT_GT(d.byte_size(true), d.byte_size(false));  // tiny lists: bloom larger
+}
+
+}  // namespace
+}  // namespace centaur::core
+
+namespace centaur::core {
+namespace {
+
+// The paper's Claim 2 (S6.2): Centaur's P-graphs and Permission Lists carry
+// exactly the same routing information as the equivalent selective
+// path-vector set.  Constructively: derive the path set from an announced
+// P-graph, run BuildGraph over it, and recover an equivalent announcement.
+TEST(Privacy, PathVectorAndPGraphAreInterconvertible) {
+  const PGraph local = build_local_pgraph(
+      2, {{2, {2}}, {0, {2, 0}}, {1, {2, 0, 1}}, {3, {2, 0, 1, 3}},
+          {4, {2, 3, 4}}});
+  const ExportedView announced =
+      make_export_view(local, [](NodeId) { return true; });
+
+  // Receiver side: assemble the P-graph, derive the full path set — this
+  // is the "path vector" view of the same information.
+  PGraph assembled(2);
+  apply_delta(assembled, diff_views(ExportedView{}, announced), /*self=*/9);
+  std::map<NodeId, Path> path_vectors;
+  for (const NodeId dest : assembled.destinations()) {
+    const auto p = assembled.derive_path(dest);
+    ASSERT_TRUE(p.has_value()) << dest;
+    path_vectors[dest] = *p;
+  }
+
+  // Claim 2's construction: BuildGraph over the path-vector set recovers
+  // the same links, destination marks, and Permission Lists.
+  const PGraph rebuilt = build_local_pgraph(2, path_vectors);
+  const ExportedView reannounced =
+      make_export_view(rebuilt, [](NodeId) { return true; });
+  EXPECT_EQ(announced, reannounced);
+}
+
+}  // namespace
+}  // namespace centaur::core

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp/bgp_node.hpp"
+#include "test_helpers.hpp"
+#include "topology/generator.hpp"
+
+namespace centaur::bgp {
+namespace {
+
+using centaur::testing::TestNet;
+using topo::AsGraph;
+using topo::NodeId;
+using topo::Relationship;
+
+constexpr NodeId A = 0, B = 1, C = 2, D = 3;
+
+TEST(BgpNode, TwoNodesExchangePrefixes) {
+  AsGraph g(2);
+  g.add_link(0, 1, Relationship::kPeer);
+  TestNet<BgpNode> net(g);
+  EXPECT_EQ(net.node(0).selected_path(1), (Path{0, 1}));
+  EXPECT_EQ(net.node(1).selected_path(0), (Path{1, 0}));
+}
+
+TEST(BgpNode, SquareConvergesWithDeterministicTieBreak) {
+  TestNet<BgpNode> net(centaur::testing::square_topology());
+  EXPECT_EQ(net.node(A).selected_path(D), (Path{A, B, D}));
+  EXPECT_EQ(net.node(D).selected_path(A), (Path{D, B, A}));
+}
+
+TEST(BgpNode, PeersDoNotTransit) {
+  AsGraph g(3);
+  g.add_link(0, 1, Relationship::kPeer);
+  g.add_link(1, 2, Relationship::kPeer);
+  TestNet<BgpNode> net(g);
+  EXPECT_FALSE(net.node(0).selected_path(2).has_value());
+}
+
+TEST(BgpNode, ProviderGivesTransit) {
+  AsGraph g(3);
+  g.add_link(0, 1, Relationship::kProvider);  // 1 is 0's provider
+  g.add_link(1, 2, Relationship::kCustomer);  // wait: 2 is 1's... see below
+  // Link (1,2): rel_ab=kCustomer means 2 is 1's customer.
+  TestNet<BgpNode> net(g);
+  // 0 reaches 2 through its provider 1 (provider route down to customer 2).
+  EXPECT_EQ(net.node(0).selected_path(2), (Path{0, 1, 2}));
+  // 2 reaches 0 through its provider 1.
+  EXPECT_EQ(net.node(2).selected_path(0), (Path{2, 1, 0}));
+}
+
+TEST(BgpNode, CustomerRoutePreferredOverShorterPeer) {
+  AsGraph g(3);
+  g.add_link(0, 2, Relationship::kPeer);
+  g.add_link(1, 0, Relationship::kProvider);
+  g.add_link(2, 1, Relationship::kProvider);
+  TestNet<BgpNode> net(g);
+  EXPECT_EQ(net.node(0).selected_path(2), (Path{0, 1, 2}));
+}
+
+TEST(BgpNode, WithdrawalPropagates) {
+  AsGraph g(3);
+  g.add_link(0, 1, Relationship::kSibling);
+  g.add_link(1, 2, Relationship::kSibling);
+  TestNet<BgpNode> net(g);
+  ASSERT_TRUE(net.node(0).selected_path(2).has_value());
+  net.flip(*net.graph().find_link(1, 2), false);
+  EXPECT_FALSE(net.node(0).selected_path(2).has_value());
+  EXPECT_FALSE(net.node(1).selected_path(2).has_value());
+}
+
+TEST(BgpNode, SessionRestartRefillsRoutes) {
+  AsGraph g(3);
+  g.add_link(0, 1, Relationship::kSibling);
+  g.add_link(1, 2, Relationship::kSibling);
+  TestNet<BgpNode> net(g);
+  net.flip(*net.graph().find_link(1, 2), false);
+  net.flip(*net.graph().find_link(1, 2), true);
+  EXPECT_EQ(net.node(0).selected_path(2), (Path{0, 1, 2}));
+  EXPECT_EQ(net.node(2).selected_path(0), (Path{2, 1, 0}));
+}
+
+TEST(BgpNode, FailoverToAlternatePath) {
+  TestNet<BgpNode> net(centaur::testing::square_topology());
+  net.flip(*net.graph().find_link(B, D), false);
+  EXPECT_EQ(net.node(A).selected_path(D), (Path{A, C, D}));
+  EXPECT_EQ(net.node(B).selected_path(D), (Path{B, A, C, D}));
+}
+
+TEST(BgpNode, PerDestinationWithdrawalsScaleWithDestCount) {
+  // Chain of destinations behind one link: BGP must send one withdrawal
+  // per lost destination, unlike Centaur's single link withdrawal.
+  AsGraph g(6);
+  g.add_link(1, 0, Relationship::kProvider);
+  g.add_link(2, 0, Relationship::kProvider);
+  g.add_link(3, 0, Relationship::kProvider);
+  g.add_link(4, 0, Relationship::kProvider);
+  g.add_link(5, 4, Relationship::kProvider);  // 5 behind 4
+  TestNet<BgpNode> net(g);
+  net.net().mark();
+  net.net().set_link_state(*net.graph().find_link(4, 5), false);
+  net.net().run_to_convergence();
+  // Node 0 loses dest 5 and withdraws it toward 1,2,3 (and 4 is suppressed
+  // by split horizon); node 4 withdraws toward 0.  At least 4 messages,
+  // i.e. strictly more than Centaur's per-link accounting in the mirrored
+  // test (CentaurNode.RootCauseWithdrawalIsOneLinkMessagePerNeighbor).
+  EXPECT_GE(net.net().window().messages_sent, 4u);
+  EXPECT_FALSE(net.node(1).selected_path(5).has_value());
+}
+
+TEST(BgpNode, MraiStillConverges) {
+  TestNet<BgpNode> net(
+      centaur::testing::square_topology(),
+      [](NodeId, AsGraph& g) {
+        BgpNode::Config cfg;
+        cfg.mrai = 0.5;
+        return std::make_unique<BgpNode>(g, cfg);
+      });
+  EXPECT_EQ(net.node(A).selected_path(D), (Path{A, B, D}));
+  net.flip(*net.graph().find_link(B, D), false);
+  EXPECT_EQ(net.node(A).selected_path(D), (Path{A, C, D}));
+}
+
+TEST(BgpNode, MraiBatchesUpdateBursts) {
+  // Without MRAI, the cold start sends some number of messages; with a
+  // large MRAI the duplicate-suppressed batches must not send more.
+  const AsGraph g = centaur::testing::square_topology();
+  TestNet<BgpNode> plain(g);
+  TestNet<BgpNode> batched(g, [](NodeId, AsGraph& gr) {
+    BgpNode::Config cfg;
+    cfg.mrai = 1.0;
+    return std::make_unique<BgpNode>(gr, cfg);
+  });
+  EXPECT_LE(batched.net().window().messages_sent,
+            plain.net().window().messages_sent);
+}
+
+TEST(BgpNode, OriginationCanBeDisabled) {
+  AsGraph g(2);
+  g.add_link(0, 1, Relationship::kSibling);
+  TestNet<BgpNode> net(g, [](NodeId v, AsGraph& gr) {
+    BgpNode::Config cfg;
+    cfg.originate_prefix = (v != 0);
+    return std::make_unique<BgpNode>(gr, cfg);
+  });
+  EXPECT_FALSE(net.node(1).selected_path(0).has_value());
+  EXPECT_TRUE(net.node(0).selected_path(1).has_value());
+}
+
+}  // namespace
+}  // namespace centaur::bgp
+
+namespace centaur::bgp {
+namespace {
+
+using centaur::testing::TestNet;
+
+std::unique_ptr<BgpNode> make_rcn_node(NodeId, AsGraph& g) {
+  BgpNode::Config cfg;
+  cfg.root_cause_notification = true;
+  return std::make_unique<BgpNode>(g, cfg);
+}
+
+TEST(BgpRcn, PathCrossesHelper) {
+  EXPECT_TRUE(path_crosses({1, 2, 3}, AsLink::of(2, 1)));
+  EXPECT_TRUE(path_crosses({1, 2, 3}, AsLink::of(2, 3)));
+  EXPECT_FALSE(path_crosses({1, 2, 3}, AsLink::of(1, 3)));
+  EXPECT_FALSE(path_crosses({1}, AsLink::of(1, 2)));
+}
+
+TEST(BgpRcn, ConvergesLikePlainBgp) {
+  util::Rng rng(61);
+  const AsGraph graph =
+      topo::tiered_internet(topo::caida_like_params(35), rng);
+  TestNet<BgpNode> plain(graph);
+  TestNet<BgpNode> rcn(graph, make_rcn_node);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (NodeId d = 0; d < graph.num_nodes(); ++d) {
+      EXPECT_EQ(plain.node(v).selected_path(d), rcn.node(v).selected_path(d))
+          << v << "->" << d;
+    }
+  }
+}
+
+TEST(BgpRcn, ReconvergesThroughFlips) {
+  util::Rng rng(62);
+  const AsGraph graph =
+      topo::tiered_internet(topo::caida_like_params(30), rng);
+  TestNet<BgpNode> plain(graph);
+  TestNet<BgpNode> rcn(graph, make_rcn_node);
+  util::Rng flip_rng(9);
+  const auto flips = flip_rng.sample_without_replacement(graph.num_links(), 5);
+  for (const std::size_t raw : flips) {
+    for (const bool up : {false, true}) {
+      plain.flip(static_cast<topo::LinkId>(raw), up);
+      rcn.flip(static_cast<topo::LinkId>(raw), up);
+      for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+        for (NodeId d = 0; d < graph.num_nodes(); ++d) {
+          ASSERT_EQ(plain.node(v).selected_path(d),
+                    rcn.node(v).selected_path(d))
+              << v << "->" << d << " after flip " << raw << " up=" << up;
+        }
+      }
+    }
+  }
+}
+
+TEST(BgpRcn, SuppressesPathExplorationMessages) {
+  // Aggregated over failures, root-cause pruning must not send more
+  // messages than plain BGP's exploration.
+  util::Rng rng(63);
+  const AsGraph graph =
+      topo::tiered_internet(topo::caida_like_params(60), rng);
+  TestNet<BgpNode> plain(graph);
+  TestNet<BgpNode> rcn(graph, make_rcn_node);
+  util::Rng flip_rng(10);
+  const auto flips =
+      flip_rng.sample_without_replacement(graph.num_links(), 8);
+  std::size_t plain_msgs = 0, rcn_msgs = 0;
+  for (const std::size_t raw : flips) {
+    plain_msgs += plain.flip(static_cast<topo::LinkId>(raw), false);
+    rcn_msgs += rcn.flip(static_cast<topo::LinkId>(raw), false);
+    plain.flip(static_cast<topo::LinkId>(raw), true);
+    rcn.flip(static_cast<topo::LinkId>(raw), true);
+  }
+  EXPECT_LE(rcn_msgs, plain_msgs);
+}
+
+}  // namespace
+}  // namespace centaur::bgp

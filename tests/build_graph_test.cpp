@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "centaur/build_graph.hpp"
+#include "policy/valley_free.hpp"
+#include "topology/generator.hpp"
+#include "util/rng.hpp"
+
+namespace centaur::core {
+namespace {
+
+constexpr NodeId A = 0, B = 1, C = 2, D = 3, Dp = 4;
+
+std::map<NodeId, Path> fig4_selection() {
+  return {
+      {A, {C, A}},
+      {B, {C, A, B}},
+      {D, {C, A, B, D}},
+      {Dp, {C, D, Dp}},
+  };
+}
+
+TEST(BuildGraph, LinksAndDestinations) {
+  const PGraph g = build_local_pgraph(C, fig4_selection());
+  EXPECT_EQ(g.root(), C);
+  EXPECT_EQ(g.num_links(), 5u);
+  EXPECT_TRUE(g.has_link(C, A));
+  EXPECT_TRUE(g.has_link(A, B));
+  EXPECT_TRUE(g.has_link(B, D));
+  EXPECT_TRUE(g.has_link(C, D));
+  EXPECT_TRUE(g.has_link(D, Dp));
+  EXPECT_EQ(g.destinations(), (std::set<NodeId>{A, B, D, Dp}));
+}
+
+TEST(BuildGraph, CountersTrackPathsPerLink) {
+  const PGraph g = build_local_pgraph(C, fig4_selection());
+  // C->A lies on the paths to A, B and D.
+  EXPECT_EQ(g.link_data(C, A).counter, 3u);
+  EXPECT_EQ(g.link_data(A, B).counter, 2u);
+  EXPECT_EQ(g.link_data(B, D).counter, 1u);
+  EXPECT_EQ(g.link_data(C, D).counter, 1u);
+  EXPECT_EQ(g.link_data(D, Dp).counter, 1u);
+}
+
+TEST(BuildGraph, PermissionListsOnMultiHomedHead) {
+  const PGraph g = build_local_pgraph(C, fig4_selection());
+  EXPECT_TRUE(g.multi_homed(D));
+  // Table 2 line 7: entries keyed by the next hop of the multi-homed node.
+  EXPECT_TRUE(g.link_data(B, D).plist.permits(D, kNoNextHop));
+  EXPECT_TRUE(g.link_data(C, D).plist.permits(Dp, Dp));
+  EXPECT_FALSE(g.link_data(C, D).plist.permits(D, kNoNextHop));
+  EXPECT_EQ(g.active_plist_count(), 2u);
+}
+
+TEST(BuildGraph, TrivialSelfPathOnlyMarksDestination) {
+  const std::map<NodeId, Path> sel{{C, {C}}};
+  const PGraph g = build_local_pgraph(C, sel);
+  EXPECT_EQ(g.num_links(), 0u);
+  EXPECT_TRUE(g.is_destination(C));
+}
+
+TEST(BuildGraph, RejectsPathNotStartingAtRoot) {
+  const std::map<NodeId, Path> sel{{D, {A, D}}};
+  EXPECT_THROW(build_local_pgraph(C, sel), std::invalid_argument);
+}
+
+TEST(BuildGraph, RejectsPathNotEndingAtDest) {
+  const std::map<NodeId, Path> sel{{D, {C, A}}};
+  EXPECT_THROW(build_local_pgraph(C, sel), std::invalid_argument);
+}
+
+TEST(BuildGraph, RetroactivePermissionsWhenNodeBecomesMultiHomed) {
+  // First path makes D single-homed; the second gives it a second parent.
+  // Entries recorded for the first path must then be visible (the paper's
+  // S4.3.2: a Permission List is created when a multi-homed node appears).
+  std::map<NodeId, Path> sel{
+      {D, {C, A, B, D}},  // D single-homed so far
+      {Dp, {C, D, Dp}},   // now D is multi-homed
+  };
+  sel[A] = {C, A};
+  sel[B] = {C, A, B};
+  const PGraph g = build_local_pgraph(C, sel);
+  EXPECT_TRUE(g.multi_homed(D));
+  // The (D, kNoNextHop) entry from the first path must be active on B->D.
+  EXPECT_TRUE(g.plist_active(B, D));
+  EXPECT_TRUE(g.link_data(B, D).plist.permits(D, kNoNextHop));
+}
+
+// ------------------- property: DerivePath inverts BuildGraph --------------
+
+class BuildDeriveRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(BuildDeriveRoundTrip, DerivePathReturnsExactlySelectedPaths) {
+  const auto [nodes, seed] = GetParam();
+  util::Rng rng(seed);
+  const topo::AsGraph topo =
+      topo::tiered_internet(topo::caida_like_params(nodes), rng);
+
+  // A handful of vantage points, complete destination set each.
+  const auto vantages = rng.sample_without_replacement(nodes, 4);
+  // Selected paths from the static valley-free solution.
+  std::vector<std::map<NodeId, Path>> selected(vantages.size());
+  for (NodeId dest = 0; dest < nodes; ++dest) {
+    const auto routes = policy::ValleyFreeRoutes::compute(topo, dest);
+    for (std::size_t i = 0; i < vantages.size(); ++i) {
+      const NodeId v = static_cast<NodeId>(vantages[i]);
+      if (v == dest) {
+        selected[i][dest] = Path{v};
+      } else if (routes.at(v).reachable()) {
+        selected[i][dest] = routes.path_from(v);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < vantages.size(); ++i) {
+    const NodeId v = static_cast<NodeId>(vantages[i]);
+    const PGraph g = build_local_pgraph(v, selected[i]);
+    // Invariant 4 (DESIGN.md): the unique derivable path per destination is
+    // the path the creator selected.
+    for (const auto& [dest, path] : selected[i]) {
+      const auto derived = g.derive_path(dest);
+      ASSERT_TRUE(derived.has_value()) << "dest " << dest;
+      EXPECT_EQ(*derived, path) << "dest " << dest;
+    }
+    // Counter invariant 6: counter equals number of selected paths through
+    // the link.
+    std::map<DirectedLink, std::uint32_t> expect_counts;
+    for (const auto& [dest, path] : selected[i]) {
+      for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+        ++expect_counts[DirectedLink{path[k], path[k + 1]}];
+      }
+    }
+    for (const auto& [link, data] : g.links()) {
+      EXPECT_EQ(data.counter, expect_counts.at(link));
+    }
+    EXPECT_EQ(expect_counts.size(), g.num_links());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BuildDeriveRoundTrip,
+    ::testing::Combine(::testing::Values<std::size_t>(30, 100),
+                       ::testing::Values<std::uint64_t>(2, 23, 1001)));
+
+}  // namespace
+}  // namespace centaur::core
+
+namespace centaur::core {
+namespace {
+
+TEST(MinimizePlists, DefaultLinkClearedOthersKeepEntries) {
+  // Fig 4 selection: D multi-homed with in-links B->D (carries dest D,
+  // 1 dest) and C->D (carries dest D', 1 dest).  The sentinel-bearing
+  // in-link B->D becomes the default.
+  const std::map<NodeId, Path> sel{
+      {0, {2, 0}},        // A
+      {1, {2, 0, 1}},     // B
+      {3, {2, 0, 1, 3}},  // D via the long path
+      {4, {2, 3, 4}},     // D' via the short path
+  };
+  PGraph g = build_local_pgraph(2, sel);
+  ASSERT_TRUE(g.multi_homed(3));
+  const std::size_t cleared = minimize_permission_lists(g);
+  EXPECT_EQ(cleared, 1u);
+  EXPECT_TRUE(g.link_data(1, 3).plist.empty());      // default (sentinel)
+  EXPECT_FALSE(g.link_data(2, 3).plist.empty());     // exceptional
+  EXPECT_TRUE(g.link_data(2, 3).plist.permits(4, 4));
+  // DerivePath still resolves both destinations correctly through the
+  // explicit-permission-first / default-fallback rule.
+  EXPECT_EQ(*g.derive_path(3), (Path{2, 0, 1, 3}));
+  EXPECT_EQ(*g.derive_path(4), (Path{2, 3, 4}));
+}
+
+TEST(MinimizePlists, NoopOnTreePGraph) {
+  const std::map<NodeId, Path> sel{{1, {0, 1}}, {2, {0, 1, 2}}};
+  PGraph g = build_local_pgraph(0, sel);
+  EXPECT_EQ(minimize_permission_lists(g), 0u);
+}
+
+TEST(MinimizePlists, DerivedPathsUnchangedOnRandomTopologies) {
+  util::Rng rng(55);
+  const topo::AsGraph topo =
+      topo::tiered_internet(topo::caida_like_params(60), rng);
+  const NodeId vantage = 11;
+  std::map<NodeId, Path> selected;
+  for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+    if (dest == vantage) {
+      selected[dest] = Path{vantage};
+      continue;
+    }
+    const auto routes = policy::ValleyFreeRoutes::compute(
+        topo, dest, policy::TieBreak::kPerDestRandom, 99);
+    if (routes.at(vantage).reachable()) {
+      selected[dest] = routes.path_from(vantage);
+    }
+  }
+  PGraph g = build_local_pgraph(vantage, selected);
+  minimize_permission_lists(g);
+  for (const auto& [dest, path] : selected) {
+    const auto derived = g.derive_path(dest);
+    ASSERT_TRUE(derived.has_value()) << dest;
+    EXPECT_EQ(*derived, path) << dest;
+  }
+}
+
+TEST(DerivePathFallback, TwoUnlistedInLinksAreAmbiguous) {
+  PGraph g(0);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  g.add_link(1, 3);
+  g.add_link(2, 3);
+  g.mark_destination(3);
+  // 3 is multi-homed with no permission lists at all: ambiguous.
+  EXPECT_FALSE(g.derive_path(3).has_value());
+  // One explicit permission resolves it.
+  g.link_data(1, 3).plist.add(3, kNoNextHop);
+  EXPECT_EQ(*g.derive_path(3), (Path{0, 1, 3}));
+}
+
+}  // namespace
+}  // namespace centaur::core

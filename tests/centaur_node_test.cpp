@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "centaur/centaur_node.hpp"
+#include "test_helpers.hpp"
+#include "topology/generator.hpp"
+
+namespace centaur::core {
+namespace {
+
+using centaur::testing::TestNet;
+using topo::AsGraph;
+using topo::NodeId;
+using topo::Relationship;
+
+constexpr NodeId A = 0, B = 1, C = 2, D = 3, Dp = 4;
+
+// --------------------------------------------------------- basic flow -----
+
+TEST(CentaurNode, TwoNodesLearnEachOther) {
+  AsGraph g(2);
+  g.add_link(0, 1, Relationship::kPeer);
+  TestNet<CentaurNode> net(g);
+  EXPECT_EQ(net.node(0).selected_path(1), (Path{0, 1}));
+  EXPECT_EQ(net.node(1).selected_path(0), (Path{1, 0}));
+}
+
+TEST(CentaurNode, SquareConvergesWithDeterministicTieBreak) {
+  TestNet<CentaurNode> net(centaur::testing::square_topology());
+  // A's two candidate paths to D tie on class and length; the lower
+  // next-hop id (B=1) wins.
+  EXPECT_EQ(net.node(A).selected_path(D), (Path{A, B, D}));
+  EXPECT_EQ(net.node(D).selected_path(A), (Path{D, B, A}));
+  // Every node reaches every other node.
+  for (NodeId v = 0; v < 4; ++v) {
+    for (NodeId d = 0; d < 4; ++d) {
+      ASSERT_TRUE(net.node(v).selected_path(d).has_value())
+          << v << " -> " << d;
+    }
+  }
+}
+
+TEST(CentaurNode, LocalPGraphMatchesSelection) {
+  TestNet<CentaurNode> net(centaur::testing::square_topology());
+  const CentaurNode& a = net.node(A);
+  const PGraph& local = a.local_pgraph();
+  for (const auto& [dest, path] : a.selected_paths()) {
+    const auto derived = local.derive_path(dest);
+    ASSERT_TRUE(derived.has_value());
+    EXPECT_EQ(*derived, path);
+  }
+}
+
+TEST(CentaurNode, GaoRexfordPolicyRespected) {
+  // 0 -peer- 1 -peer- 2: peers do not provide transit, so 0 never learns 2.
+  AsGraph g(3);
+  g.add_link(0, 1, Relationship::kPeer);
+  g.add_link(1, 2, Relationship::kPeer);
+  TestNet<CentaurNode> net(g);
+  EXPECT_TRUE(net.node(0).selected_path(1).has_value());
+  EXPECT_FALSE(net.node(0).selected_path(2).has_value());
+}
+
+TEST(CentaurNode, CustomerRoutePreferredOverShorterPeer) {
+  AsGraph g(3);
+  g.add_link(0, 2, Relationship::kPeer);
+  g.add_link(1, 0, Relationship::kProvider);  // 1 is 0's customer
+  g.add_link(2, 1, Relationship::kProvider);  // 2 is 1's customer
+  TestNet<CentaurNode> net(g);
+  EXPECT_EQ(net.node(0).selected_path(2), (Path{0, 1, 2}));
+}
+
+// ----------------------------------------- link hiding (Fig 2 scenario) ---
+
+TEST(CentaurNode, ExportFilterHidesLinkWithoutLoops) {
+  // C hides its link C->D from A (the S2.1 motivating scenario).  A must
+  // route to D via B; C still uses C->D itself; no loops form.
+  TestNet<CentaurNode> net(
+      centaur::testing::square_topology(),
+      [](NodeId v, AsGraph& g) {
+        CentaurNode::Config cfg;
+        if (v == C) {
+          cfg.export_link_filter = [](NodeId neighbor, NodeId from,
+                                      NodeId to) {
+            return !(neighbor == A && from == C && to == D);
+          };
+        }
+        return std::make_unique<CentaurNode>(g, cfg);
+      });
+  EXPECT_EQ(net.node(A).selected_path(D), (Path{A, B, D}));
+  EXPECT_EQ(net.node(C).selected_path(D), (Path{C, D}));
+  // A's RIB graph from C must not contain the hidden link.
+  const PGraph* from_c = net.node(A).neighbor_pgraph(C);
+  ASSERT_NE(from_c, nullptr);
+  EXPECT_FALSE(from_c->has_link(C, D));
+}
+
+// --------------------------------- ranking override (Fig 4 scenario) ------
+
+TEST(CentaurNode, Fig4RankingOverrideCreatesPermissionLists) {
+  // C prefers <C,A,B,D> to reach D but uses <C,D,D'> for D'; C->D then
+  // becomes a downstream link and D is multi-homed in C's local P-graph.
+  TestNet<CentaurNode> net(
+      centaur::testing::fig4_topology(), [](NodeId v, AsGraph& g) {
+        CentaurNode::Config cfg;
+        if (v == C) {
+          cfg.ranking = [](const policy::Candidate&, const Path& pa,
+                           const policy::Candidate&, const Path& pb) {
+            // Strictly prefer the long path for destination D.
+            if (pa.back() == D && pb.back() == D) {
+              return pa == Path{C, A, B, D} && pb != Path{C, A, B, D};
+            }
+            return false;
+          };
+        }
+        return std::make_unique<CentaurNode>(g, cfg);
+      });
+
+  EXPECT_EQ(net.node(C).selected_path(D), (Path{C, A, B, D}));
+  EXPECT_EQ(net.node(C).selected_path(Dp), (Path{C, D, Dp}));
+
+  // C's local P-graph matches Figure 4(c): D multi-homed with permission
+  // lists steering each destination.
+  const PGraph& local = net.node(C).local_pgraph();
+  EXPECT_TRUE(local.multi_homed(D));
+  EXPECT_TRUE(local.link_data(B, D).plist.permits(D, kNoNextHop));
+  EXPECT_TRUE(local.link_data(C, D).plist.permits(Dp, Dp));
+
+  // A cannot derive the policy-violating <C, D> from C's announcement:
+  // only the D'-path survives the permission lists.
+  const PGraph* from_c = net.node(A).neighbor_pgraph(C);
+  ASSERT_NE(from_c, nullptr);
+  EXPECT_EQ(from_c->derive_path(Dp), (Path{C, D, Dp}));
+  EXPECT_FALSE(from_c->derive_path(D).has_value());
+
+  // Consequently A never builds the policy-violating <A, C, D>.
+  EXPECT_EQ(net.node(A).selected_path(D), (Path{A, B, D}));
+}
+
+// ------------------------------------------------------ failure flow ------
+
+TEST(CentaurNode, LinkFailureReconverges) {
+  AsGraph g = centaur::testing::square_topology();
+  TestNet<CentaurNode> net(g);
+  const topo::LinkId bd = *net.graph().find_link(B, D);
+  net.flip(bd, false);
+  EXPECT_EQ(net.node(A).selected_path(D), (Path{A, C, D}));
+  EXPECT_EQ(net.node(B).selected_path(D), (Path{B, A, C, D}));
+  net.flip(bd, true);
+  EXPECT_EQ(net.node(A).selected_path(D), (Path{A, B, D}));
+}
+
+TEST(CentaurNode, PartitionRemovesRoutes) {
+  AsGraph g(3);
+  g.add_link(0, 1, Relationship::kSibling);
+  g.add_link(1, 2, Relationship::kSibling);
+  TestNet<CentaurNode> net(g);
+  ASSERT_TRUE(net.node(0).selected_path(2).has_value());
+  net.flip(*net.graph().find_link(1, 2), false);
+  EXPECT_FALSE(net.node(0).selected_path(2).has_value());
+  EXPECT_FALSE(net.node(1).selected_path(2).has_value());
+  net.flip(*net.graph().find_link(1, 2), true);
+  EXPECT_TRUE(net.node(0).selected_path(2).has_value());
+}
+
+TEST(CentaurNode, RootCauseWithdrawalIsOneLinkMessagePerNeighbor) {
+  // Star around 0 with a chain hanging off: when the chain link fails the
+  // failure is withdrawn as a single link update per neighbor, regardless
+  // of how many destinations sat behind it.
+  AsGraph g(6);
+  g.add_link(1, 0, Relationship::kProvider);
+  g.add_link(2, 0, Relationship::kProvider);
+  g.add_link(3, 0, Relationship::kProvider);
+  g.add_link(4, 0, Relationship::kProvider);  // 0 provides for 1..4
+  g.add_link(5, 4, Relationship::kProvider);  // 5 behind 4
+  TestNet<CentaurNode> net(g);
+  ASSERT_EQ(net.node(1).selected_path(5), (Path{1, 0, 4, 5}));
+
+  net.net().mark();
+  net.net().set_link_state(*net.graph().find_link(4, 5), false);
+  net.net().run_to_convergence();
+  // Endpoint 0's neighbors each receive exactly one update from 0; total
+  // messages stay near the neighbor count (4 from node 0 — node 4's only
+  // other neighbor is 0).  Generous bound: strictly fewer than one message
+  // per (destination x neighbor) = 6 x 4.
+  EXPECT_LE(net.net().window().messages_sent, 8u);
+  EXPECT_FALSE(net.node(1).selected_path(5).has_value());
+}
+
+TEST(CentaurNode, NoOpPolicyChangeSendsNothing) {
+  TestNet<CentaurNode> net(centaur::testing::square_topology());
+  // Nothing pending after convergence; a no-op policy change sends nothing.
+  net.net().mark();
+  net.node(C).policy_changed();
+  net.net().run_to_convergence();
+  EXPECT_EQ(net.net().window().messages_sent, 0u);
+}
+
+// ------------------------------------------------ larger random sweeps ----
+
+TEST(CentaurNode, ConvergesOnTieredTopology) {
+  util::Rng rng(99);
+  AsGraph g = topo::tiered_internet(topo::caida_like_params(40), rng);
+  TestNet<CentaurNode> net(g);
+  // Full reachability (generator guarantees valley-free connectivity).
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId d = 0; d < g.num_nodes(); ++d) {
+      EXPECT_TRUE(net.node(v).selected_path(d).has_value())
+          << v << " -> " << d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace centaur::core

@@ -1,0 +1,118 @@
+// Cross-protocol equivalence and safety properties (DESIGN.md invariants
+// 1-4): under identical Gao-Rexford policies and tie-breaking, the static
+// valley-free solver, the BGP baseline, and Centaur must converge to the
+// same best-path set; all selected paths must be loop-free, valid, and
+// valley-free.  This is the strongest correctness statement in the suite —
+// Centaur's link-level announcements and Permission Lists must reconstruct
+// exactly the paths a path-vector protocol would pick.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bgp/bgp_node.hpp"
+#include "centaur/centaur_node.hpp"
+#include "policy/valley_free.hpp"
+#include "test_helpers.hpp"
+#include "topology/algorithms.hpp"
+#include "topology/generator.hpp"
+
+namespace centaur {
+namespace {
+
+using centaur::testing::TestNet;
+using topo::AsGraph;
+using topo::NodeId;
+using topo::Path;
+
+enum class Gen { kTiered, kBrite };
+
+class EquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<Gen, std::size_t, std::uint64_t>> {
+ protected:
+  AsGraph make_graph() const {
+    const auto [gen, nodes, seed] = GetParam();
+    util::Rng rng(seed);
+    switch (gen) {
+      case Gen::kTiered:
+        return topo::tiered_internet(topo::caida_like_params(nodes), rng);
+      case Gen::kBrite:
+        return topo::brite_like(nodes, 2, 4, rng);
+    }
+    return AsGraph{};
+  }
+};
+
+TEST_P(EquivalenceTest, SolverBgpAndCentaurAgree) {
+  const AsGraph graph = make_graph();
+  const std::size_t n = graph.num_nodes();
+
+  TestNet<bgp::BgpNode> bgp_net(graph);
+  TestNet<core::CentaurNode> centaur_net(graph);
+
+  for (NodeId dest = 0; dest < n; ++dest) {
+    const auto solver = policy::ValleyFreeRoutes::compute(graph, dest);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == dest) continue;
+      const auto bgp_path = bgp_net.node(v).selected_path(dest);
+      const auto cent_path = centaur_net.node(v).selected_path(dest);
+      if (!solver.at(v).reachable()) {
+        EXPECT_FALSE(bgp_path.has_value()) << v << "->" << dest;
+        EXPECT_FALSE(cent_path.has_value()) << v << "->" << dest;
+        continue;
+      }
+      const Path expect = solver.path_from(v);
+      ASSERT_TRUE(bgp_path.has_value()) << "BGP " << v << "->" << dest;
+      ASSERT_TRUE(cent_path.has_value()) << "Centaur " << v << "->" << dest;
+      EXPECT_EQ(*bgp_path, expect) << "BGP " << v << "->" << dest;
+      EXPECT_EQ(*cent_path, expect) << "Centaur " << v << "->" << dest;
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, CentaurPathsAreSafe) {
+  const AsGraph graph = make_graph();
+  TestNet<core::CentaurNode> net(graph);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const auto& [dest, path] : net.node(v).selected_paths()) {
+      EXPECT_TRUE(topo::is_valid_path(graph, path)) << topo::to_string(path);
+      EXPECT_TRUE(policy::is_valley_free(graph, path))
+          << topo::to_string(path);
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, HopByHopForwardingIsLoopFreeAndConsistent) {
+  // Invariant 1: actually forwarding packets hop by hop (each node
+  // consulting only its own next hop) reaches the destination without
+  // revisiting any node — the property the paper's Figures 1-2 show breaks
+  // for naive policy-annotated link state.
+  const AsGraph graph = make_graph();
+  TestNet<core::CentaurNode> net(graph);
+  const std::size_t n = graph.num_nodes();
+  for (NodeId dest = 0; dest < n; ++dest) {
+    for (NodeId src = 0; src < n; ++src) {
+      if (src == dest) continue;
+      if (!net.node(src).selected_path(dest).has_value()) continue;
+      NodeId cur = src;
+      std::set<NodeId> seen{cur};
+      while (cur != dest) {
+        const auto path = net.node(cur).selected_path(dest);
+        ASSERT_TRUE(path.has_value())
+            << "forwarding hole at " << cur << " for dest " << dest;
+        ASSERT_GE(path->size(), 2u);
+        cur = (*path)[1];
+        ASSERT_TRUE(seen.insert(cur).second)
+            << "forwarding loop at " << cur << " for dest " << dest;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquivalenceTest,
+    ::testing::Combine(::testing::Values(Gen::kTiered, Gen::kBrite),
+                       ::testing::Values<std::size_t>(20, 45),
+                       ::testing::Values<std::uint64_t>(7, 1234)));
+
+}  // namespace
+}  // namespace centaur

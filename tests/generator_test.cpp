@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "topology/algorithms.hpp"
+#include "topology/generator.hpp"
+#include "topology/stats.hpp"
+#include "util/rng.hpp"
+
+namespace centaur::topo {
+namespace {
+
+using util::Rng;
+
+// --------------------------------------------------------------- BA -------
+
+TEST(BarabasiAlbert, SizesAndConnectivity) {
+  Rng rng(1);
+  const AsGraph g = barabasi_albert(200, 2, rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  // clique(3) has 3 links, then 197 nodes x 2 links.
+  EXPECT_EQ(g.num_links(), 3u + 197u * 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(BarabasiAlbert, ProducesSkewedDegrees) {
+  Rng rng(2);
+  const AsGraph g = barabasi_albert(500, 2, rng);
+  const auto order = nodes_by_degree(g);
+  // Hubs should be far above the minimum degree m=2.
+  EXPECT_GE(g.degree(order[0]), 20u);
+}
+
+TEST(BarabasiAlbert, RejectsBadParams) {
+  Rng rng(3);
+  EXPECT_THROW(barabasi_albert(2, 2, rng), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(10, 0, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, DeterministicForSeed) {
+  Rng a(7), b(7);
+  const AsGraph g1 = barabasi_albert(100, 2, a);
+  const AsGraph g2 = barabasi_albert(100, 2, b);
+  ASSERT_EQ(g1.num_links(), g2.num_links());
+  for (LinkId l = 0; l < g1.num_links(); ++l) {
+    EXPECT_EQ(g1.link(l).a, g2.link(l).a);
+    EXPECT_EQ(g1.link(l).b, g2.link(l).b);
+  }
+}
+
+// ------------------------------------------------------------ Waxman ------
+
+TEST(Waxman, ProducesConnectedComponent) {
+  Rng rng(4);
+  const AsGraph g = waxman(100, 0.6, 0.4, rng);
+  EXPECT_GT(g.num_nodes(), 50u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+// ---------------------------------------------------- tiered_internet -----
+
+class TieredInternetTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(TieredInternetTest, StructuralInvariants) {
+  const auto [nodes, seed] = GetParam();
+  Rng rng(seed);
+  const AsGraph g = tiered_internet(caida_like_params(nodes), rng);
+  EXPECT_EQ(g.num_nodes(), nodes);
+  EXPECT_TRUE(is_connected(g));
+
+  // Every non-tier1 node must have a provider or sibling (valley-free
+  // reachability guarantee).
+  const auto params = caida_like_params(nodes);
+  for (NodeId v = static_cast<NodeId>(params.tier1_count); v < nodes; ++v) {
+    bool has_upstream = false;
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (nb.rel == Relationship::kProvider ||
+          nb.rel == Relationship::kSibling) {
+        has_upstream = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_upstream) << "node " << v << " has no provider";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TieredInternetTest,
+    ::testing::Combine(::testing::Values<std::size_t>(50, 200, 800),
+                       ::testing::Values<std::uint64_t>(1, 42, 999)));
+
+TEST(TieredInternet, CaidaLikeLinkMix) {
+  Rng rng(11);
+  const AsGraph g = tiered_internet(caida_like_params(3000), rng);
+  const TopologyStats s = compute_stats(g, "caida-like");
+  const double peer_frac =
+      static_cast<double>(s.peering) / static_cast<double>(s.links);
+  // Paper Table 3 (CAIDA): 4002/52691 = 7.6% peering.
+  EXPECT_NEAR(peer_frac, 0.076, 0.03);
+  EXPECT_GT(s.avg_degree, 2.5);
+  EXPECT_LT(s.avg_degree, 6.0);
+}
+
+TEST(TieredInternet, HetopLikeHasRichPeering) {
+  Rng rng(12);
+  const AsGraph caida = tiered_internet(caida_like_params(2000), rng);
+  const AsGraph hetop = tiered_internet(hetop_like_params(2000), rng);
+  const auto cs = compute_stats(caida, "c");
+  const auto hs = compute_stats(hetop, "h");
+  const double cf = static_cast<double>(cs.peering) / cs.links;
+  const double hf = static_cast<double>(hs.peering) / hs.links;
+  // HeTop finds far more peering links than CAIDA (paper Table 3).
+  EXPECT_GT(hf, 2.5 * cf);
+}
+
+TEST(TieredInternet, SiblingLinksPresentButRare) {
+  Rng rng(13);
+  const AsGraph g = tiered_internet(caida_like_params(4000), rng);
+  const auto s = compute_stats(g, "x");
+  EXPECT_GT(s.sibling, 0u);
+  EXPECT_LT(static_cast<double>(s.sibling) / s.links, 0.02);
+}
+
+TEST(TieredInternet, RejectsDegenerate) {
+  Rng rng(1);
+  TieredParams p;
+  p.nodes = 2;
+  EXPECT_THROW(tiered_internet(p, rng), std::invalid_argument);
+}
+
+// ------------------------------------------------ degree inference --------
+
+TEST(Inference, Tier1PeerMeshAndOrientation) {
+  Rng rng(5);
+  const AsGraph plain = barabasi_albert(300, 2, rng);
+  const InferenceResult res = infer_relationships_by_degree(plain, 5, rng);
+  EXPECT_EQ(res.graph.num_nodes(), plain.num_nodes());
+  EXPECT_GE(res.graph.num_links(), plain.num_links());
+
+  // Tier-1 nodes are the 5 largest-degree nodes and pairwise peered.
+  const auto order = nodes_by_degree(plain);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(res.tier[order[i]], 0u);
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      ASSERT_TRUE(res.graph.has_link(order[i], order[j]));
+      EXPECT_EQ(res.graph.rel(order[i], order[j]), Relationship::kPeer);
+    }
+  }
+}
+
+TEST(Inference, EveryNonCoreNodeHasProvider) {
+  Rng rng(6);
+  const AsGraph plain = barabasi_albert(400, 2, rng);
+  const InferenceResult res = infer_relationships_by_degree(plain, 8, rng);
+  for (NodeId v = 0; v < res.graph.num_nodes(); ++v) {
+    if (res.tier[v] == 0) continue;
+    bool has_provider = false;
+    for (const Neighbor& nb : res.graph.neighbors(v)) {
+      if (nb.rel == Relationship::kProvider ||
+          nb.rel == Relationship::kSibling) {
+        has_provider = true;
+      }
+    }
+    EXPECT_TRUE(has_provider) << "node " << v;
+  }
+}
+
+TEST(Inference, CrossTierLinksPointUp) {
+  Rng rng(7);
+  const AsGraph plain = barabasi_albert(200, 2, rng);
+  const InferenceResult res = infer_relationships_by_degree(plain, 5, rng);
+  for (LinkId l = 0; l < res.graph.num_links(); ++l) {
+    const Link& link = res.graph.link(l);
+    if (res.tier[link.a] < res.tier[link.b]) {
+      // a is higher tier (numerically lower) => a provides for b.
+      EXPECT_EQ(link.rel_ab, Relationship::kCustomer)
+          << "link " << link.a << "<->" << link.b;
+    } else if (res.tier[link.a] > res.tier[link.b]) {
+      EXPECT_EQ(link.rel_ab, Relationship::kProvider);
+    }
+  }
+}
+
+TEST(BriteLike, ProducesAnnotatedConnectedGraph) {
+  Rng rng(8);
+  const AsGraph g = brite_like(500, 2, 10, rng);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_TRUE(is_connected(g));
+  const auto c = g.count_links();
+  EXPECT_GT(c.provider, 0u);
+  EXPECT_GT(c.peering, 0u);
+}
+
+}  // namespace
+}  // namespace centaur::topo

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "centaur/permission_list.hpp"
+
+namespace centaur::core {
+namespace {
+
+TEST(PermissionList, AddAndPermit) {
+  PermissionList pl;
+  EXPECT_TRUE(pl.empty());
+  pl.add(7, 3);
+  EXPECT_TRUE(pl.permits(7, 3));
+  EXPECT_FALSE(pl.permits(7, 4));
+  EXPECT_FALSE(pl.permits(8, 3));
+  EXPECT_FALSE(pl.empty());
+}
+
+TEST(PermissionList, SentinelNextHopForSelfDestination) {
+  PermissionList pl;
+  pl.add(5, kNoNextHop);
+  EXPECT_TRUE(pl.permits(5, kNoNextHop));
+  EXPECT_FALSE(pl.permits(5, 1));
+}
+
+TEST(PermissionList, GroupsDestinationsByNextHop) {
+  PermissionList pl;
+  pl.add(1, 9);
+  pl.add(2, 9);
+  pl.add(3, 9);
+  pl.add(4, 8);
+  // Destinations sharing a next hop collapse into one entry (S4.1).
+  EXPECT_EQ(pl.entry_count(), 2u);
+  EXPECT_EQ(pl.dest_count(), 4u);
+  const auto entries = pl.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].next_hop, 8u);
+  EXPECT_EQ(entries[0].dests, (std::vector<NodeId>{4}));
+  EXPECT_EQ(entries[1].next_hop, 9u);
+  EXPECT_EQ(entries[1].dests, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(PermissionList, AddIsIdempotent) {
+  PermissionList pl;
+  pl.add(1, 2);
+  pl.add(1, 2);
+  EXPECT_EQ(pl.entry_count(), 1u);
+  EXPECT_EQ(pl.dest_count(), 1u);
+}
+
+TEST(PermissionList, RemovePairAndEntryCleanup) {
+  PermissionList pl;
+  pl.add(1, 2);
+  pl.add(3, 2);
+  EXPECT_TRUE(pl.remove(1, 2));
+  EXPECT_FALSE(pl.remove(1, 2));
+  EXPECT_TRUE(pl.permits(3, 2));
+  EXPECT_TRUE(pl.remove(3, 2));
+  EXPECT_TRUE(pl.empty());
+}
+
+TEST(PermissionList, RemoveDestAcrossEntries) {
+  PermissionList pl;
+  pl.add(1, 2);
+  pl.add(1, 3);
+  pl.add(4, 3);
+  EXPECT_EQ(pl.remove_dest(1), 2u);
+  EXPECT_FALSE(pl.permits(1, 2));
+  EXPECT_TRUE(pl.permits(4, 3));
+  EXPECT_EQ(pl.entry_count(), 1u);
+}
+
+TEST(PermissionList, FilteredKeepsOnlyAllowedDests) {
+  PermissionList pl;
+  pl.add(1, 9);
+  pl.add(2, 9);
+  pl.add(3, 8);
+  const PermissionList f =
+      pl.filtered([](NodeId dest) { return dest != 2; });
+  EXPECT_TRUE(f.permits(1, 9));
+  EXPECT_FALSE(f.permits(2, 9));
+  EXPECT_TRUE(f.permits(3, 8));
+  // Original untouched.
+  EXPECT_TRUE(pl.permits(2, 9));
+}
+
+TEST(PermissionList, Equality) {
+  PermissionList a, b;
+  a.add(1, 2);
+  b.add(1, 2);
+  EXPECT_TRUE(a == b);
+  b.add(3, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PermissionList, ByteSizeEncodings) {
+  PermissionList pl;
+  for (NodeId d = 0; d < 100; ++d) pl.add(d, 9);
+  const std::size_t raw = pl.byte_size(false);
+  EXPECT_EQ(raw, 4u + 4u * 100u);
+  const std::size_t bloom = pl.byte_size(true);
+  // 100 dests at 1% fp ~ 960 bits = 120 bytes, word-rounded.
+  EXPECT_LT(bloom, raw);
+  EXPECT_GT(bloom, 4u + 64u);
+}
+
+TEST(PermissionList, BloomCompressionHasNoFalseNegatives) {
+  std::vector<NodeId> dests;
+  for (NodeId d = 100; d < 150; ++d) dests.push_back(d);
+  const auto f = PermissionList::compress_dests(dests);
+  for (NodeId d : dests) EXPECT_TRUE(f.contains(d));
+}
+
+TEST(ExhaustiveEncoding, StoresFullPaths) {
+  ExhaustivePermissionList pl;
+  pl.add({1, 2, 3});
+  pl.add({1, 4, 3});
+  EXPECT_TRUE(pl.permits({1, 2, 3}));
+  EXPECT_FALSE(pl.permits({1, 2, 4}));
+  EXPECT_EQ(pl.path_count(), 2u);
+  EXPECT_EQ(pl.byte_size(), 2u * (3u * 4u + 2u));
+}
+
+TEST(Encodings, PerDestNextIsSmallerForSharedNextHops) {
+  // Equivalence claim of S4.1: the two encodings describe the same path
+  // sets, but per-dest-next is far more compact when many destinations
+  // share a next hop.
+  PermissionList compact;
+  ExhaustivePermissionList exhaustive;
+  // 50 destinations behind the same next hop, paths of length 5.
+  for (NodeId d = 0; d < 50; ++d) {
+    compact.add(1000 + d, 7);
+    exhaustive.add({1, 2, 3, 7, 1000 + d});
+  }
+  EXPECT_LT(compact.byte_size(false), exhaustive.byte_size());
+}
+
+}  // namespace
+}  // namespace centaur::core

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "policy/policy.hpp"
+#include "policy/valley_free.hpp"
+#include "topology/as_graph.hpp"
+
+namespace centaur::policy {
+namespace {
+
+using topo::AsGraph;
+using topo::Relationship;
+
+// ----------------------------------------------------------- sources ------
+
+TEST(RouteSource, FromRelationship) {
+  EXPECT_EQ(source_from_rel(Relationship::kCustomer), RouteSource::kCustomer);
+  EXPECT_EQ(source_from_rel(Relationship::kProvider), RouteSource::kProvider);
+  EXPECT_EQ(source_from_rel(Relationship::kPeer), RouteSource::kPeer);
+  EXPECT_EQ(source_from_rel(Relationship::kSibling), RouteSource::kSibling);
+}
+
+TEST(RouteSource, PreferenceClasses) {
+  EXPECT_EQ(preference_class(RouteSource::kSelf), 0);
+  EXPECT_EQ(preference_class(RouteSource::kCustomer), 1);
+  EXPECT_EQ(preference_class(RouteSource::kSibling), 1);
+  EXPECT_EQ(preference_class(RouteSource::kPeer), 2);
+  EXPECT_EQ(preference_class(RouteSource::kProvider), 3);
+}
+
+// ------------------------------------------------------------ export ------
+
+TEST(Export, GaoRexfordMatrix) {
+  // Everything is exported to customers and siblings.
+  for (const auto src :
+       {RouteSource::kSelf, RouteSource::kCustomer, RouteSource::kSibling,
+        RouteSource::kPeer, RouteSource::kProvider}) {
+    EXPECT_TRUE(may_export(src, Relationship::kCustomer));
+    EXPECT_TRUE(may_export(src, Relationship::kSibling));
+  }
+  // Peers/providers only hear self/customer/sibling routes.
+  for (const auto to : {Relationship::kPeer, Relationship::kProvider}) {
+    EXPECT_TRUE(may_export(RouteSource::kSelf, to));
+    EXPECT_TRUE(may_export(RouteSource::kCustomer, to));
+    EXPECT_TRUE(may_export(RouteSource::kSibling, to));
+    EXPECT_FALSE(may_export(RouteSource::kPeer, to));
+    EXPECT_FALSE(may_export(RouteSource::kProvider, to));
+  }
+}
+
+// ----------------------------------------------------------- ranking ------
+
+TEST(Ranking, ClassDominatesLength) {
+  const Candidate customer_long{RouteSource::kCustomer, 9, 5};
+  const Candidate peer_short{RouteSource::kPeer, 1, 3};
+  EXPECT_TRUE(better(customer_long, peer_short));
+  EXPECT_FALSE(better(peer_short, customer_long));
+}
+
+TEST(Ranking, LengthThenNextHop) {
+  const Candidate a{RouteSource::kPeer, 2, 7};
+  const Candidate b{RouteSource::kPeer, 3, 1};
+  EXPECT_TRUE(better(a, b));
+  const Candidate c{RouteSource::kPeer, 2, 1};
+  EXPECT_TRUE(better(c, a));
+  EXPECT_FALSE(better(a, c));
+}
+
+TEST(Ranking, EqualCandidatesNotStrictlyBetter) {
+  const Candidate a{RouteSource::kCustomer, 2, 4};
+  EXPECT_FALSE(better(a, a));
+}
+
+TEST(Ranking, SiblingTiesWithCustomer) {
+  const Candidate sib{RouteSource::kSibling, 2, 1};
+  const Candidate cust{RouteSource::kCustomer, 2, 2};
+  // Same class, same length: lower next hop wins.
+  EXPECT_TRUE(better(sib, cust));
+}
+
+// --------------------------------------------------- path validation ------
+
+AsGraph chain(std::initializer_list<Relationship> rels) {
+  AsGraph g(rels.size() + 1);
+  topo::NodeId v = 0;
+  for (Relationship r : rels) {
+    // r = role of (v+1) relative to v.
+    g.add_link(v, v + 1, r);
+    ++v;
+  }
+  return g;
+}
+
+TEST(ValleyFree, UpThenDownIsValid) {
+  // 0 -up-> 1 -up-> 2 -down-> 3 -down-> 4
+  const AsGraph g = chain({Relationship::kProvider, Relationship::kProvider,
+                           Relationship::kCustomer, Relationship::kCustomer});
+  EXPECT_TRUE(is_valley_free(g, {0, 1, 2, 3, 4}));
+}
+
+TEST(ValleyFree, SinglePeerHopAllowedAtTop) {
+  const AsGraph g = chain({Relationship::kProvider, Relationship::kPeer,
+                           Relationship::kCustomer});
+  EXPECT_TRUE(is_valley_free(g, {0, 1, 2, 3}));
+}
+
+TEST(ValleyFree, ValleyRejected) {
+  // down then up = valley.
+  const AsGraph g = chain({Relationship::kCustomer, Relationship::kProvider});
+  EXPECT_FALSE(is_valley_free(g, {0, 1, 2}));
+}
+
+TEST(ValleyFree, TwoPeerHopsRejected) {
+  const AsGraph g = chain({Relationship::kPeer, Relationship::kPeer});
+  EXPECT_FALSE(is_valley_free(g, {0, 1, 2}));
+}
+
+TEST(ValleyFree, PeerAfterDownRejected) {
+  const AsGraph g = chain({Relationship::kCustomer, Relationship::kPeer});
+  EXPECT_FALSE(is_valley_free(g, {0, 1, 2}));
+}
+
+TEST(ValleyFree, UpAfterPeerRejected) {
+  const AsGraph g = chain({Relationship::kPeer, Relationship::kProvider});
+  EXPECT_FALSE(is_valley_free(g, {0, 1, 2}));
+}
+
+TEST(ValleyFree, SiblingHopsTransparent) {
+  // up, sibling, peer, sibling, down: still up* peer down* after skipping
+  // sibling hops.
+  const AsGraph g =
+      chain({Relationship::kProvider, Relationship::kSibling,
+             Relationship::kPeer, Relationship::kSibling,
+             Relationship::kCustomer});
+  EXPECT_TRUE(is_valley_free(g, {0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ValleyFree, SiblingDoesNotLegalizeValley) {
+  const AsGraph g = chain({Relationship::kCustomer, Relationship::kSibling,
+                           Relationship::kProvider});
+  EXPECT_FALSE(is_valley_free(g, {0, 1, 2, 3}));
+}
+
+TEST(ValleyFree, TrivialAndSingleHop) {
+  const AsGraph g = chain({Relationship::kPeer});
+  EXPECT_TRUE(is_valley_free(g, {0}));
+  EXPECT_TRUE(is_valley_free(g, {0, 1}));
+  EXPECT_FALSE(is_valley_free(g, {}));
+}
+
+// ----------------------------------------------------- classification -----
+
+TEST(ClassifyPath, FirstHopDetermines) {
+  const AsGraph g = chain({Relationship::kProvider, Relationship::kCustomer});
+  EXPECT_EQ(classify_path(g, {0}), RouteSource::kSelf);
+  EXPECT_EQ(classify_path(g, {0, 1, 2}), RouteSource::kProvider);
+  EXPECT_EQ(classify_path(g, {2, 1, 0}), RouteSource::kProvider);
+}
+
+TEST(ClassifyPath, SiblingPrefixSkipped) {
+  const AsGraph g = chain({Relationship::kSibling, Relationship::kPeer});
+  EXPECT_EQ(classify_path(g, {0, 1, 2}), RouteSource::kPeer);
+  EXPECT_EQ(classify_path(g, {0, 1}), RouteSource::kSibling);
+}
+
+TEST(ClassifyPath, EmptyThrows) {
+  const AsGraph g = chain({Relationship::kPeer});
+  EXPECT_THROW(classify_path(g, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace centaur::policy

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "topology/prefix.hpp"
+#include "util/rng.hpp"
+
+namespace centaur::topo {
+namespace {
+
+// -------------------------------------------------------------- parsing ---
+
+TEST(Ipv4Prefix, ParseAndPrintRoundTrip) {
+  for (const char* text : {"10.0.0.0/8", "192.168.1.0/24", "0.0.0.0/0",
+                           "255.255.255.255/32", "172.16.0.0/12"}) {
+    const Ipv4Prefix p = Ipv4Prefix::parse(text);
+    EXPECT_EQ(p.to_string(), text);
+  }
+}
+
+TEST(Ipv4Prefix, ParseCanonicalisesHostBits) {
+  EXPECT_EQ(Ipv4Prefix::parse("10.1.2.3/8"), Ipv4Prefix::parse("10.0.0.0/8"));
+}
+
+TEST(Ipv4Prefix, ParseRejectsMalformed) {
+  for (const char* bad : {"10.0.0.0", "10.0.0/8", "10.0.0.0/33",
+                          "256.0.0.0/8", "a.b.c.d/8", "10.0.0.0/8x",
+                          "10.0.0.0//8", ""}) {
+    EXPECT_THROW(Ipv4Prefix::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Ipv4Prefix, Containment) {
+  const auto p8 = Ipv4Prefix::parse("10.0.0.0/8");
+  const auto p16 = Ipv4Prefix::parse("10.1.0.0/16");
+  const auto other = Ipv4Prefix::parse("11.0.0.0/8");
+  EXPECT_TRUE(p8.contains(p16));
+  EXPECT_FALSE(p16.contains(p8));
+  EXPECT_TRUE(p8.contains(p8));
+  EXPECT_FALSE(p8.contains(other));
+  EXPECT_TRUE(p8.contains(0x0A010203u));   // 10.1.2.3
+  EXPECT_FALSE(p8.contains(0x0B000000u));  // 11.0.0.0
+  // /0 contains everything.
+  EXPECT_TRUE(Ipv4Prefix::parse("0.0.0.0/0").contains(other));
+}
+
+TEST(Ipv4Prefix, SplitParentBuddies) {
+  const auto p8 = Ipv4Prefix::parse("10.0.0.0/8");
+  const auto [lo, hi] = p8.split();
+  EXPECT_EQ(lo, Ipv4Prefix::parse("10.0.0.0/9"));
+  EXPECT_EQ(hi, Ipv4Prefix::parse("10.128.0.0/9"));
+  EXPECT_EQ(lo.parent(), p8);
+  EXPECT_EQ(hi.parent(), p8);
+  EXPECT_TRUE(Ipv4Prefix::buddies(lo, hi));
+  EXPECT_FALSE(Ipv4Prefix::buddies(lo, lo));
+  EXPECT_FALSE(Ipv4Prefix::buddies(lo, Ipv4Prefix::parse("11.0.0.0/9")));
+  EXPECT_THROW(Ipv4Prefix::parse("1.2.3.4/32").split(), std::invalid_argument);
+  EXPECT_THROW(Ipv4Prefix::parse("0.0.0.0/0").parent(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- PrefixTable ---
+
+TEST(PrefixTable, LongestPrefixMatch) {
+  PrefixTable t;
+  EXPECT_TRUE(t.insert(Ipv4Prefix::parse("10.0.0.0/8"), 1));
+  EXPECT_TRUE(t.insert(Ipv4Prefix::parse("10.1.0.0/16"), 2));
+  EXPECT_TRUE(t.insert(Ipv4Prefix::parse("0.0.0.0/0"), 9));
+  EXPECT_EQ(t.size(), 3u);
+
+  const auto r1 = t.lookup(0x0A010203);  // 10.1.2.3 -> /16 wins
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->origin, 2u);
+  EXPECT_EQ(r1->prefix, Ipv4Prefix::parse("10.1.0.0/16"));
+
+  const auto r2 = t.lookup(0x0A800001);  // 10.128.0.1 -> /8
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->origin, 1u);
+
+  const auto r3 = t.lookup(0xC0A80101);  // 192.168.1.1 -> default
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3->origin, 9u);
+}
+
+TEST(PrefixTable, InsertReplacesEraseRemoves) {
+  PrefixTable t;
+  const auto p = Ipv4Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(t.insert(p, 1));
+  EXPECT_FALSE(t.insert(p, 2));  // replaced, not new
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(p), 2u);
+  EXPECT_TRUE(t.erase(p));
+  EXPECT_FALSE(t.erase(p));
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.lookup(0x0A000001).has_value());
+}
+
+TEST(PrefixTable, RoutesEnumerationSorted) {
+  PrefixTable t;
+  t.insert(Ipv4Prefix::parse("192.168.0.0/16"), 3);
+  t.insert(Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  t.insert(Ipv4Prefix::parse("10.0.0.0/16"), 2);
+  const auto routes = t.routes();
+  ASSERT_EQ(routes.size(), 3u);
+  EXPECT_EQ(routes[0].prefix, Ipv4Prefix::parse("10.0.0.0/8"));
+  EXPECT_EQ(routes[1].prefix, Ipv4Prefix::parse("10.0.0.0/16"));
+  EXPECT_EQ(routes[2].prefix, Ipv4Prefix::parse("192.168.0.0/16"));
+}
+
+TEST(PrefixTable, MoveSemantics) {
+  PrefixTable a;
+  a.insert(Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  PrefixTable b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(a.empty());  // NOLINT: moved-from is valid-empty by contract
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+class PrefixLpmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixLpmProperty, MatchesBruteForce) {
+  util::Rng rng(GetParam());
+  PrefixTable table;
+  std::vector<PrefixRoute> routes;
+  for (int i = 0; i < 60; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_u64(4, 28));
+    const auto addr = static_cast<std::uint32_t>(rng.next());
+    const PrefixRoute r{Ipv4Prefix::of(addr, len), static_cast<NodeId>(i)};
+    table.insert(r.prefix, r.origin);
+    // Mirror replacement semantics in the reference list.
+    std::erase_if(routes, [&](const PrefixRoute& x) {
+      return x.prefix == r.prefix;
+    });
+    routes.push_back(r);
+  }
+  for (int probe = 0; probe < 300; ++probe) {
+    const auto ip = static_cast<std::uint32_t>(rng.next());
+    std::optional<PrefixRoute> expect;
+    for (const PrefixRoute& r : routes) {
+      if (r.prefix.contains(ip) &&
+          (!expect || r.prefix.len > expect->prefix.len)) {
+        expect = r;
+      }
+    }
+    const auto got = table.lookup(ip);
+    ASSERT_EQ(got.has_value(), expect.has_value());
+    if (got) EXPECT_EQ(got->origin, expect->origin);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrefixLpmProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ----------------------------------------------------------- aggregation --
+
+TEST(Aggregate, MergesBuddiesRecursively) {
+  std::vector<PrefixRoute> routes;
+  // All four /10s of 10.0.0.0/8, same origin: collapse to the /8.
+  for (const char* p :
+       {"10.0.0.0/10", "10.64.0.0/10", "10.128.0.0/10", "10.192.0.0/10"}) {
+    routes.push_back({Ipv4Prefix::parse(p), 7});
+  }
+  const auto agg = aggregate(routes);
+  ASSERT_EQ(agg.size(), 1u);
+  EXPECT_EQ(agg[0].prefix, Ipv4Prefix::parse("10.0.0.0/8"));
+  EXPECT_EQ(agg[0].origin, 7u);
+}
+
+TEST(Aggregate, DifferentOriginsDoNotMerge) {
+  const std::vector<PrefixRoute> routes{
+      {Ipv4Prefix::parse("10.0.0.0/9"), 1},
+      {Ipv4Prefix::parse("10.128.0.0/9"), 2},
+  };
+  EXPECT_EQ(aggregate(routes).size(), 2u);
+}
+
+TEST(Aggregate, DropsDuplicatesAndKeepsSingles) {
+  const std::vector<PrefixRoute> routes{
+      {Ipv4Prefix::parse("10.0.0.0/9"), 1},
+      {Ipv4Prefix::parse("10.0.0.0/9"), 1},
+      {Ipv4Prefix::parse("192.168.0.0/16"), 1},
+  };
+  const auto agg = aggregate(routes);
+  EXPECT_EQ(agg.size(), 2u);
+}
+
+TEST(Deaggregate, SplitsAndRoundTrips) {
+  const PrefixRoute r{Ipv4Prefix::parse("10.0.0.0/8"), 5};
+  const auto subs = deaggregate(r, 11);
+  EXPECT_EQ(subs.size(), 8u);
+  for (const auto& s : subs) {
+    EXPECT_EQ(s.prefix.len, 11);
+    EXPECT_TRUE(r.prefix.contains(s.prefix));
+    EXPECT_EQ(s.origin, 5u);
+  }
+  // Aggregating the split recovers the original.
+  const auto agg = aggregate(subs);
+  ASSERT_EQ(agg.size(), 1u);
+  EXPECT_EQ(agg[0], r);
+}
+
+TEST(Deaggregate, SameLengthIsIdentity) {
+  const PrefixRoute r{Ipv4Prefix::parse("10.0.0.0/8"), 5};
+  const auto subs = deaggregate(r, 8);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0], r);
+}
+
+TEST(Deaggregate, RejectsBadTargets) {
+  const PrefixRoute r{Ipv4Prefix::parse("10.0.0.0/8"), 5};
+  EXPECT_THROW(deaggregate(r, 7), std::invalid_argument);
+  EXPECT_THROW(deaggregate(r, 30), std::invalid_argument);  // 2^22 too many
+}
+
+class AggregateRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregateRoundTrip, PreservesAddressToOriginMapping) {
+  util::Rng rng(GetParam());
+  // Random non-overlapping-ish routes: distinct /12s split to random depth.
+  std::vector<PrefixRoute> routes;
+  const auto blocks = rng.sample_without_replacement(1 << 12, 24);
+  for (const std::size_t block : blocks) {
+    const PrefixRoute base{
+        Ipv4Prefix::of(static_cast<std::uint32_t>(block) << 20, 12),
+        static_cast<NodeId>(rng.index(6))};
+    const auto len = static_cast<std::uint8_t>(12 + rng.index(6));
+    const auto split = deaggregate(base, len);
+    routes.insert(routes.end(), split.begin(), split.end());
+  }
+  const auto agg = aggregate(routes);
+  EXPECT_LE(agg.size(), routes.size());
+
+  // The LPM behaviour of the aggregated set must be identical.
+  PrefixTable before, after;
+  for (const auto& r : routes) before.insert(r.prefix, r.origin);
+  for (const auto& r : agg) after.insert(r.prefix, r.origin);
+  for (int probe = 0; probe < 400; ++probe) {
+    const auto ip = static_cast<std::uint32_t>(rng.next());
+    const auto a = before.lookup(ip);
+    const auto b = after.lookup(ip);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) EXPECT_EQ(a->origin, b->origin);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AggregateRoundTrip,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace centaur::topo

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "topology/as_graph.hpp"
+#include "util/rng.hpp"
+
+namespace centaur::sim {
+namespace {
+
+using topo::AsGraph;
+using topo::NodeId;
+using topo::Relationship;
+
+// ---------------------------------------------------------- Simulator -----
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(0.3, [&] { order.push_back(3); });
+  sim.schedule(0.1, [&] { order.push_back(1); });
+  sim.schedule(0.2, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 0.3);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(0.5, [&] { order.push_back(1); });
+  sim.schedule(0.5, [&] { order.push_back(2); });
+  sim.schedule(0.5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(0.1, [&] {
+    ++fired;
+    sim.schedule(0.1, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.2);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(0.1, [&] { ++fired; });
+  sim.schedule(0.9, [&] { ++fired; });
+  sim.run_until(0.5);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.5);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsNegativeDelayAndPast) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
+  sim.schedule(0.5, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(0.1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EventBudgetGuardsLivelock) {
+  Simulator sim;
+  std::function<void()> loop = [&] { sim.schedule(0.001, loop); };
+  sim.schedule(0, loop);
+  EXPECT_THROW(sim.run(100), std::runtime_error);
+}
+
+// ------------------------------------------------------------ Network -----
+
+class PingMessage : public Message {
+ public:
+  explicit PingMessage(int hops_left) : hops_left_(hops_left) {}
+  int hops_left() const { return hops_left_; }
+  std::size_t byte_size() const override { return 10; }
+  std::string describe() const override { return "ping"; }
+
+ private:
+  int hops_left_;
+};
+
+/// Forwards pings along the line topology until hops run out.
+class PingNode : public Node {
+ public:
+  void start() override {}
+  void on_message(NodeId from, const MessagePtr& msg) override {
+    last_from = from;
+    ++received;
+    const auto* ping = dynamic_cast<const PingMessage*>(msg.get());
+    ASSERT_NE(ping, nullptr);
+    if (ping->hops_left() > 0) {
+      for (const topo::Neighbor& nb : net().graph().neighbors(self())) {
+        if (nb.node != from) {
+          net().send(self(), nb.node,
+                     std::make_shared<PingMessage>(ping->hops_left() - 1));
+        }
+      }
+    }
+  }
+  void on_link_change(NodeId, bool up) override { link_events += up ? 1 : -1; }
+
+  int received = 0;
+  int link_events = 0;
+  NodeId last_from = topo::kInvalidNode;
+};
+
+struct NetFixture {
+  AsGraph g;
+  util::Rng rng{77};
+  std::unique_ptr<Network> net;
+  std::vector<PingNode*> nodes;
+
+  explicit NetFixture(std::size_t n) : g(n) {
+    for (NodeId v = 0; v + 1 < n; ++v) g.add_link(v, v + 1, Relationship::kPeer);
+    net = std::make_unique<Network>(g, rng, 0.001, 0.002);
+    for (NodeId v = 0; v < n; ++v) {
+      auto node = std::make_unique<PingNode>();
+      nodes.push_back(node.get());
+      net->attach(v, std::move(node));
+    }
+    net->start_all_and_converge();
+  }
+};
+
+TEST(Network, DeliversWithDelayAndCounts) {
+  NetFixture f(3);
+  f.net->mark();
+  f.net->send(0, 1, std::make_shared<PingMessage>(1));
+  f.net->run_to_convergence();
+  EXPECT_EQ(f.nodes[1]->received, 1);
+  EXPECT_EQ(f.nodes[2]->received, 1);  // forwarded
+  EXPECT_EQ(f.net->window().messages_sent, 2u);
+  EXPECT_EQ(f.net->window().messages_delivered, 2u);
+  EXPECT_EQ(f.net->window().bytes_sent, 20u);
+  EXPECT_GT(f.net->window_convergence_time(), 0.0);
+  EXPECT_LT(f.net->window_convergence_time(), 0.005);
+}
+
+TEST(Network, SendRequiresAdjacency) {
+  NetFixture f(3);
+  EXPECT_THROW(f.net->send(0, 2, std::make_shared<PingMessage>(0)),
+               std::invalid_argument);
+}
+
+TEST(Network, DownLinkDropsMessages) {
+  NetFixture f(2);
+  f.net->set_link_state(0, false);
+  f.net->run_to_convergence();
+  EXPECT_EQ(f.nodes[0]->link_events, -1);
+  EXPECT_EQ(f.nodes[1]->link_events, -1);
+
+  f.net->mark();
+  f.net->send(0, 1, std::make_shared<PingMessage>(0));
+  f.net->run_to_convergence();
+  EXPECT_EQ(f.nodes[1]->received, 0);
+  EXPECT_EQ(f.net->window().messages_dropped, 1u);
+  EXPECT_EQ(f.net->window().messages_delivered, 0u);
+}
+
+TEST(Network, InFlightMessagesDropWhenLinkFails) {
+  NetFixture f(2);
+  f.net->mark();
+  // Send, then take the link down before the delay elapses.
+  f.net->send(0, 1, std::make_shared<PingMessage>(0));
+  f.net->set_link_state(0, false);
+  f.net->run_to_convergence();
+  EXPECT_EQ(f.nodes[1]->received, 0);
+  EXPECT_EQ(f.net->window().messages_dropped, 1u);
+}
+
+TEST(Network, LinkFlapNotifiesBothEndpoints) {
+  NetFixture f(2);
+  f.net->set_link_state(0, false);
+  f.net->set_link_state(0, true);
+  f.net->run_to_convergence();
+  EXPECT_EQ(f.nodes[0]->link_events, 0);  // -1 then +1
+  EXPECT_EQ(f.nodes[1]->link_events, 0);
+}
+
+TEST(Network, RedundantLinkStateChangeIsNoop) {
+  NetFixture f(2);
+  f.net->set_link_state(0, true);  // already up
+  f.net->run_to_convergence();
+  EXPECT_EQ(f.nodes[0]->link_events, 0);
+}
+
+TEST(Network, DelaysAreDeterministicPerSeed) {
+  AsGraph g(2);
+  g.add_link(0, 1, Relationship::kPeer);
+  util::Rng r1(5), r2(5);
+  AsGraph g2 = g;
+  Network n1(g, r1), n2(g2, r2);
+  EXPECT_DOUBLE_EQ(n1.link_delay(0), n2.link_delay(0));
+  EXPECT_GE(n1.link_delay(0), 0.0);
+  EXPECT_LT(n1.link_delay(0), 0.005);
+}
+
+TEST(Network, MarkResetsWindow) {
+  NetFixture f(2);
+  f.net->send(0, 1, std::make_shared<PingMessage>(0));
+  f.net->run_to_convergence();
+  f.net->mark();
+  EXPECT_EQ(f.net->window().messages_sent, 0u);
+  EXPECT_EQ(f.net->window_convergence_time(), 0.0);
+}
+
+}  // namespace
+}  // namespace centaur::sim

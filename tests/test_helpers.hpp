@@ -1,0 +1,87 @@
+// Shared fixtures for protocol-level tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "topology/as_graph.hpp"
+#include "util/rng.hpp"
+
+namespace centaur::testing {
+
+/// Owns a topology + network running one protocol node type per AS node.
+/// The factory lets tests inject per-node configs.
+template <typename NodeT>
+class TestNet {
+ public:
+  /// Builds the node for `id`; `graph` is the network-owned topology that
+  /// protocol nodes must reference (link flips mutate it).
+  using Factory =
+      std::function<std::unique_ptr<NodeT>(topo::NodeId id, topo::AsGraph&)>;
+
+  TestNet(topo::AsGraph graph, Factory factory, std::uint64_t seed = 1)
+      : graph_(std::move(graph)), rng_(seed), net_(graph_, rng_) {
+    for (topo::NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      auto node = factory(v, graph_);
+      nodes_.push_back(node.get());
+      net_.attach(v, std::move(node));
+    }
+    net_.mark();
+    net_.start_all_and_converge();
+  }
+
+  /// Convenience: default-config nodes built from the graph.
+  explicit TestNet(topo::AsGraph graph, std::uint64_t seed = 1)
+      : TestNet(
+            std::move(graph),
+            [](topo::NodeId, topo::AsGraph& g) {
+              return std::make_unique<NodeT>(g);
+            },
+            seed) {}
+
+  sim::Network& net() { return net_; }
+  topo::AsGraph& graph() { return graph_; }
+  NodeT& node(topo::NodeId v) { return *nodes_.at(v); }
+
+  /// Flips a link and reconverges; returns messages sent in the window.
+  std::size_t flip(topo::LinkId link, bool up) {
+    net_.mark();
+    net_.set_link_state(link, up);
+    net_.run_to_convergence();
+    return net_.window().messages_sent;
+  }
+
+ private:
+  topo::AsGraph graph_;
+  util::Rng rng_;
+  sim::Network net_;
+  std::vector<NodeT*> nodes_;
+};
+
+/// The square topology of the paper's Figure 2(a)/Figure 3:
+/// A(0)-B(1), A-C(2), B-D(3), C-D, with every link of relationship `rel`.
+inline topo::AsGraph square_topology(
+    topo::Relationship rel = topo::Relationship::kSibling) {
+  topo::AsGraph g(4);
+  g.add_link(0, 1, rel);
+  g.add_link(0, 2, rel);
+  g.add_link(1, 3, rel);
+  g.add_link(2, 3, rel);
+  return g;
+}
+
+/// Figure 4 topology: the square plus destination D'(4) attached to D(3).
+inline topo::AsGraph fig4_topology(
+    topo::Relationship rel = topo::Relationship::kSibling) {
+  topo::AsGraph g(5);
+  g.add_link(2, 0, rel);  // C - A
+  g.add_link(0, 1, rel);  // A - B
+  g.add_link(1, 3, rel);  // B - D
+  g.add_link(2, 3, rel);  // C - D
+  g.add_link(3, 4, rel);  // D - D'
+  return g;
+}
+
+}  // namespace centaur::testing

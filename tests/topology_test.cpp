@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topology/algorithms.hpp"
+#include "topology/as_graph.hpp"
+#include "topology/parser.hpp"
+#include "topology/stats.hpp"
+
+namespace centaur::topo {
+namespace {
+
+AsGraph line_graph(std::size_t n) {
+  AsGraph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    g.add_link(v, v + 1, Relationship::kPeer);
+  }
+  return g;
+}
+
+// ------------------------------------------------------------ AsGraph ----
+
+TEST(AsGraph, AddNodesAndLinks) {
+  AsGraph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.add_node(), 2u);
+  const LinkId l = g.add_link(0, 1, Relationship::kProvider);
+  EXPECT_EQ(g.num_links(), 1u);
+  EXPECT_EQ(g.link(l).a, 0u);
+  EXPECT_EQ(g.link(l).b, 1u);
+  EXPECT_TRUE(g.has_link(0, 1));
+  EXPECT_TRUE(g.has_link(1, 0));
+  EXPECT_FALSE(g.has_link(0, 2));
+}
+
+TEST(AsGraph, RelationshipIsDirectional) {
+  AsGraph g(2);
+  g.add_link(0, 1, Relationship::kProvider);  // 1 is 0's provider
+  EXPECT_EQ(g.rel(0, 1), Relationship::kProvider);
+  EXPECT_EQ(g.rel(1, 0), Relationship::kCustomer);
+}
+
+TEST(AsGraph, SymmetricRelationshipsInvertToThemselves) {
+  AsGraph g(4);
+  g.add_link(0, 1, Relationship::kPeer);
+  g.add_link(2, 3, Relationship::kSibling);
+  EXPECT_EQ(g.rel(0, 1), Relationship::kPeer);
+  EXPECT_EQ(g.rel(1, 0), Relationship::kPeer);
+  EXPECT_EQ(g.rel(2, 3), Relationship::kSibling);
+  EXPECT_EQ(g.rel(3, 2), Relationship::kSibling);
+}
+
+TEST(AsGraph, RejectsSelfLoopDuplicateUnknown) {
+  AsGraph g(2);
+  EXPECT_THROW(g.add_link(0, 0, Relationship::kPeer), std::invalid_argument);
+  EXPECT_THROW(g.add_link(0, 5, Relationship::kPeer), std::invalid_argument);
+  g.add_link(0, 1, Relationship::kPeer);
+  EXPECT_THROW(g.add_link(1, 0, Relationship::kPeer), std::invalid_argument);
+}
+
+TEST(AsGraph, RelThrowsWithoutLink) {
+  AsGraph g(3);
+  g.add_link(0, 1, Relationship::kPeer);
+  EXPECT_THROW(g.rel(0, 2), std::out_of_range);
+}
+
+TEST(AsGraph, LinkStateFlips) {
+  AsGraph g(2);
+  const LinkId l = g.add_link(0, 1, Relationship::kPeer);
+  EXPECT_TRUE(g.link_up(l));
+  g.set_link_up(l, false);
+  EXPECT_FALSE(g.link_up(l));
+}
+
+TEST(AsGraph, CountLinksByCategory) {
+  AsGraph g(6);
+  g.add_link(0, 1, Relationship::kPeer);
+  g.add_link(1, 2, Relationship::kProvider);
+  g.add_link(2, 3, Relationship::kCustomer);
+  g.add_link(3, 4, Relationship::kSibling);
+  g.add_link(4, 5, Relationship::kPeer);
+  const auto c = g.count_links();
+  EXPECT_EQ(c.peering, 2u);
+  EXPECT_EQ(c.provider, 2u);
+  EXPECT_EQ(c.sibling, 1u);
+}
+
+TEST(AsGraph, NeighborViewsAreConsistent) {
+  AsGraph g(3);
+  g.add_link(0, 1, Relationship::kProvider);
+  g.add_link(0, 2, Relationship::kCustomer);
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].node, 1u);
+  EXPECT_EQ(nbrs[0].rel, Relationship::kProvider);
+  EXPECT_EQ(nbrs[1].node, 2u);
+  EXPECT_EQ(nbrs[1].rel, Relationship::kCustomer);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Relationship, Invert) {
+  EXPECT_EQ(invert(Relationship::kCustomer), Relationship::kProvider);
+  EXPECT_EQ(invert(Relationship::kProvider), Relationship::kCustomer);
+  EXPECT_EQ(invert(Relationship::kPeer), Relationship::kPeer);
+  EXPECT_EQ(invert(Relationship::kSibling), Relationship::kSibling);
+}
+
+TEST(PathPrinting, Format) {
+  EXPECT_EQ(to_string(Path{1, 2, 3}), "<1, 2, 3>");
+  EXPECT_EQ(to_string(Path{}), "<>");
+}
+
+// --------------------------------------------------------- Algorithms ----
+
+TEST(Algorithms, ConnectedComponents) {
+  AsGraph g(5);
+  g.add_link(0, 1, Relationship::kPeer);
+  g.add_link(2, 3, Relationship::kPeer);
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 3u);  // {0,1} {2,3} {4}
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[2], c.label[3]);
+  EXPECT_NE(c.label[0], c.label[2]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Algorithms, DownLinksBreakConnectivity) {
+  AsGraph g = line_graph(4);
+  EXPECT_TRUE(is_connected(g));
+  g.set_link_up(*g.find_link(1, 2), false);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Algorithms, BfsDistances) {
+  AsGraph g = line_graph(5);
+  const auto d = bfs_distances(g, 0);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(d[i], i);
+  g.set_link_up(*g.find_link(2, 3), false);
+  const auto d2 = bfs_distances(g, 0);
+  EXPECT_EQ(d2[3], kUnreachable);
+}
+
+TEST(Algorithms, NodesByDegreeStable) {
+  AsGraph g(4);
+  g.add_link(0, 1, Relationship::kPeer);
+  g.add_link(0, 2, Relationship::kPeer);
+  g.add_link(0, 3, Relationship::kPeer);
+  g.add_link(1, 2, Relationship::kPeer);
+  const auto order = nodes_by_degree(g);
+  EXPECT_EQ(order[0], 0u);  // degree 3
+  EXPECT_EQ(order[1], 1u);  // degree 2, lower id first
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 3u);
+}
+
+TEST(Algorithms, IsValidPath) {
+  AsGraph g = line_graph(4);
+  EXPECT_TRUE(is_valid_path(g, {0, 1, 2, 3}));
+  EXPECT_FALSE(is_valid_path(g, {0, 2}));        // not adjacent
+  EXPECT_FALSE(is_valid_path(g, {0, 1, 0}));     // loop
+  EXPECT_FALSE(is_valid_path(g, {}));            // empty
+  EXPECT_FALSE(is_valid_path(g, {0, 1, 9}));     // unknown node
+  g.set_link_up(*g.find_link(1, 2), false);
+  EXPECT_FALSE(is_valid_path(g, {0, 1, 2}));     // down link
+}
+
+TEST(Algorithms, LargestComponentExtraction) {
+  AsGraph g(6);
+  g.add_link(0, 1, Relationship::kProvider);
+  g.add_link(1, 2, Relationship::kPeer);
+  g.add_link(3, 4, Relationship::kPeer);
+  const auto sub = largest_component(g);
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_links(), 2u);
+  EXPECT_EQ(sub.new_to_old.size(), 3u);
+  EXPECT_EQ(sub.old_to_new[5], kInvalidNode);
+  // Relationship preserved through the mapping.
+  const NodeId n0 = sub.old_to_new[0];
+  const NodeId n1 = sub.old_to_new[1];
+  EXPECT_EQ(sub.graph.rel(n0, n1), Relationship::kProvider);
+}
+
+// -------------------------------------------------------------- Parser ----
+
+TEST(Parser, ParsesAsRelFormat) {
+  const std::string text =
+      "# comment\n"
+      "100|200|-1\n"   // 100 provides for 200
+      "200|300|0\n"    // peers
+      "300|400|2\n";   // siblings
+  const ParsedTopology t = parse_as_rel_text(text);
+  EXPECT_EQ(t.graph.num_nodes(), 4u);
+  EXPECT_EQ(t.graph.num_links(), 3u);
+  EXPECT_EQ(t.skipped_lines, 1u);
+  const NodeId n100 = t.as_to_node.at(100);
+  const NodeId n200 = t.as_to_node.at(200);
+  const NodeId n300 = t.as_to_node.at(300);
+  const NodeId n400 = t.as_to_node.at(400);
+  // 200 is 100's customer.
+  EXPECT_EQ(t.graph.rel(n100, n200), Relationship::kCustomer);
+  EXPECT_EQ(t.graph.rel(n200, n100), Relationship::kProvider);
+  EXPECT_EQ(t.graph.rel(n200, n300), Relationship::kPeer);
+  EXPECT_EQ(t.graph.rel(n300, n400), Relationship::kSibling);
+  EXPECT_EQ(t.node_to_as[n100], 100u);
+}
+
+TEST(Parser, SkipsDuplicatesAndSelfLoops) {
+  const ParsedTopology t = parse_as_rel_text("1|2|0\n1|2|0\n2|1|0\n3|3|0\n");
+  EXPECT_EQ(t.graph.num_links(), 1u);
+  EXPECT_EQ(t.skipped_lines, 3u);
+}
+
+TEST(Parser, RejectsMalformedLines) {
+  EXPECT_THROW(parse_as_rel_text("1|2\n"), std::runtime_error);
+  EXPECT_THROW(parse_as_rel_text("a|2|0\n"), std::runtime_error);
+  EXPECT_THROW(parse_as_rel_text("1|2|7\n"), std::runtime_error);
+  EXPECT_THROW(parse_as_rel_text("1|2|0|9\n"), std::runtime_error);
+}
+
+TEST(Parser, RoundTrip) {
+  const std::string text = "10|20|-1\n20|30|0\n30|40|2\n";
+  const ParsedTopology t = parse_as_rel_text(text);
+  const std::string out = write_as_rel_text(t.graph, t.node_to_as);
+  const ParsedTopology t2 = parse_as_rel_text(out);
+  EXPECT_EQ(t2.graph.num_nodes(), t.graph.num_nodes());
+  EXPECT_EQ(t2.graph.num_links(), t.graph.num_links());
+  const auto c1 = t.graph.count_links();
+  const auto c2 = t2.graph.count_links();
+  EXPECT_EQ(c1.peering, c2.peering);
+  EXPECT_EQ(c1.provider, c2.provider);
+  EXPECT_EQ(c1.sibling, c2.sibling);
+  // Orientation preserved: 20 must still be 10's customer.
+  EXPECT_EQ(t2.graph.rel(t2.as_to_node.at(10), t2.as_to_node.at(20)),
+            Relationship::kCustomer);
+}
+
+TEST(Parser, MissingFileThrows) {
+  EXPECT_THROW(load_as_rel_file("/nonexistent/path/file.txt"),
+               std::runtime_error);
+}
+
+// --------------------------------------------------------------- Stats ----
+
+TEST(Stats, ComputesTopologyStats) {
+  AsGraph g(4);
+  g.add_link(0, 1, Relationship::kProvider);
+  g.add_link(1, 2, Relationship::kPeer);
+  g.add_link(2, 3, Relationship::kSibling);
+  g.add_link(0, 2, Relationship::kProvider);
+  const TopologyStats s = compute_stats(g, "test");
+  EXPECT_EQ(s.nodes, 4u);
+  EXPECT_EQ(s.links, 4u);
+  EXPECT_EQ(s.provider, 2u);
+  EXPECT_EQ(s.peering, 1u);
+  EXPECT_EQ(s.sibling, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+  EXPECT_EQ(s.max_degree, 3u);
+  EXPECT_TRUE(s.connected);
+  std::ostringstream os;
+  os << s;
+  EXPECT_NE(os.str().find("4 nodes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace centaur::topo

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/bloom.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/scale.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace centaur::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformU64Bounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+}
+
+TEST(Rng, UniformU64RejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_u64(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(3);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(11);
+  double lo = 1, hi = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(5);
+  for (const std::size_t k : {0ul, 1ul, 5ul, 50ul, 100ul}) {
+    const auto s = rng.sample_without_replacement(100, k);
+    EXPECT_EQ(s.size(), k);
+    const std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (std::size_t v : s) EXPECT_LT(v, 100u);
+  }
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitIsIndependent) {
+  Rng a(42);
+  Rng child = a.split();
+  Rng b(42);
+  b.next();  // split consumed one draw
+  EXPECT_EQ(a.next(), b.next());
+  // The child stream should differ from the parent stream.
+  Rng a2(42);
+  EXPECT_NE(child.next(), a2.next());
+}
+
+// -------------------------------------------------------------- Bloom ----
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilter f(100, 0.01);
+  for (std::uint32_t i = 0; i < 100; ++i) f.insert(i * 7919);
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_TRUE(f.contains(i * 7919));
+}
+
+TEST(Bloom, FalsePositiveRateNearTarget) {
+  BloomFilter f(1000, 0.01);
+  for (std::uint32_t i = 0; i < 1000; ++i) f.insert(i);
+  std::size_t fp = 0;
+  const std::size_t probes = 20000;
+  for (std::uint32_t i = 0; i < probes; ++i) {
+    if (f.contains(1'000'000 + i)) ++fp;
+  }
+  const double rate = static_cast<double>(fp) / static_cast<double>(probes);
+  EXPECT_LT(rate, 0.03);
+}
+
+TEST(Bloom, SizedByFormula) {
+  BloomFilter f(1000, 0.01);
+  // ~9.6 bits/element at 1%.
+  EXPECT_NEAR(static_cast<double>(f.bit_count()), 9585, 200);
+  EXPECT_GE(f.hash_count(), 6u);
+  EXPECT_LE(f.hash_count(), 8u);
+}
+
+TEST(Bloom, ClearResets) {
+  BloomFilter f(10, 0.01);
+  f.insert(1);
+  EXPECT_TRUE(f.contains(1));
+  f.clear();
+  EXPECT_FALSE(f.contains(1));
+  EXPECT_EQ(f.inserted_count(), 0u);
+  EXPECT_EQ(f.fill_ratio(), 0.0);
+}
+
+TEST(Bloom, ExplicitGeometry) {
+  auto f = BloomFilter::with_geometry(128, 3);
+  EXPECT_EQ(f.bit_count(), 128u);
+  EXPECT_EQ(f.hash_count(), 3u);
+  f.insert(77);
+  EXPECT_TRUE(f.contains(77));
+}
+
+TEST(Bloom, EstimatedFpTracksFill) {
+  BloomFilter f(50, 0.01);
+  EXPECT_EQ(f.estimated_fp_rate(), 0.0);
+  for (std::uint32_t i = 0; i < 50; ++i) f.insert(i);
+  EXPECT_GT(f.estimated_fp_rate(), 0.0);
+  EXPECT_LT(f.estimated_fp_rate(), 0.05);
+}
+
+// -------------------------------------------------------------- Stats ----
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) a.add(v);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_NEAR(a.stddev(), 1.118, 1e-3);
+}
+
+TEST(Accumulator, Quantiles) {
+  Accumulator a;
+  for (int i = 1; i <= 100; ++i) a.add(i);
+  EXPECT_NEAR(a.median(), 50.5, 1e-9);
+  EXPECT_NEAR(a.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(a.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(a.quantile(0.9), 90.1, 1e-9);
+}
+
+TEST(Accumulator, EmptyIsSafe) {
+  Accumulator a;
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.quantile(0.5), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Cdf, AtAndInverse) {
+  Cdf cdf({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(3), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.at(100), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(1.0), 5.0);
+}
+
+TEST(Cdf, SeriesMonotone) {
+  std::vector<double> samples;
+  for (int i = 0; i < 57; ++i) samples.push_back(i * i % 101);
+  Cdf cdf(samples);
+  const auto series = cdf.series(10);
+  ASSERT_EQ(series.size(), 10u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].first, series[i - 1].first);
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(BucketHistogram, Table5Buckets) {
+  BucketHistogram h({1, 2, 3});
+  for (const double v : {1, 2, 2, 2, 3, 4, 9}) h.add(v);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.count(0), 1u);  // <= 1
+  EXPECT_EQ(h.count(1), 3u);  // (1, 2]
+  EXPECT_EQ(h.count(2), 1u);  // (2, 3]
+  EXPECT_EQ(h.count(3), 2u);  // > 3
+  EXPECT_NEAR(h.fraction(1), 3.0 / 7, 1e-12);
+  EXPECT_EQ(h.label(0), "<= 1");
+  EXPECT_EQ(h.label(3), "> 3");
+}
+
+TEST(BucketHistogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(BucketHistogram({3, 1}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Table ----
+
+TEST(TextTable, AlignsAndPrints) {
+  TextTable t("demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha | 1"), std::string::npos);
+  EXPECT_NE(s.find("b     | 22"), std::string::npos);
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.919, 1), "91.9%");
+  EXPECT_EQ(fmt_count(52691), "52,691");
+  EXPECT_EQ(fmt_count(7), "7");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+}
+
+// -------------------------------------------------------------- Scale ----
+
+TEST(Scale, ParamsDiffer) {
+  const auto smoke = params_for(Scale::kSmoke);
+  const auto def = params_for(Scale::kDefault);
+  const auto large = params_for(Scale::kLarge);
+  EXPECT_LT(smoke.caida_like_nodes, def.caida_like_nodes);
+  EXPECT_LT(def.caida_like_nodes, large.caida_like_nodes);
+  EXPECT_EQ(large.proto_nodes, 500u);  // the paper's prototype size
+  EXPECT_STREQ(to_string(Scale::kSmoke), "smoke");
+}
+
+}  // namespace
+}  // namespace centaur::util
+
+namespace centaur::util {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+TEST(Log, SuppressedLevelsDoNotEmit) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  CENTAUR_LOG(kDebug) << "should not appear";
+  CENTAUR_LOG(kError) << "should appear";
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace centaur::util

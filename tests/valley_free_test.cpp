@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "policy/valley_free.hpp"
+#include "topology/algorithms.hpp"
+#include "topology/generator.hpp"
+#include "util/rng.hpp"
+
+namespace centaur::policy {
+namespace {
+
+using topo::AsGraph;
+using topo::NodeId;
+using topo::Path;
+using topo::Relationship;
+
+/// Fixture: two tier-1 peers (0, 1); 2 is 0's customer; 3 is customer of
+/// both 0 and 1; 4 is 2's customer; 5 is 3's customer.
+///
+///        0 ===peer=== 1
+///       / \          /
+///      2   3 -------+        (3 multi-homed to 0 and 1)
+///      |   |
+///      4   5
+AsGraph two_tier_fixture() {
+  AsGraph g(6);
+  g.add_link(0, 1, Relationship::kPeer);
+  g.add_link(2, 0, Relationship::kProvider);  // 0 provides for 2
+  g.add_link(3, 0, Relationship::kProvider);
+  g.add_link(3, 1, Relationship::kProvider);
+  g.add_link(4, 2, Relationship::kProvider);
+  g.add_link(5, 3, Relationship::kProvider);
+  return g;
+}
+
+TEST(Solver, DestinationEntry) {
+  const AsGraph g = two_tier_fixture();
+  const auto routes = ValleyFreeRoutes::compute(g, 4);
+  EXPECT_EQ(routes.at(4).source, RouteSource::kSelf);
+  EXPECT_EQ(routes.at(4).length, 0u);
+  EXPECT_EQ(routes.path_from(4), (Path{4}));
+}
+
+TEST(Solver, CustomerRoutesDescend) {
+  const AsGraph g = two_tier_fixture();
+  const auto routes = ValleyFreeRoutes::compute(g, 4);
+  // 2 and 0 reach 4 through their customer chain.
+  EXPECT_EQ(routes.at(2).source, RouteSource::kCustomer);
+  EXPECT_EQ(routes.path_from(2), (Path{2, 4}));
+  EXPECT_EQ(routes.at(0).source, RouteSource::kCustomer);
+  EXPECT_EQ(routes.path_from(0), (Path{0, 2, 4}));
+}
+
+TEST(Solver, PeerRouteSinglePeerHop) {
+  const AsGraph g = two_tier_fixture();
+  const auto routes = ValleyFreeRoutes::compute(g, 4);
+  // 1 reaches 4 via its peer 0 (one peer hop onto a customer route).
+  EXPECT_EQ(routes.at(1).source, RouteSource::kPeer);
+  EXPECT_EQ(routes.path_from(1), (Path{1, 0, 2, 4}));
+}
+
+TEST(Solver, ProviderRoutesPickShortestSelected) {
+  const AsGraph g = two_tier_fixture();
+  const auto routes = ValleyFreeRoutes::compute(g, 4);
+  // 3 hears 4 from both providers: via 0 (selected len 2) and via 1
+  // (selected len 3).  It must pick 0.
+  EXPECT_EQ(routes.at(3).source, RouteSource::kProvider);
+  EXPECT_EQ(routes.path_from(3), (Path{3, 0, 2, 4}));
+  // 5 stacks another provider hop.
+  EXPECT_EQ(routes.path_from(5), (Path{5, 3, 0, 2, 4}));
+}
+
+TEST(Solver, ValleyPathsExcluded) {
+  // 4 and 5 are both stubs; the only physical path between them goes
+  // through providers (up then down) — fine.  But peers of providers must
+  // not transit: make a pure valley topology.
+  AsGraph g(3);
+  g.add_link(0, 1, Relationship::kCustomer);  // 1 is 0's customer
+  g.add_link(1, 2, Relationship::kProvider);  // 2 is 1's provider
+  // Path 0 -> 1 -> 2 is down-then-up: a valley.  1 must not give 0 a route
+  // to 2.
+  const auto routes = ValleyFreeRoutes::compute(g, 2);
+  EXPECT_TRUE(routes.at(1).reachable());
+  EXPECT_FALSE(routes.at(0).reachable());
+}
+
+TEST(Solver, PeerDoesNotTransitToPeer) {
+  // 0 -peer- 1 -peer- 2: no route 0 -> 2.
+  AsGraph g(3);
+  g.add_link(0, 1, Relationship::kPeer);
+  g.add_link(1, 2, Relationship::kPeer);
+  const auto routes = ValleyFreeRoutes::compute(g, 2);
+  EXPECT_FALSE(routes.at(0).reachable());
+  EXPECT_TRUE(routes.at(1).reachable());
+}
+
+TEST(Solver, DirectPeerLinkUsable) {
+  AsGraph g(2);
+  g.add_link(0, 1, Relationship::kPeer);
+  const auto routes = ValleyFreeRoutes::compute(g, 1);
+  EXPECT_TRUE(routes.at(0).reachable());
+  EXPECT_EQ(routes.at(0).source, RouteSource::kPeer);
+}
+
+TEST(Solver, CustomerPreferredOverShorterPeer) {
+  // 0 has a direct peer link to dest 2 (length 1) and a customer route via
+  // 1 (length 2).  Gao-Rexford prefers the customer route despite length.
+  AsGraph g(3);
+  g.add_link(0, 2, Relationship::kPeer);
+  g.add_link(1, 0, Relationship::kProvider);  // 1 is 0's customer
+  g.add_link(2, 1, Relationship::kProvider);  // 2 is 1's customer
+  const auto routes = ValleyFreeRoutes::compute(g, 2);
+  EXPECT_EQ(routes.at(0).source, RouteSource::kCustomer);
+  EXPECT_EQ(routes.path_from(0), (Path{0, 1, 2}));
+}
+
+TEST(Solver, TieBreakLowestNextHop) {
+  // Two equal-length customer routes to dest 3 via 1 and 2: pick 1.
+  AsGraph g(4);
+  g.add_link(1, 0, Relationship::kProvider);
+  g.add_link(2, 0, Relationship::kProvider);
+  g.add_link(3, 1, Relationship::kProvider);
+  g.add_link(3, 2, Relationship::kProvider);
+  const auto routes = ValleyFreeRoutes::compute(g, 3);
+  EXPECT_EQ(routes.at(0).next_hop, 1u);
+  EXPECT_EQ(routes.path_from(0), (Path{0, 1, 3}));
+}
+
+TEST(Solver, SiblingsExchangeEverything) {
+  // 0 -sibling- 1; 1 has a provider route to 2.  The sibling hop forwards
+  // it to 0 (siblings exchange all routes).
+  AsGraph g(3);
+  g.add_link(0, 1, Relationship::kSibling);
+  g.add_link(1, 2, Relationship::kProvider);  // 2 is 1's provider
+  const auto routes = ValleyFreeRoutes::compute(g, 2);
+  ASSERT_TRUE(routes.at(0).reachable());
+  EXPECT_EQ(routes.path_from(0), (Path{0, 1, 2}));
+  // Classified through the sibling hop: underlying provider route.
+  EXPECT_TRUE(is_valley_free(g, routes.path_from(0)));
+}
+
+TEST(Solver, SiblingPeerRouteExtension) {
+  // 3 -sib- 0 -peer- 1 -cust- 2(dest): 0 has a peer route; sibling 3
+  // inherits it.
+  AsGraph g(4);
+  g.add_link(0, 1, Relationship::kPeer);
+  g.add_link(2, 1, Relationship::kProvider);  // 1 provides for 2
+  g.add_link(3, 0, Relationship::kSibling);
+  const auto routes = ValleyFreeRoutes::compute(g, 2);
+  ASSERT_TRUE(routes.at(3).reachable());
+  EXPECT_EQ(routes.path_from(3), (Path{3, 0, 1, 2}));
+  EXPECT_EQ(classify_path(g, routes.path_from(3)), RouteSource::kPeer);
+}
+
+TEST(Solver, DownLinksIgnored) {
+  AsGraph g = two_tier_fixture();
+  g.set_link_up(*g.find_link(2, 4), false);
+  const auto routes = ValleyFreeRoutes::compute(g, 4);
+  EXPECT_FALSE(routes.at(2).reachable());
+  EXPECT_FALSE(routes.at(0).reachable());
+}
+
+TEST(Solver, BadDestThrows) {
+  const AsGraph g = two_tier_fixture();
+  EXPECT_THROW(ValleyFreeRoutes::compute(g, 99), std::invalid_argument);
+}
+
+// --------------------------- property sweep over random topologies --------
+
+class SolverPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(SolverPropertyTest, PathsAreValidValleyFreeAndConsistent) {
+  const auto [nodes, seed] = GetParam();
+  util::Rng rng(seed);
+  const AsGraph g =
+      topo::tiered_internet(topo::caida_like_params(nodes), rng);
+
+  const std::size_t dest_sample = std::min<std::size_t>(nodes, 12);
+  const auto dests = rng.sample_without_replacement(nodes, dest_sample);
+  for (const std::size_t raw_dest : dests) {
+    const NodeId dest = static_cast<NodeId>(raw_dest);
+    const auto routes = ValleyFreeRoutes::compute(g, dest);
+    // The tiered generator guarantees universal valley-free reachability.
+    EXPECT_EQ(routes.reachable_count(), nodes);
+    for (NodeId v = 0; v < nodes; ++v) {
+      const Path p = routes.path_from(v);
+      ASSERT_FALSE(p.empty());
+      EXPECT_EQ(p.front(), v);
+      EXPECT_EQ(p.back(), dest);
+      EXPECT_TRUE(topo::is_valid_path(g, p)) << topo::to_string(p);
+      EXPECT_TRUE(is_valley_free(g, p)) << topo::to_string(p);
+      EXPECT_EQ(routes.at(v).length, p.size() - 1);
+      if (v != dest) {
+        EXPECT_EQ(routes.at(v).next_hop, p[1]);
+        EXPECT_EQ(classify_path(g, p), routes.at(v).source);
+      }
+    }
+  }
+}
+
+TEST_P(SolverPropertyTest, ReachabilityIsSymmetric) {
+  const auto [nodes, seed] = GetParam();
+  util::Rng rng(seed ^ 0xabcdef);
+  // BA + inference can leave genuinely unreachable pairs only if the repair
+  // pass failed; reachability itself must still be symmetric (the reverse
+  // of a valley-free path is valley-free).
+  const AsGraph g = topo::brite_like(nodes, 2, 5, rng);
+  const auto pairs = rng.sample_without_replacement(nodes, 6);
+  for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+    const NodeId a = static_cast<NodeId>(pairs[i]);
+    const NodeId b = static_cast<NodeId>(pairs[i + 1]);
+    const auto to_b = ValleyFreeRoutes::compute(g, b);
+    const auto to_a = ValleyFreeRoutes::compute(g, a);
+    EXPECT_EQ(to_b.at(a).reachable(), to_a.at(b).reachable());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SolverPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(30, 80, 200),
+                       ::testing::Values<std::uint64_t>(3, 17, 4242)));
+
+}  // namespace
+}  // namespace centaur::policy
+
+// NOTE: appended multipath tests live in their own namespace block.
+namespace centaur::policy {
+namespace {
+
+using topo::AsGraph;
+using topo::Relationship;
+
+TEST(Multipath, EnumeratesCoOptimalNextHops) {
+  // Two equal-length customer routes to dest 3 via 1 and 2.
+  AsGraph g(4);
+  g.add_link(1, 0, Relationship::kProvider);
+  g.add_link(2, 0, Relationship::kProvider);
+  g.add_link(3, 1, Relationship::kProvider);
+  g.add_link(3, 2, Relationship::kProvider);
+  const auto mp = MultipathRoutes::compute(g, 3);
+  EXPECT_EQ(mp.at(0).next_hops, (std::vector<topo::NodeId>{1, 2}));
+  EXPECT_EQ(mp.at(0).length, 2u);
+  EXPECT_EQ(mp.at(0).source, RouteSource::kCustomer);
+  EXPECT_TRUE(mp.at(3).next_hops.empty());
+  EXPECT_EQ(mp.at(3).source, RouteSource::kSelf);
+}
+
+TEST(Multipath, ClassDominanceExcludesWorseClasses) {
+  // 0 has a peer link to dest 2 and an equal-or-longer customer route:
+  // only the customer route is maximally preferred.
+  AsGraph g(3);
+  g.add_link(0, 2, Relationship::kPeer);
+  g.add_link(1, 0, Relationship::kProvider);
+  g.add_link(2, 1, Relationship::kProvider);
+  const auto mp = MultipathRoutes::compute(g, 2);
+  EXPECT_EQ(mp.at(0).source, RouteSource::kCustomer);
+  EXPECT_EQ(mp.at(0).next_hops, (std::vector<topo::NodeId>{1}));
+}
+
+TEST(Multipath, AgreesWithSinglePathSolver) {
+  util::Rng rng(31);
+  const AsGraph g = topo::tiered_internet(topo::caida_like_params(80), rng);
+  for (topo::NodeId dest = 0; dest < 12; ++dest) {
+    const auto single = ValleyFreeRoutes::compute(g, dest);
+    const auto multi = MultipathRoutes::compute(g, dest);
+    for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == dest) continue;
+      ASSERT_EQ(single.at(v).reachable(), multi.at(v).reachable());
+      if (!single.at(v).reachable()) continue;
+      EXPECT_EQ(single.at(v).length, multi.at(v).length);
+      EXPECT_EQ(policy::preference_class(single.at(v).source),
+                policy::preference_class(multi.at(v).source));
+      // The strict solver's choice is among the co-optimal set.
+      const auto& nhs = multi.at(v).next_hops;
+      EXPECT_TRUE(std::find(nhs.begin(), nhs.end(), single.at(v).next_hop) !=
+                  nhs.end());
+      // Strict tie-break picks the lowest co-optimal id.
+      EXPECT_EQ(single.at(v).next_hop, nhs.front());
+    }
+  }
+}
+
+TEST(Multipath, AllDagPathsAreValleyFree) {
+  util::Rng rng(32);
+  const AsGraph g = topo::tiered_internet(topo::caida_like_params(60), rng);
+  const topo::NodeId dest = 7;
+  const auto mp = MultipathRoutes::compute(g, dest);
+  // Walk a few random next-hop sequences; every one must be a valid
+  // valley-free path of the advertised length.
+  util::Rng walk_rng(5);
+  for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == dest || !mp.at(v).reachable()) continue;
+    topo::Path p{v};
+    topo::NodeId cur = v;
+    while (cur != dest) {
+      const auto& nhs = mp.at(cur).next_hops;
+      ASSERT_FALSE(nhs.empty());
+      cur = nhs[walk_rng.index(nhs.size())];
+      p.push_back(cur);
+    }
+    EXPECT_EQ(p.size() - 1, mp.at(v).length) << topo::to_string(p);
+    EXPECT_TRUE(topo::is_valid_path(g, p)) << topo::to_string(p);
+    EXPECT_TRUE(is_valley_free(g, p)) << topo::to_string(p);
+  }
+}
+
+TEST(Multipath, RandomTieBreakSelectionsAreCoOptimal) {
+  util::Rng rng(33);
+  const AsGraph g = topo::tiered_internet(topo::caida_like_params(60), rng);
+  const topo::NodeId dest = 3;
+  const auto mp = MultipathRoutes::compute(g, dest);
+  const auto randomized =
+      ValleyFreeRoutes::compute(g, dest, TieBreak::kPerDestRandom, 1234);
+  for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == dest || !randomized.at(v).reachable()) continue;
+    const auto& nhs = mp.at(v).next_hops;
+    EXPECT_TRUE(std::find(nhs.begin(), nhs.end(),
+                          randomized.at(v).next_hop) != nhs.end())
+        << "node " << v;
+    EXPECT_EQ(randomized.at(v).length, mp.at(v).length);
+  }
+}
+
+TEST(Multipath, RandomTieBreakIsDeterministicPerSeed) {
+  util::Rng rng(34);
+  const AsGraph g = topo::tiered_internet(topo::caida_like_params(50), rng);
+  const auto a = ValleyFreeRoutes::compute(g, 5, TieBreak::kPerDestRandom, 7);
+  const auto b = ValleyFreeRoutes::compute(g, 5, TieBreak::kPerDestRandom, 7);
+  const auto c = ValleyFreeRoutes::compute(g, 5, TieBreak::kPerDestRandom, 8);
+  std::size_t diff = 0;
+  for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(a.at(v).next_hop, b.at(v).next_hop);
+    diff += (a.at(v).next_hop != c.at(v).next_hop);
+  }
+  // A different seed should flip at least one tie on a 50-node graph.
+  EXPECT_GT(diff, 0u);
+}
+
+}  // namespace
+}  // namespace centaur::policy

@@ -1,0 +1,224 @@
+// centaur — command-line driver for the library.
+//
+//   centaur generate --style caida|hetop|brite --nodes N [--seed S]
+//       Emit a synthetic AS topology in CAIDA as-rel format on stdout.
+//   centaur stats --topology FILE
+//       Print Table-3-style characteristics of an as-rel topology.
+//   centaur routes --topology FILE --vantage AS [--dests K]
+//       Print the vantage AS's valley-free routing table (sampled).
+//   centaur simulate --topology FILE --protocol centaur|bgp|bgp-rcn|ospf
+//                    [--flips K] [--seed S] [--mrai SECONDS]
+//       Cold-start the protocol on the topology and measure link flips.
+//
+// Topologies are as-rel files (`a|b|-1` provider, `a|b|0` peer, `a|b|2`
+// sibling); `centaur generate ... > topo.txt` round-trips into every other
+// subcommand.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "eval/experiments.hpp"
+#include "policy/valley_free.hpp"
+#include "topology/algorithms.hpp"
+#include "topology/generator.hpp"
+#include "topology/parser.hpp"
+#include "topology/stats.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace centaur;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  centaur generate --style caida|hetop|brite --nodes N [--seed S]\n"
+      "  centaur stats    --topology FILE\n"
+      "  centaur routes   --topology FILE --vantage AS [--dests K]\n"
+      "  centaur simulate --topology FILE --protocol centaur|bgp|bgp-rcn|ospf\n"
+      "                   [--flips K] [--seed S] [--mrai SECONDS]\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+/// --key value option map; validates that every key is consumed.
+class Options {
+ public:
+  Options(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        usage("expected --key value pairs, got '" + key + "'");
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback = "") {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      if (fallback.empty()) usage("missing required option --" + key);
+      return fallback;
+    }
+    consumed_.insert(key);
+    return it->second;
+  }
+
+  long get_long(const std::string& key, long fallback) {
+    const std::string raw = get(key, std::to_string(fallback));
+    try {
+      return std::stol(raw);
+    } catch (const std::exception&) {
+      usage("option --" + key + " expects a number, got '" + raw + "'");
+    }
+  }
+
+  void finish() {
+    for (const auto& [key, value] : values_) {
+      if (!consumed_.count(key)) usage("unknown option --" + key);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+};
+
+topo::ParsedTopology load(const std::string& path) {
+  topo::ParsedTopology t = topo::load_as_rel_file(path);
+  if (!topo::is_connected(t.graph)) {
+    std::cerr << "note: topology is not connected; using it as-is\n";
+  }
+  return t;
+}
+
+int cmd_generate(Options& opt) {
+  const std::string style = opt.get("style");
+  const auto nodes = static_cast<std::size_t>(opt.get_long("nodes", 1000));
+  util::Rng rng(static_cast<std::uint64_t>(opt.get_long("seed", 1)));
+  opt.finish();
+
+  topo::AsGraph g;
+  if (style == "caida") {
+    g = topo::tiered_internet(topo::caida_like_params(nodes), rng);
+  } else if (style == "hetop") {
+    g = topo::tiered_internet(topo::hetop_like_params(nodes), rng);
+  } else if (style == "brite") {
+    g = topo::brite_like(nodes, 2, std::max<std::size_t>(4, nodes / 40), rng);
+  } else {
+    usage("unknown --style '" + style + "'");
+  }
+  topo::write_as_rel(std::cout, g);
+  return 0;
+}
+
+int cmd_stats(Options& opt) {
+  const auto t = load(opt.get("topology"));
+  opt.finish();
+  std::cout << topo::compute_stats(t.graph, "topology") << "\n";
+  return 0;
+}
+
+int cmd_routes(Options& opt) {
+  const auto t = load(opt.get("topology"));
+  const auto vantage_as = static_cast<std::uint32_t>(opt.get_long("vantage", -1));
+  const auto dest_sample =
+      static_cast<std::size_t>(opt.get_long("dests", 20));
+  opt.finish();
+
+  const auto it = t.as_to_node.find(vantage_as);
+  if (it == t.as_to_node.end()) usage("--vantage AS not in the topology");
+  const topo::NodeId vantage = it->second;
+
+  util::Rng rng(7);
+  const auto dests = rng.sample_without_replacement(
+      t.graph.num_nodes(), std::min(dest_sample, t.graph.num_nodes()));
+  util::TextTable table("routes of AS " + std::to_string(vantage_as));
+  table.header({"destination AS", "class", "AS path"});
+  for (const std::size_t raw : dests) {
+    const auto dest = static_cast<topo::NodeId>(raw);
+    if (dest == vantage) continue;
+    const auto routes = policy::ValleyFreeRoutes::compute(t.graph, dest);
+    if (!routes.at(vantage).reachable()) {
+      table.row({std::to_string(t.node_to_as[dest]), "-", "(unreachable)"});
+      continue;
+    }
+    std::string path_text;
+    for (const topo::NodeId hop : routes.path_from(vantage)) {
+      path_text += (path_text.empty() ? "" : " ") +
+                   std::to_string(t.node_to_as[hop]);
+    }
+    table.row({std::to_string(t.node_to_as[dest]),
+               policy::to_string(routes.at(vantage).source), path_text});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_simulate(Options& opt) {
+  const auto t = load(opt.get("topology"));
+  const std::string proto_name = opt.get("protocol");
+  const auto flips = static_cast<std::size_t>(opt.get_long("flips", 10));
+  const auto seed = static_cast<std::uint64_t>(opt.get_long("seed", 1));
+  eval::RunOptions run_options;
+  run_options.bgp_mrai = static_cast<double>(opt.get_long("mrai", 0));
+  opt.finish();
+
+  eval::Protocol proto;
+  if (proto_name == "centaur") {
+    proto = eval::Protocol::kCentaur;
+  } else if (proto_name == "bgp") {
+    proto = eval::Protocol::kBgp;
+  } else if (proto_name == "bgp-rcn") {
+    proto = eval::Protocol::kBgpRcn;
+  } else if (proto_name == "ospf") {
+    proto = eval::Protocol::kOspf;
+  } else {
+    usage("unknown --protocol '" + proto_name + "'");
+  }
+
+  const auto series =
+      eval::run_link_flips(t.graph, proto, flips, util::Rng(seed), run_options);
+  util::Accumulator msgs, times;
+  for (double m : series.message_counts) msgs.add(m);
+  for (double s : series.convergence_times) times.add(s);
+
+  util::TextTable table(std::string("simulation — ") + eval::to_string(proto));
+  table.header({"metric", "value"});
+  table.row({"cold-start messages",
+             util::fmt_count(series.cold_start.messages_sent)});
+  table.row({"cold-start bytes", util::fmt_count(series.cold_start.bytes_sent)});
+  table.row({"cold-start time (ms)",
+             util::fmt_double(series.cold_start_time * 1e3, 2)});
+  table.row({"flip transitions", util::fmt_count(msgs.count())});
+  table.row({"messages/flip (mean)", util::fmt_double(msgs.mean(), 1)});
+  table.row({"messages/flip (p90)", util::fmt_double(msgs.quantile(0.9), 1)});
+  table.row({"convergence ms (mean)", util::fmt_double(times.mean() * 1e3, 2)});
+  table.row({"convergence ms (p90)",
+             util::fmt_double(times.quantile(0.9) * 1e3, 2)});
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("missing subcommand");
+  const std::string cmd = argv[1];
+  try {
+    Options opt(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(opt);
+    if (cmd == "stats") return cmd_stats(opt);
+    if (cmd == "routes") return cmd_routes(opt);
+    if (cmd == "simulate") return cmd_simulate(opt);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") usage();
+    usage("unknown subcommand '" + cmd + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
