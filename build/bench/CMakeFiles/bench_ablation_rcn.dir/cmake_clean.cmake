@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rcn.dir/bench_ablation_rcn.cpp.o"
+  "CMakeFiles/bench_ablation_rcn.dir/bench_ablation_rcn.cpp.o.d"
+  "bench_ablation_rcn"
+  "bench_ablation_rcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_centaur.dir/bench_micro_centaur.cpp.o"
+  "CMakeFiles/bench_micro_centaur.dir/bench_micro_centaur.cpp.o.d"
+  "bench_micro_centaur"
+  "bench_micro_centaur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_centaur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_pgraphs.dir/bench_table4_pgraphs.cpp.o"
+  "CMakeFiles/bench_table4_pgraphs.dir/bench_table4_pgraphs.cpp.o.d"
+  "bench_table4_pgraphs"
+  "bench_table4_pgraphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_pgraphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_permlists.dir/bench_table5_permlists.cpp.o"
+  "CMakeFiles/bench_table5_permlists.dir/bench_table5_permlists.cpp.o.d"
+  "bench_table5_permlists"
+  "bench_table5_permlists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_permlists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

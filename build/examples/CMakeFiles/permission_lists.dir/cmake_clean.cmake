@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permission_lists.dir/permission_lists.cpp.o"
+  "CMakeFiles/permission_lists.dir/permission_lists.cpp.o.d"
+  "permission_lists"
+  "permission_lists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permission_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_hiding.dir/policy_hiding.cpp.o"
+  "CMakeFiles/policy_hiding.dir/policy_hiding.cpp.o.d"
+  "policy_hiding"
+  "policy_hiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_aggregation.dir/prefix_aggregation.cpp.o"
+  "CMakeFiles/prefix_aggregation.dir/prefix_aggregation.cpp.o.d"
+  "prefix_aggregation"
+  "prefix_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centaur_bgp.dir/bgp_node.cpp.o"
+  "CMakeFiles/centaur_bgp.dir/bgp_node.cpp.o.d"
+  "libcentaur_bgp.a"
+  "libcentaur_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centaur_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcentaur_bgp.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/centaur/announce.cpp" "src/centaur/CMakeFiles/centaur_core.dir/announce.cpp.o" "gcc" "src/centaur/CMakeFiles/centaur_core.dir/announce.cpp.o.d"
+  "/root/repo/src/centaur/build_graph.cpp" "src/centaur/CMakeFiles/centaur_core.dir/build_graph.cpp.o" "gcc" "src/centaur/CMakeFiles/centaur_core.dir/build_graph.cpp.o.d"
+  "/root/repo/src/centaur/centaur_node.cpp" "src/centaur/CMakeFiles/centaur_core.dir/centaur_node.cpp.o" "gcc" "src/centaur/CMakeFiles/centaur_core.dir/centaur_node.cpp.o.d"
+  "/root/repo/src/centaur/permission_list.cpp" "src/centaur/CMakeFiles/centaur_core.dir/permission_list.cpp.o" "gcc" "src/centaur/CMakeFiles/centaur_core.dir/permission_list.cpp.o.d"
+  "/root/repo/src/centaur/pgraph.cpp" "src/centaur/CMakeFiles/centaur_core.dir/pgraph.cpp.o" "gcc" "src/centaur/CMakeFiles/centaur_core.dir/pgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/centaur_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/centaur_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/centaur_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/centaur_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centaur_core.dir/announce.cpp.o"
+  "CMakeFiles/centaur_core.dir/announce.cpp.o.d"
+  "CMakeFiles/centaur_core.dir/build_graph.cpp.o"
+  "CMakeFiles/centaur_core.dir/build_graph.cpp.o.d"
+  "CMakeFiles/centaur_core.dir/centaur_node.cpp.o"
+  "CMakeFiles/centaur_core.dir/centaur_node.cpp.o.d"
+  "CMakeFiles/centaur_core.dir/permission_list.cpp.o"
+  "CMakeFiles/centaur_core.dir/permission_list.cpp.o.d"
+  "CMakeFiles/centaur_core.dir/pgraph.cpp.o"
+  "CMakeFiles/centaur_core.dir/pgraph.cpp.o.d"
+  "libcentaur_core.a"
+  "libcentaur_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centaur_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centaur_eval.dir/experiments.cpp.o"
+  "CMakeFiles/centaur_eval.dir/experiments.cpp.o.d"
+  "CMakeFiles/centaur_eval.dir/static_eval.cpp.o"
+  "CMakeFiles/centaur_eval.dir/static_eval.cpp.o.d"
+  "libcentaur_eval.a"
+  "libcentaur_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centaur_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linkstate/ospf_node.cpp" "src/linkstate/CMakeFiles/centaur_linkstate.dir/ospf_node.cpp.o" "gcc" "src/linkstate/CMakeFiles/centaur_linkstate.dir/ospf_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/centaur_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/centaur_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/centaur_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centaur_linkstate.dir/ospf_node.cpp.o"
+  "CMakeFiles/centaur_linkstate.dir/ospf_node.cpp.o.d"
+  "libcentaur_linkstate.a"
+  "libcentaur_linkstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centaur_linkstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for centaur_linkstate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centaur_policy.dir/policy.cpp.o"
+  "CMakeFiles/centaur_policy.dir/policy.cpp.o.d"
+  "CMakeFiles/centaur_policy.dir/valley_free.cpp.o"
+  "CMakeFiles/centaur_policy.dir/valley_free.cpp.o.d"
+  "libcentaur_policy.a"
+  "libcentaur_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centaur_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centaur_sim.dir/network.cpp.o"
+  "CMakeFiles/centaur_sim.dir/network.cpp.o.d"
+  "CMakeFiles/centaur_sim.dir/simulator.cpp.o"
+  "CMakeFiles/centaur_sim.dir/simulator.cpp.o.d"
+  "libcentaur_sim.a"
+  "libcentaur_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centaur_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

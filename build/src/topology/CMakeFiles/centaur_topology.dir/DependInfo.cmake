@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/algorithms.cpp" "src/topology/CMakeFiles/centaur_topology.dir/algorithms.cpp.o" "gcc" "src/topology/CMakeFiles/centaur_topology.dir/algorithms.cpp.o.d"
+  "/root/repo/src/topology/as_graph.cpp" "src/topology/CMakeFiles/centaur_topology.dir/as_graph.cpp.o" "gcc" "src/topology/CMakeFiles/centaur_topology.dir/as_graph.cpp.o.d"
+  "/root/repo/src/topology/generator.cpp" "src/topology/CMakeFiles/centaur_topology.dir/generator.cpp.o" "gcc" "src/topology/CMakeFiles/centaur_topology.dir/generator.cpp.o.d"
+  "/root/repo/src/topology/parser.cpp" "src/topology/CMakeFiles/centaur_topology.dir/parser.cpp.o" "gcc" "src/topology/CMakeFiles/centaur_topology.dir/parser.cpp.o.d"
+  "/root/repo/src/topology/prefix.cpp" "src/topology/CMakeFiles/centaur_topology.dir/prefix.cpp.o" "gcc" "src/topology/CMakeFiles/centaur_topology.dir/prefix.cpp.o.d"
+  "/root/repo/src/topology/stats.cpp" "src/topology/CMakeFiles/centaur_topology.dir/stats.cpp.o" "gcc" "src/topology/CMakeFiles/centaur_topology.dir/stats.cpp.o.d"
+  "/root/repo/src/topology/types.cpp" "src/topology/CMakeFiles/centaur_topology.dir/types.cpp.o" "gcc" "src/topology/CMakeFiles/centaur_topology.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/centaur_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

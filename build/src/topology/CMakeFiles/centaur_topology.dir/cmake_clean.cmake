@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centaur_topology.dir/algorithms.cpp.o"
+  "CMakeFiles/centaur_topology.dir/algorithms.cpp.o.d"
+  "CMakeFiles/centaur_topology.dir/as_graph.cpp.o"
+  "CMakeFiles/centaur_topology.dir/as_graph.cpp.o.d"
+  "CMakeFiles/centaur_topology.dir/generator.cpp.o"
+  "CMakeFiles/centaur_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/centaur_topology.dir/parser.cpp.o"
+  "CMakeFiles/centaur_topology.dir/parser.cpp.o.d"
+  "CMakeFiles/centaur_topology.dir/prefix.cpp.o"
+  "CMakeFiles/centaur_topology.dir/prefix.cpp.o.d"
+  "CMakeFiles/centaur_topology.dir/stats.cpp.o"
+  "CMakeFiles/centaur_topology.dir/stats.cpp.o.d"
+  "CMakeFiles/centaur_topology.dir/types.cpp.o"
+  "CMakeFiles/centaur_topology.dir/types.cpp.o.d"
+  "libcentaur_topology.a"
+  "libcentaur_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centaur_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centaur_util.dir/bloom.cpp.o"
+  "CMakeFiles/centaur_util.dir/bloom.cpp.o.d"
+  "CMakeFiles/centaur_util.dir/log.cpp.o"
+  "CMakeFiles/centaur_util.dir/log.cpp.o.d"
+  "CMakeFiles/centaur_util.dir/rng.cpp.o"
+  "CMakeFiles/centaur_util.dir/rng.cpp.o.d"
+  "CMakeFiles/centaur_util.dir/scale.cpp.o"
+  "CMakeFiles/centaur_util.dir/scale.cpp.o.d"
+  "CMakeFiles/centaur_util.dir/stats.cpp.o"
+  "CMakeFiles/centaur_util.dir/stats.cpp.o.d"
+  "CMakeFiles/centaur_util.dir/table.cpp.o"
+  "CMakeFiles/centaur_util.dir/table.cpp.o.d"
+  "libcentaur_util.a"
+  "libcentaur_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centaur_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

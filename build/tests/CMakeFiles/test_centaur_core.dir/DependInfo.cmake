@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/announce_test.cpp" "tests/CMakeFiles/test_centaur_core.dir/announce_test.cpp.o" "gcc" "tests/CMakeFiles/test_centaur_core.dir/announce_test.cpp.o.d"
+  "/root/repo/tests/build_graph_test.cpp" "tests/CMakeFiles/test_centaur_core.dir/build_graph_test.cpp.o" "gcc" "tests/CMakeFiles/test_centaur_core.dir/build_graph_test.cpp.o.d"
+  "/root/repo/tests/permission_list_test.cpp" "tests/CMakeFiles/test_centaur_core.dir/permission_list_test.cpp.o" "gcc" "tests/CMakeFiles/test_centaur_core.dir/permission_list_test.cpp.o.d"
+  "/root/repo/tests/pgraph_test.cpp" "tests/CMakeFiles/test_centaur_core.dir/pgraph_test.cpp.o" "gcc" "tests/CMakeFiles/test_centaur_core.dir/pgraph_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/centaur_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/centaur/CMakeFiles/centaur_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/centaur_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkstate/CMakeFiles/centaur_linkstate.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/centaur_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/centaur_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/centaur_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/centaur_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

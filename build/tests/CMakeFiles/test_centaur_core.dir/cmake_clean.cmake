@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_centaur_core.dir/announce_test.cpp.o"
+  "CMakeFiles/test_centaur_core.dir/announce_test.cpp.o.d"
+  "CMakeFiles/test_centaur_core.dir/build_graph_test.cpp.o"
+  "CMakeFiles/test_centaur_core.dir/build_graph_test.cpp.o.d"
+  "CMakeFiles/test_centaur_core.dir/permission_list_test.cpp.o"
+  "CMakeFiles/test_centaur_core.dir/permission_list_test.cpp.o.d"
+  "CMakeFiles/test_centaur_core.dir/pgraph_test.cpp.o"
+  "CMakeFiles/test_centaur_core.dir/pgraph_test.cpp.o.d"
+  "test_centaur_core"
+  "test_centaur_core.pdb"
+  "test_centaur_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_centaur_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocols.dir/bgp_node_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/bgp_node_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/centaur_node_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/centaur_node_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/equivalence_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/equivalence_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/failure_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/failure_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/ospf_node_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/ospf_node_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocol_edge_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocol_edge_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/static_eval_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/static_eval_test.cpp.o.d"
+  "test_protocols"
+  "test_protocols.pdb"
+  "test_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

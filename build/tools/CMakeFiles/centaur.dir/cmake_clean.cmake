@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centaur.dir/centaur_cli.cpp.o"
+  "CMakeFiles/centaur.dir/centaur_cli.cpp.o.d"
+  "centaur"
+  "centaur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centaur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
