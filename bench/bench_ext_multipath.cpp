@@ -38,7 +38,8 @@ int main() {
     const auto v = static_cast<topo::NodeId>(raw);
     const auto cost = eval::multipath_dissemination_cost(g, v);
     const double ratio =
-        cost.path_vector_bytes / std::max<double>(1, cost.centaur_bytes);
+        static_cast<double>(cost.path_vector_bytes) /
+        std::max<double>(1, static_cast<double>(cost.centaur_bytes));
     ratios.add(ratio);
     table.row({std::to_string(v), util::fmt_count(cost.destinations),
                util::fmt_double(cost.total_paths, 0),

@@ -46,7 +46,7 @@ void BM_ValleyFreeSolver(benchmark::State& state) {
   NodeId dest = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(policy::ValleyFreeRoutes::compute(g, dest));
-    dest = (dest + 1) % g.num_nodes();
+    dest = static_cast<NodeId>((dest + 1) % g.num_nodes());
   }
   state.SetComplexityN(state.range(0));
 }
@@ -57,7 +57,7 @@ void BM_MultipathSolver(benchmark::State& state) {
   NodeId dest = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(policy::MultipathRoutes::compute(g, dest));
-    dest = (dest + 1) % g.num_nodes();
+    dest = static_cast<NodeId>((dest + 1) % g.num_nodes());
   }
 }
 BENCHMARK(BM_MultipathSolver)->Range(64, 1024);
@@ -79,7 +79,7 @@ void BM_DerivePath(benchmark::State& state) {
   NodeId dest = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(pg.derive_path(dest));
-    dest = (dest + 1) % g.num_nodes();
+    dest = static_cast<NodeId>((dest + 1) % g.num_nodes());
   }
 }
 BENCHMARK(BM_DerivePath)->Range(64, 1024);

@@ -1,0 +1,42 @@
+// Debug-build invariant checking for the examples.
+//
+// In CENTAUR_CHECK (Debug) builds a ScopedAnalysis attaches the invariant
+// analyzer (src/check) to the example's network: every event re-validates
+// the touched Centaur node, and assert_clean() sweeps all nodes at a
+// quiescence point, aborting the example with the violation report if any
+// protocol invariant is breached.  In other builds it compiles to nothing.
+#pragma once
+
+#include "sim/network.hpp"
+
+#ifdef CENTAUR_CHECK
+#include <memory>
+
+#include "check/analyzer.hpp"
+#endif
+
+namespace centaur::examples {
+
+#ifdef CENTAUR_CHECK
+class ScopedAnalysis {
+ public:
+  explicit ScopedAnalysis(sim::Network& net)
+      : analyzer_(std::make_unique<check::Analyzer>(net)) {}
+  /// Call after each run_to_convergence(); throws on violations.
+  void assert_clean() {
+    analyzer_->check_all();
+    analyzer_->expect_clean();
+  }
+
+ private:
+  std::unique_ptr<check::Analyzer> analyzer_;
+};
+#else
+class ScopedAnalysis {
+ public:
+  explicit ScopedAnalysis(sim::Network&) {}
+  void assert_clean() {}
+};
+#endif
+
+}  // namespace centaur::examples

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "centaur/centaur_node.hpp"
+#include "example_check.hpp"
 #include "sim/network.hpp"
 #include "topology/as_graph.hpp"
 #include "util/rng.hpp"
@@ -40,6 +41,7 @@ int main() {
 
   util::Rng rng(11);
   sim::Network net(g, rng);
+  examples::ScopedAnalysis analysis(net);  // invariant checks (Debug builds)
   for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
     core::CentaurNode::Config cfg;
     if (v == C) {
@@ -55,6 +57,7 @@ int main() {
     net.attach(v, std::make_unique<core::CentaurNode>(g, cfg));
   }
   net.start_all_and_converge();
+  analysis.assert_clean();
 
   const auto& c = dynamic_cast<core::CentaurNode&>(net.node(C));
   std::cout << "C's selected paths (local preference at work):\n"

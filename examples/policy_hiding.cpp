@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "centaur/centaur_node.hpp"
+#include "example_check.hpp"
 #include "sim/network.hpp"
 #include "topology/as_graph.hpp"
 #include "util/rng.hpp"
@@ -52,6 +53,7 @@ int main() {
 
   util::Rng rng(7);
   sim::Network net(g, rng);
+  examples::ScopedAnalysis analysis(net);  // invariant checks (Debug builds)
   for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
     core::CentaurNode::Config cfg;
     if (v == C) {
@@ -65,6 +67,7 @@ int main() {
   }
   net.mark();
   net.start_all_and_converge();
+  analysis.assert_clean();
 
   std::cout << "Routes to D with C hiding its private link C-D from A:\n";
   print_routes_to_d(net);

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "centaur/centaur_node.hpp"
+#include "example_check.hpp"
 #include "sim/network.hpp"
 #include "topology/as_graph.hpp"
 #include "util/rng.hpp"
@@ -30,11 +31,13 @@ int main() {
   //    delays, run to convergence (the initialization phase, S4.3.1).
   util::Rng rng(42);
   sim::Network net(g, rng);
+  examples::ScopedAnalysis analysis(net);  // invariant checks (Debug builds)
   for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
     net.attach(v, std::make_unique<core::CentaurNode>(g));
   }
   net.mark();
   net.start_all_and_converge();
+  analysis.assert_clean();
   std::cout << "Converged after " << net.window().messages_sent
             << " link-state update messages ("
             << net.window().bytes_sent << " bytes), "

@@ -457,6 +457,19 @@ const PGraph* CentaurNode::neighbor_pgraph(NodeId neighbor) const {
   return it == rib_.end() ? nullptr : &it->second.graph;
 }
 
+std::vector<NodeId> CentaurNode::rib_neighbors() const {
+  std::vector<NodeId> out;
+  out.reserve(rib_.size());
+  for (const auto& [nbr, state] : rib_) out.push_back(nbr);
+  return out;
+}
+
+const std::map<NodeId, Path>* CentaurNode::neighbor_derived(
+    NodeId neighbor) const {
+  const auto it = rib_.find(neighbor);
+  return it == rib_.end() ? nullptr : &it->second.derived;
+}
+
 std::optional<Path> CentaurNode::selected_path(NodeId dest) const {
   const auto it = selected_.find(dest);
   if (it == selected_.end()) return std::nullopt;

@@ -23,6 +23,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "centaur/announce.hpp"
 #include "centaur/build_graph.hpp"
@@ -81,12 +82,17 @@ class CentaurNode : public sim::Node {
   /// policy changes (S4.3.2 treats those like link-state changes).
   void policy_changed();
 
-  // --- inspection (tests, experiments) -----------------------------------
+  // --- inspection (tests, experiments, invariant checker) -----------------
   const PGraph& local_pgraph() const { return local_; }
   /// The assembled P-graph received from `neighbor`, if any.
   const PGraph* neighbor_pgraph(topo::NodeId neighbor) const;
   std::optional<Path> selected_path(NodeId dest) const;
   const std::map<NodeId, Path>& selected_paths() const { return selected_; }
+  /// Neighbors with assembled RIB state, ascending.
+  std::vector<topo::NodeId> rib_neighbors() const;
+  /// The derived-path cache kept for `neighbor`'s P-graph (successful
+  /// derivations only), or nullptr if there is no RIB state for it.
+  const std::map<NodeId, Path>* neighbor_derived(topo::NodeId neighbor) const;
 
  private:
   /// Per-neighbor RIB state: the assembled P-graph plus caches that make

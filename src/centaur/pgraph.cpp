@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace centaur::core {
 namespace {
@@ -25,6 +26,11 @@ bool sorted_erase(std::vector<NodeId>& v, NodeId x) {
   if (it == v.end() || *it != x) return false;
   v.erase(it);
   return true;
+}
+
+[[noreturn]] void throw_missing_link(NodeId from, NodeId to) {
+  throw std::out_of_range("PGraph::link_data: no link " +
+                          std::to_string(from) + "->" + std::to_string(to));
 }
 
 }  // namespace
@@ -78,13 +84,13 @@ bool PGraph::contains(NodeId n) const {
 
 LinkData& PGraph::link_data(NodeId from, NodeId to) {
   const auto it = links_.find(DirectedLink{from, to});
-  if (it == links_.end()) throw std::out_of_range("PGraph::link_data");
+  if (it == links_.end()) throw_missing_link(from, to);
   return it->second;
 }
 
 const LinkData& PGraph::link_data(NodeId from, NodeId to) const {
   const auto it = links_.find(DirectedLink{from, to});
-  if (it == links_.end()) throw std::out_of_range("PGraph::link_data");
+  if (it == links_.end()) throw_missing_link(from, to);
   return it->second;
 }
 
@@ -98,6 +104,9 @@ std::size_t PGraph::active_plist_count() const {
 
 std::optional<Path> PGraph::derive_path(NodeId dest,
                                         std::vector<NodeId>* visited_out) const {
+  if (root_ == topo::kInvalidNode) {
+    throw std::logic_error("PGraph::derive_path: graph has no root");
+  }
   if (visited_out) {
     visited_out->clear();
     visited_out->push_back(dest);

@@ -145,11 +145,26 @@ class PGraph {
     return links_;
   }
 
+  /// Whole-map adjacency views, values sorted ascending.  Exposed for the
+  /// invariant checker (src/check), which cross-validates them against
+  /// links(); protocol code should use parents()/children() instead.
+  const std::unordered_map<NodeId, std::vector<NodeId>>& parent_map() const {
+    return parents_;
+  }
+  const std::unordered_map<NodeId, std::vector<NodeId>>& child_map() const {
+    return children_;
+  }
+
   /// Equality of structure, destination marks, and Permission Lists
   /// (counters are local bookkeeping and excluded).
   bool operator==(const PGraph& other) const;
 
  private:
+  // Test-only backdoor (tests/invariants_test.cpp) that seeds the structural
+  // corruption the public API refuses to produce, so the invariant checker
+  // can be exercised against broken graphs.
+  friend struct PGraphCorruptor;
+
   NodeId root_ = topo::kInvalidNode;
   std::unordered_map<DirectedLink, LinkData, DirectedLinkHash> links_;
   std::unordered_map<NodeId, std::vector<NodeId>> parents_;   // sorted values

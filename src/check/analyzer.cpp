@@ -1,0 +1,63 @@
+#include "check/analyzer.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "centaur/centaur_node.hpp"
+
+namespace centaur::check {
+
+void AnalysisReport::print(std::ostream& os) const {
+  os << "invariant analysis: " << checks_run << " node check(s), "
+     << violations_seen << " violation(s)\n";
+  for (const AnalysisEntry& e : entries) {
+    os << "  t=" << e.at << " node=" << e.node << " ["
+       << to_string(e.violation.invariant) << "] " << e.violation.detail
+       << "\n";
+  }
+  if (violations_seen > entries.size()) {
+    os << "  ... " << (violations_seen - entries.size())
+       << " further violation(s) not recorded\n";
+  }
+}
+
+Analyzer::Analyzer(sim::Network& net, AnalysisOptions options)
+    : net_(net), options_(options) {
+  if (options_.check_on_events) {
+    net_.set_event_hook([this](topo::NodeId id) { check_node(id); });
+  }
+}
+
+Analyzer::~Analyzer() { net_.set_event_hook(nullptr); }
+
+std::size_t Analyzer::check_node(topo::NodeId id) {
+  const auto* node = dynamic_cast<const core::CentaurNode*>(&net_.node(id));
+  if (node == nullptr) return 0;  // analysis covers Centaur nodes only
+  ++report_.checks_run;
+  std::vector<Violation> violations = check_centaur_node(*node);
+  report_.violations_seen += violations.size();
+  for (Violation& v : violations) {
+    if (report_.entries.size() >= options_.max_entries) break;
+    report_.entries.push_back(
+        AnalysisEntry{net_.simulator().now(), id, std::move(v)});
+  }
+  return violations.size();
+}
+
+std::size_t Analyzer::check_all() {
+  std::size_t found = 0;
+  for (topo::NodeId id = 0; id < net_.graph().num_nodes(); ++id) {
+    found += check_node(id);
+  }
+  return found;
+}
+
+void Analyzer::expect_clean() const {
+  if (report_.clean()) return;
+  std::ostringstream os;
+  report_.print(os);
+  throw std::logic_error(os.str());
+}
+
+}  // namespace centaur::check

@@ -1,0 +1,78 @@
+// Analysis mode: invariant checking wired into the event-driven simulator.
+//
+// An Analyzer attaches to a sim::Network and re-validates protocol
+// invariants while a simulation runs: after every delivered message or
+// link-change notification it checks the touched node (opt-out), and
+// check_all() sweeps every node — callers invoke it at quiescence points
+// (post-convergence).  Non-Centaur nodes are skipped, so the analyzer is
+// harmless on BGP/OSPF runs.
+//
+// Violations are recorded with their event context (simulated time, node)
+// into an AnalysisReport.  Debug builds (CENTAUR_CHECK) run the tier-1
+// protocol tests and examples with an analyzer attached and assert a clean
+// report via expect_clean(); `centaur simulate --check 1` collects and
+// prints the report instead.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "sim/network.hpp"
+
+namespace centaur::check {
+
+struct AnalysisOptions {
+  /// Check the touched node after every message delivery / link change.
+  /// Disable for large runs where only quiescence sweeps are affordable.
+  bool check_on_events = true;
+  /// Recording cap: past this many entries, violations are still counted
+  /// (violations_seen) but their details are dropped.
+  std::size_t max_entries = 64;
+};
+
+/// One recorded violation with its event context.
+struct AnalysisEntry {
+  sim::Time at = 0;
+  topo::NodeId node = topo::kInvalidNode;
+  Violation violation;
+};
+
+struct AnalysisReport {
+  std::vector<AnalysisEntry> entries;
+  std::size_t checks_run = 0;       ///< node-level checks executed
+  std::size_t violations_seen = 0;  ///< >= entries.size() once truncated
+  bool clean() const { return violations_seen == 0; }
+  void print(std::ostream& os) const;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(sim::Network& net, AnalysisOptions options = {});
+  ~Analyzer();  // detaches the event hook
+  Analyzer(const Analyzer&) = delete;
+  Analyzer& operator=(const Analyzer&) = delete;
+
+  /// Checks one node now; returns the number of violations found.  The
+  /// checked contract is valid at every event boundary, not just at
+  /// quiescence (see check_centaur_node).
+  std::size_t check_node(topo::NodeId id);
+
+  /// Checks every node; callers invoke it at convergence points.  Returns
+  /// violations found.
+  std::size_t check_all();
+
+  const AnalysisReport& report() const { return report_; }
+
+  /// Throws std::logic_error carrying the printed report if any violation
+  /// has been recorded — the CENTAUR_CHECK assert mode.
+  void expect_clean() const;
+
+ private:
+  sim::Network& net_;
+  AnalysisOptions options_;
+  AnalysisReport report_;
+};
+
+}  // namespace centaur::check

@@ -53,20 +53,38 @@ ProtocolRun::ProtocolRun(const topo::AsGraph& graph, Protocol protocol,
     : graph_(graph),
       delay_rng_(rng.next()),
       net_(graph_, delay_rng_),
-      protocol_(protocol) {
+      protocol_(protocol),
+      analysis_(options.analysis) {
+#ifdef CENTAUR_CHECK
+  // Debug builds promote every Centaur run into an invariant test.
+  if (analysis_ == AnalysisMode::kOff && protocol == Protocol::kCentaur) {
+    analysis_ = AnalysisMode::kAssert;
+  }
+#endif
+  if (analysis_ != AnalysisMode::kOff) {
+    analyzer_ = std::make_unique<check::Analyzer>(net_);
+  }
   for (topo::NodeId v = 0; v < graph_.num_nodes(); ++v) {
     net_.attach(v, make_node(protocol, graph_, options));
   }
   net_.mark();
   net_.start_all_and_converge();
+  analyze_quiescent();
   cold_start_ = net_.window();
   cold_start_time_ = net_.window_convergence_time();
+}
+
+void ProtocolRun::analyze_quiescent() {
+  if (!analyzer_) return;
+  analyzer_->check_all();
+  if (analysis_ == AnalysisMode::kAssert) analyzer_->expect_clean();
 }
 
 ProtocolRun::Transition ProtocolRun::flip(topo::LinkId link, bool up) {
   net_.mark();
   net_.set_link_state(link, up);
   net_.run_to_convergence();
+  analyze_quiescent();
   Transition t;
   t.messages = net_.window().messages_sent;
   t.bytes = net_.window().bytes_sent;
@@ -94,6 +112,7 @@ FlipSeries run_link_flips(const topo::AsGraph& graph, Protocol protocol,
       series.message_counts.push_back(static_cast<double>(t.messages));
     }
   }
+  if (run.analyzer()) series.analysis = run.analyzer()->report();
   return series;
 }
 

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "check/analyzer.hpp"
 #include "sim/network.hpp"
 #include "topology/as_graph.hpp"
 #include "util/rng.hpp"
@@ -22,6 +24,15 @@ enum class Protocol { kBgp, kBgpRcn, kCentaur, kOspf };
 
 const char* to_string(Protocol p);
 
+/// Invariant analysis while a run executes (src/check).
+enum class AnalysisMode {
+  kOff,      ///< no checking (measurement runs; checks distort nothing but
+             ///< cost time)
+  kCollect,  ///< record violations into the run's AnalysisReport
+  kAssert,   ///< like kCollect, but throw std::logic_error at the first
+             ///< quiescence sweep that finds the report non-clean
+};
+
 /// Per-run protocol options.
 struct RunOptions {
   /// BGP Minimum Route Advertisement Interval, seconds.  The paper's
@@ -29,6 +40,10 @@ struct RunOptions {
   /// standard 30 s eBGP MRAI — the dominant term in its Fig 6 convergence
   /// times.  0 disables batching (propagation-limited BGP).
   sim::Time bgp_mrai = 0.0;
+  /// Invariant analysis mode.  kOff is upgraded to kAssert for Centaur runs
+  /// in CENTAUR_CHECK (Debug) builds, so every tier-1 simulation doubles as
+  /// an invariant test.
+  AnalysisMode analysis = AnalysisMode::kOff;
 };
 
 /// A network with one protocol instance per node, started and converged.
@@ -55,11 +70,19 @@ class ProtocolRun {
   topo::AsGraph& graph() { return graph_; }
   Protocol protocol() const { return protocol_; }
 
+  /// The analyzer attached to this run, or nullptr when analysis is off.
+  const check::Analyzer* analyzer() const { return analyzer_.get(); }
+
  private:
+  /// Quiescence sweep + kAssert enforcement; no-op when analysis is off.
+  void analyze_quiescent();
+
   topo::AsGraph graph_;
   util::Rng delay_rng_;
   sim::Network net_;
   Protocol protocol_;
+  AnalysisMode analysis_ = AnalysisMode::kOff;
+  std::unique_ptr<check::Analyzer> analyzer_;
   sim::WindowStats cold_start_;
   sim::Time cold_start_time_ = 0;
 };
@@ -70,6 +93,9 @@ struct FlipSeries {
   std::vector<double> message_counts;     // one per transition
   sim::WindowStats cold_start;
   sim::Time cold_start_time = 0;
+  /// Invariant analysis outcome (empty/clean unless RunOptions::analysis
+  /// was enabled).
+  check::AnalysisReport analysis;
 };
 
 /// Flips `flip_sample` deterministically chosen links (both directions each)

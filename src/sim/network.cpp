@@ -50,6 +50,7 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
     ++window_.messages_delivered;
     window_.last_delivery = sim_.now();
     nodes_.at(to)->on_message(from, msg);
+    if (event_hook_) event_hook_(to);
   });
 }
 
@@ -61,7 +62,9 @@ void Network::set_link_state(LinkId link, bool up) {
   // with in-flight messages.
   sim_.schedule(0, [this, a = l.a, b = l.b, up] {
     nodes_.at(a)->on_link_change(b, up);
+    if (event_hook_) event_hook_(a);
     nodes_.at(b)->on_link_change(a, up);
+    if (event_hook_) event_hook_(b);
   });
 }
 

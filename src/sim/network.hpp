@@ -6,6 +6,7 @@
 // oblivious to measurement concerns.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -113,6 +114,15 @@ class Network {
   Time link_delay(LinkId link) const { return delays_.at(link); }
   Node& node(NodeId id) { return *nodes_.at(id); }
 
+  /// Analysis-mode hook: invoked with a node's id right after that node
+  /// processes an event (message delivery or link-change notification), so
+  /// an observer can validate its state at every event boundary.  One hook
+  /// at a time; pass nullptr to detach.  Hooks must not send messages or
+  /// mutate protocol state.
+  void set_event_hook(std::function<void(NodeId)> hook) {
+    event_hook_ = std::move(hook);
+  }
+
  private:
   AsGraph& graph_;
   Simulator sim_;
@@ -120,6 +130,7 @@ class Network {
   std::vector<Time> delays_;
   WindowStats window_;
   Time mark_time_ = 0;
+  std::function<void(NodeId)> event_hook_;
 };
 
 }  // namespace centaur::sim

@@ -67,7 +67,9 @@ bool BloomFilter::contains(std::uint32_t id) const {
 
 double BloomFilter::fill_ratio() const {
   std::size_t set = 0;
-  for (std::uint64_t w : words_) set += std::popcount(w);
+  for (std::uint64_t w : words_) {
+    set += static_cast<std::size_t>(std::popcount(w));
+  }
   return static_cast<double>(set) / static_cast<double>(bit_count());
 }
 

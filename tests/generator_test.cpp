@@ -109,8 +109,10 @@ TEST(TieredInternet, HetopLikeHasRichPeering) {
   const AsGraph hetop = tiered_internet(hetop_like_params(2000), rng);
   const auto cs = compute_stats(caida, "c");
   const auto hs = compute_stats(hetop, "h");
-  const double cf = static_cast<double>(cs.peering) / cs.links;
-  const double hf = static_cast<double>(hs.peering) / hs.links;
+  const double cf =
+      static_cast<double>(cs.peering) / static_cast<double>(cs.links);
+  const double hf =
+      static_cast<double>(hs.peering) / static_cast<double>(hs.links);
   // HeTop finds far more peering links than CAIDA (paper Table 3).
   EXPECT_GT(hf, 2.5 * cf);
 }
@@ -120,7 +122,8 @@ TEST(TieredInternet, SiblingLinksPresentButRare) {
   const AsGraph g = tiered_internet(caida_like_params(4000), rng);
   const auto s = compute_stats(g, "x");
   EXPECT_GT(s.sibling, 0u);
-  EXPECT_LT(static_cast<double>(s.sibling) / s.links, 0.02);
+  EXPECT_LT(static_cast<double>(s.sibling) / static_cast<double>(s.links),
+            0.02);
 }
 
 TEST(TieredInternet, RejectsDegenerate) {

@@ -1,0 +1,247 @@
+// Tests for the protocol invariant checker (src/check).
+//
+// The structural tests hand-corrupt P-graphs — through the public API where
+// it permits the breakage, through the PGraphCorruptor backdoor where it
+// does not — and assert the checker reports the exact invariant seeded.
+// The sim-level tests run full init + failure scenarios and assert a clean
+// report, independent of build type (the analyzer is attached explicitly).
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "centaur/build_graph.hpp"
+#include "centaur/centaur_node.hpp"
+#include "centaur/pgraph.hpp"
+#include "check/analyzer.hpp"
+#include "check/invariants.hpp"
+#include "sim/network.hpp"
+#include "test_helpers.hpp"
+#include "topology/as_graph.hpp"
+#include "util/rng.hpp"
+
+namespace centaur::core {
+
+// Seeds the structural corruption the public PGraph API refuses to produce
+// (see the friend declaration in pgraph.hpp).
+struct PGraphCorruptor {
+  /// Records `from` as a parent of `to` without storing the link.
+  static void add_dangling_parent(PGraph& g, NodeId from, NodeId to) {
+    std::vector<NodeId>& ps = g.parents_[to];
+    ps.insert(std::upper_bound(ps.begin(), ps.end(), from), from);
+  }
+  /// Destroys the sorted-ascending ordering of children[of].
+  static void unsort_children(PGraph& g, NodeId of) {
+    std::vector<NodeId>& cs = g.children_[of];
+    std::reverse(cs.begin(), cs.end());
+  }
+};
+
+}  // namespace centaur::core
+
+namespace centaur::check {
+namespace {
+
+using core::PGraph;
+using core::PGraphCorruptor;
+using topo::NodeId;
+using topo::Path;
+
+bool has(const std::vector<Violation>& vs, Invariant inv) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [inv](const Violation& v) { return v.invariant == inv; });
+}
+
+std::map<NodeId, Path> two_paths() {
+  return {{1, Path{0, 1}}, {2, Path{0, 1, 2}}};
+}
+
+TEST(CheckPGraph, CleanLocalGraphPasses) {
+  const PGraph g = core::build_local_pgraph(0, two_paths());
+  EXPECT_TRUE(check_pgraph(g).empty());
+  EXPECT_TRUE(check_counters_against(g, two_paths()).empty());
+}
+
+TEST(CheckPGraph, EmptyGraphPasses) {
+  EXPECT_TRUE(check_pgraph(PGraph{}).empty());
+}
+
+TEST(CheckPGraph, CycleIsDetected) {
+  PGraph g(0);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 1);  // 1 -> 2 -> 1
+  g.link_data(0, 1).counter = 1;
+  g.link_data(1, 2).counter = 1;
+  g.link_data(2, 1).counter = 1;
+  const auto vs = check_pgraph(g);
+  EXPECT_TRUE(has(vs, Invariant::kAcyclic));
+
+  PGraphCheckOptions relaxed;
+  relaxed.require_acyclic = false;
+  EXPECT_FALSE(has(check_pgraph(g, relaxed), Invariant::kAcyclic));
+}
+
+TEST(CheckPGraph, DanglingParentEntryIsDetected) {
+  PGraph g(0);
+  g.add_link(0, 1);
+  g.link_data(0, 1).counter = 1;
+  PGraphCorruptor::add_dangling_parent(g, 5, 1);  // parents[1] lists 5->1
+  const auto vs = check_pgraph(g);
+  ASSERT_TRUE(has(vs, Invariant::kAdjacency));
+  // The report names the phantom link.
+  const auto it = std::find_if(vs.begin(), vs.end(), [](const Violation& v) {
+    return v.invariant == Invariant::kAdjacency;
+  });
+  EXPECT_NE(it->detail.find("5->1"), std::string::npos) << it->detail;
+}
+
+TEST(CheckPGraph, UnsortedAdjacencyIsDetected) {
+  PGraph g(0);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  g.link_data(0, 1).counter = 1;
+  g.link_data(0, 2).counter = 1;
+  PGraphCorruptor::unsort_children(g, 0);
+  EXPECT_TRUE(has(check_pgraph(g), Invariant::kAdjacencySorted));
+}
+
+TEST(CheckPGraph, RootWithParentIsDetected) {
+  PGraph g(0);
+  g.add_link(0, 1);
+  g.add_link(1, 0);  // nothing may point at the root
+  g.link_data(0, 1).counter = 1;
+  g.link_data(1, 0).counter = 1;
+  EXPECT_TRUE(has(check_pgraph(g), Invariant::kRootNoParents));
+}
+
+TEST(CheckPGraph, RootUnreachableNodeIsDetected) {
+  PGraph g(0);
+  g.add_link(0, 1);
+  g.add_link(2, 3);  // island: 2 and 3 never reach the root
+  g.link_data(0, 1).counter = 1;
+  g.link_data(2, 3).counter = 1;
+  const auto vs = check_pgraph(g);
+  EXPECT_TRUE(has(vs, Invariant::kRootReachable));
+
+  PGraphCheckOptions relaxed = neighbor_graph_options();
+  EXPECT_FALSE(has(check_pgraph(g, relaxed), Invariant::kRootReachable));
+}
+
+TEST(CheckPGraph, ZeroCounterOnStoredLinkIsDetected) {
+  PGraph g = core::build_local_pgraph(0, two_paths());
+  g.link_data(1, 2).counter = 0;  // should have been withdrawn
+  EXPECT_TRUE(has(check_pgraph(g), Invariant::kCounter));
+}
+
+TEST(CheckPGraph, StaleCounterIsDetected) {
+  PGraph g = core::build_local_pgraph(0, two_paths());
+  g.link_data(0, 1).counter = 7;  // two selected paths traverse 0->1
+  const auto vs = check_counters_against(g, two_paths());
+  ASSERT_TRUE(has(vs, Invariant::kCounter));
+  const auto it = std::find_if(vs.begin(), vs.end(), [](const Violation& v) {
+    return v.invariant == Invariant::kCounter;
+  });
+  EXPECT_NE(it->detail.find("0->1"), std::string::npos) << it->detail;
+}
+
+TEST(CheckPGraph, UntraversedLinkIsDetected) {
+  PGraph g = core::build_local_pgraph(0, two_paths());
+  g.add_link(1, 3);  // no selected path uses it
+  g.link_data(1, 3).counter = 1;
+  EXPECT_TRUE(has(check_counters_against(g, two_paths()), Invariant::kCounter));
+}
+
+TEST(CheckPGraph, PlistOnSingleHomedHeadFailsWireForm) {
+  PGraph g(0);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.link_data(0, 1).counter = 1;
+  g.link_data(1, 2).counter = 1;
+  g.link_data(1, 2).plist.add(2, core::kNoNextHop);  // head 2 is single-homed
+  EXPECT_TRUE(has(check_pgraph(g, wire_form_options()),
+                  Invariant::kPlistActivation));
+  // The default (BuildGraph) contract keeps inactive entries everywhere.
+  EXPECT_FALSE(has(check_pgraph(g), Invariant::kPlistActivation));
+}
+
+TEST(CheckPGraph, MissingDestinationMarkIsDetected) {
+  PGraph g = core::build_local_pgraph(0, two_paths());
+  g.unmark_destination(2);
+  EXPECT_TRUE(has(check_counters_against(g, two_paths()),
+                  Invariant::kDestinationMark));
+}
+
+TEST(CheckPGraph, MarkedButAbsentDestinationIsDetected) {
+  PGraph g = core::build_local_pgraph(0, two_paths());
+  g.mark_destination(9);  // 9 appears nowhere in the graph
+  EXPECT_TRUE(has(check_pgraph(g), Invariant::kDestinationMark));
+}
+
+TEST(CheckPGraph, LoopingSelectedPathIsDetected) {
+  const PGraph g = core::build_local_pgraph(0, two_paths());
+  std::map<NodeId, Path> looping = two_paths();
+  looping[2] = Path{0, 1, 0, 2};  // revisits 0
+  EXPECT_TRUE(has(check_counters_against(g, looping), Invariant::kLoopFree));
+}
+
+// ---------------------------------------------------------------- sim level
+
+// Full protocol runs on the Figure 4 topology must produce a clean report:
+// the analyzer re-checks every touched node after each event and every node
+// at each quiescence sweep.
+TEST(AnalyzerSim, InitAndFailureRunReportZeroViolations) {
+  topo::AsGraph g = testing::fig4_topology();
+  util::Rng rng(7);
+  sim::Network net(g, rng);
+  Analyzer analyzer(net);
+  for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
+    net.attach(v, std::make_unique<core::CentaurNode>(g));
+  }
+  net.mark();
+  net.start_all_and_converge();
+  analyzer.check_all();
+
+  const auto bd = g.find_link(1, 3);  // fail B-D, reroute via C
+  ASSERT_TRUE(bd.has_value());
+  net.mark();
+  net.set_link_state(*bd, false);
+  net.run_to_convergence();
+  analyzer.check_all();
+
+  net.mark();
+  net.set_link_state(*bd, true);  // and recover
+  net.run_to_convergence();
+  analyzer.check_all();
+
+  EXPECT_GT(analyzer.report().checks_run, 0u);
+  EXPECT_TRUE(analyzer.report().clean()) << [&] {
+    std::ostringstream os;
+    analyzer.report().print(os);
+    return os.str();
+  }();
+}
+
+// The event hook detaches with the analyzer: a second analyzer attached
+// after the first is destroyed keeps working.
+TEST(AnalyzerSim, DetachesOnDestruction) {
+  topo::AsGraph g = testing::square_topology();
+  util::Rng rng(3);
+  sim::Network net(g, rng);
+  for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
+    net.attach(v, std::make_unique<core::CentaurNode>(g));
+  }
+  { Analyzer scoped(net); }  // attach + detach before any event
+  Analyzer analyzer(net);
+  net.mark();
+  net.start_all_and_converge();
+  analyzer.check_all();
+  EXPECT_TRUE(analyzer.report().clean());
+  EXPECT_GT(analyzer.report().checks_run, 0u);
+}
+
+}  // namespace
+}  // namespace centaur::check

@@ -144,7 +144,9 @@ TEST_P(PrefixLpmProperty, MatchesBruteForce) {
     }
     const auto got = table.lookup(ip);
     ASSERT_EQ(got.has_value(), expect.has_value());
-    if (got) EXPECT_EQ(got->origin, expect->origin);
+    if (got) {
+      EXPECT_EQ(got->origin, expect->origin);
+    }
   }
 }
 
@@ -239,7 +241,9 @@ TEST_P(AggregateRoundTrip, PreservesAddressToOriginMapping) {
     const auto a = before.lookup(ip);
     const auto b = after.lookup(ip);
     ASSERT_EQ(a.has_value(), b.has_value());
-    if (a) EXPECT_EQ(a->origin, b->origin);
+    if (a) {
+      EXPECT_EQ(a->origin, b->origin);
+    }
   }
 }
 

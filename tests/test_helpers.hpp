@@ -1,10 +1,18 @@
 // Shared fixtures for protocol-level tests.
+//
+// In Debug builds (CENTAUR_CHECK) every TestNet attaches the invariant
+// analyzer (src/check): Centaur node state is re-validated after each event
+// and at every convergence point, and any violation fails the test with the
+// analyzer's report.  Non-Centaur nodes are unaffected.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <vector>
 
+#ifdef CENTAUR_CHECK
+#include "check/analyzer.hpp"
+#endif
 #include "sim/network.hpp"
 #include "topology/as_graph.hpp"
 #include "util/rng.hpp"
@@ -23,6 +31,9 @@ class TestNet {
 
   TestNet(topo::AsGraph graph, Factory factory, std::uint64_t seed = 1)
       : graph_(std::move(graph)), rng_(seed), net_(graph_, rng_) {
+#ifdef CENTAUR_CHECK
+    analyzer_ = std::make_unique<check::Analyzer>(net_);
+#endif
     for (topo::NodeId v = 0; v < graph_.num_nodes(); ++v) {
       auto node = factory(v, graph_);
       nodes_.push_back(node.get());
@@ -30,6 +41,7 @@ class TestNet {
     }
     net_.mark();
     net_.start_all_and_converge();
+    analyze_quiescent();
   }
 
   /// Convenience: default-config nodes built from the graph.
@@ -50,13 +62,26 @@ class TestNet {
     net_.mark();
     net_.set_link_state(link, up);
     net_.run_to_convergence();
+    analyze_quiescent();
     return net_.window().messages_sent;
   }
 
  private:
+  /// Sweeps every node at a quiescence point and throws (failing the test)
+  /// on any recorded violation.  No-op outside CENTAUR_CHECK builds.
+  void analyze_quiescent() {
+#ifdef CENTAUR_CHECK
+    analyzer_->check_all();
+    analyzer_->expect_clean();
+#endif
+  }
+
   topo::AsGraph graph_;
   util::Rng rng_;
   sim::Network net_;
+#ifdef CENTAUR_CHECK
+  std::unique_ptr<check::Analyzer> analyzer_;
+#endif
   std::vector<NodeT*> nodes_;
 };
 

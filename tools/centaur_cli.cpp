@@ -7,8 +7,12 @@
 //   centaur routes --topology FILE --vantage AS [--dests K]
 //       Print the vantage AS's valley-free routing table (sampled).
 //   centaur simulate --topology FILE --protocol centaur|bgp|bgp-rcn|ospf
-//                    [--flips K] [--seed S] [--mrai SECONDS]
+//                    [--flips K] [--seed S] [--mrai SECONDS] [--check]
 //       Cold-start the protocol on the topology and measure link flips.
+//       --check runs the simulation in analysis mode (src/check): protocol
+//       invariants are re-validated after every event and at each
+//       quiescence point, and the violation report is printed (exit status
+//       1 if any invariant was breached).
 //
 // Topologies are as-rel files (`a|b|-1` provider, `a|b|0` peer, `a|b|2`
 // sibling); `centaur generate ... > topo.txt` round-trips into every other
@@ -41,19 +45,26 @@ using namespace centaur;
       "  centaur stats    --topology FILE\n"
       "  centaur routes   --topology FILE --vantage AS [--dests K]\n"
       "  centaur simulate --topology FILE --protocol centaur|bgp|bgp-rcn|ospf\n"
-      "                   [--flips K] [--seed S] [--mrai SECONDS]\n";
+      "                   [--flips K] [--seed S] [--mrai SECONDS] [--check]\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
 /// --key value option map; validates that every key is consumed.
+/// A few options are valueless flags (e.g. --check) and store "1".
 class Options {
  public:
   Options(int argc, char** argv, int first) {
+    static const std::set<std::string> kFlags{"check"};
     for (int i = first; i < argc; ++i) {
       const std::string key = argv[i];
-      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+      if (key.rfind("--", 0) != 0) {
         usage("expected --key value pairs, got '" + key + "'");
       }
+      if (kFlags.count(key.substr(2))) {
+        values_[key.substr(2)] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) usage("option " + key + " expects a value");
       values_[key.substr(2)] = argv[++i];
     }
   }
@@ -164,8 +175,10 @@ int cmd_simulate(Options& opt) {
   const std::string proto_name = opt.get("protocol");
   const auto flips = static_cast<std::size_t>(opt.get_long("flips", 10));
   const auto seed = static_cast<std::uint64_t>(opt.get_long("seed", 1));
+  const bool analysis = opt.get("check", "0") == "1";
   eval::RunOptions run_options;
   run_options.bgp_mrai = static_cast<double>(opt.get_long("mrai", 0));
+  if (analysis) run_options.analysis = eval::AnalysisMode::kCollect;
   opt.finish();
 
   eval::Protocol proto;
@@ -200,7 +213,16 @@ int cmd_simulate(Options& opt) {
   table.row({"convergence ms (mean)", util::fmt_double(times.mean() * 1e3, 2)});
   table.row({"convergence ms (p90)",
              util::fmt_double(times.quantile(0.9) * 1e3, 2)});
+  if (analysis) {
+    table.row({"invariant checks", util::fmt_count(series.analysis.checks_run)});
+    table.row({"invariant violations",
+               util::fmt_count(series.analysis.violations_seen)});
+  }
   table.print(std::cout);
+  if (analysis) {
+    series.analysis.print(std::cout);
+    if (!series.analysis.clean()) return 1;
+  }
   return 0;
 }
 
