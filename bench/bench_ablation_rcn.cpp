@@ -19,10 +19,11 @@ using namespace centaur;
 
 }  // namespace
 
-int main() {
-  const auto params = bench::banner(
-      "bench_ablation_rcn",
+int main(int argc, char** argv) {
+  auto io = bench::bench_setup(
+      &argc, argv, "ablation_rcn",
       "Ablation: plain BGP vs BGP-RCN vs Centaur on identical link flips");
+  const auto& params = io.params;
 
   util::Rng topo_rng(params.seed ^ 0xAB2C);
   const topo::AsGraph g = topo::brite_like(
@@ -32,21 +33,41 @@ int main() {
 
   const eval::Protocol protocols[] = {
       eval::Protocol::kBgp, eval::Protocol::kBgpRcn, eval::Protocol::kCentaur};
+  eval::RunOptions opts;
+  opts.analysis = eval::analysis_from_env();
+
+  // One trial per protocol, identical flip sequence (fixed seed), results
+  // assembled in index order after the parallel fan-out.
+  struct Timed {
+    eval::FlipSeries series;
+    double wall_s = 0;
+  };
+  const auto results =
+      runner::run_trials(std::size(protocols), io.threads, [&](std::size_t i) {
+        const runner::Stopwatch sw;
+        Timed t;
+        t.series =
+            eval::run_link_flips(g, protocols[i], params.proto_flip_sample,
+                                 util::Rng(params.seed ^ 0xAB2D), opts);
+        t.wall_s = sw.seconds();
+        return t;
+      });
 
   util::TextTable table("Messages per link-flip event");
   table.header({"protocol", "mean", "median", "p90", "max", "cold-start"});
   std::vector<double> means;
-  for (const eval::Protocol proto : protocols) {
-    const auto series = eval::run_link_flips(
-        g, proto, params.proto_flip_sample, util::Rng(params.seed ^ 0xAB2D));
+  for (std::size_t i = 0; i < std::size(protocols); ++i) {
+    const auto& series = results[i].series;
     util::Accumulator acc;
     for (double m : series.message_counts) acc.add(m);
     means.push_back(acc.mean());
-    table.row({eval::to_string(proto), util::fmt_double(acc.mean(), 1),
+    table.row({eval::to_string(protocols[i]), util::fmt_double(acc.mean(), 1),
                util::fmt_double(acc.median(), 1),
                util::fmt_double(acc.quantile(0.9), 1),
                util::fmt_double(acc.max(), 0),
                util::fmt_count(series.cold_start.messages_sent)});
+    io.report.add(bench::series_trial(eval::to_string(protocols[i]),
+                                      results[i].wall_s, series));
   }
   table.print(std::cout);
 
@@ -63,5 +84,6 @@ int main() {
                "from changing the announcement unit from paths to links —\n"
                "supporting the paper's argument (S1, S7) that piggy-backed\n"
                "root-cause info on path vector is not enough.\n";
+  io.report.write();
   return 0;
 }

@@ -15,8 +15,10 @@ namespace {
 
 using namespace centaur;
 
-void report(const std::string& name, const topo::AsGraph& g,
-            std::size_t link_sample, std::uint64_t seed) {
+runner::TrialResult report(const std::string& name, const std::string& tag,
+                           const topo::AsGraph& g, std::size_t link_sample,
+                           std::uint64_t seed) {
+  const runner::Stopwatch sw;
   util::Rng rng(seed);
   const eval::FailureOverhead fo =
       eval::immediate_failure_overhead(g, link_sample, rng);
@@ -53,20 +55,36 @@ void report(const std::string& name, const topo::AsGraph& g,
              util::fmt_double(cent_cdf.inverse(q), 0)});
   }
   cdf.print(std::cout);
+
+  // This is a static (no-simulator) analysis: events/messages/bytes stay 0,
+  // the figure values travel as named metrics.
+  runner::TrialResult t;
+  t.name = tag;
+  t.wall_time_s = sw.seconds();
+  t.metrics.emplace_back("links_sampled",
+                         static_cast<double>(fo.links_sampled));
+  t.metrics.emplace_back("bgp_mean_msgs", fo.bgp_messages.mean());
+  t.metrics.emplace_back("centaur_mean_msgs", fo.centaur_messages.mean());
+  t.metrics.emplace_back("reduction_factor", ratio);
+  return t;
 }
 
 }  // namespace
 
-int main() {
-  const auto params = bench::banner(
-      "bench_fig5_failure_overhead",
+int main(int argc, char** argv) {
+  auto io = bench::bench_setup(
+      &argc, argv, "fig5_failure_overhead",
       "Figure 5: immediate update messages after one link failure "
       "(BGP vs Centaur, no cascading)");
+  const auto& params = io.params;
 
   const auto standins = bench::make_measured_standins(params);
-  report("CAIDA-like topology", standins.caida_like, params.fig5_link_sample,
-         params.seed ^ 0xF150);
-  report("HeTop-like topology", standins.hetop_like, params.fig5_link_sample,
-         params.seed ^ 0xF151);
+  io.report.add(report("CAIDA-like topology", "caida_like",
+                       standins.caida_like, params.fig5_link_sample,
+                       params.seed ^ 0xF150));
+  io.report.add(report("HeTop-like topology", "hetop_like",
+                       standins.hetop_like, params.fig5_link_sample,
+                       params.seed ^ 0xF151));
+  io.report.write();
   return 0;
 }

@@ -17,10 +17,11 @@ using namespace centaur;
 
 }  // namespace
 
-int main() {
-  const auto params = bench::banner(
-      "bench_fig7_convergence_load",
+int main(int argc, char** argv) {
+  auto io = bench::bench_setup(
+      &argc, argv, "fig7_convergence_load",
       "Figure 7: CDF of message load per link flip (Centaur vs OSPF)");
+  const auto& params = io.params;
 
   util::Rng topo_rng(params.seed ^ 0xF170);
   const topo::AsGraph g = topo::brite_like(
@@ -29,12 +30,38 @@ int main() {
   std::cout << topo::compute_stats(g, "BRITE-like prototype topology")
             << "\n\n";
 
-  const auto centaur_series = eval::run_link_flips(
-      g, eval::Protocol::kCentaur, params.proto_flip_sample,
-      util::Rng(params.seed ^ 0xF7F7));
-  const auto ospf_series = eval::run_link_flips(
-      g, eval::Protocol::kOspf, params.proto_flip_sample,
-      util::Rng(params.seed ^ 0xF7F7));  // identical flip sequence
+  eval::RunOptions opts;
+  opts.analysis = eval::analysis_from_env();
+  // Both arms replay the identical flip sequence (same fixed seed) — one
+  // trial per protocol through the parallel driver.
+  struct Arm {
+    const char* name;
+    eval::Protocol proto;
+  };
+  const Arm arms[] = {
+      {"centaur", eval::Protocol::kCentaur},
+      {"ospf", eval::Protocol::kOspf},
+  };
+  struct Timed {
+    eval::FlipSeries series;
+    double wall_s = 0;
+  };
+  const auto results =
+      runner::run_trials(std::size(arms), io.threads, [&](std::size_t i) {
+        const runner::Stopwatch sw;
+        Timed t;
+        t.series = eval::run_link_flips(g, arms[i].proto,
+                                        params.proto_flip_sample,
+                                        util::Rng(params.seed ^ 0xF7F7), opts);
+        t.wall_s = sw.seconds();
+        return t;
+      });
+  for (std::size_t i = 0; i < std::size(arms); ++i) {
+    io.report.add(
+        bench::series_trial(arms[i].name, results[i].wall_s, results[i].series));
+  }
+  const auto& centaur_series = results[0].series;
+  const auto& ospf_series = results[1].series;
 
   const util::Cdf centaur_cdf(centaur_series.message_counts);
   const util::Cdf ospf_cdf(ospf_series.message_counts);
@@ -64,5 +91,6 @@ int main() {
             << "OSPF floods every change over every link (no policies);\n"
                "Centaur's tail cases are flips near well-connected cores\n"
                "where selected-path churn touches many neighbors.\n";
+  io.report.write();
   return 0;
 }

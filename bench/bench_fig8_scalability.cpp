@@ -23,44 +23,80 @@ double mean(const std::vector<double>& v) {
 
 }  // namespace
 
-int main() {
-  const auto params = bench::banner(
-      "bench_fig8_scalability",
+int main(int argc, char** argv) {
+  auto io = bench::bench_setup(
+      &argc, argv, "fig8_scalability",
       "Figure 8: update overhead per routing event vs topology size "
       "(Centaur vs BGP)");
+  const auto& params = io.params;
 
   util::TextTable table("Figure 8 — mean messages per link-flip event");
   table.header({"Nodes", "Links", "Centaur", "BGP", "BGP/Centaur",
                 "Centaur cold-start", "BGP cold-start"});
 
   const std::size_t steps = std::max<std::size_t>(2, params.fig8_steps);
+  const std::size_t flips =
+      std::max<std::size_t>(1, params.fig8_events_per_size / 2);
+  const eval::Protocol protos[] = {eval::Protocol::kCentaur,
+                                   eval::Protocol::kBgp};
+  eval::RunOptions opts;
+  opts.analysis = eval::analysis_from_env();
+
+  // steps x protocols independent trials.  Each trial regenerates its
+  // topology from the per-size seed (deterministic, so the two protocol
+  // arms of a size see the identical graph) and replays the size's flip
+  // sequence; trial inputs are a pure function of the index, making the
+  // fan-out bit-identical to a serial run.
+  struct Timed {
+    eval::FlipSeries series;
+    std::size_t nodes = 0;
+    std::size_t links = 0;
+    double wall_s = 0;
+  };
+  const std::size_t trial_count = steps * std::size(protos);
+  const auto results =
+      runner::run_trials(trial_count, io.threads, [&](std::size_t i) {
+        const std::size_t s = i / std::size(protos);
+        const eval::Protocol proto = protos[i % std::size(protos)];
+        const std::size_t n =
+            params.fig8_min_nodes +
+            (params.fig8_max_nodes - params.fig8_min_nodes) * s / (steps - 1);
+        util::Rng topo_rng(params.seed ^ (0xF180 + s));
+        const topo::AsGraph g =
+            topo::brite_like(n, 2, std::max<std::size_t>(4, n / 40), topo_rng);
+        const runner::Stopwatch sw;
+        Timed t;
+        t.series = eval::run_link_flips(g, proto, flips,
+                                        util::Rng(params.seed ^ 0xF888), opts);
+        t.nodes = n;
+        t.links = g.num_links();
+        t.wall_s = sw.seconds();
+        return t;
+      });
+
   for (std::size_t s = 0; s < steps; ++s) {
-    const std::size_t n =
-        params.fig8_min_nodes +
-        (params.fig8_max_nodes - params.fig8_min_nodes) * s / (steps - 1);
-    util::Rng topo_rng(params.seed ^ (0xF180 + s));
-    const topo::AsGraph g =
-        topo::brite_like(n, 2, std::max<std::size_t>(4, n / 40), topo_rng);
-
-    const std::size_t flips =
-        std::max<std::size_t>(1, params.fig8_events_per_size / 2);
-    const auto centaur_series = eval::run_link_flips(
-        g, eval::Protocol::kCentaur, flips, util::Rng(params.seed ^ 0xF888));
-    const auto bgp_series = eval::run_link_flips(
-        g, eval::Protocol::kBgp, flips, util::Rng(params.seed ^ 0xF888));
-
-    const double cm = mean(centaur_series.message_counts);
-    const double bm = mean(bgp_series.message_counts);
-    table.row({util::fmt_count(n), util::fmt_count(g.num_links()),
+    const Timed& centaur = results[s * std::size(protos)];
+    const Timed& bgp = results[s * std::size(protos) + 1];
+    const double cm = mean(centaur.series.message_counts);
+    const double bm = mean(bgp.series.message_counts);
+    table.row({util::fmt_count(centaur.nodes), util::fmt_count(centaur.links),
                util::fmt_double(cm, 1), util::fmt_double(bm, 1),
                util::fmt_double(bm / std::max(1.0, cm), 2),
-               util::fmt_count(centaur_series.cold_start.messages_sent),
-               util::fmt_count(bgp_series.cold_start.messages_sent)});
+               util::fmt_count(centaur.series.cold_start.messages_sent),
+               util::fmt_count(bgp.series.cold_start.messages_sent)});
+    for (const Timed* t : {&centaur, &bgp}) {
+      const bool is_centaur = t == &centaur;
+      io.report.add(bench::series_trial(
+          std::string(is_centaur ? "centaur_n" : "bgp_n") +
+              std::to_string(t->nodes),
+          t->wall_s, t->series));
+    }
   }
   table.print(std::cout);
 
   std::cout << "Shape check: the BGP/Centaur ratio should grow with the\n"
                "topology size — \"Centaur presents more distinct advantage\n"
                "on larger topologies\" (paper Fig 8).\n";
+  io.report.write();
   return 0;
 }

@@ -2,16 +2,23 @@
 // S6.3 analyses: BuildGraph (O(|E| * alpha)), DerivePath (O(d * i)), the
 // announcement diff/apply path, the valley-free solver, and the Bloom
 // filter used for Permission-List compression.
+//
+// The custom main (bottom of file) mirrors every per-iteration run into the
+// shared BENCH_micro.json report when --json / CENTAUR_BENCH_JSON is set —
+// these numbers are the committed perf baselines CI diffs against.
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
 
 #include "centaur/announce.hpp"
 #include "centaur/build_graph.hpp"
 #include "policy/valley_free.hpp"
+#include "runner/bench_report.hpp"
 #include "topology/generator.hpp"
 #include "util/bloom.hpp"
 #include "util/rng.hpp"
+#include "util/scale.hpp"
 
 namespace {
 
@@ -135,6 +142,53 @@ void BM_PermissionListLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_PermissionListLookup)->Range(8, 1024);
 
+// Console reporting plus collection of per-iteration runs into the shared
+// JSON schema (wall_time_s = mean real time per iteration; iteration count
+// and items/s travel as metrics).  Aggregate rows (BigO/RMS) stay
+// console-only.
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCollector(runner::BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      runner::TrialResult t;
+      t.name = run.benchmark_name();
+      t.wall_time_s =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : 0.0;
+      t.metrics.emplace_back("iterations",
+                             static_cast<double>(run.iterations));
+      for (const auto& [counter_name, counter] : run.counters) {
+        t.metrics.emplace_back(counter_name, counter.value);
+      }
+      report_->add(std::move(t));
+    }
+  }
+
+ private:
+  runner::BenchReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path =
+      runner::BenchReport::resolve_path(&argc, argv, "micro");
+  runner::BenchReport report("micro",
+                             centaur::util::to_string(
+                                 centaur::util::scale_from_env()),
+                             /*threads=*/1);
+  report.set_path(json_path);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCollector collector(&report);
+  benchmark::RunSpecifiedBenchmarks(&collector);
+  benchmark::Shutdown();
+  report.write();
+  return 0;
+}

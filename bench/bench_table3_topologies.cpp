@@ -20,20 +20,43 @@ void add_row(util::TextTable& table, const topo::TopologyStats& s) {
                                static_cast<double>(s.links))});
 }
 
+runner::TrialResult topo_trial(const std::string& tag, double wall_s,
+                               const topo::TopologyStats& s) {
+  runner::TrialResult t;
+  t.name = tag;
+  t.wall_time_s = wall_s;
+  t.metrics.emplace_back("nodes", static_cast<double>(s.nodes));
+  t.metrics.emplace_back("links", static_cast<double>(s.links));
+  t.metrics.emplace_back("avg_degree", s.avg_degree);
+  t.metrics.emplace_back("peering_fraction",
+                         static_cast<double>(s.peering) /
+                             static_cast<double>(s.links));
+  return t;
+}
+
 }  // namespace
 
-int main() {
-  const auto params = bench::banner(
-      "bench_table3_topologies",
+int main(int argc, char** argv) {
+  auto io = bench::bench_setup(
+      &argc, argv, "table3_topologies",
       "Table 3: characteristics of input topologies (synthetic stand-ins)");
+  const auto& params = io.params;
 
+  const runner::Stopwatch gen_sw;
   const auto standins = bench::make_measured_standins(params);
+  const double gen_s = gen_sw.seconds();
 
   util::TextTable table("Table 3 — input topologies");
   table.header({"Name", "Nodes", "Links", "Peering", "Provider", "Sibling",
                 "AvgDeg", "Peer%"});
-  add_row(table, topo::compute_stats(standins.caida_like, "CAIDA-like (ours)"));
-  add_row(table, topo::compute_stats(standins.hetop_like, "HeTop-like (ours)"));
+  const auto caida_stats =
+      topo::compute_stats(standins.caida_like, "CAIDA-like (ours)");
+  const auto hetop_stats =
+      topo::compute_stats(standins.hetop_like, "HeTop-like (ours)");
+  add_row(table, caida_stats);
+  add_row(table, hetop_stats);
+  io.report.add(topo_trial("caida_like", gen_s / 2, caida_stats));
+  io.report.add(topo_trial("hetop_like", gen_s / 2, hetop_stats));
   table.row({"CAIDA/Sep'07 (paper)", "26,022", "52,691", "4,002", "48,457",
              "232", "4.05", "7.6%"});
   table.row({"HeTop/May'05 (paper)", "19,940", "59,508", "20,983", "38,265",
@@ -43,5 +66,6 @@ int main() {
   std::cout << "Shape checks: peering fraction and average degree of each\n"
                "stand-in should track its paper row; absolute node counts\n"
                "scale with CENTAUR_SCALE.\n";
+  io.report.write();
   return 0;
 }

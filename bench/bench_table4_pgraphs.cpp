@@ -18,49 +18,86 @@ using namespace centaur;
 using eval::PathSetMode;
 using eval::PlistScheme;
 
-void add_rows(util::TextTable& table, const std::string& name,
-              const topo::AsGraph& g, std::size_t vantages,
-              std::uint64_t seed) {
-  const struct {
-    const char* tag;
-    PathSetMode mode;
-    PlistScheme scheme;
-  } variants[] = {
-      {"multipath/minimal", PathSetMode::kMultipath, PlistScheme::kMinimal},
-      {"multipath/per-link", PathSetMode::kMultipath, PlistScheme::kPerLink},
-      {"single-path/minimal", PathSetMode::kSinglePath, PlistScheme::kMinimal},
-  };
-  for (const auto& v : variants) {
-    util::Rng rng(seed);
-    const eval::PGraphStats s =
-        eval::compute_pgraph_stats(g, vantages, rng, v.mode, v.scheme);
-    table.row({name + " (" + v.tag + ")",
-               util::fmt_double(s.avg_links, 1),
-               util::fmt_double(s.avg_plists, 1),
-               util::fmt_double(s.avg_links /
-                                    static_cast<double>(g.num_nodes()),
-                                3),
-               util::fmt_double(s.avg_plists / std::max(1.0, s.avg_links), 3),
-               util::fmt_double(s.path_length.mean(), 2)});
-  }
-}
+struct Variant {
+  const char* tag;
+  PathSetMode mode;
+  PlistScheme scheme;
+};
+
+constexpr Variant kVariants[] = {
+    {"multipath/minimal", PathSetMode::kMultipath, PlistScheme::kMinimal},
+    {"multipath/per-link", PathSetMode::kMultipath, PlistScheme::kPerLink},
+    {"single-path/minimal", PathSetMode::kSinglePath, PlistScheme::kMinimal},
+};
 
 }  // namespace
 
-int main() {
-  const auto params = bench::banner(
-      "bench_table4_pgraphs",
-      "Table 4: structural characteristics of P-graphs");
+int main(int argc, char** argv) {
+  auto io = bench::bench_setup(&argc, argv, "table4_pgraphs",
+                               "Table 4: structural characteristics of "
+                               "P-graphs");
+  const auto& params = io.params;
 
   const auto standins = bench::make_measured_standins(params);
+
+  // topology x variant grid, one trial each, fanned across the driver.
+  // Each trial reseeds its own Rng from the job description, so the grid is
+  // order-independent.
+  struct Job {
+    std::string name;
+    const topo::AsGraph* g;
+    std::uint64_t seed;
+    Variant variant;
+  };
+  std::vector<Job> jobs;
+  for (const auto& v : kVariants) {
+    jobs.push_back(
+        {"CAIDA-like", &standins.caida_like, params.seed ^ 0x7A41, v});
+  }
+  for (const auto& v : kVariants) {
+    jobs.push_back(
+        {"HeTop-like", &standins.hetop_like, params.seed ^ 0x7A42, v});
+  }
+  struct Timed {
+    eval::PGraphStats stats;
+    double wall_s = 0;
+  };
+  const auto results =
+      runner::run_trials(jobs.size(), io.threads, [&](std::size_t i) {
+        const Job& job = jobs[i];
+        const runner::Stopwatch sw;
+        util::Rng rng(job.seed);
+        Timed t;
+        t.stats = eval::compute_pgraph_stats(*job.g,
+                                             params.pgraph_vantage_sample, rng,
+                                             job.variant.mode,
+                                             job.variant.scheme);
+        t.wall_s = sw.seconds();
+        return t;
+      });
 
   util::TextTable table("Table 4 — P-graph structure (averages per vantage)");
   table.header({"Topology", "Links", "PermLists", "Links/node",
                 "PermLists/link", "AvgPathLen"});
-  add_rows(table, "CAIDA-like", standins.caida_like,
-           params.pgraph_vantage_sample, params.seed ^ 0x7A41);
-  add_rows(table, "HeTop-like", standins.hetop_like,
-           params.pgraph_vantage_sample, params.seed ^ 0x7A42);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const eval::PGraphStats& s = results[i].stats;
+    table.row({job.name + " (" + job.variant.tag + ")",
+               util::fmt_double(s.avg_links, 1),
+               util::fmt_double(s.avg_plists, 1),
+               util::fmt_double(s.avg_links /
+                                    static_cast<double>(job.g->num_nodes()),
+                                3),
+               util::fmt_double(s.avg_plists / std::max(1.0, s.avg_links), 3),
+               util::fmt_double(s.path_length.mean(), 2)});
+    runner::TrialResult trial;
+    trial.name = job.name + "/" + job.variant.tag;
+    trial.wall_time_s = results[i].wall_s;
+    trial.metrics.emplace_back("avg_links", s.avg_links);
+    trial.metrics.emplace_back("avg_plists", s.avg_plists);
+    trial.metrics.emplace_back("avg_path_len", s.path_length.mean());
+    io.report.add(std::move(trial));
+  }
   table.row({"CAIDA (paper)", "40339", "14437", "1.550", "0.358", "-"});
   table.row({"HeTop (paper)", "32006", "12219", "1.605", "0.382", "-"});
   table.print(std::cout);
@@ -70,5 +107,6 @@ int main() {
                "Shape checks: P-graphs are sparse supersets of spanning\n"
                "trees (links/node slightly above 1); a minority of links\n"
                "carry Permission Lists.\n";
+  io.report.write();
   return 0;
 }

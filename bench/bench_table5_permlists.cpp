@@ -16,48 +16,76 @@ using namespace centaur;
 using eval::PathSetMode;
 using eval::PlistScheme;
 
-void add_row(util::TextTable& table, util::TextTable& bytes,
-             const std::string& name, const topo::AsGraph& g,
-             std::size_t vantages, std::uint64_t seed, PathSetMode mode,
-             PlistScheme scheme, const char* tag) {
-  util::Rng rng(seed);
-  const eval::PGraphStats s =
-      eval::compute_pgraph_stats(g, vantages, rng, mode, scheme);
-  table.row({name + " (" + tag + ")", util::fmt_percent(s.frac_entries_1),
-             util::fmt_percent(s.frac_entries_2),
-             util::fmt_percent(s.frac_entries_3),
-             util::fmt_percent(s.frac_entries_gt3),
-             util::fmt_count(s.plists_total)});
-  bytes.row({name + " (" + tag + ")",
-             util::fmt_double(s.plist_bytes_raw.mean(), 1),
-             util::fmt_double(s.plist_bytes_raw.quantile(0.99), 1),
-             util::fmt_double(s.plist_bytes_bloom.mean(), 1)});
-}
-
 }  // namespace
 
-int main() {
-  const auto params = bench::banner(
-      "bench_table5_permlists",
-      "Table 5: number of entries per Permission List");
+int main(int argc, char** argv) {
+  auto io = bench::bench_setup(&argc, argv, "table5_permlists",
+                               "Table 5: number of entries per Permission "
+                               "List");
+  const auto& params = io.params;
 
   const auto standins = bench::make_measured_standins(params);
+
+  // mode x topology grid, one trial each, fanned across the driver.
+  struct Job {
+    std::string name;
+    const topo::AsGraph* g;
+    std::uint64_t seed;
+    PathSetMode mode;
+    const char* tag;
+  };
+  std::vector<Job> jobs;
+  for (const auto mode : {PathSetMode::kMultipath, PathSetMode::kSinglePath}) {
+    const char* tag =
+        mode == PathSetMode::kMultipath ? "multipath" : "single-path";
+    jobs.push_back({"CAIDA-like", &standins.caida_like, params.seed ^ 0x7A51,
+                    mode, tag});
+    jobs.push_back({"HeTop-like", &standins.hetop_like, params.seed ^ 0x7A52,
+                    mode, tag});
+  }
+  struct Timed {
+    eval::PGraphStats stats;
+    double wall_s = 0;
+  };
+  const auto results =
+      runner::run_trials(jobs.size(), io.threads, [&](std::size_t i) {
+        const Job& job = jobs[i];
+        const runner::Stopwatch sw;
+        util::Rng rng(job.seed);
+        Timed t;
+        t.stats = eval::compute_pgraph_stats(*job.g,
+                                             params.pgraph_vantage_sample, rng,
+                                             job.mode, PlistScheme::kMinimal);
+        t.wall_s = sw.seconds();
+        return t;
+      });
 
   util::TextTable table("Table 5 — Permission List entry distribution");
   table.header({"Topology", "=1", "=2", "=3", ">3", "#lists"});
   util::TextTable bytes("Permission List sizes (bytes, ours)");
   bytes.header({"Topology", "raw mean", "raw p99", "bloom mean"});
 
-  for (const auto mode :
-       {PathSetMode::kMultipath, PathSetMode::kSinglePath}) {
-    const char* tag =
-        mode == PathSetMode::kMultipath ? "multipath" : "single-path";
-    add_row(table, bytes, "CAIDA-like", standins.caida_like,
-            params.pgraph_vantage_sample, params.seed ^ 0x7A51, mode,
-            PlistScheme::kMinimal, tag);
-    add_row(table, bytes, "HeTop-like", standins.hetop_like,
-            params.pgraph_vantage_sample, params.seed ^ 0x7A52, mode,
-            PlistScheme::kMinimal, tag);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const eval::PGraphStats& s = results[i].stats;
+    table.row({job.name + " (" + job.tag + ")",
+               util::fmt_percent(s.frac_entries_1),
+               util::fmt_percent(s.frac_entries_2),
+               util::fmt_percent(s.frac_entries_3),
+               util::fmt_percent(s.frac_entries_gt3),
+               util::fmt_count(s.plists_total)});
+    bytes.row({job.name + " (" + job.tag + ")",
+               util::fmt_double(s.plist_bytes_raw.mean(), 1),
+               util::fmt_double(s.plist_bytes_raw.quantile(0.99), 1),
+               util::fmt_double(s.plist_bytes_bloom.mean(), 1)});
+    runner::TrialResult trial;
+    trial.name = job.name + "/" + job.tag;
+    trial.wall_time_s = results[i].wall_s;
+    trial.metrics.emplace_back("plists_total",
+                               static_cast<double>(s.plists_total));
+    trial.metrics.emplace_back("frac_entries_2", s.frac_entries_2);
+    trial.metrics.emplace_back("raw_bytes_mean", s.plist_bytes_raw.mean());
+    io.report.add(std::move(trial));
   }
   table.row({"CAIDA (paper)", "0.7%", "91.9%", "7.0%", "0.6%", "-"});
   table.row({"HeTop (paper)", "0.7%", "92.9%", "6.4%", "0.1%", "-"});
@@ -68,5 +96,6 @@ int main() {
                "counts concentrate at the low end (the paper's point in\n"
                "S4.1/S6.3); see EXPERIMENTS.md for the distribution-shape\n"
                "discussion.\n";
+  io.report.write();
   return 0;
 }

@@ -9,11 +9,16 @@
 
 #include <iostream>
 #include <string>
+#include <utility>
 
+#include "eval/experiments.hpp"
+#include "runner/bench_report.hpp"
+#include "runner/parallel.hpp"
 #include "topology/generator.hpp"
 #include "topology/stats.hpp"
 #include "util/rng.hpp"
 #include "util/scale.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace centaur::bench {
@@ -21,17 +26,65 @@ namespace centaur::bench {
 using util::Scale;
 using util::ScaleParams;
 
-/// Prints the standard bench banner and returns the active scale params.
-inline ScaleParams banner(const std::string& name, const std::string& what) {
+/// Everything a bench main needs: the scale parameters, the trial-driver
+/// worker count, and the (possibly disabled) JSON report.
+struct BenchIo {
+  ScaleParams params;
+  std::size_t threads = 1;
+  runner::BenchReport report;
+};
+
+/// Parses `--json <path>` out of argv, reads CENTAUR_SCALE / CENTAUR_THREADS
+/// / CENTAUR_BENCH_JSON, prints the standard banner, and returns the bundle.
+/// `name` is the bench's short name (no "bench_" prefix) — it keys the
+/// default BENCH_<name>.json file name.
+inline BenchIo bench_setup(int* argc, char** argv, const std::string& name,
+                           const std::string& what) {
   const Scale scale = util::scale_from_env();
-  const ScaleParams params = util::params_for(scale);
+  const std::size_t threads = runner::threads_from_env();
+  BenchIo io{util::params_for(scale), threads,
+             runner::BenchReport(name, util::to_string(scale), threads)};
+  io.report.set_path(runner::BenchReport::resolve_path(argc, argv, name));
   std::cout << "################################################################\n"
-            << "# " << name << "\n"
+            << "# bench_" << name << "\n"
             << "# " << what << "\n"
             << "# scale=" << util::to_string(scale)
-            << " (set CENTAUR_SCALE=smoke|default|large)\n"
+            << " (set CENTAUR_SCALE=smoke|default|large)"
+            << " threads=" << threads << " (CENTAUR_THREADS)\n"
+            << "# json="
+            << (io.report.enabled() ? "on (--json / CENTAUR_BENCH_JSON)"
+                                    : "off (--json <path> to enable)")
+            << "\n"
             << "################################################################\n\n";
-  return params;
+  return io;
+}
+
+/// Packages a link-flip series as a JSON trial row: run totals plus the
+/// summary metrics the figures are drawn from.
+inline runner::TrialResult series_trial(std::string name, double wall_s,
+                                        const eval::FlipSeries& s) {
+  runner::TrialResult t;
+  t.name = std::move(name);
+  t.wall_time_s = wall_s;
+  t.events = s.events;
+  t.messages = s.total_messages;
+  t.bytes = s.total_bytes;
+  util::Accumulator conv, msgs;
+  for (const double c : s.convergence_times) conv.add(c);
+  for (const double m : s.message_counts) msgs.add(m);
+  t.metrics.emplace_back("transitions",
+                         static_cast<double>(s.convergence_times.size()));
+  if (!s.convergence_times.empty()) {
+    t.metrics.emplace_back("mean_convergence_s", conv.mean());
+    t.metrics.emplace_back("mean_messages_per_flip", msgs.mean());
+  }
+  t.metrics.emplace_back(
+      "cold_start_messages",
+      static_cast<double>(s.cold_start.messages_sent));
+  t.metrics.emplace_back("cold_start_time_s", s.cold_start_time);
+  t.metrics.emplace_back("check_violations",
+                         static_cast<double>(s.analysis.violations_seen));
+  return t;
 }
 
 /// The two synthetic measured-topology stand-ins (see DESIGN.md for the

@@ -90,8 +90,8 @@ bool apply_delta(PGraph& g, const GraphDelta& delta, NodeId self,
   for (const auto& [link, plist] : delta.upserts) {
     if (link.to == self) continue;  // loop elimination (Step 2)
     if (import_allowed && !import_allowed(link.from, link.to)) continue;
-    const bool added = g.add_link(link.from, link.to);
-    LinkData& data = g.link_data(link.from, link.to);
+    bool added = false;
+    LinkData& data = g.ensure_link(link.from, link.to, added);
     if (added || !(data.plist == plist)) {
       data.plist = plist;
       changed = true;

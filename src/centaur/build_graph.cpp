@@ -15,8 +15,8 @@ void add_path_to_pgraph(PGraph& g, const Path& path) {
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     const NodeId a = path[i];
     const NodeId b = path[i + 1];
-    g.add_link(a, b);
-    LinkData& data = g.link_data(a, b);
+    bool added = false;
+    LinkData& data = g.ensure_link(a, b, added);
     ++data.counter;
     // Next hop of B toward dest (kNoNextHop when B is the destination).
     const NodeId next = (i + 2 < path.size()) ? path[i + 2] : kNoNextHop;

@@ -68,37 +68,35 @@ std::set<NodeId> CentaurNode::refresh_derived(NeighborState& state,
 
     // Re-index the walk if it changed (failed walks are indexed too: their
     // outcome can only flip when an in-link of a walked node changes).
-    const auto chain_it = state.chains.find(dest);
-    const bool had_chain = chain_it != state.chains.end();
-    if (!had_chain || chain_it->second != visited) {
-      if (had_chain) {
-        for (const NodeId node : chain_it->second) {
-          const auto idx = state.chain_index.find(node);
-          if (idx != state.chain_index.end()) {
-            idx->second.erase(dest);
-            if (idx->second.empty()) state.chain_index.erase(idx);
+    std::vector<NodeId>* chain = state.chains.find(dest);
+    if (chain == nullptr || *chain != visited) {
+      if (chain != nullptr) {
+        for (const NodeId node : *chain) {
+          auto* idx = state.chain_index.find(node);
+          if (idx != nullptr) {
+            util::sorted_erase(*idx, dest);
+            if (idx->empty()) state.chain_index.erase(node);
           }
         }
       }
       if (marked) {
         for (const NodeId node : visited) {
-          state.chain_index[node].insert(dest);
+          util::sorted_insert(state.chain_index[node], dest);
         }
         state.chains[dest] = visited;
-      } else if (had_chain) {
-        state.chains.erase(chain_it);
+      } else if (chain != nullptr) {
+        state.chains.erase(dest);
       }
     }
 
     // Report only selection-relevant changes (path appeared/changed/gone).
-    const auto old_it = state.derived.find(dest);
-    const bool had = old_it != state.derived.end();
+    Path* old_path = state.derived.find(dest);
     if (fresh) {
-      if (had && *fresh == old_it->second) continue;
+      if (old_path != nullptr && *fresh == *old_path) continue;
       state.derived[dest] = std::move(*fresh);
     } else {
-      if (!had) continue;
-      state.derived.erase(old_it);
+      if (old_path == nullptr) continue;
+      state.derived.erase(dest);
     }
     changed.insert(dest);
   }
@@ -160,9 +158,9 @@ bool CentaurNode::reselect(const std::set<NodeId>& dests) {
     Candidate best{};
     for (const auto& [nbr, state] : rib_) {
       if (!neighbor_usable(nbr)) continue;
-      const auto it = state.derived.find(dest);
-      if (it == state.derived.end()) continue;
-      const Path& sub = it->second;
+      const Path* derived = state.derived.find(dest);
+      if (derived == nullptr) continue;
+      const Path& sub = *derived;
       // Loop detection (Observation 1): discard downstream paths that
       // already contain this node.
       if (std::find(sub.begin(), sub.end(), self()) != sub.end()) continue;
@@ -281,13 +279,15 @@ void CentaurNode::flood() {
   };
   for (const DirectedLink& link : touched_links_) {
     // Full view: every link of the local P-graph, Permission List on the
-    // wire only while the head is multi-homed.
+    // wire only while the head is multi-homed.  One probe resolves both
+    // presence and payload (find_link_data; the seed did has_link +
+    // link_data).
     std::optional<PermissionList> full_now;
-    const bool present = local_.has_link(link.from, link.to);
+    const LinkData* data = local_.find_link_data(link.from, link.to);
+    const bool present = data != nullptr;
     const bool multi = present && local_.multi_homed(link.to);
     if (present) {
-      full_now = multi ? local_.link_data(link.from, link.to).plist
-                       : PermissionList{};
+      full_now = multi ? data->plist : PermissionList{};
     }
     update_link(exported_full_, link, std::move(full_now), full_delta);
 
@@ -378,9 +378,9 @@ void CentaurNode::on_message(NodeId from, const sim::MessagePtr& msg) {
     for (const auto& [dest, path] : state.derived) dirty.insert(dest);
   } else {
     auto touch = [&](NodeId node) {
-      const auto idx = state.chain_index.find(node);
-      if (idx != state.chain_index.end()) {
-        dirty.insert(idx->second.begin(), idx->second.end());
+      const auto* idx = state.chain_index.find(node);
+      if (idx != nullptr) {
+        dirty.insert(idx->begin(), idx->end());
       }
     };
     for (const auto& [link, plist] : delta.upserts) touch(link.to);
@@ -464,7 +464,7 @@ std::vector<NodeId> CentaurNode::rib_neighbors() const {
   return out;
 }
 
-const std::map<NodeId, Path>* CentaurNode::neighbor_derived(
+const CentaurNode::PathCache* CentaurNode::neighbor_derived(
     NodeId neighbor) const {
   const auto it = rib_.find(neighbor);
   return it == rib_.end() ? nullptr : &it->second.derived;

@@ -30,6 +30,8 @@
 #include "policy/policy.hpp"
 #include "policy/valley_free.hpp"
 #include "sim/network.hpp"
+#include "util/flat_map.hpp"
+#include "util/small_vec.hpp"
 
 namespace centaur::core {
 
@@ -82,6 +84,9 @@ class CentaurNode : public sim::Node {
   /// policy changes (S4.3.2 treats those like link-state changes).
   void policy_changed();
 
+  /// Derived-path cache: flat hash map dest -> path (DESIGN.md §5).
+  using PathCache = util::FlatMap<NodeId, Path>;
+
   // --- inspection (tests, experiments, invariant checker) -----------------
   const PGraph& local_pgraph() const { return local_; }
   /// The assembled P-graph received from `neighbor`, if any.
@@ -92,7 +97,7 @@ class CentaurNode : public sim::Node {
   std::vector<topo::NodeId> rib_neighbors() const;
   /// The derived-path cache kept for `neighbor`'s P-graph (successful
   /// derivations only), or nullptr if there is no RIB state for it.
-  const std::map<NodeId, Path>* neighbor_derived(topo::NodeId neighbor) const;
+  const PathCache* neighbor_derived(topo::NodeId neighbor) const;
 
  private:
   /// Per-neighbor RIB state: the assembled P-graph plus caches that make
@@ -101,15 +106,18 @@ class CentaurNode : public sim::Node {
   /// derived walk visits them (a delta touching node X can only change
   /// derivations walking through X), and the set of marked-but-underivable
   /// destinations (rechecked whenever links appear).
+  /// All three caches are flat hash maps (the seed used node-based
+  /// std::map); chain-index destination sets are sorted small-vectors.
   struct NeighborState {
     explicit NeighborState(topo::NodeId root) : graph(root) {}
-    PGraph graph;                    // G_{B->self}
-    std::map<NodeId, Path> derived;  // dest -> path B..dest (successes)
+    PGraph graph;       // G_{B->self}
+    PathCache derived;  // dest -> path B..dest (successes)
     /// Nodes examined by each destination's derivation walk — recorded for
     /// failed walks too (the outcome can only change when an in-link of a
     /// walked node changes, so this is a precise invalidation set).
-    std::map<NodeId, std::vector<NodeId>> chains;
-    std::map<NodeId, std::set<NodeId>> chain_index;  // node -> dests via it
+    util::FlatMap<NodeId, std::vector<NodeId>> chains;
+    /// node -> dests whose walk visits it (sorted ascending).
+    util::FlatMap<NodeId, util::SmallVec<NodeId, 4>> chain_index;
   };
 
   ExportedView view_for(topo::NodeId neighbor) const;

@@ -7,25 +7,9 @@
 namespace centaur::core {
 namespace {
 
-const std::vector<NodeId>& empty_vector() {
-  static const std::vector<NodeId> kEmpty;
+const PGraph::AdjList& empty_adjlist() {
+  static const PGraph::AdjList kEmpty;
   return kEmpty;
-}
-
-/// Sorted-vector insert; returns false if already present.
-bool sorted_insert(std::vector<NodeId>& v, NodeId x) {
-  const auto it = std::lower_bound(v.begin(), v.end(), x);
-  if (it != v.end() && *it == x) return false;
-  v.insert(it, x);
-  return true;
-}
-
-/// Sorted-vector erase; returns false if absent.
-bool sorted_erase(std::vector<NodeId>& v, NodeId x) {
-  const auto it = std::lower_bound(v.begin(), v.end(), x);
-  if (it == v.end() || *it != x) return false;
-  v.erase(it);
-  return true;
 }
 
 [[noreturn]] void throw_missing_link(NodeId from, NodeId to) {
@@ -44,38 +28,46 @@ void PGraph::reset(NodeId root) {
 }
 
 bool PGraph::add_link(NodeId from, NodeId to) {
+  bool added = false;
+  ensure_link(from, to, added);
+  return added;
+}
+
+LinkData& PGraph::ensure_link(NodeId from, NodeId to, bool& added) {
   if (from == to) throw std::invalid_argument("PGraph::add_link: self-loop");
-  const auto [it, inserted] = links_.try_emplace(DirectedLink{from, to});
-  if (!inserted) return false;
-  sorted_insert(parents_[to], from);
-  sorted_insert(children_[from], to);
-  return true;
+  LinkData& data = links_.ensure(pack_link(from, to), added);
+  if (added) {
+    bool fresh = false;
+    util::sorted_insert(parents_.ensure(to, fresh), from);
+    util::sorted_insert(children_.ensure(from, fresh), to);
+  }
+  return data;
 }
 
 bool PGraph::remove_link(NodeId from, NodeId to) {
-  if (links_.erase(DirectedLink{from, to}) == 0) return false;
-  auto pit = parents_.find(to);
-  sorted_erase(pit->second, from);
-  if (pit->second.empty()) parents_.erase(pit);
-  auto cit = children_.find(from);
-  sorted_erase(cit->second, to);
-  if (cit->second.empty()) children_.erase(cit);
+  if (!links_.erase(pack_link(from, to))) return false;
+  AdjList* ps = parents_.find(to);
+  util::sorted_erase(*ps, from);
+  if (ps->empty()) parents_.erase(to);
+  AdjList* cs = children_.find(from);
+  util::sorted_erase(*cs, to);
+  if (cs->empty()) children_.erase(from);
   return true;
 }
 
 std::size_t PGraph::in_degree(NodeId n) const {
-  const auto it = parents_.find(n);
-  return it == parents_.end() ? 0 : it->second.size();
+  const AdjList* adj = parents_.find(n);
+  return adj == nullptr ? 0 : adj->size();
 }
 
-const std::vector<NodeId>& PGraph::parents(NodeId n) const {
-  const auto it = parents_.find(n);
-  return it == parents_.end() ? empty_vector() : it->second;
+const PGraph::AdjList& PGraph::parents(NodeId n) const {
+  const AdjList* adj = parents_.find(n);
+  return adj == nullptr ? empty_adjlist() : *adj;
 }
 
-const std::vector<NodeId>& PGraph::children(NodeId n) const {
-  const auto it = children_.find(n);
-  return it == children_.end() ? empty_vector() : it->second;
+const PGraph::AdjList& PGraph::children(NodeId n) const {
+  const AdjList* adj = children_.find(n);
+  return adj == nullptr ? empty_adjlist() : *adj;
 }
 
 bool PGraph::contains(NodeId n) const {
@@ -83,21 +75,21 @@ bool PGraph::contains(NodeId n) const {
 }
 
 LinkData& PGraph::link_data(NodeId from, NodeId to) {
-  const auto it = links_.find(DirectedLink{from, to});
-  if (it == links_.end()) throw_missing_link(from, to);
-  return it->second;
+  LinkData* data = find_link_data(from, to);
+  if (data == nullptr) throw_missing_link(from, to);
+  return *data;
 }
 
 const LinkData& PGraph::link_data(NodeId from, NodeId to) const {
-  const auto it = links_.find(DirectedLink{from, to});
-  if (it == links_.end()) throw_missing_link(from, to);
-  return it->second;
+  const LinkData* data = find_link_data(from, to);
+  if (data == nullptr) throw_missing_link(from, to);
+  return *data;
 }
 
 std::size_t PGraph::active_plist_count() const {
   std::size_t c = 0;
   for (const auto& [key, data] : links_) {
-    if (multi_homed(key.to) && !data.plist.empty()) ++c;
+    if (multi_homed(unpack_link(key).to) && !data.plist.empty()) ++c;
   }
   return c;
 }
@@ -120,10 +112,13 @@ std::optional<Path> PGraph::derive_path(NodeId dest,
   // arrived from; kNoNextHop while current == dest (S4.1 per-dest-next
   // semantics; see header note on Table 1).
   NodeId came_from = kNoNextHop;
-  std::set<NodeId> visited{dest};
+  // Cycle guard: paths are short, so a linear scan over an inline vector
+  // beats a node-based set (no allocation on the derivation hot path).
+  util::SmallVec<NodeId, 16> visited;
+  visited.push_back(dest);
 
   while (current != root_) {
-    const std::vector<NodeId>& ps = parents(current);
+    const AdjList& ps = parents(current);
     if (ps.empty()) return std::nullopt;
     NodeId parent = topo::kInvalidNode;
     if (ps.size() == 1) {
@@ -157,9 +152,10 @@ std::optional<Path> PGraph::derive_path(NodeId dest,
       }
       if (parent == topo::kInvalidNode) return std::nullopt;
     }
-    if (!visited.insert(parent).second) {
+    if (std::find(visited.begin(), visited.end(), parent) != visited.end()) {
       throw std::logic_error("PGraph::derive_path: backtrace cycle");
     }
+    visited.push_back(parent);
     if (visited_out) visited_out->push_back(parent);
     reversed.push_back(parent);
     came_from = current;
@@ -175,8 +171,8 @@ bool PGraph::operator==(const PGraph& other) const {
     return false;
   }
   for (const auto& [key, data] : links_) {
-    const auto it = other.links_.find(key);
-    if (it == other.links_.end() || !(data.plist == it->second.plist)) {
+    const LinkData* theirs = other.links_.find(key);
+    if (theirs == nullptr || !(data.plist == theirs->plist)) {
       return false;
     }
   }

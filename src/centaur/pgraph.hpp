@@ -13,6 +13,12 @@
 //   * BuildGraph (Table 2) — construct a local P-graph (links, counters,
 //     Permission Lists) from a selected path set.
 //
+// Storage (DESIGN.md §5): links live in a flat open-addressing table keyed
+// by the packed 64-bit DirectedLink; adjacency lists are small-vectors
+// inside flat maps keyed by NodeId.  Hot call sites should prefer the
+// combined accessors (find_link_data, ensure_link) over has_link +
+// link_data pairs — one probe instead of two.
+//
 // Note on pseudocode fidelity: Table 1 writes Permit(D, currentNode); the
 // Permission-List definition in S4.1 keys entries by the *next hop of the
 // multi-homed node on the permitted path*, which during backtracking is the
@@ -21,15 +27,15 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "centaur/permission_list.hpp"
 #include "topology/types.hpp"
+#include "util/flat_map.hpp"
+#include "util/small_vec.hpp"
 
 namespace centaur::core {
 
@@ -41,9 +47,21 @@ struct DirectedLink {
   auto operator<=>(const DirectedLink&) const = default;
 };
 
+/// Packs a directed link into the 64-bit key the flat link table uses.
+/// kInvalidNode->kInvalidNode packs to the reserved empty sentinel, which is
+/// fine: self-loops are rejected at insertion.
+constexpr std::uint64_t pack_link(NodeId from, NodeId to) {
+  return (std::uint64_t{from} << 32) | std::uint64_t{to};
+}
+
+constexpr DirectedLink unpack_link(std::uint64_t key) {
+  return DirectedLink{static_cast<NodeId>(key >> 32),
+                      static_cast<NodeId>(key & 0xFFFFFFFFULL)};
+}
+
 struct DirectedLinkHash {
   std::size_t operator()(const DirectedLink& l) const {
-    std::uint64_t x = (std::uint64_t{l.from} << 32) | l.to;
+    std::uint64_t x = pack_link(l.from, l.to);
     x ^= x >> 33;
     x *= 0xff51afd7ed558ccdULL;
     x ^= x >> 29;
@@ -65,6 +83,50 @@ struct LinkData {
 
 class PGraph {
  public:
+  /// Adjacency list: sorted ascending, inline up to 4 entries (the common
+  /// case — most P-graph nodes have a single parent).
+  using AdjList = util::SmallVec<NodeId, 4>;
+  using AdjMap = util::FlatMap<NodeId, AdjList>;
+
+  /// Flat link storage; iteration yields { DirectedLink-packed key, data }
+  /// items via LinkView below.
+  using LinkMap = util::FlatMap<std::uint64_t, LinkData>;
+
+  /// Read-only iteration adapter over the link table that presents packed
+  /// keys as DirectedLink, so `for (const auto& [link, data] : g.links())`
+  /// keeps working.
+  class LinkView {
+   public:
+    struct Item {
+      DirectedLink first;
+      const LinkData& second;
+    };
+    class const_iterator {
+     public:
+      explicit const_iterator(LinkMap::const_iterator it) : it_(it) {}
+      Item operator*() const {
+        const auto item = *it_;
+        return Item{unpack_link(item.first), item.second};
+      }
+      const_iterator& operator++() {
+        ++it_;
+        return *this;
+      }
+      bool operator==(const const_iterator& o) const { return it_ == o.it_; }
+      bool operator!=(const const_iterator& o) const { return it_ != o.it_; }
+
+     private:
+      LinkMap::const_iterator it_;
+    };
+    explicit LinkView(const LinkMap& map) : map_(&map) {}
+    const_iterator begin() const { return const_iterator(map_->begin()); }
+    const_iterator end() const { return const_iterator(map_->end()); }
+    std::size_t size() const { return map_->size(); }
+
+   private:
+    const LinkMap* map_;
+  };
+
   PGraph() = default;
   explicit PGraph(NodeId root) : root_(root) {}
 
@@ -76,11 +138,16 @@ class PGraph {
   /// Inserts from->to.  Returns true if the link was new.
   bool add_link(NodeId from, NodeId to);
 
+  /// Inserts from->to if absent and returns its payload in either case —
+  /// the single-probe fusion of add_link + link_data.  `added` reports
+  /// whether the link was new.
+  LinkData& ensure_link(NodeId from, NodeId to, bool& added);
+
   /// Removes from->to and its payload.  Returns true if present.
   bool remove_link(NodeId from, NodeId to);
 
   bool has_link(NodeId from, NodeId to) const {
-    return links_.count({from, to}) > 0;
+    return links_.count(pack_link(from, to)) > 0;
   }
 
   std::size_t num_links() const { return links_.size(); }
@@ -91,10 +158,10 @@ class PGraph {
   bool multi_homed(NodeId n) const { return in_degree(n) > 1; }
 
   /// Parents of `n` in ascending order (empty if none).
-  const std::vector<NodeId>& parents(NodeId n) const;
+  const AdjList& parents(NodeId n) const;
 
   /// Children of `n` in ascending order (empty if none).
-  const std::vector<NodeId>& children(NodeId n) const;
+  const AdjList& children(NodeId n) const;
 
   /// True if `n` is the root or appears as an endpoint of some link.
   bool contains(NodeId n) const;
@@ -108,14 +175,24 @@ class PGraph {
 
   // --- per-link payload ----------------------------------------------------
 
-  /// Payload accessors; the mutable overload creates the link if absent is
-  /// NOT provided — the link must exist (throws std::out_of_range).
+  /// Payload pointer, or nullptr when the link is absent — the single-probe
+  /// replacement for has_link + link_data call pairs.
+  LinkData* find_link_data(NodeId from, NodeId to) {
+    return links_.find(pack_link(from, to));
+  }
+  const LinkData* find_link_data(NodeId from, NodeId to) const {
+    return links_.find(pack_link(from, to));
+  }
+
+  /// Payload accessors; the link must exist (throws std::out_of_range).
   LinkData& link_data(NodeId from, NodeId to);
   const LinkData& link_data(NodeId from, NodeId to) const;
 
   /// A link's Permission List is active iff its head is multi-homed.
   bool plist_active(NodeId from, NodeId to) const {
-    return multi_homed(to) && !link_data(from, to).plist.empty();
+    if (!multi_homed(to)) return false;
+    const LinkData* data = find_link_data(from, to);
+    return data != nullptr && !data->plist.empty();
   }
 
   /// Number of links with an active Permission List (Table 4 metric).
@@ -140,20 +217,13 @@ class PGraph {
 
   /// All links with their payloads (unordered; sort keys if a canonical
   /// order is needed).
-  const std::unordered_map<DirectedLink, LinkData, DirectedLinkHash>& links()
-      const {
-    return links_;
-  }
+  LinkView links() const { return LinkView(links_); }
 
   /// Whole-map adjacency views, values sorted ascending.  Exposed for the
   /// invariant checker (src/check), which cross-validates them against
   /// links(); protocol code should use parents()/children() instead.
-  const std::unordered_map<NodeId, std::vector<NodeId>>& parent_map() const {
-    return parents_;
-  }
-  const std::unordered_map<NodeId, std::vector<NodeId>>& child_map() const {
-    return children_;
-  }
+  const AdjMap& parent_map() const { return parents_; }
+  const AdjMap& child_map() const { return children_; }
 
   /// Equality of structure, destination marks, and Permission Lists
   /// (counters are local bookkeeping and excluded).
@@ -166,9 +236,9 @@ class PGraph {
   friend struct PGraphCorruptor;
 
   NodeId root_ = topo::kInvalidNode;
-  std::unordered_map<DirectedLink, LinkData, DirectedLinkHash> links_;
-  std::unordered_map<NodeId, std::vector<NodeId>> parents_;   // sorted values
-  std::unordered_map<NodeId, std::vector<NodeId>> children_;  // sorted values
+  LinkMap links_;
+  AdjMap parents_;   // sorted values
+  AdjMap children_;  // sorted values
   std::set<NodeId> destinations_;
 };
 

@@ -90,9 +90,8 @@ std::set<NodeId> all_nodes(const PGraph& g) {
   return nodes;
 }
 
-void check_adjacency_map(
-    const std::unordered_map<NodeId, std::vector<NodeId>>& map,
-    const PGraph& g, bool map_is_parents, std::vector<Violation>& out) {
+void check_adjacency_map(const PGraph::AdjMap& map, const PGraph& g,
+                         bool map_is_parents, std::vector<Violation>& out) {
   const char* name = map_is_parents ? "parents" : "children";
   for (const auto& [n, adj] : map) {
     if (adj.empty()) {
@@ -135,7 +134,7 @@ void check_acyclic(const PGraph& g, std::vector<Violation>& out) {
     color[start] = kGray;
     while (!stack.empty()) {
       Frame& frame = stack.back();
-      const std::vector<NodeId>& kids = g.children(frame.node);
+      const PGraph::AdjList& kids = g.children(frame.node);
       if (frame.next_child >= kids.size()) {
         color[frame.node] = kBlack;
         stack.pop_back();
@@ -199,13 +198,13 @@ std::vector<Violation> check_pgraph(const PGraph& g,
 
   // links_ -> adjacency direction.
   for (const auto& [link, data] : g.links()) {
-    const std::vector<NodeId>& ps = g.parents(link.to);
+    const PGraph::AdjList& ps = g.parents(link.to);
     if (!std::binary_search(ps.begin(), ps.end(), link.from)) {
       report(out, Invariant::kAdjacency,
              "link " + link_str(link.from, link.to) + " missing from parents[" +
                  std::to_string(link.to) + "]");
     }
-    const std::vector<NodeId>& cs = g.children(link.from);
+    const PGraph::AdjList& cs = g.children(link.from);
     if (!std::binary_search(cs.begin(), cs.end(), link.to)) {
       report(out, Invariant::kAdjacency,
              "link " + link_str(link.from, link.to) +
@@ -257,13 +256,14 @@ std::vector<Violation> check_counters_against(
     }
   }
   for (const auto& [link, count] : expected) {
-    if (!g.has_link(link.from, link.to)) {
+    const core::LinkData* data = g.find_link_data(link.from, link.to);
+    if (data == nullptr) {
       report(out, Invariant::kCounter,
              "selected paths traverse " + link_str(link.from, link.to) +
                  " but the link is not in the P-graph");
       continue;
     }
-    const std::uint32_t stored = g.link_data(link.from, link.to).counter;
+    const std::uint32_t stored = data->counter;
     if (stored != count) {
       report(out, Invariant::kCounter,
              "link " + link_str(link.from, link.to) + " counter is " +
@@ -351,24 +351,25 @@ std::vector<Violation> check_centaur_node(const core::CentaurNode& node) {
     }
     if (path.size() < 2) continue;  // the fixed origin route
     const NodeId first_hop = path[1];
-    const std::map<NodeId, Path>* derived = node.neighbor_derived(first_hop);
+    const core::CentaurNode::PathCache* derived =
+        node.neighbor_derived(first_hop);
     if (derived == nullptr) {
       report(out, Invariant::kSelection,
              "selected path " + path_str(path) + " uses first hop " +
                  std::to_string(first_hop) + " but no RIB entry exists");
       continue;
     }
-    const auto it = derived->find(dest);
-    if (it == derived->end()) {
+    const Path* cached = derived->find(dest);
+    if (cached == nullptr) {
       report(out, Invariant::kSelection,
              "selected path " + path_str(path) + " has no derived path in G[" +
                  std::to_string(first_hop) + "]");
-    } else if (!std::equal(path.begin() + 1, path.end(), it->second.begin(),
-                           it->second.end())) {
+    } else if (!std::equal(path.begin() + 1, path.end(), cached->begin(),
+                           cached->end())) {
       report(out, Invariant::kSelection,
              "selected path " + path_str(path) + " diverges from G[" +
                  std::to_string(first_hop) + "]'s derived path " +
-                 path_str(it->second));
+                 path_str(*cached));
     }
   }
 
@@ -392,7 +393,7 @@ std::vector<Violation> check_centaur_node(const core::CentaurNode& node) {
 
   for (const NodeId nbr : node.rib_neighbors()) {
     const PGraph* g = node.neighbor_pgraph(nbr);
-    const std::map<NodeId, Path>* derived = node.neighbor_derived(nbr);
+    const core::CentaurNode::PathCache* derived = node.neighbor_derived(nbr);
     const std::string scope = "G[" + std::to_string(nbr) + "]: ";
     if (g == nullptr || derived == nullptr) continue;  // unreachable
     if (g->root() != nbr) {
@@ -416,24 +417,24 @@ std::vector<Violation> check_centaur_node(const core::CentaurNode& node) {
                    ") threw: " + e.what());
         continue;
       }
-      const auto it = derived->find(dest);
+      const Path* cached = derived->find(dest);
       if (fresh) {
-        if (it == derived->end()) {
+        if (cached == nullptr) {
           report(out, Invariant::kDerivedCache,
                  scope + "destination " + std::to_string(dest) +
                      " derives to " + path_str(*fresh) +
                      " but the cache has no entry");
-        } else if (it->second != *fresh) {
+        } else if (*cached != *fresh) {
           report(out, Invariant::kDerivedCache,
                  scope + "destination " + std::to_string(dest) + " caches " +
-                     path_str(it->second) + " but derives to " +
+                     path_str(*cached) + " but derives to " +
                      path_str(*fresh));
         }
-      } else if (it != derived->end()) {
+      } else if (cached != nullptr) {
         report(out, Invariant::kDerivedCache,
                scope + "destination " + std::to_string(dest) +
                    " is underivable but the cache holds " +
-                   path_str(it->second));
+                   path_str(*cached));
       }
     }
     for (const auto& [dest, path] : *derived) {

@@ -1,6 +1,8 @@
 #include "eval/experiments.hpp"
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "bgp/bgp_node.hpp"
 #include "centaur/centaur_node.hpp"
@@ -112,8 +114,20 @@ FlipSeries run_link_flips(const topo::AsGraph& graph, Protocol protocol,
       series.message_counts.push_back(static_cast<double>(t.messages));
     }
   }
+  series.events = run.network().events_executed();
+  series.total_messages = run.network().total_messages();
+  series.total_bytes = run.network().total_bytes();
   if (run.analyzer()) series.analysis = run.analyzer()->report();
   return series;
+}
+
+AnalysisMode analysis_from_env(AnalysisMode fallback) {
+  const char* env = std::getenv("CENTAUR_CHECK");
+  if (env == nullptr) return fallback;
+  const std::string v(env);
+  if (v.empty() || v == "0" || v == "off") return fallback;
+  if (v == "assert") return AnalysisMode::kAssert;
+  return AnalysisMode::kCollect;  // "1", "collect", anything else truthy
 }
 
 }  // namespace centaur::eval

@@ -33,6 +33,12 @@ enum class AnalysisMode {
              ///< quiescence sweep that finds the report non-clean
 };
 
+/// Analysis mode requested via the CENTAUR_CHECK environment variable at
+/// *runtime* (any build type): unset/"0"/"off" -> `fallback`, "1"/"collect"
+/// -> kCollect, "assert" -> kAssert.  Lets release-build benches and the
+/// parallel trial driver run with the invariant checker attached.
+AnalysisMode analysis_from_env(AnalysisMode fallback = AnalysisMode::kOff);
+
 /// Per-run protocol options.
 struct RunOptions {
   /// BGP Minimum Route Advertisement Interval, seconds.  The paper's
@@ -93,6 +99,11 @@ struct FlipSeries {
   std::vector<double> message_counts;     // one per transition
   sim::WindowStats cold_start;
   sim::Time cold_start_time = 0;
+  /// Whole-series totals (cold start + every flip) for the bench JSON
+  /// reports (src/runner/bench_report.hpp).
+  std::uint64_t events = 0;
+  std::size_t total_messages = 0;
+  std::size_t total_bytes = 0;
   /// Invariant analysis outcome (empty/clean unless RunOptions::analysis
   /// was enabled).
   check::AnalysisReport analysis;

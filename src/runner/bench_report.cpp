@@ -1,0 +1,147 @@
+#include "runner/bench_report.hpp"
+
+#include <sys/resource.h>
+#include <sys/stat.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace centaur::runner {
+namespace {
+
+bool is_directory(const std::string& path) {
+  if (!path.empty() && path.back() == '/') return true;
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_double(std::ostringstream& os, double v) {
+  // Shortest round-trippable representation; JSON has no infinities.
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  os << tmp.str();
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_kb() {
+  struct rusage ru {};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // KiB on Linux
+}
+
+BenchReport::BenchReport(std::string bench, std::string scale,
+                         std::size_t threads)
+    : bench_(std::move(bench)), scale_(std::move(scale)), threads_(threads) {}
+
+std::string BenchReport::resolve_path(int* argc, char** argv,
+                                      const std::string& bench) {
+  std::string path;
+  for (int i = 1; i + 1 < *argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      path = argv[i + 1];
+      // Consume the two arguments so later flag parsers (e.g. google
+      // benchmark's) never see them.
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      break;
+    }
+  }
+  if (path.empty()) {
+    if (const char* env = std::getenv("CENTAUR_BENCH_JSON")) path = env;
+  }
+  if (path.empty()) return path;
+  if (is_directory(path)) {
+    if (path.back() != '/') path += '/';
+    path += "BENCH_" + bench + ".json";
+  }
+  return path;
+}
+
+std::string BenchReport::to_json() const {
+  std::ostringstream os;
+  double total_wall = 0;
+  std::uint64_t total_events = 0, total_messages = 0, total_bytes = 0;
+
+  os << "{\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"bench\": \"" << json_escape(bench_) << "\",\n";
+  os << "  \"scale\": \"" << json_escape(scale_) << "\",\n";
+  os << "  \"threads\": " << threads_ << ",\n";
+  os << "  \"peak_rss_kb\": " << peak_rss_kb() << ",\n";
+  os << "  \"trials\": [";
+  for (std::size_t i = 0; i < trials_.size(); ++i) {
+    const TrialResult& t = trials_[i];
+    total_wall += t.wall_time_s;
+    total_events += t.events;
+    total_messages += t.messages;
+    total_bytes += t.bytes;
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": \"" << json_escape(t.name) << "\", "
+       << "\"wall_time_s\": ";
+    append_double(os, t.wall_time_s);
+    os << ", \"events\": " << t.events << ", \"messages\": " << t.messages
+       << ", \"bytes\": " << t.bytes << ", \"metrics\": {";
+    for (std::size_t m = 0; m < t.metrics.size(); ++m) {
+      if (m > 0) os << ", ";
+      os << "\"" << json_escape(t.metrics[m].first) << "\": ";
+      append_double(os, t.metrics[m].second);
+    }
+    os << "}}";
+  }
+  os << (trials_.empty() ? "],\n" : "\n  ],\n");
+  os << "  \"totals\": {\"wall_time_s\": ";
+  append_double(os, total_wall);
+  os << ", \"events\": " << total_events
+     << ", \"messages\": " << total_messages << ", \"bytes\": " << total_bytes
+     << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+void BenchReport::write() const {
+  if (path_.empty()) return;
+  std::ofstream out(path_);
+  if (!out) {
+    throw std::runtime_error("BenchReport: cannot write " + path_);
+  }
+  out << to_json();
+  if (!out.flush()) {
+    throw std::runtime_error("BenchReport: write failed for " + path_);
+  }
+}
+
+}  // namespace centaur::runner

@@ -1,0 +1,101 @@
+// Machine-readable bench results (DESIGN.md §5.4).
+//
+// Every bench binary can emit a JSON report next to its human-readable
+// tables: per-trial wall time, simulator event count, message/byte totals,
+// plus bench-specific named metrics, and whole-process peak RSS.  The file
+// is the perf baseline CI archives and diffs (see tools/bench_json_schema.py
+// for the schema validator).
+//
+// Activation (either; --json wins):
+//   * `--json <path>` on the bench command line,
+//   * CENTAUR_BENCH_JSON=<path or directory> in the environment — a
+//     directory (trailing '/' or an existing dir) receives
+//     `BENCH_<name>.json`.
+//
+// Schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "scale": "smoke|default|large",
+//     "threads": <N>,
+//     "peak_rss_kb": <N>,
+//     "trials": [
+//       {"name": "...", "wall_time_s": <f>, "events": <N>,
+//        "messages": <N>, "bytes": <N>, "metrics": {"<k>": <f>, ...}},
+//       ...
+//     ],
+//     "totals": {"wall_time_s": <f>, "events": <N>,
+//                "messages": <N>, "bytes": <N>}
+//   }
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace centaur::runner {
+
+/// One measured trial (a protocol run, a topology size, a micro-bench case).
+struct TrialResult {
+  std::string name;
+  double wall_time_s = 0;
+  std::uint64_t events = 0;    ///< simulator events executed (0 if no sim)
+  std::uint64_t messages = 0;  ///< protocol messages sent
+  std::uint64_t bytes = 0;     ///< protocol bytes sent
+  /// Bench-specific named metrics (e.g. median convergence in ms).
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Wall-clock stopwatch for trial timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process peak resident set size in KiB (getrusage; 0 if unavailable).
+/// Note: a process-wide high-water mark, not per-trial.
+std::uint64_t peak_rss_kb();
+
+/// Collects trials and writes the JSON report.
+class BenchReport {
+ public:
+  /// `bench` is the logical name ("fig6_convergence_time"); `scale` the
+  /// active CENTAUR_SCALE string; `threads` the worker count trials ran on.
+  BenchReport(std::string bench, std::string scale, std::size_t threads);
+
+  /// Resolves the output path from `--json <path>` (consumed from argv) or
+  /// CENTAUR_BENCH_JSON.  Empty string means reporting is off.
+  static std::string resolve_path(int* argc, char** argv,
+                                  const std::string& bench);
+
+  void set_path(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  void add(TrialResult trial) { trials_.push_back(std::move(trial)); }
+
+  /// Serializes the report (schema above).
+  std::string to_json() const;
+
+  /// Writes to the configured path; no-op when disabled.  Throws
+  /// std::runtime_error if the file cannot be written.
+  void write() const;
+
+ private:
+  std::string bench_;
+  std::string scale_;
+  std::size_t threads_;
+  std::string path_;
+  std::vector<TrialResult> trials_;
+};
+
+}  // namespace centaur::runner

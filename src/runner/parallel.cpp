@@ -1,0 +1,21 @@
+#include "runner/parallel.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace centaur::runner {
+
+std::size_t threads_from_env() {
+  if (const char* env = std::getenv("CENTAUR_THREADS")) {
+    try {
+      const unsigned long v = std::stoul(env);
+      if (v >= 1) return static_cast<std::size_t>(v);
+    } catch (...) {
+      // fall through to the hardware default
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace centaur::runner

@@ -1,0 +1,81 @@
+// Parallel trial driver (DESIGN.md §5.3).
+//
+// Benches fan independent trials (one protocol run, one topology size, one
+// ablation arm) across a thread pool.  Determinism contract: a trial's
+// inputs may depend only on its index — seed every trial with
+// util::derive_seed(base, index), never from a shared generator — and a
+// trial must not print (the caller formats results after the join).  Under
+// that contract results are collected by index and the output is
+// bit-identical for any thread count, including 1.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace centaur::runner {
+
+/// Worker count: CENTAUR_THREADS if set (>= 1), else the hardware
+/// concurrency, else 1.
+std::size_t threads_from_env();
+
+/// Runs `fn(0) .. fn(count-1)` on up to `threads` workers and returns the
+/// results ordered by trial index.  `threads <= 1` runs inline on the
+/// calling thread (the serial reference).  Workers claim indices from a
+/// shared counter, so uneven trial durations load-balance.  The first
+/// exception thrown by any trial is rethrown here after all workers join
+/// (remaining workers stop claiming new trials).
+template <typename Fn>
+auto run_trials(std::size_t count, std::size_t threads, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(std::is_default_constructible_v<Result>,
+                "trial results are collected into a pre-sized vector");
+  std::vector<Result> results(count);
+  if (count == 0) return results;
+
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const std::size_t workers = threads < count ? threads : count;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+/// Convenience overload using CENTAUR_THREADS / hardware concurrency.
+template <typename Fn>
+auto run_trials(std::size_t count, Fn&& fn) {
+  return run_trials(count, threads_from_env(), std::forward<Fn>(fn));
+}
+
+}  // namespace centaur::runner

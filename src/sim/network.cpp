@@ -11,6 +11,10 @@ Network::Network(AsGraph& graph, util::Rng& rng, Time min_delay,
   for (LinkId l = 0; l < graph.num_links(); ++l) {
     delays_.push_back(rng.uniform(min_delay, max_delay));
   }
+  // Flooding protocols keep roughly O(links) deliveries in flight during
+  // initialization; pre-sizing the event heap avoids its growth
+  // reallocations on the hot path.
+  sim_.reserve(2 * graph.num_links() + 16);
 }
 
 void Network::attach(NodeId id, std::unique_ptr<Node> node) {
@@ -35,8 +39,11 @@ std::size_t Network::start_all_and_converge() {
 void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   const auto link = graph_.find_link(from, to);
   if (!link) throw std::invalid_argument("Network::send: not adjacent");
+  const std::size_t bytes = msg->byte_size();
   ++window_.messages_sent;
-  window_.bytes_sent += msg->byte_size();
+  window_.bytes_sent += bytes;
+  ++total_messages_;
+  total_bytes_ += bytes;
   if (!graph_.link_up(*link)) {
     ++window_.messages_dropped;
     return;

@@ -109,6 +109,12 @@ class Network {
   /// the window mark time (0 if nothing was delivered).
   Time window_convergence_time() const;
 
+  /// Lifetime counters (never reset by mark()) — what the bench JSON
+  /// reports record per trial.
+  std::size_t total_messages() const { return total_messages_; }
+  std::size_t total_bytes() const { return total_bytes_; }
+  std::uint64_t events_executed() const { return sim_.executed(); }
+
   Simulator& simulator() { return sim_; }
   const AsGraph& graph() const { return graph_; }
   Time link_delay(LinkId link) const { return delays_.at(link); }
@@ -129,6 +135,8 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Time> delays_;
   WindowStats window_;
+  std::size_t total_messages_ = 0;
+  std::size_t total_bytes_ = 0;
   Time mark_time_ = 0;
   std::function<void(NodeId)> event_hook_;
 };

@@ -1,48 +1,85 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace centaur::sim {
 
-void Simulator::schedule(Time delay, std::function<void()> fn) {
+void Simulator::schedule(Time delay, util::UniqueFunction fn) {
   if (delay < 0) throw std::invalid_argument("Simulator::schedule: delay < 0");
   schedule_at(now_ + delay, std::move(fn));
 }
 
-void Simulator::schedule_at(Time when, std::function<void()> fn) {
+void Simulator::schedule_at(Time when, util::UniqueFunction fn) {
   if (when < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  if (when == now_) {
+    // Same-time burst: FIFO order is seq order (seq grows monotonically and
+    // every same-time event still in the heap was scheduled earlier, while
+    // now_ was smaller, so it carries a smaller seq).
+    burst_.push_back(Event{when, next_seq_++, std::move(fn)});
+    return;
+  }
+  heap_.push_back(Event{when, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void Simulator::reserve(std::size_t events) { heap_.reserve(events); }
+
+void Simulator::pop_next(Event& out) {
+  // Heap events at the current time precede every burst event (smaller seq);
+  // burst events are only valid while now_ has not advanced past them.
+  const bool burst_ready = burst_head_ < burst_.size();
+  if (!heap_.empty() && (!burst_ready || heap_.front().at <= now_)) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    out = std::move(heap_.back());
+    heap_.pop_back();
+  } else {
+    out = std::move(burst_[burst_head_++]);
+    if (burst_head_ >= burst_.size()) {
+      burst_.clear();
+      burst_head_ = 0;
+    }
+  }
 }
 
 std::size_t Simulator::run(std::size_t max_events) {
   std::size_t processed = 0;
-  while (!queue_.empty()) {
+  Event ev;
+  while (!idle()) {
     if (processed >= max_events) {
       throw std::runtime_error("Simulator::run: event budget exhausted");
     }
-    Event ev = queue_.top();
-    queue_.pop();
+    pop_next(ev);
     now_ = ev.at;
     ev.fn();
+    ev.fn.reset();
     ++processed;
+    ++executed_;
   }
   return processed;
 }
 
 std::size_t Simulator::run_until(Time deadline, std::size_t max_events) {
   std::size_t processed = 0;
-  while (!queue_.empty() && queue_.top().at <= deadline) {
+  Event ev;
+  while (!idle()) {
+    // Burst events are at now_ (<= deadline whenever the loop is entered
+    // with now_ <= deadline); heap events gate on the deadline.
+    const bool burst_ready = burst_head_ < burst_.size();
+    const Time next_at = burst_ready ? now_ : heap_.front().at;
+    if (next_at > deadline) break;
     if (processed >= max_events) {
       throw std::runtime_error("Simulator::run_until: event budget exhausted");
     }
-    Event ev = queue_.top();
-    queue_.pop();
+    pop_next(ev);
     now_ = ev.at;
     ev.fn();
+    ev.fn.reset();
     ++processed;
+    ++executed_;
   }
   if (now_ < deadline) now_ = deadline;
   return processed;

@@ -7,12 +7,22 @@
 //   * CPU/processing delay ignored,
 //   * convergence = quiescence ("no further update messages are sent"),
 //   * message counts observed at delivery.
+//
+// Performance notes (see DESIGN.md §5): events carry a move-only
+// UniqueFunction with inline storage, so scheduling a typical delivery
+// callback allocates nothing; the binary heap lives in a reservable vector;
+// and zero-delay events scheduled for the current timestamp bypass the heap
+// through a FIFO burst queue (same-time ties already break by insertion
+// order, and every burst event's sequence number is by construction larger
+// than any same-time event still in the heap, so the observable order is
+// bit-identical to the pure-heap implementation).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "util/unique_function.hpp"
 
 namespace centaur::sim {
 
@@ -26,10 +36,13 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedules `fn` to run at now() + delay (delay >= 0).
-  void schedule(Time delay, std::function<void()> fn);
+  void schedule(Time delay, util::UniqueFunction fn);
 
   /// Schedules `fn` at an absolute time (>= now()).
-  void schedule_at(Time when, std::function<void()> fn);
+  void schedule_at(Time when, util::UniqueFunction fn);
+
+  /// Pre-sizes the event heap (events outstanding at once, not total).
+  void reserve(std::size_t events);
 
   /// Runs events until the queue is empty.  Returns the number of events
   /// processed.  `max_events` guards against livelock in buggy protocols;
@@ -40,14 +53,20 @@ class Simulator {
   /// the deadline stay queued).  Returns events processed.
   std::size_t run_until(Time deadline, std::size_t max_events = 50'000'000);
 
-  bool idle() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool idle() const { return heap_.empty() && burst_head_ >= burst_.size(); }
+  std::size_t pending() const {
+    return heap_.size() + (burst_.size() - burst_head_);
+  }
+
+  /// Total events executed over the simulator's lifetime (all run/run_until
+  /// calls) — the per-trial event count the bench reports record.
+  std::uint64_t executed() const { return executed_; }
 
  private:
   struct Event {
-    Time at;
-    std::uint64_t seq;
-    std::function<void()> fn;
+    Time at = 0;
+    std::uint64_t seq = 0;
+    util::UniqueFunction fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -56,9 +75,16 @@ class Simulator {
     }
   };
 
+  /// Pops the next event in (time, seq) order into `out`.  Precondition:
+  /// !idle().
+  void pop_next(Event& out);
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t executed_ = 0;
+  std::vector<Event> heap_;   // binary min-heap via std::push_heap/pop_heap
+  std::vector<Event> burst_;  // FIFO of events at exactly now_
+  std::size_t burst_head_ = 0;
 };
 
 }  // namespace centaur::sim

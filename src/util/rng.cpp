@@ -97,4 +97,12 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
 
 Rng Rng::split() { return Rng(next()); }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  // Two SplitMix64 steps over the combined state: one mixes the base, the
+  // second decorrelates consecutive indices.
+  std::uint64_t x = base + 0x632be59bd9b4e019ULL * (index + 1);
+  splitmix64(x);
+  return splitmix64(x);
+}
+
 }  // namespace centaur::util

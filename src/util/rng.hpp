@@ -71,4 +71,11 @@ class Rng {
   std::uint64_t s_[4]{};
 };
 
+/// Derives an independent per-trial seed from a base seed and a trial index
+/// (SplitMix64 over their combination).  Unlike Rng::split() this is a pure
+/// function of (base, index) — trials seeded this way are reproducible
+/// regardless of execution order, which is what makes the parallel trial
+/// driver (src/runner) bit-identical to a serial run.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
 }  // namespace centaur::util

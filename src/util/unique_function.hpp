@@ -1,0 +1,115 @@
+// Move-only callable with inline storage, for the simulator event queue.
+//
+// std::function must be copyable, so capturing a shared_ptr message plus a
+// couple of ids (as every Network::send event does) pushes it past the
+// libstdc++ small-object buffer and costs one heap allocation per scheduled
+// event.  UniqueFunction is move-only with a 48-byte inline slab: every
+// event callback in this codebase fits, so scheduling allocates nothing.
+// Larger callables still work — they spill to the heap transparently.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace centaur::util {
+
+class UniqueFunction {
+  // Three ops per callable type, stored as one static vtable pointer.
+  struct VTable {
+    void (*invoke)(void* storage);
+    void (*move_to)(void* from, void* to);  // destroys the source
+    void (*destroy)(void* storage);
+  };
+
+  template <typename F, bool Inline>
+  struct Ops;
+
+  // Inline: F lives directly in the slab.
+  template <typename F>
+  struct Ops<F, true> {
+    static void invoke(void* s) { (*std::launder(static_cast<F*>(s)))(); }
+    static void move_to(void* from, void* to) {
+      F* f = std::launder(static_cast<F*>(from));
+      ::new (to) F(std::move(*f));
+      f->~F();
+    }
+    static void destroy(void* s) { std::launder(static_cast<F*>(s))->~F(); }
+    static constexpr VTable vtable{&invoke, &move_to, &destroy};
+  };
+
+  // Spilled: the slab holds an owning F*.
+  template <typename F>
+  struct Ops<F, false> {
+    static F*& ptr(void* s) { return *std::launder(static_cast<F**>(s)); }
+    static void invoke(void* s) { (*ptr(s))(); }
+    static void move_to(void* from, void* to) {
+      ::new (to) F*(ptr(from));
+    }
+    static void destroy(void* s) { delete ptr(s); }
+    static constexpr VTable vtable{&invoke, &move_to, &destroy};
+  };
+
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    constexpr bool fits = sizeof(Fn) <= kInlineSize &&
+                          alignof(Fn) <= alignof(std::max_align_t) &&
+                          std::is_nothrow_move_constructible_v<Fn>;
+    if constexpr (fits) {
+      ::new (storage_) Fn(std::forward<F>(f));
+      vtable_ = &Ops<Fn, true>::vtable;
+    } else {
+      ::new (storage_) Fn*(new Fn(std::forward<F>(f)));
+      vtable_ = &Ops<Fn, false>::vtable;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { steal(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  void steal(UniqueFunction& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      other.vtable_->move_to(other.storage_, storage_);
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace centaur::util

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+#include "util/small_vec.hpp"
+#include "util/unique_function.hpp"
+
+namespace centaur::util {
+namespace {
+
+// ------------------------------------------------------------ FlatMap -----
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<std::uint32_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7), nullptr);
+
+  m[7] = 70;
+  m[9] = 90;
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 70);
+  EXPECT_EQ(m.count(9), 1u);
+  EXPECT_EQ(m.count(8), 0u);
+
+  EXPECT_TRUE(m.erase(7));
+  EXPECT_FALSE(m.erase(7));
+  EXPECT_EQ(m.find(7), nullptr);
+  ASSERT_NE(m.find(9), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, EnsureReportsInsertion) {
+  FlatMap<std::uint64_t, int> m;
+  bool inserted = false;
+  int& v = m.ensure(42, inserted);
+  EXPECT_TRUE(inserted);
+  v = 5;
+  int& again = m.ensure(42, inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(again, 5);
+}
+
+TEST(FlatMap, GrowsPastMinimumCapacity) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t k = 0; k < 5000; ++k) m[k * 977] = k;
+  EXPECT_EQ(m.size(), 5000u);
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_NE(m.find(k * 977), nullptr) << k;
+    EXPECT_EQ(*m.find(k * 977), k);
+  }
+  EXPECT_EQ(m.find(1), nullptr);
+}
+
+TEST(FlatMap, EraseKeepsProbeChainsIntact) {
+  // Backward-shift deletion must leave every surviving key reachable no
+  // matter which keys leave; churn through a randomized insert/erase
+  // sequence and mirror it in a std::set oracle.
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  std::set<std::uint64_t> oracle;
+  Rng rng(1234);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t k = rng.next() % 512;
+    if (rng.next() % 3 == 0) {
+      EXPECT_EQ(m.erase(k), oracle.erase(k) > 0);
+    } else {
+      m[k] = k;
+      oracle.insert(k);
+    }
+  }
+  EXPECT_EQ(m.size(), oracle.size());
+  for (const std::uint64_t k : oracle) {
+    ASSERT_NE(m.find(k), nullptr) << k;
+    EXPECT_EQ(*m.find(k), k);
+  }
+  for (std::uint64_t k = 0; k < 512; ++k) {
+    EXPECT_EQ(m.count(k), oracle.count(k)) << k;
+  }
+}
+
+TEST(FlatMap, IterationVisitsEveryEntryOnce) {
+  FlatMap<std::uint32_t, int> m;
+  for (std::uint32_t k = 0; k < 100; ++k) m[k] = static_cast<int>(k);
+  std::set<std::uint32_t> seen;
+  for (const auto& [key, value] : m) {
+    EXPECT_EQ(value, static_cast<int>(key));
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate " << key;
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(FlatMap, IterationOrderIsDeterministic) {
+  // Same insert/erase sequence => same slot order; the simulator's
+  // reproducibility guarantee depends on this.
+  auto build = [] {
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 200; ++k) m[k * 31] = 1;
+    for (std::uint64_t k = 0; k < 200; k += 3) m.erase(k * 31);
+    return m;
+  };
+  const auto a = build();
+  const auto b = build();
+  std::vector<std::uint64_t> ka, kb;
+  for (const auto& [key, value] : a) ka.push_back(key);
+  for (const auto& [key, value] : b) kb.push_back(key);
+  EXPECT_EQ(ka, kb);
+}
+
+TEST(FlatMap, ClearEmptiesButStaysUsable) {
+  FlatMap<std::uint32_t, int> m;
+  for (std::uint32_t k = 0; k < 50; ++k) m[k] = 1;
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.begin(), m.end());
+  m[3] = 9;
+  ASSERT_NE(m.find(3), nullptr);
+  EXPECT_EQ(*m.find(3), 9);
+}
+
+TEST(FlatMap, PackedLinkKeys) {
+  FlatMap<std::uint64_t, int> m;
+  const auto pack = [](std::uint32_t from, std::uint32_t to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  };
+  m[pack(1, 2)] = 12;
+  m[pack(2, 1)] = 21;
+  EXPECT_EQ(*m.find(pack(1, 2)), 12);
+  EXPECT_EQ(*m.find(pack(2, 1)), 21);
+  EXPECT_EQ(m.find(pack(1, 1)), nullptr);
+}
+
+// ----------------------------------------------------------- SmallVec -----
+
+TEST(SmallVec, InlineThenSpill) {
+  SmallVec<std::uint32_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  for (std::uint32_t i = 4; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GT(v.capacity(), 4u);
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+  EXPECT_EQ(v.front(), 0u);
+  EXPECT_EQ(v.back(), 99u);
+}
+
+TEST(SmallVec, InsertAndEraseInMiddle) {
+  SmallVec<int, 4> v{1, 2, 4, 5};
+  v.insert(v.begin() + 2, 3);
+  EXPECT_EQ(v, (SmallVec<int, 4>{1, 2, 3, 4, 5}));
+  v.erase(v.begin());
+  v.erase(v.end() - 1);
+  EXPECT_EQ(v, (SmallVec<int, 4>{2, 3, 4}));
+}
+
+TEST(SmallVec, CopyAndMoveBothStorageModes) {
+  SmallVec<int, 4> small{1, 2};
+  SmallVec<int, 4> big;
+  for (int i = 0; i < 32; ++i) big.push_back(i);
+
+  SmallVec<int, 4> small_copy(small);
+  SmallVec<int, 4> big_copy(big);
+  EXPECT_EQ(small_copy, small);
+  EXPECT_EQ(big_copy, big);
+
+  SmallVec<int, 4> small_moved(std::move(small_copy));
+  SmallVec<int, 4> big_moved(std::move(big_copy));
+  EXPECT_EQ(small_moved, small);
+  EXPECT_EQ(big_moved, big);
+  EXPECT_TRUE(big_copy.empty());  // NOLINT(bugprone-use-after-move)
+
+  big_moved = small;  // heap -> inline assignment
+  EXPECT_EQ(big_moved, small);
+  small_moved = big;  // inline -> heap assignment
+  EXPECT_EQ(small_moved, big);
+}
+
+TEST(SmallVec, SortedHelpers) {
+  SmallVec<std::uint32_t, 4> v;
+  EXPECT_TRUE(sorted_insert(v, 5u));
+  EXPECT_TRUE(sorted_insert(v, 1u));
+  EXPECT_TRUE(sorted_insert(v, 3u));
+  EXPECT_FALSE(sorted_insert(v, 3u));  // duplicate
+  EXPECT_EQ(v, (SmallVec<std::uint32_t, 4>{1, 3, 5}));
+  EXPECT_TRUE(sorted_contains(v, 3u));
+  EXPECT_FALSE(sorted_contains(v, 4u));
+  EXPECT_TRUE(sorted_erase(v, 3u));
+  EXPECT_FALSE(sorted_erase(v, 3u));
+  EXPECT_EQ(v, (SmallVec<std::uint32_t, 4>{1, 5}));
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+// ----------------------------------------------------- UniqueFunction -----
+
+TEST(UniqueFunction, InvokesAndMoves) {
+  int hits = 0;
+  UniqueFunction f([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(f));
+  f();
+  UniqueFunction g(std::move(f));
+  g();
+  EXPECT_EQ(hits, 2);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(UniqueFunction, OwnsMoveOnlyCaptures) {
+  // The whole point: std::function cannot hold this lambda at all.
+  auto p = std::make_unique<int>(99);
+  int seen = 0;
+  UniqueFunction f([p = std::move(p), &seen] { seen = *p; });
+  f();
+  EXPECT_EQ(seen, 99);
+}
+
+TEST(UniqueFunction, DestroysCaptureExactlyOnce) {
+  auto tracker = std::make_shared<int>(1);
+  EXPECT_EQ(tracker.use_count(), 1);
+  {
+    UniqueFunction f([tracker] { (void)tracker; });
+    EXPECT_EQ(tracker.use_count(), 2);
+    UniqueFunction g(std::move(f));
+    EXPECT_EQ(tracker.use_count(), 2);  // moved, not copied
+    g.reset();
+    EXPECT_EQ(tracker.use_count(), 1);
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(UniqueFunction, SpillsLargeCallablesToHeap) {
+  struct Big {
+    unsigned char pad[96];  // > kInlineSize, forces the spill path
+    std::shared_ptr<int> alive;
+  };
+  static_assert(sizeof(Big) > UniqueFunction::kInlineSize);
+  auto tracker = std::make_shared<int>(7);
+  int seen = 0;
+  {
+    Big big{};
+    big.alive = tracker;
+    UniqueFunction f([big, &seen] { seen = *big.alive; });
+    EXPECT_EQ(tracker.use_count(), 3);  // big + the copy in f
+    UniqueFunction g(std::move(f));
+    g();
+    EXPECT_EQ(seen, 7);
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(UniqueFunction, MoveAssignReplacesTarget) {
+  int a = 0, b = 0;
+  UniqueFunction f([&a] { ++a; });
+  UniqueFunction g([&b] { ++b; });
+  g = std::move(f);
+  g();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 0);
+}
+
+// --------------------------------------------------------- derive_seed ----
+
+TEST(DeriveSeed, DeterministicAndWellSpread) {
+  EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(derive_seed(42, i));
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions across trial indices
+  EXPECT_NE(derive_seed(1, 5), derive_seed(2, 5));  // base matters
+}
+
+}  // namespace
+}  // namespace centaur::util

@@ -30,12 +30,12 @@ namespace centaur::core {
 struct PGraphCorruptor {
   /// Records `from` as a parent of `to` without storing the link.
   static void add_dangling_parent(PGraph& g, NodeId from, NodeId to) {
-    std::vector<NodeId>& ps = g.parents_[to];
+    PGraph::AdjList& ps = g.parents_[to];
     ps.insert(std::upper_bound(ps.begin(), ps.end(), from), from);
   }
   /// Destroys the sorted-ascending ordering of children[of].
   static void unsort_children(PGraph& g, NodeId of) {
-    std::vector<NodeId>& cs = g.children_[of];
+    PGraph::AdjList& cs = g.children_[of];
     std::reverse(cs.begin(), cs.end());
   }
 };

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "centaur/centaur_node.hpp"
+#include "eval/experiments.hpp"
+#include "runner/parallel.hpp"
+#include "topology/generator.hpp"
+#include "util/rng.hpp"
+
+namespace centaur {
+namespace {
+
+// ---------------------------------------------------------- run_trials ----
+
+TEST(RunTrials, PreservesIndexOrder) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const auto out = runner::run_trials(
+        100, threads, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(RunTrials, ZeroTrials) {
+  EXPECT_TRUE(runner::run_trials(0, 4, [](std::size_t i) { return i; })
+                  .empty());
+}
+
+TEST(RunTrials, PropagatesFirstException) {
+  const auto boom = [](std::size_t i) -> int {
+    if (i == 3) throw std::runtime_error("trial 3 failed");
+    return 0;
+  };
+  EXPECT_THROW(runner::run_trials(8, 4, boom), std::runtime_error);
+  EXPECT_THROW(runner::run_trials(8, 1, boom), std::runtime_error);
+}
+
+TEST(ThreadsFromEnv, ReadsOverride) {
+  ASSERT_EQ(setenv("CENTAUR_THREADS", "3", 1), 0);
+  EXPECT_EQ(runner::threads_from_env(), 3u);
+  ASSERT_EQ(setenv("CENTAUR_THREADS", "0", 1), 0);
+  EXPECT_GE(runner::threads_from_env(), 1u);  // clamped to >= 1
+  ASSERT_EQ(unsetenv("CENTAUR_THREADS"), 0);
+  EXPECT_GE(runner::threads_from_env(), 1u);
+}
+
+// ------------------------------------------- parallel == serial, exactly --
+
+/// Everything observable from one protocol trial: the flip-series numbers
+/// plus every node's selected path toward every destination.
+struct TrialObservation {
+  std::vector<double> convergence_times;
+  std::vector<double> message_counts;
+  std::size_t cold_start_messages = 0;
+  std::uint64_t events = 0;
+  std::size_t total_messages = 0;
+  std::size_t total_bytes = 0;
+  std::vector<std::map<topo::NodeId, topo::Path>> selected;  // per node
+
+  bool operator==(const TrialObservation&) const = default;
+};
+
+/// One independent trial: its own topology-flip RNG derived from the trial
+/// index, a fresh Centaur run, a measured flip sequence, and a full dump of
+/// the per-node selected paths afterwards.
+TrialObservation centaur_trial(const topo::AsGraph& g, std::size_t index) {
+  util::Rng rng(util::derive_seed(0xC0FFEE, index));
+  eval::RunOptions opts;
+  eval::ProtocolRun run(g, eval::Protocol::kCentaur, rng, opts);
+
+  TrialObservation obs;
+  obs.cold_start_messages = run.cold_start().messages_sent;
+  for (int f = 0; f < 2; ++f) {
+    const auto link = static_cast<topo::LinkId>(rng.next() % g.num_links());
+    for (const bool up : {false, true}) {
+      const auto t = run.flip(link, up);
+      obs.convergence_times.push_back(t.convergence_time);
+      obs.message_counts.push_back(static_cast<double>(t.messages));
+    }
+  }
+  obs.events = run.network().events_executed();
+  obs.total_messages = run.network().total_messages();
+  obs.total_bytes = run.network().total_bytes();
+  for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto* node =
+        dynamic_cast<const core::CentaurNode*>(&run.network().node(v));
+    if (node == nullptr) {  // thrown (not ASSERTed): trials run off-thread
+      throw std::logic_error("expected a CentaurNode");
+    }
+    obs.selected.push_back(node->selected_paths());
+  }
+  return obs;
+}
+
+TEST(RunTrials, ParallelRunsAreBitIdenticalToSerial) {
+  // Mid-size topology (the upper end of what the protocol test sweep
+  // uses — Debug builds run the invariant analyzer inside every Centaur
+  // run, so bigger graphs would dominate the tier-1 wall time); four
+  // trials whose inputs are a pure function of the trial index.  The
+  // 4-thread fan-out must reproduce the serial run exactly: same selected
+  // paths at every node, same message counts, same convergence times.
+  util::Rng topo_rng(0x5EED);
+  const topo::AsGraph g = topo::brite_like(45, 2, 4, topo_rng);
+  const std::size_t trials = 4;
+
+  const auto serial = runner::run_trials(
+      trials, 1, [&](std::size_t i) { return centaur_trial(g, i); });
+  const auto parallel = runner::run_trials(
+      trials, 4, [&](std::size_t i) { return centaur_trial(g, i); });
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < trials; ++i) {
+    EXPECT_EQ(serial[i].convergence_times, parallel[i].convergence_times)
+        << "trial " << i;
+    EXPECT_EQ(serial[i].message_counts, parallel[i].message_counts)
+        << "trial " << i;
+    EXPECT_EQ(serial[i].cold_start_messages, parallel[i].cold_start_messages);
+    EXPECT_EQ(serial[i].events, parallel[i].events) << "trial " << i;
+    EXPECT_EQ(serial[i].total_messages, parallel[i].total_messages);
+    EXPECT_EQ(serial[i].total_bytes, parallel[i].total_bytes);
+    EXPECT_EQ(serial[i].selected, parallel[i].selected) << "trial " << i;
+  }
+  // Trials with different indices draw different flip sequences — the
+  // equality above is not vacuous.
+  EXPECT_NE(serial[0].convergence_times, serial[1].convergence_times);
+}
+
+TEST(RunTrials, FlipSeriesMatchesAcrossThreadCounts) {
+  // The bench drivers fan eval::run_link_flips itself; check that whole
+  // pipeline too (cold start + measured flips + totals).
+  util::Rng topo_rng(0x5EED + 1);
+  const topo::AsGraph g = topo::brite_like(30, 2, 4, topo_rng);
+  const eval::Protocol protos[] = {eval::Protocol::kCentaur,
+                                   eval::Protocol::kBgp};
+  const auto trial = [&](std::size_t i) {
+    eval::FlipSeries s = eval::run_link_flips(
+        g, protos[i % 2], 3, util::Rng(util::derive_seed(7, i / 2)));
+    return s;
+  };
+  const auto serial = runner::run_trials(4, 1, trial);
+  const auto parallel = runner::run_trials(4, 4, trial);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].convergence_times, parallel[i].convergence_times);
+    EXPECT_EQ(serial[i].message_counts, parallel[i].message_counts);
+    EXPECT_EQ(serial[i].cold_start.messages_sent,
+              parallel[i].cold_start.messages_sent);
+    EXPECT_EQ(serial[i].events, parallel[i].events);
+    EXPECT_EQ(serial[i].total_messages, parallel[i].total_messages);
+    EXPECT_EQ(serial[i].total_bytes, parallel[i].total_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace centaur

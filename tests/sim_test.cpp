@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -76,6 +77,78 @@ TEST(Simulator, EventBudgetGuardsLivelock) {
   std::function<void()> loop = [&] { sim.schedule(0.001, loop); };
   sim.schedule(0, loop);
   EXPECT_THROW(sim.run(100), std::runtime_error);
+}
+
+TEST(Simulator, AcceptsMoveOnlyCallables) {
+  // Event callbacks are UniqueFunctions, so capturing a move-only payload
+  // works (std::function would reject this lambda outright).
+  Simulator sim;
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  sim.schedule(0.1, [p = std::move(payload), &seen] { seen = *p + 1; });
+  sim.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Simulator, ExecutedCountsAcrossRuns) {
+  Simulator sim;
+  sim.schedule(0.1, [] {});
+  sim.schedule(0.2, [] {});
+  sim.schedule(0.9, [] {});
+  EXPECT_EQ(sim.executed(), 0u);
+  sim.run_until(0.5);
+  EXPECT_EQ(sim.executed(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.executed(), 3u);
+  sim.schedule(0.1, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 4u);  // lifetime total, not per-run
+}
+
+TEST(Simulator, ZeroDelayBurstsKeepInsertionOrder) {
+  // Zero-delay events scheduled from inside an event take the FIFO burst
+  // fast path; their observable order must still interleave correctly with
+  // same-time events that were already sitting in the heap.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(0.5, [&] {
+    order.push_back(1);
+    sim.schedule(0, [&] {
+      order.push_back(3);
+      sim.schedule(0, [&] { order.push_back(5); });
+    });
+    sim.schedule(0, [&] { order.push_back(4); });
+  });
+  sim.schedule(0.5, [&] { order.push_back(2); });  // heap, same timestamp
+  sim.schedule(0.7, [&] { order.push_back(6); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+  EXPECT_DOUBLE_EQ(sim.now(), 0.7);
+}
+
+TEST(Simulator, BurstEventsVisibleInPendingAndRunUntil) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(0.1, [&] {
+    ++fired;
+    sim.schedule(0, [&] { ++fired; });
+    EXPECT_GE(sim.pending(), 1u);
+  });
+  sim.run_until(0.2);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, ReserveDoesNotDisturbOrdering) {
+  Simulator sim;
+  sim.reserve(64);
+  std::vector<int> order;
+  sim.schedule(0.2, [&] { order.push_back(2); });
+  sim.schedule(0.1, [&] { order.push_back(1); });
+  sim.reserve(1024);  // mid-stream re-reserve must keep the heap intact
+  sim.schedule(0.3, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 // ------------------------------------------------------------ Network -----

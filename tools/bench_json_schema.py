@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json files against the schema in DESIGN.md §5.4.
+
+Stdlib-only on purpose: CI and developer machines run it with a bare
+python3.  Exit status 0 iff every file given on the command line is valid.
+
+    python3 tools/bench_json_schema.py BENCH_micro.json baselines/*.json
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def _fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return False
+
+
+def _is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def _check_counters(path, obj, where):
+    """Shared shape of trials[] entries and the totals block."""
+    ok = True
+    for key in ("wall_time_s", "events", "messages", "bytes"):
+        if key not in obj:
+            ok = _fail(path, f"{where}: missing '{key}'")
+        elif not _is_num(obj[key]) or obj[key] < 0:
+            ok = _fail(path, f"{where}: '{key}' must be a non-negative number")
+    for key in ("events", "messages", "bytes"):
+        if _is_num(obj.get(key)) and obj[key] != int(obj[key]):
+            ok = _fail(path, f"{where}: '{key}' must be integral")
+    return ok
+
+
+def validate(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return _fail(path, f"unreadable or not JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return _fail(path, "top level must be an object")
+
+    ok = True
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        ok = _fail(path, f"schema_version must be {SCHEMA_VERSION}, "
+                         f"got {doc.get('schema_version')!r}")
+    for key in ("bench", "scale"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            ok = _fail(path, f"'{key}' must be a non-empty string")
+    if not isinstance(doc.get("threads"), int) or doc.get("threads") < 1:
+        ok = _fail(path, "'threads' must be an integer >= 1")
+    if not isinstance(doc.get("peak_rss_kb"), int) or doc["peak_rss_kb"] < 0:
+        ok = _fail(path, "'peak_rss_kb' must be a non-negative integer")
+
+    trials = doc.get("trials")
+    if not isinstance(trials, list) or not trials:
+        return _fail(path, "'trials' must be a non-empty array")
+    names = set()
+    for i, t in enumerate(trials):
+        where = f"trials[{i}]"
+        if not isinstance(t, dict):
+            ok = _fail(path, f"{where}: must be an object")
+            continue
+        if not isinstance(t.get("name"), str) or not t["name"]:
+            ok = _fail(path, f"{where}: 'name' must be a non-empty string")
+        elif t["name"] in names:
+            ok = _fail(path, f"{where}: duplicate trial name {t['name']!r}")
+        else:
+            names.add(t["name"])
+        ok = _check_counters(path, t, where) and ok
+        metrics = t.get("metrics")
+        if not isinstance(metrics, dict):
+            ok = _fail(path, f"{where}: 'metrics' must be an object")
+        else:
+            for k, v in metrics.items():
+                if not _is_num(v):
+                    ok = _fail(path, f"{where}: metric {k!r} must be numeric")
+
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        ok = _fail(path, "'totals' must be an object")
+    else:
+        ok = _check_counters(path, totals, "totals") and ok
+        # totals are computed from the trials; hold the writer to that.
+        for key in ("events", "messages", "bytes"):
+            if isinstance(totals.get(key), int) and all(
+                isinstance(t, dict) and _is_num(t.get(key)) for t in trials
+            ):
+                expect = sum(int(t[key]) for t in trials)
+                if totals[key] != expect:
+                    ok = _fail(path, f"totals['{key}'] = {totals[key]} but "
+                                     f"trials sum to {expect}")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_ok = True
+    for path in argv[1:]:
+        if validate(path):
+            print(f"{path}: OK")
+        else:
+            all_ok = False
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
