@@ -8,8 +8,10 @@
 // these numbers are the committed perf baselines CI diffs against.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "centaur/announce.hpp"
 #include "centaur/build_graph.hpp"
@@ -19,6 +21,7 @@
 #include "util/bloom.hpp"
 #include "util/rng.hpp"
 #include "util/scale.hpp"
+#include "wire/wire_format.hpp"
 
 namespace {
 
@@ -118,6 +121,39 @@ void BM_ApplyFullDelta(benchmark::State& state) {
 }
 BENCHMARK(BM_ApplyFullDelta)->Range(64, 512);
 
+void BM_EncodeDelta(benchmark::State& state) {
+  const auto g = make_topology(static_cast<std::size_t>(state.range(0)));
+  const auto selected = selected_paths(g, 1);
+  const PGraph pg = core::build_local_pgraph(1, selected);
+  const auto all = [](NodeId) { return true; };
+  const core::GraphDelta delta =
+      core::diff_views(core::ExportedView{}, core::make_export_view(pg, all));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wire::encode(delta, wire::PlistEncoding::kExplicit));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(delta.byte_size(false)));
+}
+BENCHMARK(BM_EncodeDelta)->Range(64, 512);
+
+void BM_DecodeDelta(benchmark::State& state) {
+  const auto g = make_topology(static_cast<std::size_t>(state.range(0)));
+  const auto selected = selected_paths(g, 1);
+  const PGraph pg = core::build_local_pgraph(1, selected);
+  const auto all = [](NodeId) { return true; };
+  const core::GraphDelta delta =
+      core::diff_views(core::ExportedView{}, core::make_export_view(pg, all));
+  const std::vector<std::uint8_t> buf =
+      wire::encode(delta, wire::PlistEncoding::kExplicit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::decode(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_DecodeDelta)->Range(64, 512);
+
 void BM_BloomInsertContains(benchmark::State& state) {
   util::BloomFilter f(static_cast<std::size_t>(state.range(0)), 0.01);
   std::uint32_t i = 0;
@@ -183,6 +219,8 @@ int main(int argc, char** argv) {
                                  centaur::util::scale_from_env()),
                              /*threads=*/1);
   report.set_path(json_path);
+  report.add_note(
+      "centaur bytes = exact wire-codec encoded length (v1, varint+delta)");
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -45,6 +45,10 @@ inline BenchIo bench_setup(int* argc, char** argv, const std::string& name,
   BenchIo io{util::params_for(scale), threads,
              runner::BenchReport(name, util::to_string(scale), threads)};
   io.report.set_path(runner::BenchReport::resolve_path(argc, argv, name));
+  // Sizing-model provenance: since the wire codec landed, Centaur byte
+  // counts are exact encoded lengths, not the old fixed-header estimate.
+  io.report.add_note(
+      "centaur bytes = exact wire-codec encoded length (v1, varint+delta)");
   std::cout << "################################################################\n"
             << "# bench_" << name << "\n"
             << "# " << what << "\n"

@@ -1,15 +1,19 @@
 #include "centaur/announce.hpp"
 
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
 namespace centaur::core {
 
-std::size_t GraphDelta::byte_size(bool bloom_compressed) const {
-  std::size_t bytes = 16;  // header
-  for (const auto& [link, plist] : upserts) {
-    bytes += 8 + plist.byte_size(bloom_compressed);
+bool ExportedView::operator==(const ExportedView& other) const {
+  if (!(destinations == other.destinations)) return false;
+  if (links.size() != other.links.size()) return false;
+  for (const auto& [key, plist] : links) {
+    const PermissionList* theirs = other.links.find(key);
+    if (theirs == nullptr || !(*theirs == plist)) return false;
   }
-  bytes += 8 * removes.size();
-  bytes += 4 * (dest_adds.size() + dest_removes.size());
-  return bytes;
+  return true;
 }
 
 ExportedView make_export_view(const PGraph& local,
@@ -17,27 +21,28 @@ ExportedView make_export_view(const PGraph& local,
                               const LinkFilter& link_allowed) {
   ExportedView view;
   for (NodeId d : local.destinations()) {
-    if (!dest_allowed || dest_allowed(d)) view.destinations.insert(d);
+    if (!dest_allowed || dest_allowed(d)) view.destinations.push_back(d);
   }
+  view.links.reserve(local.num_links());
   for (const auto& [link, data] : local.links()) {
     if (link_allowed && !link_allowed(link.from, link.to)) continue;
+    const std::uint64_t key = pack_link(link.from, link.to);
     // BuildGraph records, in the (always-populated) permission entries, the
     // exact destination set routed through each link; the link is exported
     // iff an allowed destination uses it.  Only multi-homed heads carry
     // Permission Lists on the wire (S4.1).
     const bool multi_homed = local.multi_homed(link.to);
     if (!dest_allowed) {
-      view.links.emplace(link,
-                         multi_homed ? data.plist : PermissionList{});
+      view.links[key] = multi_homed ? data.plist : PermissionList{};
       continue;
     }
     if (multi_homed) {
       PermissionList filtered = data.plist.filtered(dest_allowed);
       if (filtered.empty()) continue;  // no allowed destination uses it
-      view.links.emplace(link, std::move(filtered));
+      view.links[key] = std::move(filtered);
     } else {
       if (!data.plist.any_dest(dest_allowed)) continue;
-      view.links.emplace(link, PermissionList{});
+      view.links[key] = PermissionList{};
     }
   }
   return view;
@@ -45,32 +50,26 @@ ExportedView make_export_view(const PGraph& local,
 
 GraphDelta diff_views(const ExportedView& before, const ExportedView& after) {
   GraphDelta delta;
-  // Links: ordered-map merge walk.
-  auto a = before.links.begin();
-  auto b = after.links.begin();
-  while (a != before.links.end() || b != after.links.end()) {
-    if (b == after.links.end() ||
-        (a != before.links.end() && a->first < b->first)) {
-      delta.removes.push_back(a->first);
-      ++a;
-    } else if (a == before.links.end() || b->first < a->first) {
-      delta.upserts.emplace_back(b->first, b->second);
-      ++b;
-    } else {
-      if (!(a->second == b->second)) {
-        delta.upserts.emplace_back(b->first, b->second);  // plist changed
-      }
-      ++a;
-      ++b;
+  for (const auto& [key, plist] : after.links) {
+    const PermissionList* old = before.links.find(key);
+    if (old == nullptr || !(*old == plist)) {
+      delta.upserts.emplace_back(unpack_link(key), plist);
     }
   }
-  // Destination marks.
-  for (NodeId d : after.destinations) {
-    if (!before.destinations.count(d)) delta.dest_adds.push_back(d);
+  for (const auto& [key, plist] : before.links) {
+    if (after.links.count(key) == 0) delta.removes.push_back(unpack_link(key));
   }
-  for (NodeId d : before.destinations) {
-    if (!after.destinations.count(d)) delta.dest_removes.push_back(d);
-  }
+  // Hash-order walks above; canonicalize (sorted ascending, the wire order).
+  std::sort(delta.upserts.begin(), delta.upserts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(delta.removes.begin(), delta.removes.end());
+  // Destination marks: both sides sorted ascending already.
+  std::set_difference(after.destinations.begin(), after.destinations.end(),
+                      before.destinations.begin(), before.destinations.end(),
+                      std::back_inserter(delta.dest_adds));
+  std::set_difference(before.destinations.begin(), before.destinations.end(),
+                      after.destinations.begin(), after.destinations.end(),
+                      std::back_inserter(delta.dest_removes));
   return delta;
 }
 
@@ -104,6 +103,78 @@ bool apply_delta(PGraph& g, const GraphDelta& delta, NodeId self,
     }
   }
   return changed;
+}
+
+// ------------------------------------------------------------ coalescing --
+
+void PendingDelta::record_upsert(const DirectedLink& link,
+                                 const PermissionList& plist,
+                                 bool receiver_has_link) {
+  bool inserted = false;
+  LinkSlot& slot = links_.ensure(pack_link(link.from, link.to), inserted);
+  if (inserted) {
+    slot.op = receiver_has_link ? LinkOp::kChange : LinkOp::kAdd;
+  } else if (slot.op == LinkOp::kRemove) {
+    // Removed then re-added within the burst: the receiver still holds the
+    // link, so the net effect is a Permission-List change.
+    slot.op = LinkOp::kChange;
+  }
+  slot.plist = plist;
+}
+
+void PendingDelta::record_remove(const DirectedLink& link) {
+  const std::uint64_t key = pack_link(link.from, link.to);
+  bool inserted = false;
+  LinkSlot& slot = links_.ensure(key, inserted);
+  if (!inserted && slot.op == LinkOp::kAdd) {
+    links_.erase(key);  // added and removed in one burst: nothing happened
+    return;
+  }
+  slot.op = LinkOp::kRemove;
+  slot.plist = PermissionList{};
+}
+
+void PendingDelta::record_dest_add(NodeId dest) {
+  bool inserted = false;
+  std::uint8_t& op = dests_.ensure(dest, inserted);
+  if (!inserted && op == kDestRemove) {
+    dests_.erase(dest);  // remove + add cancels
+    return;
+  }
+  op = kDestAdd;
+}
+
+void PendingDelta::record_dest_remove(NodeId dest) {
+  bool inserted = false;
+  std::uint8_t& op = dests_.ensure(dest, inserted);
+  if (!inserted && op == kDestAdd) {
+    dests_.erase(dest);  // add + remove cancels
+    return;
+  }
+  op = kDestRemove;
+}
+
+GraphDelta PendingDelta::take() {
+  GraphDelta out;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(links_.size());
+  for (const auto& [key, slot] : links_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    LinkSlot* slot = links_.find(key);
+    if (slot->op == LinkOp::kRemove) {
+      out.removes.push_back(unpack_link(key));
+    } else {
+      out.upserts.emplace_back(unpack_link(key), std::move(slot->plist));
+    }
+  }
+  for (const auto& [dest, op] : dests_) {
+    (op == kDestRemove ? out.dest_removes : out.dest_adds).push_back(dest);
+  }
+  std::sort(out.dest_adds.begin(), out.dest_adds.end());
+  std::sort(out.dest_removes.begin(), out.dest_removes.end());
+  clear();
+  return out;
 }
 
 }  // namespace centaur::core

@@ -12,16 +12,21 @@
 //     the view when no selected exported path contains it any longer);
 //   * apply_delta — the import side (Imp): drops links pointing at the
 //     importer, applies the import filter, and merges into the stored
-//     per-neighbor P-graph (the G'_{B->A} equation of S4.3.2).
+//     per-neighbor P-graph (the G'_{B->A} equation of S4.3.2);
+//   * PendingDelta — the outbound coalescing slot: merges every change
+//     recorded within one simulated instant into one net delta, with
+//     counter-style cancellation (an added link that is removed again in
+//     the same burst vanishes from the wire entirely).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "centaur/pgraph.hpp"
+#include "util/flat_map.hpp"
+#include "util/small_vec.hpp"
 
 namespace centaur::core {
 
@@ -33,12 +38,25 @@ using DestFilter = std::function<bool(NodeId dest)>;
 
 /// What one neighbor sees of a local P-graph: announced links with their
 /// (active, destination-filtered) Permission Lists, plus destination marks.
+/// Links live in a flat hash table keyed by the packed (from,to) u64;
+/// destination marks in a sorted small-vector (DESIGN.md §5.1).
 struct ExportedView {
-  std::map<DirectedLink, PermissionList> links;
-  std::set<NodeId> destinations;
+  util::FlatMap<std::uint64_t, PermissionList> links;
+  util::SmallVec<NodeId, 8> destinations;  // sorted ascending
 
-  bool operator==(const ExportedView&) const = default;
   bool empty() const { return links.empty() && destinations.empty(); }
+  const PermissionList* find_link(NodeId from, NodeId to) const {
+    return links.find(pack_link(from, to));
+  }
+  bool has_link(NodeId from, NodeId to) const {
+    return links.count(pack_link(from, to)) > 0;
+  }
+  bool has_dest(NodeId dest) const {
+    return util::sorted_contains(destinations, dest);
+  }
+
+  /// Content equality; link iteration order is irrelevant.
+  bool operator==(const ExportedView& other) const;
 };
 
 /// Incremental update message body.  `upserts` carries new links and links
@@ -56,8 +74,8 @@ struct GraphDelta {
            dest_adds.empty() && dest_removes.empty();
   }
 
-  /// Approximate wire size; `bloom_compressed` selects the Permission-List
-  /// encoding (S4.1).
+  /// Exact wire size: the length wire::encode() produces for this delta;
+  /// `bloom_compressed` selects the Permission-List encoding (S4.1).
   std::size_t byte_size(bool bloom_compressed) const;
 };
 
@@ -73,7 +91,9 @@ ExportedView make_export_view(const PGraph& local,
                               const DestFilter& dest_allowed,
                               const LinkFilter& link_allowed = nullptr);
 
-/// The incremental update turning `before` into `after`.
+/// The incremental update turning `before` into `after`.  Sections come out
+/// sorted ascending (by packed link key / node id) — the codec's canonical
+/// order.
 GraphDelta diff_views(const ExportedView& before, const ExportedView& after);
 
 /// Import side: merges `delta` (received from the owner of `g`) into the
@@ -82,5 +102,50 @@ GraphDelta diff_views(const ExportedView& before, const ExportedView& after);
 /// rest.  Returns true if anything changed.
 bool apply_delta(PGraph& g, const GraphDelta& delta, NodeId self,
                  const LinkFilter& import_allowed = nullptr);
+
+/// Outbound coalescing slot: accumulates the view changes recorded since the
+/// last flush and yields their *net* effect as one canonical delta.
+///
+/// The recording node guarantees stream consistency (each record describes a
+/// real transition of its exported view), which makes merging a per-key
+/// state machine:
+///   * a link added and removed in the same burst cancels to nothing;
+///   * a plist change followed by a remove collapses to the remove;
+///   * a remove followed by a re-add becomes a plist change (the receiver
+///     still holds the link, so it must not be double-counted as new);
+///   * destination add+remove (either order) cancels.
+/// Invariant: a key has no slot here iff the receiver's copy already matches
+/// the sender's current view for that key.
+class PendingDelta {
+ public:
+  /// Records a link upsert; `receiver_has_link` says whether the receivers
+  /// already hold the link (i.e. this is a Permission-List change, not a new
+  /// link) — only consulted when the link has no pending slot yet.
+  void record_upsert(const DirectedLink& link, const PermissionList& plist,
+                     bool receiver_has_link);
+  void record_remove(const DirectedLink& link);
+  void record_dest_add(NodeId dest);
+  void record_dest_remove(NodeId dest);
+
+  bool empty() const { return links_.empty() && dests_.empty(); }
+  void clear() {
+    links_.clear();
+    dests_.clear();
+  }
+
+  /// The net delta, sections sorted ascending; leaves the slot empty.
+  GraphDelta take();
+
+ private:
+  enum class LinkOp : std::uint8_t { kAdd, kChange, kRemove };
+  struct LinkSlot {
+    LinkOp op = LinkOp::kAdd;
+    PermissionList plist;
+  };
+  enum : std::uint8_t { kDestAdd = 0, kDestRemove = 1 };
+
+  util::FlatMap<std::uint64_t, LinkSlot> links_;
+  util::FlatMap<NodeId, std::uint8_t> dests_;
+};
 
 }  // namespace centaur::core

@@ -46,8 +46,8 @@ void CentaurNode::start() {
     selected_[self()] = Path{self()};
     selected_class_[self()] = policy::RouteSource::kSelf;
     add_path_to_pgraph(local_, Path{self()});
-    cone_dests_.insert(self());
-    changed_dests_.insert(self());
+    cone_dests_[self()] = 1;
+    changed_dests_.push_back(self());
   }
   flood();
 }
@@ -107,16 +107,17 @@ std::set<NodeId> CentaurNode::refresh_derived(NeighborState& state,
 
 void CentaurNode::note_path_removed(NodeId dest, const Path& path,
                                     bool cone_class) {
-  changed_dests_.insert(dest);
+  changed_dests_.push_back(dest);
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     const DirectedLink link{path[i], path[i + 1]};
-    touched_links_.insert(link);
+    touched_links_.push_back(link);
     if (cone_class) {
-      const auto it = cone_entries_.find(link);
-      if (it != cone_entries_.end()) {
+      const std::uint64_t key = pack_link(link.from, link.to);
+      PermissionList* entry = cone_entries_.find(key);
+      if (entry != nullptr) {
         const NodeId next = (i + 2 < path.size()) ? path[i + 2] : kNoNextHop;
-        it->second.remove(dest, next);
-        if (it->second.empty()) cone_entries_.erase(it);
+        entry->remove(dest, next);
+        if (entry->empty()) cone_entries_.erase(key);
       }
     }
   }
@@ -126,26 +127,26 @@ void CentaurNode::note_path_removed(NodeId dest, const Path& path,
   // parents() still includes the path's own links.
   for (std::size_t i = 1; i < path.size(); ++i) {
     for (const NodeId p : local_.parents(path[i])) {
-      touched_links_.insert(DirectedLink{p, path[i]});
+      touched_links_.push_back(DirectedLink{p, path[i]});
     }
   }
 }
 
 void CentaurNode::note_path_added(NodeId dest, const Path& path,
                                   bool cone_class) {
-  changed_dests_.insert(dest);
+  changed_dests_.push_back(dest);
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     const DirectedLink link{path[i], path[i + 1]};
-    touched_links_.insert(link);
+    touched_links_.push_back(link);
     if (cone_class) {
       const NodeId next = (i + 2 < path.size()) ? path[i + 2] : kNoNextHop;
-      cone_entries_[link].add(dest, next);
+      cone_entries_[pack_link(link.from, link.to)].add(dest, next);
     }
   }
   // Called after the P-graph mutation: parents() includes the new links.
   for (std::size_t i = 1; i < path.size(); ++i) {
     for (const NodeId p : local_.parents(path[i])) {
-      touched_links_.insert(DirectedLink{p, path[i]});
+      touched_links_.push_back(DirectedLink{p, path[i]});
     }
   }
 }
@@ -203,7 +204,7 @@ bool CentaurNode::reselect(const std::set<NodeId>& dests) {
       const bool new_cone = cone_exportable(best.source);
       add_path_to_pgraph(local_, *best_path);
       note_path_added(dest, *best_path, new_cone);
-      if (new_cone) cone_dests_.insert(dest);
+      if (new_cone) cone_dests_[dest] = 1;
       selected_[dest] = std::move(*best_path);
       selected_class_[dest] = best.source;
     } else if (had) {
@@ -258,25 +259,31 @@ void CentaurNode::flood() {
   }
 
   // Incrementally update the two category views from the flood scratch,
-  // collecting the per-category deltas along the way.
-  GraphDelta full_delta, cone_delta;
-  auto update_link = [this](ExportedView& exp, const DirectedLink& link,
-                            std::optional<PermissionList> now,
-                            GraphDelta& delta) {
-    const auto it = exp.links.find(link);
+  // recording every view transition in the per-category pending deltas.
+  // A key has no pending slot iff receivers already match the view, so
+  // `receiver_has_link` on a fresh slot is exactly "the view had the link".
+  auto update_link = [](ExportedView& exp, PendingDelta& pending,
+                        const DirectedLink& link,
+                        std::optional<PermissionList> now) {
+    const std::uint64_t key = pack_link(link.from, link.to);
+    PermissionList* cur = exp.links.find(key);
     if (now) {
-      if (it == exp.links.end()) {
-        delta.upserts.emplace_back(link, *now);
-        exp.links.emplace(link, std::move(*now));
-      } else if (!(it->second == *now)) {
-        delta.upserts.emplace_back(link, *now);
-        it->second = std::move(*now);
+      if (cur == nullptr) {
+        pending.record_upsert(link, *now, /*receiver_has_link=*/false);
+        exp.links[key] = std::move(*now);
+      } else if (!(*cur == *now)) {
+        pending.record_upsert(link, *now, /*receiver_has_link=*/true);
+        *cur = std::move(*now);
       }
-    } else if (it != exp.links.end()) {
-      delta.removes.push_back(link);
-      exp.links.erase(it);
+    } else if (cur != nullptr) {
+      pending.record_remove(link);
+      exp.links.erase(key);
     }
   };
+  std::sort(touched_links_.begin(), touched_links_.end());
+  touched_links_.erase(
+      std::unique(touched_links_.begin(), touched_links_.end()),
+      touched_links_.end());
   for (const DirectedLink& link : touched_links_) {
     // Full view: every link of the local P-graph, Permission List on the
     // wire only while the head is multi-homed.  One probe resolves both
@@ -289,56 +296,96 @@ void CentaurNode::flood() {
     if (present) {
       full_now = multi ? data->plist : PermissionList{};
     }
-    update_link(exported_full_, link, std::move(full_now), full_delta);
+    update_link(exported_full_, pending_full_, link, std::move(full_now));
 
     // Cone view: only links carrying cone-class destinations, with the
     // Permission List filtered to those destinations (cone_entries_ keeps
     // exactly that).
     std::optional<PermissionList> cone_now;
-    const auto ce = cone_entries_.find(link);
-    if (present && ce != cone_entries_.end() && !ce->second.empty()) {
-      cone_now = multi ? ce->second : PermissionList{};
+    const PermissionList* ce = cone_entries_.find(pack_link(link.from, link.to));
+    if (present && ce != nullptr && !ce->empty()) {
+      cone_now = multi ? *ce : PermissionList{};
     }
-    update_link(exported_cone_, link, std::move(cone_now), cone_delta);
+    update_link(exported_cone_, pending_cone_, link, std::move(cone_now));
   }
+  std::sort(changed_dests_.begin(), changed_dests_.end());
+  changed_dests_.erase(
+      std::unique(changed_dests_.begin(), changed_dests_.end()),
+      changed_dests_.end());
   for (const NodeId dest : changed_dests_) {
     const bool full_now = selected_.count(dest) > 0;
     const bool cone_now = full_now && cone_dests_.count(dest) > 0;
-    auto update_dest = [dest](ExportedView& exp, bool now, GraphDelta& delta) {
-      const bool was = exp.destinations.count(dest) > 0;
-      if (now && !was) {
-        delta.dest_adds.push_back(dest);
-        exp.destinations.insert(dest);
-      } else if (!now && was) {
-        delta.dest_removes.push_back(dest);
-        exp.destinations.erase(dest);
+    auto update_dest = [dest](ExportedView& exp, PendingDelta& pending,
+                              bool now) {
+      if (now) {
+        if (util::sorted_insert(exp.destinations, dest)) {
+          pending.record_dest_add(dest);
+        }
+      } else if (util::sorted_erase(exp.destinations, dest)) {
+        pending.record_dest_remove(dest);
       }
     };
-    update_dest(exported_full_, full_now, full_delta);
-    update_dest(exported_cone_, cone_now, cone_delta);
+    update_dest(exported_full_, pending_full_, full_now);
+    update_dest(exported_cone_, pending_cone_, cone_now);
   }
   touched_links_.clear();
   changed_dests_.clear();
+  dispatch_updates();
+}
 
+void CentaurNode::dispatch_updates() {
+  if (!config_.coalesce_updates) {
+    flush_pending();
+    return;
+  }
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  // Zero-delay: runs within the current instant's burst, after every event
+  // already queued for it — deltas from same-instant floods merge, link
+  // delays still start from the same simulated time.
+  net().simulator().schedule(0, [this] {
+    flush_scheduled_ = false;
+    flush_pending();
+  });
+}
+
+void CentaurNode::flush_pending() {
+  GraphDelta full_delta = pending_full_.take();
+  GraphDelta cone_delta = pending_cone_.take();
+  std::shared_ptr<const CentaurUpdate> full_msg, cone_msg;
+  if (!full_delta.empty()) {
+    full_msg = std::make_shared<CentaurUpdate>(std::move(full_delta),
+                                               config_.bloom_plists);
+  }
+  if (!cone_delta.empty()) {
+    cone_msg = std::make_shared<CentaurUpdate>(std::move(cone_delta),
+                                               config_.bloom_plists);
+  }
+  // Baseline snapshots are shared per category too (built lazily: most
+  // flushes have no uninitialized neighbor).
+  std::shared_ptr<const CentaurUpdate> full_snap, cone_snap;
   for (const topo::Neighbor& nb : graph_.neighbors(self())) {
     if (!neighbor_usable(nb.node)) continue;
     const bool cone_nbr = nb.rel == topo::Relationship::kPeer ||
                           nb.rel == topo::Relationship::kProvider;
-    const ExportedView& exp = cone_nbr ? exported_cone_ : exported_full_;
-    const GraphDelta& delta = cone_nbr ? cone_delta : full_delta;
-    if (initialized_nbrs_.insert(nb.node).second) {
-      // First contact (or session restart): baseline snapshot.
-      GraphDelta snapshot = diff_views(ExportedView{}, exp);
-      snapshot.reset = true;
-      if (!snapshot.empty()) {
-        net().send(self(), nb.node,
-                   std::make_shared<CentaurUpdate>(std::move(snapshot),
-                                                   config_.bloom_plists));
+    bool first = false;
+    initialized_nbrs_.ensure(nb.node, first);
+    if (first) {
+      // First contact (or session restart): baseline snapshot — a reset
+      // delta against the empty view, always sent (the reset itself is the
+      // signal even when the view is empty).
+      auto& snap = cone_nbr ? cone_snap : full_snap;
+      if (!snap) {
+        GraphDelta snapshot = diff_views(
+            ExportedView{}, cone_nbr ? exported_cone_ : exported_full_);
+        snapshot.reset = true;
+        snap = std::make_shared<CentaurUpdate>(std::move(snapshot),
+                                               config_.bloom_plists);
       }
-    } else if (!delta.empty()) {
-      net().send(self(), nb.node,
-                 std::make_shared<CentaurUpdate>(GraphDelta(delta),
-                                                 config_.bloom_plists));
+      net().send(self(), nb.node, snap);
+    } else {
+      const auto& msg = cone_nbr ? cone_msg : full_msg;
+      if (msg) net().send(self(), nb.node, msg);
     }
   }
 }
@@ -424,18 +471,10 @@ void CentaurNode::on_link_change(NodeId neighbor, bool up) {
     }
     return;
   }
-  const bool cone_nbr =
-      graph_.rel(self(), neighbor) == topo::Relationship::kPeer ||
-      graph_.rel(self(), neighbor) == topo::Relationship::kProvider;
-  const ExportedView& exp = cone_nbr ? exported_cone_ : exported_full_;
-  GraphDelta snapshot = diff_views(ExportedView{}, exp);
-  snapshot.reset = true;
-  initialized_nbrs_.insert(neighbor);
-  if (!snapshot.empty()) {
-    net().send(self(), neighbor,
-               std::make_shared<CentaurUpdate>(std::move(snapshot),
-                                               config_.bloom_plists));
-  }
+  // Standard path: the flush notices the (now usable, uninitialized)
+  // neighbor and owes it a baseline snapshot of its category view; going
+  // through dispatch lets a same-instant snapshot share the flush event.
+  dispatch_updates();
 }
 
 void CentaurNode::policy_changed() {

@@ -20,8 +20,10 @@
 // same delta with less mutable state.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -37,18 +39,26 @@ namespace centaur::core {
 
 /// Wire message: one incremental update (Step 5) or initial announcement
 /// (Steps 1/4, a delta against the empty view with reset set).
+///
+/// Immutable once constructed, so one instance is shared (by shared_ptr)
+/// across every neighbor of an export class; the exact encoded length is
+/// computed once here instead of per byte_size() query per receiver.
 class CentaurUpdate : public sim::Message {
  public:
   CentaurUpdate(GraphDelta delta, bool bloom_compressed)
-      : delta_(std::move(delta)), bloom_(bloom_compressed) {}
+      : delta_(std::move(delta)),
+        bloom_(bloom_compressed),
+        byte_size_(delta_.byte_size(bloom_compressed)) {}
 
   const GraphDelta& delta() const { return delta_; }
-  std::size_t byte_size() const override { return delta_.byte_size(bloom_); }
+  bool bloom_compressed() const { return bloom_; }
+  std::size_t byte_size() const override { return byte_size_; }
   std::string describe() const override;
 
  private:
   GraphDelta delta_;
   bool bloom_;
+  std::size_t byte_size_;
 };
 
 class CentaurNode : public sim::Node {
@@ -58,6 +68,11 @@ class CentaurNode : public sim::Node {
     bool originate_prefix = true;
     /// Account Permission-List bytes as Bloom-compressed (S4.1).
     bool bloom_plists = false;
+    /// Merge every delta emitted within one simulated instant into a single
+    /// net update per neighbor before sending (flushed through a zero-delay
+    /// event, so arrival times are unchanged).  Off: send inline per flood,
+    /// the seed behavior.
+    bool coalesce_updates = true;
     /// Extra export-side link filter: may link from->to be announced to
     /// `neighbor`?  Applied on top of the Gao-Rexford destination-based
     /// export rule.  Null means allow.
@@ -129,10 +144,17 @@ class CentaurNode : public sim::Node {
   /// cache, the cone-entry side map, and the flood scratch (touched links +
   /// changed destinations).  Returns true if any selection changed.
   bool reselect(const std::set<NodeId>& dests);
-  /// Applies the flood scratch to the two category views and sends the
-  /// resulting deltas; sends baseline snapshots to uninitialized neighbors.
+  /// Applies the flood scratch to the two category views, records the
+  /// resulting changes in the pending per-category deltas, and dispatches.
   /// Always call after reselect() so the category views never go stale.
   void flood();
+  /// Sends pending updates: inline when coalescing is off, else through one
+  /// zero-delay flush event per node per instant (same-burst deltas merge).
+  void dispatch_updates();
+  /// Materializes at most two shared payloads (full/cone) from the pending
+  /// deltas and fans them out; uninitialized usable neighbors get a shared
+  /// baseline snapshot of their category view instead.
+  void flush_pending();
   /// Records a changed selection for dest (old path out, new path in) in
   /// the flood scratch and cone-entry map.
   void note_path_removed(NodeId dest, const Path& path, bool cone_class);
@@ -155,15 +177,22 @@ class CentaurNode : public sim::Node {
   // steady-phase update costs O(touched links), not O(P-graph).
   // cone_entries_ mirrors local_'s permission entries restricted to
   // cone-class destinations (it tells both which links the cone view
-  // carries and with which filtered Permission List).
+  // carries and with which filtered Permission List); all side state is on
+  // flat containers (DESIGN.md §5.1), keyed by packed links / node ids.
   ExportedView exported_full_;
   ExportedView exported_cone_;
-  std::map<DirectedLink, PermissionList> cone_entries_;
-  std::set<NodeId> cone_dests_;
-  std::set<topo::NodeId> initialized_nbrs_;  // got a baseline snapshot
-  // Flood scratch, filled by reselect().
-  std::set<DirectedLink> touched_links_;
-  std::set<NodeId> changed_dests_;
+  util::FlatMap<std::uint64_t, PermissionList> cone_entries_;
+  util::FlatMap<NodeId, std::uint8_t> cone_dests_;          // used as a set
+  util::FlatMap<topo::NodeId, std::uint8_t> initialized_nbrs_;  // got snapshot
+  // Flood scratch, filled by reselect(); duplicates fine, flood() dedups.
+  std::vector<DirectedLink> touched_links_;
+  std::vector<NodeId> changed_dests_;
+  // Outbound coalescing (Step 5 batching): per-category net deltas pending
+  // since the last flush, plus whether a flush event is already queued for
+  // the current instant.
+  PendingDelta pending_full_;
+  PendingDelta pending_cone_;
+  bool flush_scheduled_ = false;
   // Legacy per-neighbor views, used only with a custom export_link_filter.
   std::map<topo::NodeId, ExportedView> exported_custom_;
 };

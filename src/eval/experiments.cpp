@@ -26,6 +26,15 @@ const char* to_string(Protocol p) {
 
 namespace {
 
+// Boolean env toggle: unset -> fallback; "", "0", "off", "false" -> false;
+// anything else -> true.
+bool env_flag(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const std::string v(env);
+  return !(v.empty() || v == "0" || v == "off" || v == "false");
+}
+
 std::unique_ptr<sim::Node> make_node(Protocol p, const topo::AsGraph& g,
                                      const RunOptions& options) {
   switch (p) {
@@ -40,8 +49,12 @@ std::unique_ptr<sim::Node> make_node(Protocol p, const topo::AsGraph& g,
       cfg.root_cause_notification = true;
       return std::make_unique<bgp::BgpNode>(g, cfg);
     }
-    case Protocol::kCentaur:
-      return std::make_unique<core::CentaurNode>(g);
+    case Protocol::kCentaur: {
+      core::CentaurNode::Config cfg;
+      cfg.coalesce_updates = env_flag("CENTAUR_COALESCE", true);
+      cfg.bloom_plists = env_flag("CENTAUR_BLOOM_PLISTS", false);
+      return std::make_unique<core::CentaurNode>(g, cfg);
+    }
     case Protocol::kOspf:
       return std::make_unique<linkstate::OspfNode>(g);
   }

@@ -101,6 +101,14 @@ std::string BenchReport::to_json() const {
   os << "  \"bench\": \"" << json_escape(bench_) << "\",\n";
   os << "  \"scale\": \"" << json_escape(scale_) << "\",\n";
   os << "  \"threads\": " << threads_ << ",\n";
+  if (!notes_.empty()) {
+    os << "  \"notes\": [";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "\"" << json_escape(notes_[i]) << "\"";
+    }
+    os << "],\n";
+  }
   os << "  \"peak_rss_kb\": " << peak_rss_kb() << ",\n";
   os << "  \"trials\": [";
   for (std::size_t i = 0; i < trials_.size(); ++i) {

@@ -18,6 +18,7 @@
 //     "bench": "<name>",
 //     "scale": "smoke|default|large",
 //     "threads": <N>,
+//     "notes": ["..."],            // optional, free-form provenance notes
 //     "peak_rss_kb": <N>,
 //     "trials": [
 //       {"name": "...", "wall_time_s": <f>, "events": <N>,
@@ -83,6 +84,10 @@ class BenchReport {
 
   void add(TrialResult trial) { trials_.push_back(std::move(trial)); }
 
+  /// Free-form provenance note emitted in the report's "notes" array (e.g.
+  /// "byte counts use the exact wire codec").  Appended in call order.
+  void add_note(std::string note) { notes_.push_back(std::move(note)); }
+
   /// Serializes the report (schema above).
   std::string to_json() const;
 
@@ -95,6 +100,7 @@ class BenchReport {
   std::string scale_;
   std::size_t threads_;
   std::string path_;
+  std::vector<std::string> notes_;
   std::vector<TrialResult> trials_;
 };
 

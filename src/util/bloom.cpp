@@ -40,6 +40,16 @@ BloomFilter BloomFilter::with_geometry(std::size_t bits, std::size_t hashes) {
   return f;
 }
 
+BloomFilter BloomFilter::from_words(std::vector<std::uint64_t> words,
+                                    std::size_t hashes, std::size_t inserted) {
+  BloomFilter f;
+  if (words.empty()) words.push_back(0);
+  f.words_ = std::move(words);
+  f.hashes_ = std::clamp<std::size_t>(hashes, 1, 16);
+  f.inserted_ = inserted;
+  return f;
+}
+
 void BloomFilter::insert(std::uint32_t id) {
   // Kirsch-Mitzenmacher double hashing: h_i = h1 + i * h2.
   const std::uint64_t h = mix64(0x5bf03635ULL ^ id);

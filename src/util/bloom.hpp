@@ -28,6 +28,11 @@ class BloomFilter {
   /// multiple of 64; `hashes` clamped to [1, 16]).
   static BloomFilter with_geometry(std::size_t bits, std::size_t hashes);
 
+  /// Reconstructs a filter from serialized state (the wire decoder's path);
+  /// `inserted` restores the insert() counter the sender reported.
+  static BloomFilter from_words(std::vector<std::uint64_t> words,
+                                std::size_t hashes, std::size_t inserted);
+
   void insert(std::uint32_t id);
 
   /// True if `id` might be in the set (or definitely false).
@@ -41,6 +46,9 @@ class BloomFilter {
 
   /// Serialized size in bytes (bit array only) — used for overhead accounting.
   std::size_t byte_size() const { return words_.size() * 8; }
+
+  /// The raw bit array, 64-bit little-endian words (wire serialization).
+  const std::vector<std::uint64_t>& words() const { return words_; }
 
   /// Number of insert() calls observed.
   std::size_t inserted_count() const { return inserted_; }

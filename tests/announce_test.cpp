@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <vector>
 
 #include "centaur/announce.hpp"
 #include "centaur/build_graph.hpp"
+#include "wire/wire_format.hpp"
 
 namespace centaur::core {
 namespace {
@@ -26,16 +28,23 @@ DestFilter allow_all_dests() {
   return [](NodeId) { return true; };
 }
 
+std::vector<NodeId> dest_list(const ExportedView& v) {
+  return std::vector<NodeId>(v.destinations.begin(), v.destinations.end());
+}
+
 TEST(ExportView, AllDestsExportsEverything) {
   const PGraph local = fig4_local();
   const ExportedView v = make_export_view(local, allow_all_dests());
   EXPECT_EQ(v.links.size(), local.num_links());
-  EXPECT_EQ(v.destinations, (std::set<NodeId>{A, B, C, D, Dp}));
+  EXPECT_EQ(dest_list(v), (std::vector<NodeId>{A, B, C, D, Dp}));
   // Multi-homed head links carry their permission lists on the wire.
-  EXPECT_TRUE(v.links.at(DirectedLink{B, D}).permits(D, kNoNextHop));
-  EXPECT_TRUE(v.links.at(DirectedLink{C, D}).permits(Dp, Dp));
+  ASSERT_NE(v.find_link(B, D), nullptr);
+  EXPECT_TRUE(v.find_link(B, D)->permits(D, kNoNextHop));
+  ASSERT_NE(v.find_link(C, D), nullptr);
+  EXPECT_TRUE(v.find_link(C, D)->permits(Dp, Dp));
   // Single-homed heads ship empty lists.
-  EXPECT_TRUE(v.links.at(DirectedLink{C, A}).empty());
+  ASSERT_NE(v.find_link(C, A), nullptr);
+  EXPECT_TRUE(v.find_link(C, A)->empty());
 }
 
 TEST(ExportView, DestFilterPrunesLinksAndPermissions) {
@@ -44,13 +53,13 @@ TEST(ExportView, DestFilterPrunesLinksAndPermissions) {
   // and D->D'.
   const ExportedView v = make_export_view(
       local, [](NodeId dest) { return dest == Dp; });
-  EXPECT_EQ(v.destinations, (std::set<NodeId>{Dp}));
+  EXPECT_EQ(dest_list(v), (std::vector<NodeId>{Dp}));
   EXPECT_EQ(v.links.size(), 2u);
-  EXPECT_TRUE(v.links.count(DirectedLink{C, D}));
-  EXPECT_TRUE(v.links.count(DirectedLink{D, Dp}));
+  EXPECT_TRUE(v.has_link(C, D));
+  EXPECT_TRUE(v.has_link(D, Dp));
   // The C->D permission list keeps only the D' entry.
-  EXPECT_TRUE(v.links.at(DirectedLink{C, D}).permits(Dp, Dp));
-  EXPECT_EQ(v.links.at(DirectedLink{C, D}).dest_count(), 1u);
+  EXPECT_TRUE(v.find_link(C, D)->permits(Dp, Dp));
+  EXPECT_EQ(v.find_link(C, D)->dest_count(), 1u);
 }
 
 TEST(ExportView, LinkFilterHidesSpecificLinks) {
@@ -58,8 +67,8 @@ TEST(ExportView, LinkFilterHidesSpecificLinks) {
   const ExportedView v = make_export_view(
       local, allow_all_dests(),
       [](NodeId from, NodeId to) { return !(from == C && to == D); });
-  EXPECT_FALSE(v.links.count(DirectedLink{C, D}));
-  EXPECT_TRUE(v.links.count(DirectedLink{B, D}));
+  EXPECT_FALSE(v.has_link(C, D));
+  EXPECT_TRUE(v.has_link(B, D));
 }
 
 TEST(Diff, EmptyToFullIsAllUpserts) {
@@ -69,6 +78,13 @@ TEST(Diff, EmptyToFullIsAllUpserts) {
   EXPECT_TRUE(d.removes.empty());
   EXPECT_EQ(d.dest_adds.size(), after.destinations.size());
   EXPECT_FALSE(d.empty());
+  // Sections come out in canonical (sorted-ascending) wire order.
+  for (std::size_t i = 1; i < d.upserts.size(); ++i) {
+    EXPECT_LT(d.upserts[i - 1].first, d.upserts[i].first);
+  }
+  for (std::size_t i = 1; i < d.dest_adds.size(); ++i) {
+    EXPECT_LT(d.dest_adds[i - 1], d.dest_adds[i]);
+  }
 }
 
 TEST(Diff, IdenticalViewsYieldEmptyDelta) {
@@ -79,9 +95,9 @@ TEST(Diff, IdenticalViewsYieldEmptyDelta) {
 TEST(Diff, DetectsRemovalsAndPlistChanges) {
   const ExportedView before = make_export_view(fig4_local(), allow_all_dests());
   ExportedView after = before;
-  after.links.erase(DirectedLink{D, Dp});
-  after.destinations.erase(Dp);
-  after.links.at(DirectedLink{C, D}).add(99, 98);  // plist change
+  after.links.erase(pack_link(D, Dp));
+  util::sorted_erase(after.destinations, Dp);
+  after.links[pack_link(C, D)].add(99, 98);  // plist change
   const GraphDelta d = diff_views(before, after);
   ASSERT_EQ(d.removes.size(), 1u);
   EXPECT_EQ(d.removes[0], (DirectedLink{D, Dp}));
@@ -92,17 +108,34 @@ TEST(Diff, DetectsRemovalsAndPlistChanges) {
   EXPECT_TRUE(d.dest_adds.empty());
 }
 
+TEST(Diff, PlistOnlyChangeYieldsSingleUpsert) {
+  const ExportedView before = make_export_view(fig4_local(), allow_all_dests());
+  ExportedView after = before;
+  // Same link set, same destinations — only one Permission List differs.
+  after.links[pack_link(B, D)].add(77, kNoNextHop);
+  const GraphDelta d = diff_views(before, after);
+  EXPECT_TRUE(d.removes.empty());
+  EXPECT_TRUE(d.dest_adds.empty());
+  EXPECT_TRUE(d.dest_removes.empty());
+  ASSERT_EQ(d.upserts.size(), 1u);
+  EXPECT_EQ(d.upserts[0].first, (DirectedLink{B, D}));
+  EXPECT_TRUE(d.upserts[0].second.permits(77, kNoNextHop));
+}
+
 TEST(ApplyDelta, ReconstructsTheExportedView) {
   const ExportedView v = make_export_view(fig4_local(), allow_all_dests());
   const GraphDelta d = diff_views(ExportedView{}, v);
   PGraph g(C);
   EXPECT_TRUE(apply_delta(g, d, /*self=*/7));  // 7 not in the graph
   EXPECT_EQ(g.num_links(), v.links.size());
-  for (const auto& [link, plist] : v.links) {
+  for (const auto& [key, plist] : v.links) {
+    const DirectedLink link = unpack_link(key);
     ASSERT_TRUE(g.has_link(link.from, link.to));
     EXPECT_TRUE(g.link_data(link.from, link.to).plist == plist);
   }
-  EXPECT_EQ(g.destinations(), v.destinations);
+  EXPECT_EQ(std::vector<NodeId>(g.destinations().begin(),
+                                g.destinations().end()),
+            dest_list(v));
   // The assembled graph must reproduce the creator's paths.
   EXPECT_EQ(*g.derive_path(D), (Path{C, A, B, D}));
   EXPECT_EQ(*g.derive_path(Dp), (Path{C, D, Dp}));
@@ -147,6 +180,25 @@ TEST(ApplyDelta, IncrementalRemoveAndReset) {
   EXPECT_FALSE(apply_delta(g, reset, 7));  // already empty: no change
 }
 
+TEST(ApplyDelta, ResetWithContentReplacesTheGraph) {
+  const ExportedView v = make_export_view(fig4_local(), allow_all_dests());
+  PGraph g(C);
+  apply_delta(g, diff_views(ExportedView{}, v), 7);
+  ASSERT_GT(g.num_links(), 1u);
+
+  // A reset delta carrying content (the session-restart snapshot) must
+  // leave exactly its own content, nothing of the prior state.
+  GraphDelta snapshot;
+  snapshot.reset = true;
+  snapshot.upserts.emplace_back(DirectedLink{A, B}, PermissionList{});
+  snapshot.dest_adds.push_back(B);
+  EXPECT_TRUE(apply_delta(g, snapshot, 7));
+  EXPECT_EQ(g.num_links(), 1u);
+  EXPECT_TRUE(g.has_link(A, B));
+  EXPECT_FALSE(g.has_link(C, D));
+  EXPECT_EQ(g.destinations(), (std::set<NodeId>{B}));
+}
+
 TEST(ApplyDelta, UpsertReplacesPlist) {
   PGraph g(C);
   GraphDelta d1;
@@ -165,16 +217,123 @@ TEST(ApplyDelta, UpsertReplacesPlist) {
   EXPECT_FALSE(apply_delta(g, d2, 7));
 }
 
-TEST(GraphDelta, ByteSizeAccounting) {
+TEST(ApplyDelta, SameLinkUpsertedAndRemovedInOneDelta) {
+  // A malformed-but-possible delta naming one link in both sections:
+  // removes apply before upserts, so the upsert is authoritative — the
+  // link ends up present with the upsert's Permission List.
+  PGraph g(C);
+  GraphDelta d0;
+  PermissionList old_plist;
+  old_plist.add(1, 2);
+  d0.upserts.emplace_back(DirectedLink{A, B}, old_plist);
+  apply_delta(g, d0, 7);
+
   GraphDelta d;
-  EXPECT_EQ(d.byte_size(false), 16u);
+  PermissionList new_plist;
+  new_plist.add(3, 4);
+  d.removes.push_back(DirectedLink{A, B});
+  d.upserts.emplace_back(DirectedLink{A, B}, new_plist);
+  EXPECT_TRUE(apply_delta(g, d, 7));
+  ASSERT_TRUE(g.has_link(A, B));
+  EXPECT_TRUE(g.link_data(A, B).plist.permits(3, 4));
+  EXPECT_FALSE(g.link_data(A, B).plist.permits(1, 2));
+}
+
+TEST(GraphDelta, ByteSizeIsExactEncodedLength) {
+  GraphDelta d;
+  // Empty delta: version + flags + four zero section counts.
+  EXPECT_EQ(d.byte_size(false), 6u);
+  EXPECT_EQ(d.byte_size(true), 6u);
+
   PermissionList p;
   p.add(1, 2);
   d.upserts.emplace_back(DirectedLink{A, B}, p);
   d.removes.push_back(DirectedLink{B, C});
   d.dest_adds.push_back(D);
-  EXPECT_EQ(d.byte_size(false), 16u + (8u + 8u) + 8u + 4u);
-  EXPECT_GT(d.byte_size(true), d.byte_size(false));  // tiny lists: bloom larger
+  d.reset = true;
+  for (const bool bloom : {false, true}) {
+    const auto buf = wire::encode(
+        d, bloom ? wire::PlistEncoding::kBloom : wire::PlistEncoding::kExplicit);
+    EXPECT_EQ(d.byte_size(bloom), buf.size()) << "bloom=" << bloom;
+  }
+  // Tiny destination lists: the Bloom encoding's fixed-size filters lose.
+  EXPECT_GT(d.byte_size(true), d.byte_size(false));
+}
+
+// ---------------------------------------------------------- PendingDelta --
+
+PermissionList plist_of(NodeId dest, NodeId next) {
+  PermissionList p;
+  p.add(dest, next);
+  return p;
+}
+
+TEST(PendingDelta, AddThenRemoveCancels) {
+  PendingDelta pending;
+  pending.record_upsert(DirectedLink{A, B}, plist_of(1, 2),
+                        /*receiver_has_link=*/false);
+  pending.record_remove(DirectedLink{A, B});
+  EXPECT_TRUE(pending.empty());
+  EXPECT_TRUE(pending.take().empty());
+}
+
+TEST(PendingDelta, ChangeThenRemoveCollapsesToRemove) {
+  PendingDelta pending;
+  pending.record_upsert(DirectedLink{A, B}, plist_of(1, 2),
+                        /*receiver_has_link=*/true);
+  pending.record_remove(DirectedLink{A, B});
+  const GraphDelta d = pending.take();
+  EXPECT_TRUE(d.upserts.empty());
+  ASSERT_EQ(d.removes.size(), 1u);
+  EXPECT_EQ(d.removes[0], (DirectedLink{A, B}));
+}
+
+TEST(PendingDelta, RemoveThenReAddBecomesUpsert) {
+  PendingDelta pending;
+  pending.record_remove(DirectedLink{A, B});
+  pending.record_upsert(DirectedLink{A, B}, plist_of(3, 4),
+                        /*receiver_has_link=*/false);
+  const GraphDelta d = pending.take();
+  EXPECT_TRUE(d.removes.empty());
+  ASSERT_EQ(d.upserts.size(), 1u);
+  EXPECT_TRUE(d.upserts[0].second.permits(3, 4));
+}
+
+TEST(PendingDelta, LatestPlistWins) {
+  PendingDelta pending;
+  pending.record_upsert(DirectedLink{A, B}, plist_of(1, 2), false);
+  pending.record_upsert(DirectedLink{A, B}, plist_of(3, 4), true);
+  const GraphDelta d = pending.take();
+  ASSERT_EQ(d.upserts.size(), 1u);
+  EXPECT_TRUE(d.upserts[0].second.permits(3, 4));
+  EXPECT_FALSE(d.upserts[0].second.permits(1, 2));
+}
+
+TEST(PendingDelta, DestAddRemoveCancelsBothOrders) {
+  PendingDelta pending;
+  pending.record_dest_add(D);
+  pending.record_dest_remove(D);
+  EXPECT_TRUE(pending.empty());
+  pending.record_dest_remove(Dp);
+  pending.record_dest_add(Dp);
+  EXPECT_TRUE(pending.empty());
+}
+
+TEST(PendingDelta, TakeYieldsCanonicalSortedSectionsAndClears) {
+  PendingDelta pending;
+  pending.record_upsert(DirectedLink{C, D}, plist_of(1, 2), false);
+  pending.record_upsert(DirectedLink{A, B}, plist_of(3, 4), false);
+  pending.record_remove(DirectedLink{B, C});
+  pending.record_dest_add(Dp);
+  pending.record_dest_add(D);
+  const GraphDelta d = pending.take();
+  ASSERT_EQ(d.upserts.size(), 2u);
+  EXPECT_EQ(d.upserts[0].first, (DirectedLink{A, B}));
+  EXPECT_EQ(d.upserts[1].first, (DirectedLink{C, D}));
+  ASSERT_EQ(d.removes.size(), 1u);
+  EXPECT_EQ(d.dest_adds, (std::vector<NodeId>{D, Dp}));
+  EXPECT_TRUE(pending.empty());
+  EXPECT_TRUE(pending.take().empty());
 }
 
 }  // namespace

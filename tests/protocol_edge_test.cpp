@@ -93,7 +93,10 @@ TEST(CentaurEdge, UpdateDescribeIsInformative) {
   EXPECT_NE(s.find("+1 links"), std::string::npos);
   EXPECT_NE(s.find("+1 dests"), std::string::npos);
   EXPECT_NE(s.find("reset"), std::string::npos);
-  EXPECT_GT(msg.byte_size(), 16u);
+  // Exact codec length: more than an empty delta (6 bytes), and equal to
+  // the delta's own accounting.
+  EXPECT_GT(msg.byte_size(), 6u);
+  EXPECT_EQ(msg.byte_size(), msg.delta().byte_size(false));
 }
 
 // ------------------------------------------------------- churn storms -----
@@ -201,6 +204,75 @@ TEST(Determinism, IdenticalRunsProduceIdenticalTraffic) {
         << eval::to_string(proto);
     EXPECT_DOUBLE_EQ(a.cold_start_time(), b.cold_start_time())
         << eval::to_string(proto);
+  }
+}
+
+// ------------------------------------------------ same-burst coalescing ---
+
+// Runs all-Centaur nodes over `graph` with *constant* link delays, so every
+// wave of a cascade arrives as one same-instant burst per node — the regime
+// where the outbound coalescing slot actually merges deltas.  (With the
+// default continuous random delays, same-instant multi-floods are measure
+// zero and coalescing is a near no-op.)
+struct ConstDelayRun {
+  topo::AsGraph graph;
+  util::Rng rng;
+  sim::Network net;
+  std::vector<core::CentaurNode*> nodes;
+
+  ConstDelayRun(const AsGraph& g, bool coalesce)
+      : graph(g), rng(7), net(graph, rng, /*min_delay=*/0.001,
+                              /*max_delay=*/0.001) {
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      CentaurNode::Config cfg;
+      cfg.coalesce_updates = coalesce;
+      auto node = std::make_unique<CentaurNode>(graph, cfg);
+      nodes.push_back(node.get());
+      net.attach(v, std::move(node));
+    }
+    net.mark();
+    net.start_all_and_converge();
+  }
+};
+
+void expect_identical_paths(ConstDelayRun& a, ConstDelayRun& b) {
+  for (NodeId v = 0; v < a.graph.num_nodes(); ++v) {
+    for (NodeId d = 0; d < a.graph.num_nodes(); ++d) {
+      EXPECT_EQ(a.nodes[v]->selected_path(d), b.nodes[v]->selected_path(d))
+          << v << "->" << d;
+    }
+  }
+}
+
+TEST(CentaurCoalescing, ConstantDelayColdStartMergesBursts) {
+  util::Rng topo_rng(11);
+  const AsGraph g = topo::brite_like(24, 2, 3, topo_rng);
+  ConstDelayRun merged(g, /*coalesce=*/true);
+  ConstDelayRun unmerged(g, /*coalesce=*/false);
+  // Same routing outcome, strictly fewer messages and bytes on the wire.
+  expect_identical_paths(merged, unmerged);
+  EXPECT_LT(merged.net.window().messages_sent,
+            unmerged.net.window().messages_sent);
+  EXPECT_LT(merged.net.window().bytes_sent, unmerged.net.window().bytes_sent);
+}
+
+TEST(CentaurCoalescing, FailuresConvergeIdenticallyWithNoExtraMessages) {
+  util::Rng topo_rng(23);
+  const AsGraph g = topo::brite_like(20, 2, 3, topo_rng);
+  ConstDelayRun merged(g, /*coalesce=*/true);
+  ConstDelayRun unmerged(g, /*coalesce=*/false);
+  for (const LinkId link : {LinkId{0}, LinkId{7}}) {
+    for (const bool up : {false, true}) {
+      merged.net.mark();
+      merged.net.set_link_state(link, up);
+      merged.net.run_to_convergence();
+      unmerged.net.mark();
+      unmerged.net.set_link_state(link, up);
+      unmerged.net.run_to_convergence();
+      EXPECT_LE(merged.net.window().messages_sent,
+                unmerged.net.window().messages_sent);
+      expect_identical_paths(merged, unmerged);
+    }
   }
 }
 

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Compare two schema-v1 BENCH_<name>.json files metric by metric.
+
+Prints a per-trial table of baseline vs current values with % deltas for
+the counter fields (events, messages, bytes) and every named metric, plus
+the totals row.  Wall time and peak RSS are reported but never gated: they
+depend on the machine, while counters and metrics are deterministic for a
+fixed scale/seed.
+
+Exit status:
+    0  within tolerance (or --tolerance not given)
+    1  at least one gated value regressed past --tolerance percent
+    2  usage / unreadable input / schema mismatch
+
+Typical use (CI, warn-only while baselines settle):
+
+    python3 tools/bench_compare.py baselines/BENCH_fig6.json \
+        bench-out/BENCH_fig6.json --tolerance 5 || echo "::warning::..."
+
+Stdlib-only on purpose, like bench_json_schema.py.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+# Deterministic per-trial counters we gate on (wall_time_s is machine noise).
+GATED_COUNTERS = ("events", "messages", "bytes")
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"{path}: unreadable or not JSON: {e}")
+    if not isinstance(doc, dict) or doc.get("schema_version") != SCHEMA_VERSION:
+        sys.exit(f"{path}: not a schema-v{SCHEMA_VERSION} bench report")
+    return doc
+
+
+def pct_delta(base, cur):
+    """Percent change from base to cur; None when undefined (base == 0)."""
+    if base == 0:
+        return None if cur == 0 else float("inf")
+    return 100.0 * (cur - base) / base
+
+
+def fmt_delta(delta):
+    if delta is None:
+        return "   0.00%"
+    if delta == float("inf"):
+        return "  +inf%"
+    return f"{delta:+8.2f}%"
+
+
+def fmt_val(v):
+    if isinstance(v, float) and v != int(v):
+        return f"{v:.6g}"
+    return str(int(v))
+
+
+def compare_row(rows, where, key, base, cur):
+    delta = pct_delta(base, cur)
+    rows.append((where, key, base, cur, delta))
+    return delta
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two schema-v1 BENCH JSON reports.")
+    ap.add_argument("baseline", help="reference BENCH_<name>.json")
+    ap.add_argument("current", help="freshly produced BENCH_<name>.json")
+    ap.add_argument("--tolerance", type=float, default=None, metavar="PCT",
+                    help="exit nonzero if any gated counter or metric "
+                         "changes by more than PCT percent (absolute)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    for key in ("bench", "scale"):
+        if base.get(key) != cur.get(key):
+            sys.exit(f"refusing to compare: {key!r} differs "
+                     f"({base.get(key)!r} vs {cur.get(key)!r})")
+    if base.get("threads") != cur.get("threads"):
+        print(f"note: thread counts differ ({base.get('threads')} vs "
+              f"{cur.get('threads')}); results should still be bit-identical",
+              file=sys.stderr)
+    for doc, path in ((base, args.baseline), (cur, args.current)):
+        for note in doc.get("notes", []):
+            print(f"note [{path}]: {note}")
+
+    base_trials = {t["name"]: t for t in base.get("trials", [])}
+    cur_trials = {t["name"]: t for t in cur.get("trials", [])}
+
+    rows = []          # (where, key, base, cur, delta) — gated comparisons
+    informational = []  # same shape, never gated (wall time, rss)
+    missing = sorted(set(base_trials) - set(cur_trials))
+    added = sorted(set(cur_trials) - set(base_trials))
+
+    for name in sorted(set(base_trials) & set(cur_trials)):
+        bt, ct = base_trials[name], cur_trials[name]
+        informational.append(
+            (name, "wall_time_s", bt["wall_time_s"], ct["wall_time_s"],
+             pct_delta(bt["wall_time_s"], ct["wall_time_s"])))
+        for key in GATED_COUNTERS:
+            compare_row(rows, name, key, bt[key], ct[key])
+        bm, cm = bt.get("metrics", {}), ct.get("metrics", {})
+        for key in sorted(set(bm) & set(cm)):
+            compare_row(rows, name, key, bm[key], cm[key])
+
+    for key in GATED_COUNTERS:
+        compare_row(rows, "totals", key, base["totals"][key],
+                    cur["totals"][key])
+    informational.append(
+        ("totals", "wall_time_s", base["totals"]["wall_time_s"],
+         cur["totals"]["wall_time_s"],
+         pct_delta(base["totals"]["wall_time_s"],
+                   cur["totals"]["wall_time_s"])))
+    informational.append(
+        ("process", "peak_rss_kb", base.get("peak_rss_kb", 0),
+         cur.get("peak_rss_kb", 0),
+         pct_delta(base.get("peak_rss_kb", 0), cur.get("peak_rss_kb", 0))))
+
+    width = max((len(f"{w}.{k}") for w, k, *_ in rows + informational),
+                default=20)
+    print(f"{'value':<{width}}  {'baseline':>14}  {'current':>14}  delta")
+    for where, key, b, c, delta in rows + informational:
+        tag = f"{where}.{key}"
+        print(f"{tag:<{width}}  {fmt_val(b):>14}  {fmt_val(c):>14}  "
+              f"{fmt_delta(delta)}")
+    for name in missing:
+        print(f"missing in current: trial {name!r}")
+    for name in added:
+        print(f"new in current: trial {name!r}")
+
+    if args.tolerance is None:
+        return 0
+    bad = [(w, k, d) for w, k, _, _, d in rows
+           if d == float("inf") or (d is not None and abs(d) > args.tolerance)]
+    if missing:
+        bad.extend((name, "trial", None) for name in missing)
+    if bad:
+        print(f"\nFAIL: {len(bad)} value(s) beyond ±{args.tolerance}%:",
+              file=sys.stderr)
+        for where, key, delta in bad:
+            shown = "missing" if delta is None else fmt_delta(delta).strip()
+            print(f"  {where}.{key}: {shown}", file=sys.stderr)
+        return 1
+    print(f"\nOK: all gated values within ±{args.tolerance}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,12 @@ def validate(path):
         ok = _fail(path, "'threads' must be an integer >= 1")
     if not isinstance(doc.get("peak_rss_kb"), int) or doc["peak_rss_kb"] < 0:
         ok = _fail(path, "'peak_rss_kb' must be a non-negative integer")
+    notes = doc.get("notes")  # optional provenance strings
+    if notes is not None and (
+        not isinstance(notes, list)
+        or not all(isinstance(n, str) for n in notes)
+    ):
+        ok = _fail(path, "'notes' must be an array of strings when present")
 
     trials = doc.get("trials")
     if not isinstance(trials, list) or not trials:
