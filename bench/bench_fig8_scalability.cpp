@@ -97,6 +97,41 @@ int main(int argc, char** argv) {
   std::cout << "Shape check: the BGP/Centaur ratio should grow with the\n"
                "topology size — \"Centaur presents more distinct advantage\n"
                "on larger topologies\" (paper Fig 8).\n";
+
+  // ProtocolRun reuse measurement (stdout only — the JSON baseline is
+  // unchanged): campaign harnesses that need repeated cold starts used to
+  // construct a fresh ProtocolRun each time, paying a full AS-graph copy
+  // per run; reset() rebuilds the network and nodes in place instead.
+  // Compare equal numbers of cold starts on the largest Fig 8 topology.
+  {
+    const std::size_t n = params.fig8_max_nodes;
+    util::Rng topo_rng(params.seed ^ (0xF180 + steps - 1));
+    const topo::AsGraph g =
+        topo::brite_like(n, 2, std::max<std::size_t>(4, n / 40), topo_rng);
+    eval::RunOptions plain;  // analysis off: measure the harness, not checks
+    constexpr std::size_t kRepeats = 3;
+
+    const runner::Stopwatch copy_sw;
+    for (std::size_t r = 0; r < kRepeats; ++r) {
+      util::Rng rng(params.seed ^ 0xF888);
+      const eval::ProtocolRun run(g, eval::Protocol::kCentaur, rng, plain);
+    }
+    const double copy_s = copy_sw.seconds();
+
+    util::Rng rng(params.seed ^ 0xF888);
+    eval::ProtocolRun run(g, eval::Protocol::kCentaur, rng, plain);
+    const runner::Stopwatch reset_sw;
+    for (std::size_t r = 0; r < kRepeats; ++r) run.reset(rng);
+    const double reset_s = reset_sw.seconds();
+
+    std::cout << "\nProtocolRun reuse (n=" << n << ", " << kRepeats
+              << " cold starts): fresh-construct "
+              << util::fmt_double(copy_s * 1e3, 1)
+              << " ms (AS-graph copy per run), reset-in-place "
+              << util::fmt_double(reset_s * 1e3, 1) << " ms ("
+              << util::fmt_double(copy_s / std::max(reset_s, 1e-9), 2)
+              << "x)\n";
+  }
   io.report.write();
   return 0;
 }

@@ -1,74 +1,13 @@
 #include "eval/experiments.hpp"
 
-#include <cstdlib>
-#include <memory>
-#include <string>
-
-#include "bgp/bgp_node.hpp"
-#include "centaur/centaur_node.hpp"
-#include "linkstate/ospf_node.hpp"
-
 namespace centaur::eval {
-
-const char* to_string(Protocol p) {
-  switch (p) {
-    case Protocol::kBgp:
-      return "BGP";
-    case Protocol::kBgpRcn:
-      return "BGP-RCN";
-    case Protocol::kCentaur:
-      return "Centaur";
-    case Protocol::kOspf:
-      return "OSPF";
-  }
-  return "?";
-}
-
-namespace {
-
-// Boolean env toggle: unset -> fallback; "", "0", "off", "false" -> false;
-// anything else -> true.
-bool env_flag(const char* name, bool fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr) return fallback;
-  const std::string v(env);
-  return !(v.empty() || v == "0" || v == "off" || v == "false");
-}
-
-std::unique_ptr<sim::Node> make_node(Protocol p, const topo::AsGraph& g,
-                                     const RunOptions& options) {
-  switch (p) {
-    case Protocol::kBgp: {
-      bgp::BgpNode::Config cfg;
-      cfg.mrai = options.bgp_mrai;
-      return std::make_unique<bgp::BgpNode>(g, cfg);
-    }
-    case Protocol::kBgpRcn: {
-      bgp::BgpNode::Config cfg;
-      cfg.mrai = options.bgp_mrai;
-      cfg.root_cause_notification = true;
-      return std::make_unique<bgp::BgpNode>(g, cfg);
-    }
-    case Protocol::kCentaur: {
-      core::CentaurNode::Config cfg;
-      cfg.coalesce_updates = env_flag("CENTAUR_COALESCE", true);
-      cfg.bloom_plists = env_flag("CENTAUR_BLOOM_PLISTS", false);
-      return std::make_unique<core::CentaurNode>(g, cfg);
-    }
-    case Protocol::kOspf:
-      return std::make_unique<linkstate::OspfNode>(g);
-  }
-  return nullptr;
-}
-
-}  // namespace
 
 ProtocolRun::ProtocolRun(const topo::AsGraph& graph, Protocol protocol,
                          util::Rng& rng, const RunOptions& options)
     : graph_(graph),
       delay_rng_(rng.next()),
-      net_(graph_, delay_rng_),
       protocol_(protocol),
+      options_(options),
       analysis_(options.analysis) {
 #ifdef CENTAUR_CHECK
   // Debug builds promote every Centaur run into an invariant test.
@@ -76,17 +15,36 @@ ProtocolRun::ProtocolRun(const topo::AsGraph& graph, Protocol protocol,
     analysis_ = AnalysisMode::kAssert;
   }
 #endif
+  initial_link_up_.reserve(graph_.num_links());
+  for (topo::LinkId l = 0; l < graph_.num_links(); ++l) {
+    initial_link_up_.push_back(graph_.link_up(l) ? 1 : 0);
+  }
+  build_and_converge(delay_rng_);
+}
+
+void ProtocolRun::reset(util::Rng& rng) {
+  // The analyzer hooks into the network being torn down; detach it first.
+  analyzer_.reset();
+  for (topo::LinkId l = 0; l < graph_.num_links(); ++l) {
+    graph_.set_link_up(l, initial_link_up_[l] != 0);
+  }
+  delay_rng_ = util::Rng(rng.next());
+  build_and_converge(delay_rng_);
+}
+
+void ProtocolRun::build_and_converge(util::Rng& rng) {
+  net_.emplace(graph_, rng);
   if (analysis_ != AnalysisMode::kOff) {
-    analyzer_ = std::make_unique<check::Analyzer>(net_);
+    analyzer_ = std::make_unique<check::Analyzer>(*net_);
   }
   for (topo::NodeId v = 0; v < graph_.num_nodes(); ++v) {
-    net_.attach(v, make_node(protocol, graph_, options));
+    net_->attach(v, make_protocol_node(protocol_, graph_, options_));
   }
-  net_.mark();
-  net_.start_all_and_converge();
+  net_->mark();
+  net_->start_all_and_converge();
   analyze_quiescent();
-  cold_start_ = net_.window();
-  cold_start_time_ = net_.window_convergence_time();
+  cold_start_ = net_->window();
+  cold_start_time_ = net_->window_convergence_time();
 }
 
 void ProtocolRun::analyze_quiescent() {
@@ -96,51 +54,15 @@ void ProtocolRun::analyze_quiescent() {
 }
 
 ProtocolRun::Transition ProtocolRun::flip(topo::LinkId link, bool up) {
-  net_.mark();
-  net_.set_link_state(link, up);
-  net_.run_to_convergence();
+  net_->mark();
+  net_->set_link_state(link, up);
+  net_->run_to_convergence();
   analyze_quiescent();
   Transition t;
-  t.messages = net_.window().messages_sent;
-  t.bytes = net_.window().bytes_sent;
-  t.convergence_time = net_.window_convergence_time();
+  t.messages = net_->window().messages_sent;
+  t.bytes = net_->window().bytes_sent;
+  t.convergence_time = net_->window_convergence_time();
   return t;
-}
-
-FlipSeries run_link_flips(const topo::AsGraph& graph, Protocol protocol,
-                          std::size_t flip_sample, util::Rng rng,
-                          const RunOptions& options) {
-  ProtocolRun run(graph, protocol, rng, options);
-  FlipSeries series;
-  series.cold_start = run.cold_start();
-  series.cold_start_time = run.cold_start_time();
-
-  flip_sample = std::min<std::size_t>(flip_sample, graph.num_links());
-  const std::vector<std::size_t> links =
-      rng.sample_without_replacement(graph.num_links(), flip_sample);
-
-  for (std::size_t raw : links) {
-    const auto link = static_cast<topo::LinkId>(raw);
-    for (const bool up : {false, true}) {
-      const ProtocolRun::Transition t = run.flip(link, up);
-      series.convergence_times.push_back(t.convergence_time);
-      series.message_counts.push_back(static_cast<double>(t.messages));
-    }
-  }
-  series.events = run.network().events_executed();
-  series.total_messages = run.network().total_messages();
-  series.total_bytes = run.network().total_bytes();
-  if (run.analyzer()) series.analysis = run.analyzer()->report();
-  return series;
-}
-
-AnalysisMode analysis_from_env(AnalysisMode fallback) {
-  const char* env = std::getenv("CENTAUR_CHECK");
-  if (env == nullptr) return fallback;
-  const std::string v(env);
-  if (v.empty() || v == "0" || v == "off") return fallback;
-  if (v == "assert") return AnalysisMode::kAssert;
-  return AnalysisMode::kCollect;  // "1", "collect", anything else truthy
 }
 
 }  // namespace centaur::eval

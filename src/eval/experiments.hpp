@@ -6,61 +6,47 @@
 // link back up and wait for the convergence again; after each flip we
 // measure the total count of messages sent and the duration required to
 // re-stabilize").
+//
+// This header is the compatibility surface of the pre-ScenarioSpec API:
+// protocol/option types live in eval/protocol_config.hpp (re-exported
+// here), generic fault campaigns in src/faults/.  run_link_flips() is kept
+// as a thin wrapper over the campaign engine so existing benches compile
+// unchanged and emit identical numbers.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "check/analyzer.hpp"
+#include "eval/protocol_config.hpp"
 #include "sim/network.hpp"
 #include "topology/as_graph.hpp"
 #include "util/rng.hpp"
 
 namespace centaur::eval {
 
-enum class Protocol { kBgp, kBgpRcn, kCentaur, kOspf };
-
-const char* to_string(Protocol p);
-
-/// Invariant analysis while a run executes (src/check).
-enum class AnalysisMode {
-  kOff,      ///< no checking (measurement runs; checks distort nothing but
-             ///< cost time)
-  kCollect,  ///< record violations into the run's AnalysisReport
-  kAssert,   ///< like kCollect, but throw std::logic_error at the first
-             ///< quiescence sweep that finds the report non-clean
-};
-
-/// Analysis mode requested via the CENTAUR_CHECK environment variable at
-/// *runtime* (any build type): unset/"0"/"off" -> `fallback`, "1"/"collect"
-/// -> kCollect, "assert" -> kAssert.  Lets release-build benches and the
-/// parallel trial driver run with the invariant checker attached.
-AnalysisMode analysis_from_env(AnalysisMode fallback = AnalysisMode::kOff);
-
-/// Per-run protocol options.
-struct RunOptions {
-  /// BGP Minimum Route Advertisement Interval, seconds.  The paper's
-  /// DistComm prototype sits on the SSFNet code base, whose BGP uses the
-  /// standard 30 s eBGP MRAI — the dominant term in its Fig 6 convergence
-  /// times.  0 disables batching (propagation-limited BGP).
-  sim::Time bgp_mrai = 0.0;
-  /// Invariant analysis mode.  kOff is upgraded to kAssert for Centaur runs
-  /// in CENTAUR_CHECK (Debug) builds, so every tier-1 simulation doubles as
-  /// an invariant test.
-  AnalysisMode analysis = AnalysisMode::kOff;
-};
-
 /// A network with one protocol instance per node, started and converged.
-/// Owns a private copy of the topology (link flips mutate it).
+/// Owns a private copy of the topology (link flips mutate it) for its whole
+/// lifetime — campaigns that need a fresh cold start reuse it via reset()
+/// instead of re-copying the AS graph.
 class ProtocolRun {
  public:
   /// Builds nodes, runs the initialization phase to quiescence.
   ProtocolRun(const topo::AsGraph& graph, Protocol protocol, util::Rng& rng,
               const RunOptions& options = RunOptions());
 
-  /// Messages/bytes/time of the initialization phase.
+  /// Re-runs the cold start in place: restores every link to its initial
+  /// up/down state, rebuilds the network (fresh per-link delays drawn from
+  /// `rng`) and all protocol nodes, and converges again.  The topology copy
+  /// made at construction is reused — no AS-graph re-copy — which is what
+  /// makes repeated campaign phases / cold-start reference runs cheap on
+  /// large topologies (see bench_fig8_scalability's reuse measurement).
+  void reset(util::Rng& rng);
+
+  /// Messages/bytes/time of the (latest) initialization phase.
   const sim::WindowStats& cold_start() const { return cold_start_; }
   sim::Time cold_start_time() const { return cold_start_time_; }
 
@@ -72,21 +58,29 @@ class ProtocolRun {
   };
   Transition flip(topo::LinkId link, bool up);
 
-  sim::Network& network() { return net_; }
+  sim::Network& network() { return *net_; }
   topo::AsGraph& graph() { return graph_; }
   Protocol protocol() const { return protocol_; }
+  const RunOptions& options() const { return options_; }
 
   /// The analyzer attached to this run, or nullptr when analysis is off.
   const check::Analyzer* analyzer() const { return analyzer_.get(); }
 
- private:
   /// Quiescence sweep + kAssert enforcement; no-op when analysis is off.
+  /// The campaign engine calls this after every phase reconverges.
   void analyze_quiescent();
 
+ private:
+  /// Builds net_/analyzer_/nodes from the current graph_ state and runs the
+  /// initialization phase (shared by the constructor and reset()).
+  void build_and_converge(util::Rng& rng);
+
   topo::AsGraph graph_;
+  std::vector<char> initial_link_up_;  // snapshot for reset()
   util::Rng delay_rng_;
-  sim::Network net_;
+  std::optional<sim::Network> net_;
   Protocol protocol_;
+  RunOptions options_;
   AnalysisMode analysis_ = AnalysisMode::kOff;
   std::unique_ptr<check::Analyzer> analyzer_;
   sim::WindowStats cold_start_;
@@ -113,6 +107,10 @@ struct FlipSeries {
 /// and records every transition.  Links whose removal is measured are chosen
 /// with the given rng; pass equal-seeded rngs to compare protocols on
 /// identical flip sequences.
+///
+/// Deprecated wrapper: defined in src/faults/campaign.cpp — each transition
+/// becomes a one-action phase of a fault campaign, so the scripted engine is
+/// the single execution path.  Targets calling it must link centaur_faults.
 FlipSeries run_link_flips(const topo::AsGraph& graph, Protocol protocol,
                           std::size_t flip_sample, util::Rng rng,
                           const RunOptions& options = RunOptions());

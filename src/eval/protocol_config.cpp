@@ -1,0 +1,84 @@
+#include "eval/protocol_config.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "bgp/bgp_node.hpp"
+#include "centaur/centaur_node.hpp"
+#include "linkstate/ospf_node.hpp"
+
+namespace centaur::eval {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kBgp:
+      return "BGP";
+    case Protocol::kBgpRcn:
+      return "BGP-RCN";
+    case Protocol::kCentaur:
+      return "Centaur";
+    case Protocol::kOspf:
+      return "OSPF";
+  }
+  return "?";
+}
+
+Protocol protocol_from_string(const std::string& name) {
+  if (name == "centaur") return Protocol::kCentaur;
+  if (name == "bgp") return Protocol::kBgp;
+  if (name == "bgp-rcn") return Protocol::kBgpRcn;
+  if (name == "ospf") return Protocol::kOspf;
+  throw std::invalid_argument("unknown protocol '" + name +
+                              "' (want centaur|bgp|bgp-rcn|ospf)");
+}
+
+namespace {
+
+// Boolean env toggle: unset -> fallback; "", "0", "off", "false" -> false;
+// anything else -> true.
+bool env_flag(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const std::string v(env);
+  return !(v.empty() || v == "0" || v == "off" || v == "false");
+}
+
+}  // namespace
+
+std::unique_ptr<sim::Node> make_protocol_node(Protocol p,
+                                              const topo::AsGraph& graph,
+                                              const RunOptions& options) {
+  switch (p) {
+    case Protocol::kBgp: {
+      bgp::BgpNode::Config cfg;
+      cfg.mrai = options.bgp_mrai;
+      return std::make_unique<bgp::BgpNode>(graph, cfg);
+    }
+    case Protocol::kBgpRcn: {
+      bgp::BgpNode::Config cfg;
+      cfg.mrai = options.bgp_mrai;
+      cfg.root_cause_notification = true;
+      return std::make_unique<bgp::BgpNode>(graph, cfg);
+    }
+    case Protocol::kCentaur: {
+      core::CentaurNode::Config cfg;
+      cfg.coalesce_updates = env_flag("CENTAUR_COALESCE", true);
+      cfg.bloom_plists = env_flag("CENTAUR_BLOOM_PLISTS", false);
+      return std::make_unique<core::CentaurNode>(graph, cfg);
+    }
+    case Protocol::kOspf:
+      return std::make_unique<linkstate::OspfNode>(graph);
+  }
+  return nullptr;
+}
+
+AnalysisMode analysis_from_env(AnalysisMode fallback) {
+  const char* env = std::getenv("CENTAUR_CHECK");
+  if (env == nullptr) return fallback;
+  const std::string v(env);
+  if (v.empty() || v == "0" || v == "off") return fallback;
+  if (v == "assert") return AnalysisMode::kAssert;
+  return AnalysisMode::kCollect;  // "1", "collect", anything else truthy
+}
+
+}  // namespace centaur::eval

@@ -1,0 +1,67 @@
+// Protocol selection and per-run options, shared by every experiment
+// entry point.
+//
+// These types used to live inside eval/experiments.hpp; they are split out
+// so the ScenarioSpec API (src/faults/scenario.hpp) can aggregate
+// "topology + protocol + RunOptions + fault script" without pulling in the
+// whole link-flip harness.  experiments.hpp re-exports them, so existing
+// callers compile unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/network.hpp"
+#include "topology/as_graph.hpp"
+
+namespace centaur::eval {
+
+enum class Protocol { kBgp, kBgpRcn, kCentaur, kOspf };
+
+const char* to_string(Protocol p);
+
+/// Parses "bgp" / "bgp-rcn" / "centaur" / "ospf" (the CLI and scenario-file
+/// spellings).  Throws std::invalid_argument on anything else.
+Protocol protocol_from_string(const std::string& name);
+
+/// All four protocols in a fixed, reportable order (campaign sweeps).
+inline constexpr Protocol kAllProtocols[] = {
+    Protocol::kBgp, Protocol::kBgpRcn, Protocol::kCentaur, Protocol::kOspf};
+
+/// Invariant analysis while a run executes (src/check).
+enum class AnalysisMode {
+  kOff,      ///< no checking (measurement runs; checks distort nothing but
+             ///< cost time)
+  kCollect,  ///< record violations into the run's AnalysisReport
+  kAssert,   ///< like kCollect, but throw std::logic_error at the first
+             ///< quiescence sweep that finds the report non-clean
+};
+
+/// Analysis mode requested via the CENTAUR_CHECK environment variable at
+/// *runtime* (any build type): unset/"0"/"off" -> `fallback`, "1"/"collect"
+/// -> kCollect, "assert" -> kAssert.  Lets release-build benches and the
+/// parallel trial driver run with the invariant checker attached.
+AnalysisMode analysis_from_env(AnalysisMode fallback = AnalysisMode::kOff);
+
+/// Per-run protocol options.
+struct RunOptions {
+  /// BGP Minimum Route Advertisement Interval, seconds.  The paper's
+  /// DistComm prototype sits on the SSFNet code base, whose BGP uses the
+  /// standard 30 s eBGP MRAI — the dominant term in its Fig 6 convergence
+  /// times.  0 disables batching (propagation-limited BGP).
+  sim::Time bgp_mrai = 0.0;
+  /// Invariant analysis mode.  kOff is upgraded to kAssert for Centaur runs
+  /// in CENTAUR_CHECK (Debug) builds, so every tier-1 simulation doubles as
+  /// an invariant test.
+  AnalysisMode analysis = AnalysisMode::kOff;
+};
+
+/// Builds one protocol instance for a topology node.  This is the single
+/// node factory every harness uses — ProtocolRun's initial attach, crash
+/// /restart replacement in the campaign engine (src/faults/campaign.cpp),
+/// and ProtocolRun::reset().
+std::unique_ptr<sim::Node> make_protocol_node(Protocol p,
+                                              const topo::AsGraph& graph,
+                                              const RunOptions& options);
+
+}  // namespace centaur::eval

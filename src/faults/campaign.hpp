@@ -1,0 +1,118 @@
+// Fault-injection campaign engine.
+//
+// Drives a FaultScript against a live ProtocolRun: each phase applies its
+// actions at deterministic simulated offsets, runs the network to
+// quiescence, sweeps the invariant analyzer (src/check), and is measured as
+// one convergence window.  The engine is the single execution path for
+// every event-driven experiment — the legacy link-flip series
+// (eval::run_link_flips) is a campaign of one-action phases.
+//
+// Determinism contract: a campaign result is a pure function of
+// (topology, protocol, RunOptions, run seed, script).  The engine draws no
+// randomness, keeps no global state, and schedules all actions relative to
+// the phase-start instant, so campaigns fan across runner::run_trials and
+// stay bit-identical to a serial run for any CENTAUR_THREADS.
+//
+// Crash/restart model: a crash replaces the instance with an inert stub
+// *before* its links go down (a crashed router does not react to its own
+// failure), so neighbors observe ordinary session resets while the crashed
+// node stays silent.  Restart attaches a fresh instance, start()s it while
+// its links are still down (nothing is sent on a down link), then raises
+// exactly the links the crash took down; both sides re-learn through the
+// normal session-establishment exchange (BGP full-table push, Centaur
+// baseline P-graph snapshot, OSPF database exchange).  If a heal would
+// raise a link whose endpoint is currently crashed, the link is deferred to
+// that node's restart instead — a dead router cannot bring a session up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/analyzer.hpp"
+#include "eval/experiments.hpp"
+#include "faults/fault_script.hpp"
+#include "faults/scenario.hpp"
+
+namespace centaur::faults {
+
+/// One phase's measured convergence window.
+struct PhaseReport {
+  std::string name;
+  std::size_t actions = 0;
+  std::size_t messages = 0;        ///< sent in the window
+  std::size_t bytes = 0;
+  std::size_t dropped = 0;         ///< sends lost to down links
+  sim::Time convergence_time = 0;  ///< last delivery - phase start
+  std::uint64_t events = 0;        ///< simulator events this phase
+  std::size_t violations = 0;      ///< analyzer violations this phase
+
+  friend bool operator==(const PhaseReport&, const PhaseReport&) = default;
+};
+
+/// A whole campaign: the cold start plus every scripted phase.
+struct CampaignResult {
+  std::string scenario;
+  eval::Protocol protocol = eval::Protocol::kCentaur;
+  PhaseReport cold_start;
+  std::vector<PhaseReport> phases;
+  /// Lifetime totals over cold start + campaign (the bench JSON counters).
+  std::uint64_t total_events = 0;
+  std::size_t total_messages = 0;
+  std::size_t total_bytes = 0;
+  /// Final analyzer report (empty/clean when analysis is off).
+  check::AnalysisReport analysis;
+
+  bool clean() const { return analysis.violations_seen == 0; }
+  sim::Time max_phase_convergence() const;
+  sim::Time mean_phase_convergence() const;
+};
+
+/// Replays scripts against a ProtocolRun it does not own.  The engine keeps
+/// crash and partition bookkeeping between phases, so one engine must see a
+/// script from start to finish; run() is the usual entry point,
+/// run_phase()/result() exist for harnesses that interleave their own
+/// assertions between phases (tests do).
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(eval::ProtocolRun& run);
+
+  /// Validates `script` against the run's topology and executes every
+  /// phase.  Throws std::invalid_argument on malformed scripts and
+  /// std::logic_error when analysis is kAssert and a sweep finds
+  /// violations.
+  CampaignResult run(const FaultScript& script);
+
+  /// Executes one phase of `script` (which must outlive the call).
+  PhaseReport run_phase(const FaultScript& script, const FaultPhase& phase);
+
+  /// Report over the phases executed so far.
+  CampaignResult result() const;
+
+ private:
+  void apply(const FaultScript& script, const FaultAction& action);
+  void crash(topo::NodeId node);
+  void restart(topo::NodeId node);
+  /// Raises `link`, unless an endpoint is crashed — then the link is moved
+  /// to that node's restart list (a dead router cannot open a session).
+  void raise_link(topo::LinkId link);
+  std::size_t violations_now() const;
+
+  eval::ProtocolRun& run_;
+  CampaignResult result_;
+  std::uint64_t events_seen_ = 0;  ///< lifetime events through last phase
+  std::map<topo::NodeId, std::vector<topo::LinkId>> crashed_;
+  std::map<std::size_t, std::vector<topo::LinkId>> cuts_;
+};
+
+/// Builds the topology and run from `spec` and replays its script.
+CampaignResult run_scenario(const ScenarioSpec& spec);
+
+/// Same, over a pre-built graph (callers sharing one topology across
+/// protocol arms, or printing stats before the run).
+CampaignResult run_scenario(const topo::AsGraph& graph,
+                            const ScenarioSpec& spec);
+
+}  // namespace centaur::faults

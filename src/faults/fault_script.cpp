@@ -1,0 +1,208 @@
+#include "faults/fault_script.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace centaur::faults {
+
+const char* to_string(ActionKind k) {
+  switch (k) {
+    case ActionKind::kLinkDown:
+      return "link_down";
+    case ActionKind::kLinkUp:
+      return "link_up";
+    case ActionKind::kSrlgDown:
+      return "srlg_down";
+    case ActionKind::kSrlgUp:
+      return "srlg_up";
+    case ActionKind::kNodeCrash:
+      return "node_crash";
+    case ActionKind::kNodeRestart:
+      return "node_restart";
+    case ActionKind::kPartition:
+      return "partition";
+    case ActionKind::kHeal:
+      return "heal";
+    case ActionKind::kFlapStorm:
+      return "flap_storm";
+  }
+  return "?";
+}
+
+FaultAction FaultAction::link_down(topo::LinkId l, sim::Time at) {
+  FaultAction a;
+  a.kind = ActionKind::kLinkDown;
+  a.link = l;
+  a.at = at;
+  return a;
+}
+
+FaultAction FaultAction::link_up(topo::LinkId l, sim::Time at) {
+  FaultAction a = link_down(l, at);
+  a.kind = ActionKind::kLinkUp;
+  return a;
+}
+
+FaultAction FaultAction::srlg_down(std::size_t group, sim::Time at) {
+  FaultAction a;
+  a.kind = ActionKind::kSrlgDown;
+  a.group = group;
+  a.at = at;
+  return a;
+}
+
+FaultAction FaultAction::srlg_up(std::size_t group, sim::Time at) {
+  FaultAction a = srlg_down(group, at);
+  a.kind = ActionKind::kSrlgUp;
+  return a;
+}
+
+FaultAction FaultAction::node_crash(topo::NodeId n, sim::Time at) {
+  FaultAction a;
+  a.kind = ActionKind::kNodeCrash;
+  a.node = n;
+  a.at = at;
+  return a;
+}
+
+FaultAction FaultAction::node_restart(topo::NodeId n, sim::Time at) {
+  FaultAction a = node_crash(n, at);
+  a.kind = ActionKind::kNodeRestart;
+  return a;
+}
+
+FaultAction FaultAction::partition(std::size_t group, sim::Time at) {
+  FaultAction a;
+  a.kind = ActionKind::kPartition;
+  a.group = group;
+  a.at = at;
+  return a;
+}
+
+FaultAction FaultAction::heal(std::size_t group, sim::Time at) {
+  FaultAction a = partition(group, at);
+  a.kind = ActionKind::kHeal;
+  return a;
+}
+
+FaultAction FaultAction::flap_storm(topo::LinkId l, std::uint32_t cycles,
+                                    sim::Time period, sim::Time at) {
+  FaultAction a;
+  a.kind = ActionKind::kFlapStorm;
+  a.link = l;
+  a.cycles = cycles;
+  a.period = period;
+  a.at = at;
+  return a;
+}
+
+std::size_t FaultScript::total_actions() const {
+  std::size_t n = 0;
+  for (const FaultPhase& p : phases) n += p.actions.size();
+  return n;
+}
+
+namespace {
+
+[[noreturn]] void invalid(const std::string& where, const std::string& what) {
+  throw std::invalid_argument("fault script: " + where + ": " + what);
+}
+
+void check_link(const topo::AsGraph& graph, const std::set<topo::NodeId>& dead,
+                topo::LinkId l, const std::string& where) {
+  if (l >= graph.num_links()) {
+    invalid(where, "link " + std::to_string(l) + " out of range");
+  }
+  const topo::Link& lk = graph.link(l);
+  for (const topo::NodeId end : {lk.a, lk.b}) {
+    if (dead.count(end)) {
+      invalid(where, "link " + std::to_string(l) +
+                         " touches crashed node " + std::to_string(end));
+    }
+  }
+}
+
+}  // namespace
+
+void FaultScript::validate(const topo::AsGraph& graph) const {
+  for (std::size_t g = 0; g < srlgs.size(); ++g) {
+    if (srlgs[g].empty()) invalid("srlgs[" + std::to_string(g) + "]", "empty");
+    for (const topo::LinkId l : srlgs[g]) {
+      if (l >= graph.num_links()) {
+        invalid("srlgs[" + std::to_string(g) + "]",
+                "link " + std::to_string(l) + " out of range");
+      }
+    }
+  }
+  for (std::size_t g = 0; g < partitions.size(); ++g) {
+    const std::string where = "partitions[" + std::to_string(g) + "]";
+    if (partitions[g].empty()) invalid(where, "empty side");
+    if (partitions[g].size() >= graph.num_nodes()) {
+      invalid(where, "side must be a strict subset of the nodes");
+    }
+    for (const topo::NodeId n : partitions[g]) {
+      if (n >= graph.num_nodes()) {
+        invalid(where, "node " + std::to_string(n) + " out of range");
+      }
+    }
+  }
+
+  // Walk the script in execution order, tracking crashed nodes and active
+  // partitions so pairing errors are caught before a campaign starts.
+  std::set<topo::NodeId> dead;
+  std::set<std::size_t> cut_active;
+  for (std::size_t pi = 0; pi < phases.size(); ++pi) {
+    const FaultPhase& phase = phases[pi];
+    if (phase.name.empty()) {
+      invalid("phases[" + std::to_string(pi) + "]", "unnamed phase");
+    }
+    for (std::size_t ai = 0; ai < phase.actions.size(); ++ai) {
+      const FaultAction& a = phase.actions[ai];
+      const std::string where =
+          phase.name + "/actions[" + std::to_string(ai) + "] (" +
+          to_string(a.kind) + ")";
+      if (a.at < 0) invalid(where, "negative offset");
+      switch (a.kind) {
+        case ActionKind::kLinkDown:
+        case ActionKind::kLinkUp:
+          check_link(graph, dead, a.link, where);
+          break;
+        case ActionKind::kFlapStorm:
+          check_link(graph, dead, a.link, where);
+          if (a.cycles == 0) invalid(where, "cycles must be >= 1");
+          if (a.period <= 0) invalid(where, "period must be > 0");
+          break;
+        case ActionKind::kSrlgDown:
+        case ActionKind::kSrlgUp:
+          if (a.group >= srlgs.size()) invalid(where, "no such SRLG");
+          for (const topo::LinkId l : srlgs[a.group]) {
+            check_link(graph, dead, l, where);
+          }
+          break;
+        case ActionKind::kNodeCrash:
+          if (a.node >= graph.num_nodes()) invalid(where, "node out of range");
+          if (!dead.insert(a.node).second) invalid(where, "already crashed");
+          break;
+        case ActionKind::kNodeRestart:
+          if (a.node >= graph.num_nodes()) invalid(where, "node out of range");
+          if (dead.erase(a.node) == 0) invalid(where, "node is not crashed");
+          break;
+        case ActionKind::kPartition:
+          if (a.group >= partitions.size()) invalid(where, "no such partition");
+          if (!cut_active.insert(a.group).second) {
+            invalid(where, "partition already active");
+          }
+          break;
+        case ActionKind::kHeal:
+          if (a.group >= partitions.size()) invalid(where, "no such partition");
+          if (cut_active.erase(a.group) == 0) {
+            invalid(where, "partition is not active");
+          }
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace centaur::faults

@@ -1,0 +1,106 @@
+// Fault-event taxonomy: a deterministic, schedulable stream of fault events.
+//
+// A FaultScript is pure data — no simulator or protocol dependencies — so it
+// can be built programmatically, parsed from a scenario file
+// (src/faults/scenario.hpp), validated against a topology, and replayed
+// bit-identically by the campaign engine (src/faults/campaign.hpp).
+//
+// Structure: a script is an ordered list of *phases*.  Each phase applies
+// its actions (at deterministic offsets from the phase start), runs the
+// simulation to quiescence, triggers an invariant-analyzer sweep, and is
+// measured as one convergence window — the unit the per-phase reports and
+// the paper's "wait till the routing protocol converges" methodology use.
+//
+// Event kinds (ROADMAP "failure-injection campaigns"):
+//   * single link down/up — the classic sequential flip,
+//   * shared-risk link group (SRLG) down/up — correlated failures: every
+//     link in the group transitions in the same simulated instant,
+//   * node crash/restart — the instance stops abruptly (it does not react
+//     to its own links going down), neighbors see session resets; restart
+//     attaches a fresh instance that re-learns its P-graph/RIB through the
+//     normal session-establishment exchange,
+//   * partition/heal — every link crossing a node-set cut goes down, and
+//     the heal restores exactly the links the partition took down,
+//   * flap storm — a link cycles down/up at a fixed period without waiting
+//     for convergence between transitions (interacts with BGP MRAI).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "topology/as_graph.hpp"
+
+namespace centaur::faults {
+
+enum class ActionKind {
+  kLinkDown,
+  kLinkUp,
+  kSrlgDown,     ///< every link of srlgs[group] down, same instant
+  kSrlgUp,       ///< every link of srlgs[group] up, same instant
+  kNodeCrash,    ///< wipe the instance, take its up links down
+  kNodeRestart,  ///< fresh instance, restore the links the crash took down
+  kPartition,    ///< down every up link crossing partitions[group]'s cut
+  kHeal,         ///< restore the links the matching kPartition took down
+  kFlapStorm,    ///< `cycles` down/up cycles on `link`, one transition per
+                 ///< `period` seconds, no convergence wait in between
+};
+
+const char* to_string(ActionKind k);
+
+/// One scheduled fault.  Which fields are meaningful depends on `kind`;
+/// FaultScript::validate() enforces it.
+struct FaultAction {
+  ActionKind kind = ActionKind::kLinkDown;
+  /// Offset from the phase start, seconds (>= 0).  Actions at offset 0 are
+  /// applied synchronously in script order before the phase runs; later
+  /// offsets are scheduled on the simulator.
+  sim::Time at = 0;
+  topo::LinkId link = 0;      ///< kLinkDown/kLinkUp/kFlapStorm
+  topo::NodeId node = 0;      ///< kNodeCrash/kNodeRestart
+  std::size_t group = 0;      ///< kSrlgDown/kSrlgUp -> srlgs index;
+                              ///< kPartition/kHeal -> partitions index
+  std::uint32_t cycles = 0;   ///< kFlapStorm: down+up cycles (>= 1)
+  sim::Time period = 0;       ///< kFlapStorm: seconds between transitions
+
+  static FaultAction link_down(topo::LinkId l, sim::Time at = 0);
+  static FaultAction link_up(topo::LinkId l, sim::Time at = 0);
+  static FaultAction srlg_down(std::size_t group, sim::Time at = 0);
+  static FaultAction srlg_up(std::size_t group, sim::Time at = 0);
+  static FaultAction node_crash(topo::NodeId n, sim::Time at = 0);
+  static FaultAction node_restart(topo::NodeId n, sim::Time at = 0);
+  static FaultAction partition(std::size_t group, sim::Time at = 0);
+  static FaultAction heal(std::size_t group, sim::Time at = 0);
+  static FaultAction flap_storm(topo::LinkId l, std::uint32_t cycles,
+                                sim::Time period, sim::Time at = 0);
+};
+
+/// One measured campaign step: apply actions, converge, sweep invariants.
+struct FaultPhase {
+  std::string name;
+  std::vector<FaultAction> actions;
+};
+
+/// A full campaign: shared-risk/partition group tables plus the phases.
+struct FaultScript {
+  /// Shared-risk link groups, referenced by kSrlgDown/kSrlgUp `group`.
+  std::vector<std::vector<topo::LinkId>> srlgs;
+  /// Partition side-A node sets, referenced by kPartition/kHeal `group`.
+  /// The cut is every link with exactly one endpoint in the set.
+  std::vector<std::vector<topo::NodeId>> partitions;
+  std::vector<FaultPhase> phases;
+
+  std::size_t total_actions() const;
+
+  /// Structural validation against a topology: ids in range, SRLGs and
+  /// partition sides non-empty (and sides a strict subset of the nodes),
+  /// flap storms with cycles >= 1 and period > 0, offsets >= 0, and
+  /// crash/restart well-paired in script order (no restart without a crash,
+  /// no double crash, no link/SRLG/flap action naming a link incident to a
+  /// node while it is crashed).  Throws std::invalid_argument with context.
+  void validate(const topo::AsGraph& graph) const;
+};
+
+}  // namespace centaur::faults

@@ -1,0 +1,552 @@
+#include "faults/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "topology/generator.hpp"
+#include "topology/parser.hpp"
+#include "util/rng.hpp"
+
+namespace centaur::faults {
+
+topo::AsGraph TopologySpec::build() const {
+  if (!file.empty()) return topo::load_as_rel_file(file).graph;
+  util::Rng rng(seed);
+  if (style == "brite") {
+    return topo::brite_like(nodes, 2, std::max<std::size_t>(4, nodes / 40),
+                            rng);
+  }
+  if (style == "caida") {
+    return topo::tiered_internet(topo::caida_like_params(nodes), rng);
+  }
+  if (style == "hetop") {
+    return topo::tiered_internet(topo::hetop_like_params(nodes), rng);
+  }
+  throw std::invalid_argument("TopologySpec: unknown style '" + style +
+                              "' (want caida|hetop|brite)");
+}
+
+// ------------------------------------------------- minimal JSON reader ----
+//
+// Scenario files are small and hand-written; this is a strict, stdlib-only
+// reader for the JSON subset they need (objects, arrays, strings, numbers,
+// booleans, null).  No dependency policy: the container ships no JSON
+// library and we do not add one.
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion-ordered map; scenario objects are tiny.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw std::runtime_error("scenario JSON: " + what + " at line " +
+                             std::to_string(line) + ", column " +
+                             std::to_string(col));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.string = string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return JsonValue{};
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = string();
+      if (v.find(key) != nullptr) fail("duplicate key \"" + key + "\"");
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+          case '\\':
+          case '/':
+            out.push_back(e);
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          default:
+            fail("unsupported escape sequence");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    try {
+      std::size_t used = 0;
+      v.number = std::stod(text_.substr(start, pos_ - start), &used);
+      if (used != pos_ - start) throw std::invalid_argument("junk");
+    } catch (const std::exception&) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------- spec extraction -------
+
+[[noreturn]] void spec_fail(const std::string& where, const std::string& what) {
+  throw std::runtime_error("scenario \"" + where + "\": " + what);
+}
+
+void reject_unknown_keys(const JsonValue& obj, const std::string& where,
+                         std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : obj.object) {
+    (void)value;
+    if (std::find_if(allowed.begin(), allowed.end(), [&](const char* a) {
+          return key == a;
+        }) == allowed.end()) {
+      spec_fail(where, "unknown key \"" + key + "\"");
+    }
+  }
+}
+
+double get_number(const JsonValue& obj, const std::string& where,
+                  const char* key, double fallback, bool required = false) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    if (required) spec_fail(where, std::string("missing \"") + key + "\"");
+    return fallback;
+  }
+  if (v->type != JsonValue::Type::kNumber) {
+    spec_fail(where, std::string("\"") + key + "\" must be a number");
+  }
+  return v->number;
+}
+
+std::uint64_t get_u64(const JsonValue& obj, const std::string& where,
+                      const char* key, std::uint64_t fallback,
+                      bool required = false) {
+  const double d = get_number(obj, where, key, static_cast<double>(fallback),
+                              required);
+  if (d < 0 || d != static_cast<double>(static_cast<std::uint64_t>(d))) {
+    spec_fail(where, std::string("\"") + key +
+                         "\" must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+std::string get_string(const JsonValue& obj, const std::string& where,
+                       const char* key, const std::string& fallback,
+                       bool required = false) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    if (required) spec_fail(where, std::string("missing \"") + key + "\"");
+    return fallback;
+  }
+  if (v->type != JsonValue::Type::kString) {
+    spec_fail(where, std::string("\"") + key + "\" must be a string");
+  }
+  return v->string;
+}
+
+template <typename Id>
+std::vector<Id> id_array(const JsonValue& v, const std::string& where) {
+  if (v.type != JsonValue::Type::kArray) spec_fail(where, "must be an array");
+  std::vector<Id> out;
+  out.reserve(v.array.size());
+  for (const JsonValue& e : v.array) {
+    if (e.type != JsonValue::Type::kNumber || e.number < 0 ||
+        e.number != static_cast<double>(static_cast<std::uint64_t>(e.number))) {
+      spec_fail(where, "entries must be non-negative integers");
+    }
+    out.push_back(static_cast<Id>(e.number));
+  }
+  return out;
+}
+
+FaultAction parse_action(const JsonValue& obj, const std::string& where) {
+  if (obj.type != JsonValue::Type::kObject) {
+    spec_fail(where, "action must be an object");
+  }
+  reject_unknown_keys(obj, where,
+                      {"do", "at", "link", "node", "group", "cycles",
+                       "period"});
+  const std::string kind = get_string(obj, where, "do", "", true);
+  const auto at = static_cast<sim::Time>(get_number(obj, where, "at", 0));
+  const auto link =
+      static_cast<topo::LinkId>(get_u64(obj, where, "link", 0));
+  const auto node =
+      static_cast<topo::NodeId>(get_u64(obj, where, "node", 0));
+  const auto group =
+      static_cast<std::size_t>(get_u64(obj, where, "group", 0));
+  if (kind == "link_down") return FaultAction::link_down(link, at);
+  if (kind == "link_up") return FaultAction::link_up(link, at);
+  if (kind == "srlg_down") return FaultAction::srlg_down(group, at);
+  if (kind == "srlg_up") return FaultAction::srlg_up(group, at);
+  if (kind == "node_crash") return FaultAction::node_crash(node, at);
+  if (kind == "node_restart") return FaultAction::node_restart(node, at);
+  if (kind == "partition") return FaultAction::partition(group, at);
+  if (kind == "heal") return FaultAction::heal(group, at);
+  if (kind == "flap_storm") {
+    const auto cycles =
+        static_cast<std::uint32_t>(get_u64(obj, where, "cycles", 0, true));
+    const auto period =
+        static_cast<sim::Time>(get_number(obj, where, "period", 0, true));
+    return FaultAction::flap_storm(link, cycles, period, at);
+  }
+  spec_fail(where, "unknown action \"" + kind + "\"");
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario_json(const std::string& text) {
+  const JsonValue doc = JsonParser(text).parse();
+  if (doc.type != JsonValue::Type::kObject) {
+    spec_fail("top level", "must be an object");
+  }
+  reject_unknown_keys(doc, "top level",
+                      {"name", "topology", "protocol", "seed", "mrai",
+                       "check", "srlgs", "partitions", "phases"});
+
+  ScenarioSpec spec;
+  spec.name = get_string(doc, "top level", "name", spec.name);
+
+  if (const JsonValue* topo_v = doc.find("topology")) {
+    if (topo_v->type != JsonValue::Type::kObject) {
+      spec_fail("topology", "must be an object");
+    }
+    reject_unknown_keys(*topo_v, "topology",
+                        {"file", "style", "nodes", "seed"});
+    spec.topology.file = get_string(*topo_v, "topology", "file", "");
+    spec.topology.style =
+        get_string(*topo_v, "topology", "style", spec.topology.style);
+    spec.topology.nodes = static_cast<std::size_t>(
+        get_u64(*topo_v, "topology", "nodes", spec.topology.nodes));
+    spec.topology.seed =
+        get_u64(*topo_v, "topology", "seed", spec.topology.seed);
+  }
+
+  const std::string proto =
+      get_string(doc, "top level", "protocol", "centaur");
+  try {
+    spec.protocol = eval::protocol_from_string(proto);
+  } catch (const std::invalid_argument& e) {
+    spec_fail("protocol", e.what());
+  }
+
+  spec.seed = get_u64(doc, "top level", "seed", spec.seed);
+  spec.options.bgp_mrai =
+      static_cast<sim::Time>(get_number(doc, "top level", "mrai", 0));
+  const std::string check = get_string(doc, "top level", "check", "off");
+  if (check == "off") {
+    spec.options.analysis = eval::AnalysisMode::kOff;
+  } else if (check == "collect") {
+    spec.options.analysis = eval::AnalysisMode::kCollect;
+  } else if (check == "assert") {
+    spec.options.analysis = eval::AnalysisMode::kAssert;
+  } else {
+    spec_fail("check", "want off|collect|assert, got \"" + check + "\"");
+  }
+
+  if (const JsonValue* srlgs = doc.find("srlgs")) {
+    if (srlgs->type != JsonValue::Type::kArray) {
+      spec_fail("srlgs", "must be an array of link-id arrays");
+    }
+    for (std::size_t i = 0; i < srlgs->array.size(); ++i) {
+      spec.script.srlgs.push_back(id_array<topo::LinkId>(
+          srlgs->array[i], "srlgs[" + std::to_string(i) + "]"));
+    }
+  }
+  if (const JsonValue* parts = doc.find("partitions")) {
+    if (parts->type != JsonValue::Type::kArray) {
+      spec_fail("partitions", "must be an array of node-id arrays");
+    }
+    for (std::size_t i = 0; i < parts->array.size(); ++i) {
+      spec.script.partitions.push_back(id_array<topo::NodeId>(
+          parts->array[i], "partitions[" + std::to_string(i) + "]"));
+    }
+  }
+
+  const JsonValue* phases = doc.find("phases");
+  if (phases == nullptr || phases->type != JsonValue::Type::kArray ||
+      phases->array.empty()) {
+    spec_fail("phases", "must be a non-empty array");
+  }
+  for (std::size_t i = 0; i < phases->array.size(); ++i) {
+    const JsonValue& pv = phases->array[i];
+    const std::string where = "phases[" + std::to_string(i) + "]";
+    if (pv.type != JsonValue::Type::kObject) {
+      spec_fail(where, "must be an object");
+    }
+    reject_unknown_keys(pv, where, {"name", "actions"});
+    FaultPhase phase;
+    phase.name = get_string(pv, where, "name", "phase" + std::to_string(i));
+    const JsonValue* actions = pv.find("actions");
+    if (actions == nullptr || actions->type != JsonValue::Type::kArray ||
+        actions->array.empty()) {
+      spec_fail(where, "\"actions\" must be a non-empty array");
+    }
+    for (std::size_t a = 0; a < actions->array.size(); ++a) {
+      phase.actions.push_back(parse_action(
+          actions->array[a], where + ".actions[" + std::to_string(a) + "]"));
+    }
+    spec.script.phases.push_back(std::move(phase));
+  }
+  return spec;
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read scenario file " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_scenario_json(buf.str());
+}
+
+// --------------------------------------------- canonical campaign --------
+
+FaultScript make_reliability_script(const topo::AsGraph& graph,
+                                    std::uint64_t seed) {
+  if (graph.num_nodes() < 4 || graph.num_links() < 4) {
+    throw std::invalid_argument(
+        "make_reliability_script: topology too small (need >= 4 nodes and "
+        "links)");
+  }
+  util::Rng rng(seed);
+  FaultScript script;
+
+  // Shared-risk group: the first <= 3 links of the highest-degree node — a
+  // line-card/conduit failure taking correlated links out the same instant.
+  topo::NodeId hub = 0;
+  for (topo::NodeId v = 1; v < graph.num_nodes(); ++v) {
+    if (graph.degree(v) > graph.degree(hub)) hub = v;
+  }
+  std::vector<topo::LinkId> srlg;
+  for (const topo::Neighbor& nb : graph.neighbors(hub)) {
+    srlg.push_back(nb.link);
+    if (srlg.size() == 3) break;
+  }
+  script.srlgs.push_back(std::move(srlg));
+
+  // Crash target: a deterministic multi-homed node other than the hub (a
+  // hub crash can disconnect smoke-scale graphs, which is a different
+  // scenario than crash/recover).
+  std::vector<topo::NodeId> candidates;
+  for (topo::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (v != hub && graph.degree(v) >= 2) candidates.push_back(v);
+  }
+  const topo::NodeId crash_node =
+      candidates.empty() ? (hub == 0 ? 1 : 0)
+                         : candidates[rng.index(candidates.size())];
+
+  // Flap target: any link not incident to the hub (so the storm composes
+  // with a later SRLG phase if scripts are extended) — fall back to link 0.
+  topo::LinkId flap_link = 0;
+  std::vector<topo::LinkId> flap_candidates;
+  for (topo::LinkId l = 0; l < graph.num_links(); ++l) {
+    const topo::Link& lk = graph.link(l);
+    if (lk.a != hub && lk.b != hub) flap_candidates.push_back(l);
+  }
+  if (!flap_candidates.empty()) {
+    flap_link = flap_candidates[rng.index(flap_candidates.size())];
+  }
+
+  // Partition side: BFS from a random start until half the nodes are in.
+  const auto start = static_cast<topo::NodeId>(rng.index(graph.num_nodes()));
+  std::vector<bool> in_side(graph.num_nodes(), false);
+  std::vector<topo::NodeId> side;
+  std::deque<topo::NodeId> frontier{start};
+  in_side[start] = true;
+  const std::size_t side_target = std::max<std::size_t>(1, graph.num_nodes() / 2);
+  while (!frontier.empty() && side.size() < side_target) {
+    const topo::NodeId v = frontier.front();
+    frontier.pop_front();
+    side.push_back(v);
+    for (const topo::Neighbor& nb : graph.neighbors(v)) {
+      if (!in_side[nb.node]) {
+        in_side[nb.node] = true;
+        frontier.push_back(nb.node);
+      }
+    }
+  }
+  script.partitions.push_back(std::move(side));
+
+  script.phases.push_back(
+      {"srlg_burst", {FaultAction::srlg_down(0)}});
+  script.phases.push_back({"srlg_heal", {FaultAction::srlg_up(0)}});
+  script.phases.push_back(
+      {"crash_" + std::to_string(crash_node),
+       {FaultAction::node_crash(crash_node)}});
+  script.phases.push_back(
+      {"restart_" + std::to_string(crash_node),
+       {FaultAction::node_restart(crash_node)}});
+  // 3 cycles x 2 ms: transitions land inside the 0-5 ms delay band, so
+  // updates from one transition are still in flight when the next fires.
+  script.phases.push_back(
+      {"flap_storm", {FaultAction::flap_storm(flap_link, 3, 0.002)}});
+  script.phases.push_back({"partition", {FaultAction::partition(0)}});
+  script.phases.push_back({"heal", {FaultAction::heal(0)}});
+  script.validate(graph);
+  return script;
+}
+
+ScenarioSpec reliability_scenario(std::size_t nodes, std::uint64_t base_seed) {
+  ScenarioSpec spec;
+  spec.name = "reliability";
+  spec.topology.style = "brite";
+  spec.topology.nodes = nodes;
+  spec.topology.seed = base_seed ^ 0xF160;  // the bench_fig6 construction
+  spec.seed = base_seed;
+  spec.script = make_reliability_script(spec.topology.build(),
+                                        base_seed ^ 0xFA017);
+  return spec;
+}
+
+}  // namespace centaur::faults

@@ -1,0 +1,92 @@
+// ScenarioSpec — the unified experiment description.
+//
+// One value describes a whole reliability experiment: the topology (loaded
+// or generated), the protocol under test, its RunOptions, the run seed, and
+// the fault script.  It replaces the ad-hoc per-experiment entry points
+// (bench mains wiring topology + protocol + flips by hand): everything the
+// campaign engine needs is in the spec, so a scenario can come from C++
+// code, from the `centaur campaign` CLI, or from a small JSON description:
+//
+//   {
+//     "name": "reliability_smoke",
+//     "topology": {"style": "brite", "nodes": 60, "seed": 7},
+//     "protocol": "centaur",            // centaur|bgp|bgp-rcn|ospf
+//     "seed": 1,                        // run seed (per-link delays)
+//     "mrai": 0,                        // BGP MRAI seconds (optional)
+//     "check": "collect",               // off|collect|assert (optional)
+//     "srlgs": [[0, 1, 2]],             // shared-risk link groups
+//     "partitions": [[0, 1, 2, 3]],     // partition side-A node sets
+//     "phases": [
+//       {"name": "burst", "actions": [{"do": "srlg_down", "group": 0}]},
+//       {"name": "mend",  "actions": [{"do": "srlg_up",   "group": 0}]},
+//       {"name": "storm", "actions": [
+//           {"do": "flap_storm", "link": 3, "cycles": 3, "period": 0.002}]}
+//     ]
+//   }
+//
+// A topology may instead be {"file": "topo.txt"} (CAIDA as-rel format).
+// Action objects take: "do" (an ActionKind spelling from fault_script.hpp),
+// optional "at" offset seconds, and the kind's operand — "link", "node",
+// "group", plus "cycles"/"period" for flap storms.  The parser rejects
+// unknown keys so typos fail loudly instead of silently no-opping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "eval/protocol_config.hpp"
+#include "faults/fault_script.hpp"
+#include "topology/as_graph.hpp"
+
+namespace centaur::faults {
+
+/// Where the AS graph comes from.  `file` wins when non-empty; otherwise a
+/// synthetic topology is generated (style x nodes x seed, the same
+/// constructions `centaur generate` uses — "brite" matches the Fig 6/8
+/// prototype topology formula exactly).
+struct TopologySpec {
+  std::string file;
+  std::string style = "brite";  ///< caida | hetop | brite
+  std::size_t nodes = 100;
+  std::uint64_t seed = 1;
+
+  /// Builds the graph; throws std::invalid_argument on unknown style and
+  /// std::runtime_error on unreadable files.
+  topo::AsGraph build() const;
+};
+
+/// The unified experiment description (see file header).
+struct ScenarioSpec {
+  std::string name = "scenario";
+  TopologySpec topology;
+  eval::Protocol protocol = eval::Protocol::kCentaur;
+  eval::RunOptions options;
+  std::uint64_t seed = 1;  ///< run seed: per-link delay draws
+  FaultScript script;
+};
+
+/// Parses the JSON scenario description.  Throws std::runtime_error with
+/// the offending key/position on malformed input.  The result's script is
+/// *not* yet validated against a topology (run_scenario / the engine does
+/// that once the graph exists).
+ScenarioSpec parse_scenario_json(const std::string& text);
+
+/// parse_scenario_json over a file's contents.
+ScenarioSpec load_scenario_file(const std::string& path);
+
+/// The canonical reliability campaign over an existing graph, derived
+/// deterministically from `seed`: an SRLG burst at the highest-degree node
+/// (correlated failure of its first <= 3 links) + heal, a crash/restart of
+/// a multi-homed node, a 3-cycle flap storm (2 ms period, inside the 0-5 ms
+/// delay band so transitions overlap in flight and MRAI batching engages),
+/// and a partition/heal cycle across a BFS-grown half cut.
+FaultScript make_reliability_script(const topo::AsGraph& graph,
+                                    std::uint64_t seed);
+
+/// Full spec for the canonical campaign on the Fig 6 prototype topology
+/// (BRITE-style, `nodes` nodes, topology seed `base_seed ^ 0xF160` — the
+/// exact bench_fig6 construction).
+ScenarioSpec reliability_scenario(std::size_t nodes, std::uint64_t base_seed);
+
+}  // namespace centaur::faults

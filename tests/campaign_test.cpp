@@ -1,0 +1,347 @@
+// Fault-injection campaign engine and ScenarioSpec API (src/faults):
+// scenario JSON parsing, script validation, engine fault semantics
+// (SRLG / crash / restart / partition / flap), ProtocolRun reuse, and the
+// serial-vs-parallel bit-identity of campaign results.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "faults/campaign.hpp"
+#include "faults/fault_script.hpp"
+#include "faults/scenario.hpp"
+#include "runner/parallel.hpp"
+#include "topology/generator.hpp"
+
+namespace centaur {
+namespace {
+
+using topo::AsGraph;
+using topo::LinkId;
+using topo::NodeId;
+
+AsGraph smoke_graph(std::size_t nodes = 40, std::uint64_t seed = 7) {
+  util::Rng rng(seed);
+  return topo::brite_like(nodes, 2, std::max<std::size_t>(4, nodes / 40),
+                          rng);
+}
+
+// ------------------------------------------------- scenario JSON ---------
+
+TEST(ScenarioJson, ParsesFullSpec) {
+  const auto spec = faults::parse_scenario_json(R"({
+    "name": "smoke",
+    "topology": {"style": "brite", "nodes": 60, "seed": 9},
+    "protocol": "bgp-rcn",
+    "seed": 4,
+    "mrai": 2.5,
+    "check": "assert",
+    "srlgs": [[0, 1, 2], [5]],
+    "partitions": [[0, 1, 2, 3]],
+    "phases": [
+      {"name": "burst", "actions": [{"do": "srlg_down", "group": 0}]},
+      {"name": "storm", "actions": [
+        {"do": "flap_storm", "link": 3, "cycles": 3, "period": 0.002,
+         "at": 0.01}]}
+    ]
+  })");
+  EXPECT_EQ(spec.name, "smoke");
+  EXPECT_EQ(spec.topology.style, "brite");
+  EXPECT_EQ(spec.topology.nodes, 60u);
+  EXPECT_EQ(spec.topology.seed, 9u);
+  EXPECT_EQ(spec.protocol, eval::Protocol::kBgpRcn);
+  EXPECT_EQ(spec.seed, 4u);
+  EXPECT_DOUBLE_EQ(spec.options.bgp_mrai, 2.5);
+  EXPECT_EQ(spec.options.analysis, eval::AnalysisMode::kAssert);
+  ASSERT_EQ(spec.script.srlgs.size(), 2u);
+  EXPECT_EQ(spec.script.srlgs[0], (std::vector<LinkId>{0, 1, 2}));
+  ASSERT_EQ(spec.script.partitions.size(), 1u);
+  ASSERT_EQ(spec.script.phases.size(), 2u);
+  EXPECT_EQ(spec.script.phases[0].name, "burst");
+  const faults::FaultAction& storm = spec.script.phases[1].actions[0];
+  EXPECT_EQ(storm.kind, faults::ActionKind::kFlapStorm);
+  EXPECT_EQ(storm.link, 3u);
+  EXPECT_EQ(storm.cycles, 3u);
+  EXPECT_DOUBLE_EQ(storm.period, 0.002);
+  EXPECT_DOUBLE_EQ(storm.at, 0.01);
+}
+
+TEST(ScenarioJson, DefaultsAreCentaurCheckOff) {
+  const auto spec = faults::parse_scenario_json(
+      R"({"phases": [{"name": "p", "actions": [{"do": "link_down"}]}]})");
+  EXPECT_EQ(spec.protocol, eval::Protocol::kCentaur);
+  EXPECT_EQ(spec.options.analysis, eval::AnalysisMode::kOff);
+  EXPECT_DOUBLE_EQ(spec.options.bgp_mrai, 0.0);
+}
+
+TEST(ScenarioJson, RejectsMalformedInput) {
+  // Typos fail loudly instead of silently no-opping.
+  EXPECT_THROW(faults::parse_scenario_json(
+                   R"({"phasez": [], "phases": [
+                       {"name": "p", "actions": [{"do": "link_down"}]}]})"),
+               std::runtime_error);
+  EXPECT_THROW(faults::parse_scenario_json(R"({"phases": []})"),
+               std::runtime_error);  // phases must be non-empty
+  EXPECT_THROW(faults::parse_scenario_json(R"({"phases": [{"name": "p",
+                   "actions": [{"do": "frobnicate"}]}]})"),
+               std::runtime_error);  // unknown action kind
+  EXPECT_THROW(faults::parse_scenario_json(R"({"check": "sometimes",
+                   "phases": [{"name": "p",
+                   "actions": [{"do": "link_down"}]}]})"),
+               std::runtime_error);  // bad check mode
+  EXPECT_THROW(faults::parse_scenario_json(R"({"protocol": "rip",
+                   "phases": [{"name": "p",
+                   "actions": [{"do": "link_down"}]}]})"),
+               std::runtime_error);  // unknown protocol
+  EXPECT_THROW(faults::parse_scenario_json("{\"name\": \"x\" \"y\": 1}"),
+               std::runtime_error);  // not JSON
+  EXPECT_THROW(faults::parse_scenario_json(
+                   R"({"name": "a", "name": "b", "phases": [
+                       {"name": "p", "actions": [{"do": "link_down"}]}]})"),
+               std::runtime_error);  // duplicate key
+  EXPECT_THROW(faults::parse_scenario_json(R"({"phases": [{"name": "p",
+                   "actions": [{"do": "link_down", "lnik": 3}]}]})"),
+               std::runtime_error);  // unknown action key
+}
+
+// ------------------------------------------------- script validation -----
+
+TEST(FaultScriptValidate, CatchesPairingAndRangeErrors) {
+  const AsGraph g = smoke_graph(20);
+  using FA = faults::FaultAction;
+
+  auto script_with = [](std::vector<faults::FaultPhase> phases) {
+    faults::FaultScript s;
+    s.phases = std::move(phases);
+    return s;
+  };
+
+  // Restart without a crash.
+  EXPECT_THROW(
+      script_with({{"p", {FA::node_restart(1)}}}).validate(g),
+      std::invalid_argument);
+  // Double crash.
+  EXPECT_THROW(
+      script_with({{"p", {FA::node_crash(1), FA::node_crash(1)}}}).validate(g),
+      std::invalid_argument);
+  // Link action touching a crashed node.
+  const LinkId incident = g.neighbors(1).front().link;
+  EXPECT_THROW(script_with({{"p", {FA::node_crash(1)}},
+                            {"q", {FA::link_down(incident)}}})
+                   .validate(g),
+               std::invalid_argument);
+  // Heal without a partition.
+  faults::FaultScript heal = script_with({{"p", {FA::heal(0)}}});
+  heal.partitions.push_back({0, 1});
+  EXPECT_THROW(heal.validate(g), std::invalid_argument);
+  // Partition started twice.
+  faults::FaultScript twice =
+      script_with({{"p", {FA::partition(0), FA::partition(0)}}});
+  twice.partitions.push_back({0, 1});
+  EXPECT_THROW(twice.validate(g), std::invalid_argument);
+  // Partition side must be a strict subset.
+  faults::FaultScript whole = script_with({{"p", {FA::partition(0)}}});
+  whole.partitions.emplace_back();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    whole.partitions[0].push_back(v);
+  }
+  EXPECT_THROW(whole.validate(g), std::invalid_argument);
+  // Out-of-range link; empty SRLG; zero-cycle storm; negative offset.
+  EXPECT_THROW(script_with({{"p", {FA::link_down(
+                                static_cast<LinkId>(g.num_links()))}}})
+                   .validate(g),
+               std::invalid_argument);
+  faults::FaultScript empty_srlg = script_with({{"p", {FA::srlg_down(0)}}});
+  empty_srlg.srlgs.emplace_back();
+  EXPECT_THROW(empty_srlg.validate(g), std::invalid_argument);
+  EXPECT_THROW(script_with({{"p", {FA::flap_storm(0, 0, 0.001)}}}).validate(g),
+               std::invalid_argument);
+  EXPECT_THROW(script_with({{"p", {FA::link_down(0, -1.0)}}}).validate(g),
+               std::invalid_argument);
+  // A well-paired script passes.
+  faults::FaultScript ok = script_with(
+      {{"p", {FA::node_crash(1)}}, {"q", {FA::node_restart(1)}}});
+  EXPECT_NO_THROW(ok.validate(g));
+}
+
+// ------------------------------------------------- engine semantics ------
+
+TEST(CampaignEngine, SrlgDownTakesWholeGroupAndUpRestoresIt) {
+  const AsGraph g = smoke_graph(30);
+  util::Rng rng(3);
+  eval::ProtocolRun run(g, eval::Protocol::kCentaur, rng);
+
+  faults::FaultScript script;
+  script.srlgs.push_back({0, 1, 2});
+  script.phases.push_back({"burst", {faults::FaultAction::srlg_down(0)}});
+  script.phases.push_back({"mend", {faults::FaultAction::srlg_up(0)}});
+
+  faults::CampaignEngine engine(run);
+  engine.run_phase(script, script.phases[0]);
+  for (const LinkId l : {0u, 1u, 2u}) EXPECT_FALSE(run.graph().link_up(l));
+  engine.run_phase(script, script.phases[1]);
+  for (const LinkId l : {0u, 1u, 2u}) EXPECT_TRUE(run.graph().link_up(l));
+
+  const auto result = engine.result();
+  ASSERT_EQ(result.phases.size(), 2u);
+  EXPECT_EQ(result.phases[0].name, "burst");
+  EXPECT_GT(result.phases[0].messages, 0u);
+  EXPECT_GT(result.phases[0].events, 0u);
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(CampaignEngine, CrashDownsIncidentLinksAndRestartRestoresOnlyThose) {
+  const AsGraph g = smoke_graph(30);
+  // Pick a multi-homed node and pre-down one of its links so the restart
+  // must NOT resurrect it (only crash-downed links are restored).
+  NodeId v = 0;
+  while (g.degree(v) < 3) ++v;
+  const LinkId already_down = g.neighbors(v).front().link;
+
+  util::Rng rng(5);
+  eval::ProtocolRun run(g, eval::Protocol::kCentaur, rng);
+  run.flip(already_down, false);
+
+  faults::FaultScript script;
+  script.phases.push_back({"crash", {faults::FaultAction::node_crash(v)}});
+  script.phases.push_back(
+      {"restart", {faults::FaultAction::node_restart(v)}});
+
+  faults::CampaignEngine engine(run);
+  engine.run_phase(script, script.phases[0]);
+  for (const topo::Neighbor& nb : run.graph().neighbors(v)) {
+    EXPECT_FALSE(run.graph().link_up(nb.link));
+  }
+  engine.run_phase(script, script.phases[1]);
+  for (const topo::Neighbor& nb : run.graph().neighbors(v)) {
+    EXPECT_EQ(run.graph().link_up(nb.link), nb.link != already_down);
+  }
+  EXPECT_TRUE(engine.result().clean());
+}
+
+TEST(CampaignEngine, HealDefersLinksOfCrashedEndpointToItsRestart) {
+  const AsGraph g = smoke_graph(30);
+  NodeId v = 0;
+  while (g.degree(v) < 2) ++v;
+
+  util::Rng rng(9);
+  eval::ProtocolRun run(g, eval::Protocol::kCentaur, rng);
+
+  // Partition isolates v, then v crashes (its links are already down, so
+  // the crash records nothing), then the heal fires while v is dead: the
+  // cut links must stay down until v's restart raises them.
+  faults::FaultScript script;
+  script.partitions.push_back({v});
+  script.phases.push_back({"cut", {faults::FaultAction::partition(0)}});
+  script.phases.push_back({"crash", {faults::FaultAction::node_crash(v)}});
+  script.phases.push_back({"stitch", {faults::FaultAction::heal(0)}});
+  script.phases.push_back(
+      {"restart", {faults::FaultAction::node_restart(v)}});
+  script.validate(run.graph());
+
+  faults::CampaignEngine engine(run);
+  engine.run_phase(script, script.phases[0]);
+  engine.run_phase(script, script.phases[1]);
+  engine.run_phase(script, script.phases[2]);
+  for (const topo::Neighbor& nb : run.graph().neighbors(v)) {
+    EXPECT_FALSE(run.graph().link_up(nb.link))
+        << "heal must not raise a dead node's link " << nb.link;
+  }
+  engine.run_phase(script, script.phases[3]);
+  for (const topo::Neighbor& nb : run.graph().neighbors(v)) {
+    EXPECT_TRUE(run.graph().link_up(nb.link));
+  }
+  EXPECT_TRUE(engine.result().clean());
+}
+
+TEST(CampaignEngine, FlapStormConvergesWithAndWithoutMrai) {
+  const AsGraph g = smoke_graph(30);
+  for (const double mrai : {0.0, 0.05}) {
+    util::Rng rng(13);
+    eval::RunOptions options;
+    options.bgp_mrai = mrai;
+    eval::ProtocolRun run(g, eval::Protocol::kBgp, rng, options);
+
+    faults::FaultScript script;
+    script.phases.push_back(
+        {"storm", {faults::FaultAction::flap_storm(0, 3, 0.002)}});
+    faults::CampaignEngine engine(run);
+    const faults::CampaignResult result = engine.run(script);
+    ASSERT_EQ(result.phases.size(), 1u);
+    EXPECT_GT(result.phases[0].events, 0u) << "mrai=" << mrai;
+    EXPECT_TRUE(run.graph().link_up(0)) << "storm must end link-up";
+  }
+}
+
+TEST(CampaignEngine, RejectsScriptsThatFailValidation) {
+  const AsGraph g = smoke_graph(20);
+  util::Rng rng(1);
+  eval::ProtocolRun run(g, eval::Protocol::kCentaur, rng);
+  faults::FaultScript bad;
+  bad.phases.push_back({"p", {faults::FaultAction::node_restart(0)}});
+  faults::CampaignEngine engine(run);
+  EXPECT_THROW(engine.run(bad), std::invalid_argument);
+}
+
+// ------------------------------------------------- harness ---------------
+
+TEST(ProtocolRunReset, MatchesFreshConstruction) {
+  const AsGraph g = smoke_graph(30);
+  util::Rng a(42);
+  eval::ProtocolRun reused(g, eval::Protocol::kCentaur, a);
+  // Perturb the run, then reset: the re-run cold start must be identical to
+  // a freshly constructed run fed the same seed stream.
+  reused.flip(0, false);
+  reused.flip(0, true);
+  util::Rng reset_rng(42);
+  reused.reset(reset_rng);
+
+  util::Rng b(42);
+  const eval::ProtocolRun fresh(g, eval::Protocol::kCentaur, b);
+  EXPECT_EQ(reused.cold_start().messages_sent,
+            fresh.cold_start().messages_sent);
+  EXPECT_EQ(reused.cold_start().bytes_sent, fresh.cold_start().bytes_sent);
+  EXPECT_DOUBLE_EQ(reused.cold_start_time(), fresh.cold_start_time());
+}
+
+TEST(Campaign, ReliabilityScenarioBitIdenticalAcrossThreads) {
+  // The canonical campaign (SRLG burst, crash/restart, flap storm,
+  // partition/heal) over all four protocols: the parallel fan-out must be
+  // bit-identical to the serial run, with zero analyzer violations.
+  faults::ScenarioSpec spec = faults::reliability_scenario(40, 1);
+  spec.options.analysis = eval::AnalysisMode::kAssert;
+  const AsGraph g = spec.topology.build();
+
+  auto run_all = [&](std::size_t threads) {
+    constexpr std::size_t kArms = std::size(eval::kAllProtocols);
+    return runner::run_trials(kArms, threads, [&](std::size_t i) {
+      faults::ScenarioSpec arm = spec;
+      arm.protocol = eval::kAllProtocols[i];
+      const faults::CampaignResult r = faults::run_scenario(g, arm);
+      EXPECT_TRUE(r.clean()) << eval::to_string(arm.protocol);
+      EXPECT_EQ(r.phases.size(), spec.script.phases.size());
+      return r.phases;
+    });
+  };
+  const auto serial = run_all(1);
+  const auto parallel = run_all(4);
+  EXPECT_EQ(serial, parallel);
+  // Distinct protocols must actually have produced distinct measurements.
+  EXPECT_NE(serial[0], serial[2]);
+}
+
+TEST(Campaign, RunScenarioBuildsTopologyFromSpec) {
+  faults::ScenarioSpec spec = faults::reliability_scenario(30, 5);
+  spec.protocol = eval::Protocol::kOspf;
+  const faults::CampaignResult r = faults::run_scenario(spec);
+  EXPECT_EQ(r.scenario, "reliability");
+  EXPECT_EQ(r.protocol, eval::Protocol::kOspf);
+  EXPECT_EQ(r.phases.size(), spec.script.phases.size());
+  EXPECT_GT(r.cold_start.messages, 0u);
+  EXPECT_GT(r.total_events, r.cold_start.events);
+}
+
+}  // namespace
+}  // namespace centaur

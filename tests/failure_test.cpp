@@ -8,6 +8,8 @@
 #include "bgp/bgp_node.hpp"
 #include "centaur/centaur_node.hpp"
 #include "eval/experiments.hpp"
+#include "faults/campaign.hpp"
+#include "linkstate/ospf_node.hpp"
 #include "policy/valley_free.hpp"
 #include "test_helpers.hpp"
 #include "topology/generator.hpp"
@@ -128,6 +130,121 @@ TEST(ProtocolRun, IdenticalSeedsGiveIdenticalFlipSequences) {
   EXPECT_EQ(a.message_counts, b.message_counts);
   EXPECT_EQ(a.convergence_times, b.convergence_times);
 }
+
+// --------------------------------------------- campaign-driven faults ----
+// After a crash/restart or partition/heal campaign returns the topology to
+// its initial state, every protocol's selected paths must equal a fresh
+// cold start — transient faults leave no residue in protocol state.
+
+/// The path `v` currently selects toward `dest`, uniformly across the four
+/// protocol node types (nullopt = unreachable).
+std::optional<Path> selected(sim::Network& net, eval::Protocol proto,
+                             NodeId v, NodeId dest) {
+  sim::Node& node = net.node(v);
+  switch (proto) {
+    case eval::Protocol::kBgp:
+    case eval::Protocol::kBgpRcn:
+      return dynamic_cast<bgp::BgpNode&>(node).selected_path(dest);
+    case eval::Protocol::kCentaur:
+      return dynamic_cast<core::CentaurNode&>(node).selected_path(dest);
+    case eval::Protocol::kOspf: {
+      Path p = dynamic_cast<linkstate::OspfNode&>(node).shortest_path(dest);
+      if (p.empty()) return std::nullopt;
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::optional<Path>> all_selected(eval::ProtocolRun& run) {
+  const std::size_t n = run.graph().num_nodes();
+  std::vector<std::optional<Path>> out;
+  out.reserve(n * n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId dest = 0; dest < n; ++dest) {
+      if (v == dest) continue;
+      out.push_back(selected(run.network(), run.protocol(), v, dest));
+    }
+  }
+  return out;
+}
+
+class CampaignFaults : public ::testing::TestWithParam<eval::Protocol> {
+ protected:
+  static AsGraph make_graph() {
+    util::Rng rng(11);
+    return topo::tiered_internet(topo::caida_like_params(24), rng);
+  }
+
+  /// Runs `script` to completion, then asserts the post-campaign selected
+  /// paths equal a cold-start reference obtained via reset() (same seed
+  /// stream as the original construction, no AS-graph re-copy).
+  static void expect_cold_start_paths_after(const faults::FaultScript& script) {
+    const AsGraph graph = make_graph();
+    util::Rng rng(5);
+    eval::ProtocolRun run(graph, GetParam(), rng);
+    faults::CampaignEngine engine(run);
+    const faults::CampaignResult result = engine.run(script);
+    EXPECT_TRUE(result.clean());
+    const auto after = all_selected(run);
+
+    util::Rng reset_rng(5);
+    run.reset(reset_rng);
+    EXPECT_EQ(after, all_selected(run));
+  }
+};
+
+TEST_P(CampaignFaults, CrashRestartRestoresColdStartPaths) {
+  const AsGraph graph = make_graph();
+  NodeId victim = 0;
+  while (graph.degree(victim) < 2) ++victim;
+  faults::FaultScript script;
+  script.phases.push_back(
+      {"crash", {faults::FaultAction::node_crash(victim)}});
+  script.phases.push_back(
+      {"restart", {faults::FaultAction::node_restart(victim)}});
+  expect_cold_start_paths_after(script);
+}
+
+TEST_P(CampaignFaults, PartitionHealRestoresColdStartPaths) {
+  const AsGraph graph = make_graph();
+  // Cut off one multi-homed node; mid-partition it must be unreachable,
+  // post-heal everything must match a cold start.
+  NodeId isolated = 0;
+  while (graph.degree(isolated) < 2) ++isolated;
+  faults::FaultScript script;
+  script.partitions.push_back({isolated});
+  script.phases.push_back({"cut", {faults::FaultAction::partition(0)}});
+  script.phases.push_back({"stitch", {faults::FaultAction::heal(0)}});
+
+  util::Rng rng(5);
+  eval::ProtocolRun run(graph, GetParam(), rng);
+  faults::CampaignEngine engine(run);
+  engine.run_phase(script, script.phases[0]);
+  const NodeId observer = isolated == 0 ? 1 : 0;
+  EXPECT_FALSE(
+      selected(run.network(), run.protocol(), observer, isolated).has_value())
+      << "partitioned node must be unreachable across the cut";
+  engine.run_phase(script, script.phases[1]);
+  EXPECT_TRUE(engine.result().clean());
+  const auto after = all_selected(run);
+
+  util::Rng reset_rng(5);
+  run.reset(reset_rng);
+  EXPECT_EQ(after, all_selected(run));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, CampaignFaults,
+    ::testing::ValuesIn(std::begin(eval::kAllProtocols),
+                        std::end(eval::kAllProtocols)),
+    [](const ::testing::TestParamInfo<eval::Protocol>& param) {
+      std::string name = eval::to_string(param.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
 
 }  // namespace
 }  // namespace centaur

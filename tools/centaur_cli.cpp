@@ -1,18 +1,19 @@
 // centaur — command-line driver for the library.
 //
-//   centaur generate --style caida|hetop|brite --nodes N [--seed S]
-//       Emit a synthetic AS topology in CAIDA as-rel format on stdout.
-//   centaur stats --topology FILE
-//       Print Table-3-style characteristics of an as-rel topology.
-//   centaur routes --topology FILE --vantage AS [--dests K]
-//       Print the vantage AS's valley-free routing table (sampled).
-//   centaur simulate --topology FILE --protocol centaur|bgp|bgp-rcn|ospf
-//                    [--flips K] [--seed S] [--mrai SECONDS] [--check]
-//       Cold-start the protocol on the topology and measure link flips.
-//       --check runs the simulation in analysis mode (src/check): protocol
-//       invariants are re-validated after every event and at each
-//       quiescence point, and the violation report is printed (exit status
-//       1 if any invariant was breached).
+// Subcommands (see usage() / `centaur help` for the option tables):
+//   generate  Emit a synthetic AS topology in CAIDA as-rel format on stdout.
+//   stats     Print Table-3-style characteristics of an as-rel topology.
+//   routes    Print a vantage AS's valley-free routing table (sampled).
+//   simulate  Cold-start a protocol on a topology and measure link flips.
+//   campaign  Run a scripted fault-injection campaign (src/faults) — either
+//             a JSON ScenarioSpec file or the builtin reliability script —
+//             and report per-phase convergence/message/byte numbers.
+//   bench     The canned reliability campaign across all four protocols
+//             (campaign with --builtin defaults), for baseline capture.
+//
+// simulate / campaign / bench share one option-parsing path: the same
+// --seed/--mrai/--check/--json spellings everywhere, each mirroring an
+// environment variable from the README table (printed by `centaur help`).
 //
 // Topologies are as-rel files (`a|b|-1` provider, `a|b|0` peer, `a|b|2`
 // sibling); `centaur generate ... > topo.txt` round-trips into every other
@@ -23,19 +24,47 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "eval/experiments.hpp"
+#include "faults/campaign.hpp"
 #include "policy/valley_free.hpp"
+#include "runner/bench_report.hpp"
+#include "runner/parallel.hpp"
 #include "topology/algorithms.hpp"
 #include "topology/generator.hpp"
 #include "topology/parser.hpp"
 #include "topology/stats.hpp"
+#include "util/scale.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace centaur;
+
+/// Environment knobs honoured by the run subcommands (the README table).
+/// Each row is (variable, values with default, what it does).
+constexpr struct EnvVar {
+  const char* var;
+  const char* values;
+  const char* what;
+} kEnvVars[] = {
+    {"CENTAUR_SCALE", "smoke|default|large (default)",
+     "topology sizes / trial counts; the campaign/bench node default"},
+    {"CENTAUR_THREADS", "integer >= 1 (hardware concurrency)",
+     "trial fan-out width; any value is bit-identical to serial"},
+    {"CENTAUR_BENCH_JSON", "file or directory path (off)",
+     "emit BENCH_<name>.json reports; --json <path> overrides"},
+    {"CENTAUR_CHECK", "off|collect|assert (off)",
+     "attach the invariant analyzer to every run; --check = collect"},
+    {"CENTAUR_COALESCE", "0/off/false disables (on)",
+     "same-burst outbound coalescing of Centaur updates"},
+    {"CENTAUR_BLOOM_PLISTS", "1 enables (off)",
+     "Bloom-compressed Permission List sizing"},
+    {"CENTAUR_LOG", "error|warn|info|debug (warn)",
+     "library logging verbosity"},
+};
 
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
@@ -45,7 +74,24 @@ using namespace centaur;
       "  centaur stats    --topology FILE\n"
       "  centaur routes   --topology FILE --vantage AS [--dests K]\n"
       "  centaur simulate --topology FILE --protocol centaur|bgp|bgp-rcn|ospf\n"
-      "                   [--flips K] [--seed S] [--mrai SECONDS] [--check]\n";
+      "                   [--flips K] [--seed S] [--mrai SECONDS] [--check]\n"
+      "  centaur campaign [--scenario FILE.json | --nodes N] [--topology FILE]\n"
+      "                   [--protocol centaur|bgp|bgp-rcn|ospf|all] [--seed S]\n"
+      "                   [--mrai SECONDS] [--check] [--json PATH]\n"
+      "  centaur bench    [--nodes N] [--seed S] [--json PATH]\n"
+      "\n"
+      "campaign runs a scripted fault-injection campaign (SRLG bursts, node\n"
+      "crash/restart, flap storms, partition/heal) to quiescence phase by\n"
+      "phase; without --scenario it uses the builtin reliability script.\n"
+      "bench is the same with all four protocols forced.\n"
+      "\n"
+      "environment (run subcommands):\n";
+  for (const EnvVar& e : kEnvVars) {
+    std::cerr << "  " << e.var;
+    for (std::size_t i = std::strlen(e.var); i < 22; ++i) std::cerr << ' ';
+    std::cerr << e.values << "\n";
+    std::cerr << "                          " << e.what << "\n";
+  }
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -69,6 +115,8 @@ class Options {
     }
   }
 
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
   std::string get(const std::string& key, const std::string& fallback = "") {
     const auto it = values_.find(key);
     if (it == values_.end()) {
@@ -77,6 +125,12 @@ class Options {
     }
     consumed_.insert(key);
     return it->second;
+  }
+
+  /// Like get(), but absent means empty (for options with no default).
+  std::string get_optional(const std::string& key) {
+    if (!has(key)) return "";
+    return get(key);
   }
 
   long get_long(const std::string& key, long fallback) {
@@ -106,6 +160,49 @@ topo::ParsedTopology load(const std::string& path) {
   }
   return t;
 }
+
+// ----------------------------------------------- shared run options ------
+// One parsing path for every subcommand that runs the simulator: the same
+// spellings, each with an environment-variable equivalent (see kEnvVars).
+
+/// --mrai / --check (CENTAUR_CHECK is the env-side spelling of --check).
+eval::RunOptions run_options_from(Options& opt) {
+  eval::RunOptions run_options;
+  run_options.bgp_mrai = static_cast<double>(opt.get_long("mrai", 0));
+  run_options.analysis = opt.get("check", "0") == "1"
+                             ? eval::AnalysisMode::kCollect
+                             : eval::analysis_from_env();
+  return run_options;
+}
+
+/// --protocol, with "all" allowed when `allow_all` (campaign sweeps).
+std::vector<eval::Protocol> protocols_from(Options& opt,
+                                           const std::string& fallback,
+                                           bool allow_all) {
+  const std::string name = opt.get("protocol", fallback);
+  if (allow_all && name == "all") {
+    return {std::begin(eval::kAllProtocols), std::end(eval::kAllProtocols)};
+  }
+  try {
+    return {eval::protocol_from_string(name)};
+  } catch (const std::invalid_argument&) {
+    usage("unknown --protocol '" + name + "'" +
+          (allow_all ? " (want centaur|bgp|bgp-rcn|ospf|all)" : ""));
+  }
+}
+
+/// --json with the CENTAUR_BENCH_JSON fallback and directory naming
+/// (delegates to the bench report resolver so all writers agree).
+std::string resolve_json_path(Options& opt, const std::string& bench) {
+  std::string value = opt.get_optional("json");
+  std::string prog = "centaur";
+  std::string flag = "--json";
+  char* argv[] = {prog.data(), flag.data(), value.data()};
+  int argc = value.empty() ? 1 : 3;
+  return runner::BenchReport::resolve_path(&argc, argv, bench);
+}
+
+// ----------------------------------------------------- subcommands -------
 
 int cmd_generate(Options& opt) {
   const std::string style = opt.get("style");
@@ -172,27 +269,12 @@ int cmd_routes(Options& opt) {
 
 int cmd_simulate(Options& opt) {
   const auto t = load(opt.get("topology"));
-  const std::string proto_name = opt.get("protocol");
+  const eval::Protocol proto = protocols_from(opt, "", false).front();
   const auto flips = static_cast<std::size_t>(opt.get_long("flips", 10));
   const auto seed = static_cast<std::uint64_t>(opt.get_long("seed", 1));
-  const bool analysis = opt.get("check", "0") == "1";
-  eval::RunOptions run_options;
-  run_options.bgp_mrai = static_cast<double>(opt.get_long("mrai", 0));
-  if (analysis) run_options.analysis = eval::AnalysisMode::kCollect;
+  const eval::RunOptions run_options = run_options_from(opt);
+  const bool analysis = run_options.analysis != eval::AnalysisMode::kOff;
   opt.finish();
-
-  eval::Protocol proto;
-  if (proto_name == "centaur") {
-    proto = eval::Protocol::kCentaur;
-  } else if (proto_name == "bgp") {
-    proto = eval::Protocol::kBgp;
-  } else if (proto_name == "bgp-rcn") {
-    proto = eval::Protocol::kBgpRcn;
-  } else if (proto_name == "ospf") {
-    proto = eval::Protocol::kOspf;
-  } else {
-    usage("unknown --protocol '" + proto_name + "'");
-  }
 
   const auto series =
       eval::run_link_flips(t.graph, proto, flips, util::Rng(seed), run_options);
@@ -226,19 +308,145 @@ int cmd_simulate(Options& opt) {
   return 0;
 }
 
+/// campaign and bench: one parsing/execution path.  `canned` (bench) forces
+/// the builtin reliability scenario and all four protocols.
+int run_campaign_command(Options& opt, bool canned) {
+  const util::ScaleParams params = util::params_for(util::scale_from_env());
+  const std::size_t threads = runner::threads_from_env();
+  const auto nodes = static_cast<std::size_t>(
+      opt.get_long("nodes", static_cast<long>(params.proto_nodes)));
+  const bool seed_given = opt.has("seed");
+  const auto seed = static_cast<std::uint64_t>(
+      opt.get_long("seed", static_cast<long>(params.seed)));
+  const std::string scenario_file =
+      canned ? "" : opt.get_optional("scenario");
+
+  faults::ScenarioSpec spec =
+      scenario_file.empty() ? faults::reliability_scenario(nodes, seed)
+                            : faults::load_scenario_file(scenario_file);
+  if (!scenario_file.empty() && seed_given) spec.seed = seed;
+  if (opt.has("topology")) spec.topology.file = opt.get("topology");
+  if (opt.has("mrai") || opt.has("check") ||
+      spec.options.analysis == eval::AnalysisMode::kOff) {
+    const eval::RunOptions cli = run_options_from(opt);
+    if (opt.has("mrai")) spec.options.bgp_mrai = cli.bgp_mrai;
+    if (opt.has("check") ||
+        spec.options.analysis == eval::AnalysisMode::kOff) {
+      spec.options.analysis = cli.analysis;
+    }
+  }
+  const std::vector<eval::Protocol> arms = protocols_from(
+      opt, canned ? "all" : eval::to_string(spec.protocol), true);
+  const std::string bench_name = "campaign_" + spec.name;
+  runner::BenchReport report(bench_name,
+                             util::to_string(util::scale_from_env()), threads);
+  report.set_path(resolve_json_path(opt, bench_name));
+  opt.finish();
+
+  const topo::AsGraph graph = spec.topology.build();
+  std::cout << topo::compute_stats(graph, "campaign topology") << "\n\n"
+            << "scenario " << spec.name << ": " << spec.script.phases.size()
+            << " phases, " << spec.script.total_actions() << " actions, "
+            << arms.size() << " protocol arm(s), threads=" << threads << "\n\n";
+
+  // One trial per protocol arm; inputs are a pure function of the index, so
+  // results are bit-identical for any CENTAUR_THREADS.
+  struct Timed {
+    faults::CampaignResult result;
+    double wall_s = 0;
+  };
+  const auto results =
+      runner::run_trials(arms.size(), threads, [&](std::size_t i) {
+        const runner::Stopwatch sw;
+        Timed t;
+        faults::ScenarioSpec arm = spec;
+        arm.protocol = arms[i];
+        t.result = faults::run_scenario(graph, arm);
+        t.wall_s = sw.seconds();
+        return t;
+      });
+
+  bool all_clean = true;
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const faults::CampaignResult& r = results[i].result;
+    util::TextTable table(std::string("campaign ") + spec.name + " — " +
+                          eval::to_string(r.protocol));
+    table.header({"phase", "actions", "messages", "bytes", "dropped",
+                  "conv ms", "events", "violations"});
+    auto phase_row = [&](const faults::PhaseReport& p) {
+      table.row({p.name, util::fmt_count(p.actions),
+                 util::fmt_count(p.messages), util::fmt_count(p.bytes),
+                 util::fmt_count(p.dropped),
+                 util::fmt_double(p.convergence_time * 1e3, 2),
+                 util::fmt_count(p.events), util::fmt_count(p.violations)});
+    };
+    phase_row(r.cold_start);
+    for (const faults::PhaseReport& p : r.phases) phase_row(p);
+    table.print(std::cout);
+    std::cout << "max phase convergence: "
+              << util::fmt_double(r.max_phase_convergence() * 1e3, 2)
+              << " ms, analyzer checks: "
+              << util::fmt_count(r.analysis.checks_run) << ", violations: "
+              << util::fmt_count(r.analysis.violations_seen) << "\n\n";
+    if (!r.clean()) all_clean = false;
+
+    runner::TrialResult trial;
+    trial.name = eval::to_string(r.protocol);
+    trial.wall_time_s = results[i].wall_s;
+    trial.events = r.total_events;
+    trial.messages = r.total_messages;
+    trial.bytes = r.total_bytes;
+    trial.metrics.emplace_back("phases",
+                               static_cast<double>(r.phases.size()));
+    trial.metrics.emplace_back(
+        "cold_start_messages",
+        static_cast<double>(r.cold_start.messages));
+    trial.metrics.emplace_back("cold_start_time_s",
+                               r.cold_start.convergence_time);
+    trial.metrics.emplace_back("max_phase_convergence_s",
+                               r.max_phase_convergence());
+    trial.metrics.emplace_back("mean_phase_convergence_s",
+                               r.mean_phase_convergence());
+    trial.metrics.emplace_back(
+        "check_violations",
+        static_cast<double>(r.analysis.violations_seen));
+    for (const faults::PhaseReport& p : r.phases) {
+      trial.metrics.emplace_back(p.name + "_convergence_s",
+                                 p.convergence_time);
+      trial.metrics.emplace_back(p.name + "_messages",
+                                 static_cast<double>(p.messages));
+    }
+    report.add(std::move(trial));
+  }
+  report.add_note("fault campaign: " + std::to_string(spec.script.phases.size()) +
+                  " scripted phases per protocol arm");
+  report.write();
+  if (report.enabled()) {
+    std::cout << "wrote " << bench_name << " JSON report\n";
+  }
+  return all_clean ? 0 : 1;
+}
+
+int cmd_campaign(Options& opt) { return run_campaign_command(opt, false); }
+int cmd_bench(Options& opt) { return run_campaign_command(opt, true); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage("missing subcommand");
   const std::string cmd = argv[1];
+  // Dispatch table: every subcommand parses through the same Options class.
+  static const std::map<std::string, int (*)(Options&)> kCommands{
+      {"generate", cmd_generate}, {"stats", cmd_stats},
+      {"routes", cmd_routes},     {"simulate", cmd_simulate},
+      {"campaign", cmd_campaign}, {"bench", cmd_bench},
+  };
   try {
-    Options opt(argc, argv, 2);
-    if (cmd == "generate") return cmd_generate(opt);
-    if (cmd == "stats") return cmd_stats(opt);
-    if (cmd == "routes") return cmd_routes(opt);
-    if (cmd == "simulate") return cmd_simulate(opt);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") usage();
-    usage("unknown subcommand '" + cmd + "'");
+    const auto it = kCommands.find(cmd);
+    if (it == kCommands.end()) usage("unknown subcommand '" + cmd + "'");
+    Options opt(argc, argv, 2);
+    return it->second(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
