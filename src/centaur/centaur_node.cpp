@@ -342,8 +342,10 @@ void CentaurNode::dispatch_updates() {
   flush_scheduled_ = true;
   // Zero-delay: runs within the current instant's burst, after every event
   // already queued for it — deltas from same-instant floods merge, link
-  // delays still start from the same simulated time.
-  net().simulator().schedule(0, [this] {
+  // delays still start from the same simulated time.  Tagged with self():
+  // the flush only reads/writes this node's pending deltas, so it can
+  // batch-execute alongside other nodes' same-instant work.
+  net().simulator().schedule_tagged(0, self(), [this] {
     flush_scheduled_ = false;
     flush_pending();
   });

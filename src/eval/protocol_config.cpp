@@ -6,6 +6,7 @@
 #include "bgp/bgp_node.hpp"
 #include "centaur/centaur_node.hpp"
 #include "linkstate/ospf_node.hpp"
+#include "util/env.hpp"
 
 namespace centaur::eval {
 
@@ -32,19 +33,6 @@ Protocol protocol_from_string(const std::string& name) {
                               "' (want centaur|bgp|bgp-rcn|ospf)");
 }
 
-namespace {
-
-// Boolean env toggle: unset -> fallback; "", "0", "off", "false" -> false;
-// anything else -> true.
-bool env_flag(const char* name, bool fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr) return fallback;
-  const std::string v(env);
-  return !(v.empty() || v == "0" || v == "off" || v == "false");
-}
-
-}  // namespace
-
 std::unique_ptr<sim::Node> make_protocol_node(Protocol p,
                                               const topo::AsGraph& graph,
                                               const RunOptions& options) {
@@ -62,8 +50,8 @@ std::unique_ptr<sim::Node> make_protocol_node(Protocol p,
     }
     case Protocol::kCentaur: {
       core::CentaurNode::Config cfg;
-      cfg.coalesce_updates = env_flag("CENTAUR_COALESCE", true);
-      cfg.bloom_plists = env_flag("CENTAUR_BLOOM_PLISTS", false);
+      cfg.coalesce_updates = util::env_flag_strict("CENTAUR_COALESCE", true);
+      cfg.bloom_plists = util::env_flag_strict("CENTAUR_BLOOM_PLISTS", false);
       return std::make_unique<core::CentaurNode>(graph, cfg);
     }
     case Protocol::kOspf:
@@ -76,9 +64,18 @@ AnalysisMode analysis_from_env(AnalysisMode fallback) {
   const char* env = std::getenv("CENTAUR_CHECK");
   if (env == nullptr) return fallback;
   const std::string v(env);
-  if (v.empty() || v == "0" || v == "off") return fallback;
+  if (v.empty() || v == "0" || v == "off" || v == "false" || v == "no") {
+    return AnalysisMode::kOff;
+  }
   if (v == "assert") return AnalysisMode::kAssert;
-  return AnalysisMode::kCollect;  // "1", "collect", anything else truthy
+  if (v == "1" || v == "on" || v == "true" || v == "yes" || v == "collect") {
+    return AnalysisMode::kCollect;
+  }
+  util::warn_once("CENTAUR_CHECK",
+                  "CENTAUR_CHECK='" + v +
+                      "' is not a recognised mode (off/collect/assert); "
+                      "using default");
+  return fallback;
 }
 
 }  // namespace centaur::eval

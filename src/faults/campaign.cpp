@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "runner/bench_report.hpp"
 #include "util/rng.hpp"
 
 namespace centaur::faults {
@@ -63,6 +64,7 @@ PhaseReport CampaignEngine::run_phase(const FaultScript& script,
                                       const FaultPhase& phase) {
   sim::Network& net = run_.network();
   const std::size_t violations_before = violations_now();
+  const runner::Stopwatch wall;
   net.mark();
   const sim::Time start = net.simulator().now();
   for (const FaultAction& action : phase.actions) {
@@ -90,6 +92,7 @@ PhaseReport CampaignEngine::run_phase(const FaultScript& script,
   report.violations = violations_now() - violations_before;
   events_seen_ = net.events_executed();
   result_.phases.push_back(report);
+  result_.phase_wall_s.push_back(wall.seconds());
   return report;
 }
 
@@ -227,10 +230,13 @@ CampaignResult run_scenario(const ScenarioSpec& spec) {
 CampaignResult run_scenario(const topo::AsGraph& graph,
                             const ScenarioSpec& spec) {
   util::Rng rng(spec.seed);
+  const runner::Stopwatch cold_wall;
   eval::ProtocolRun run(graph, spec.protocol, rng, spec.options);
+  const double cold_wall_s = cold_wall.seconds();
   CampaignEngine engine(run);
   CampaignResult result = engine.run(spec.script);
   result.scenario = spec.name;
+  result.cold_start_wall_s = cold_wall_s;
   return result;
 }
 

@@ -1,6 +1,9 @@
 #include "sim/network.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "runner/parallel.hpp"
 
 namespace centaur::sim {
 
@@ -15,6 +18,7 @@ Network::Network(AsGraph& graph, util::Rng& rng, Time min_delay,
   // initialization; pre-sizing the event heap avoids its growth
   // reallocations on the hot path.
   sim_.reserve(2 * graph.num_links() + 16);
+  sim_.set_intra_threads(runner::intra_threads_from_env());
 }
 
 void Network::attach(NodeId id, std::unique_ptr<Node> node) {
@@ -36,7 +40,51 @@ std::size_t Network::start_all_and_converge() {
   return run_to_convergence();
 }
 
+void Network::note_drop() {
+  if (in_parallel_phase()) {
+    defer_commit_op([this] { ++window_.messages_dropped; });
+    return;
+  }
+  ++window_.messages_dropped;
+}
+
+void Network::note_delivery() {
+  // now_ is frozen for the duration of a batch, so reading it from a worker
+  // lane is race-free and equals the value the commit op must record.
+  const Time at = sim_.now();
+  if (in_parallel_phase()) {
+    defer_commit_op([this, at] {
+      ++window_.messages_delivered;
+      window_.last_delivery = at;
+    });
+    return;
+  }
+  ++window_.messages_delivered;
+  window_.last_delivery = at;
+}
+
+void Network::notify_event_hook(NodeId id) {
+  if (!event_hook_) return;
+  if (in_parallel_phase()) {
+    defer_commit_op([this, id] {
+      if (event_hook_) event_hook_(id);
+    });
+    return;
+  }
+  event_hook_(id);
+}
+
 void Network::send(NodeId from, NodeId to, MessagePtr msg) {
+  if (in_parallel_phase()) {
+    // Counters and event-queue insertion are shared state: replay the whole
+    // send at the commit barrier, in the sending event's seq position.
+    // Link state cannot change within a batch (set_link_state is driver-
+    // side), so the deferred send sees the same topology the caller did.
+    defer_commit_op([this, from, to, msg = std::move(msg)]() mutable {
+      send(from, to, std::move(msg));
+    });
+    return;
+  }
   const auto link = graph_.find_link(from, to);
   if (!link) throw std::invalid_argument("Network::send: not adjacent");
   const std::size_t bytes = msg->byte_size();
@@ -49,29 +97,36 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
     return;
   }
   const LinkId l = *link;
-  sim_.schedule(delays_.at(l), [this, from, to, l, msg = std::move(msg)] {
-    if (!graph_.link_up(l)) {
-      ++window_.messages_dropped;
-      return;
-    }
-    ++window_.messages_delivered;
-    window_.last_delivery = sim_.now();
-    nodes_.at(to)->on_message(from, msg);
-    if (event_hook_) event_hook_(to);
-  });
+  // Delivery only touches the receiver's state (plus deferred counters), so
+  // it is tagged with `to` and eligible for same-instant batching.
+  sim_.schedule_tagged(delays_.at(l), to,
+                       [this, from, to, l, msg = std::move(msg)] {
+                         if (!graph_.link_up(l)) {
+                           note_drop();
+                           return;
+                         }
+                         note_delivery();
+                         nodes_.at(to)->on_message(from, msg);
+                         notify_event_hook(to);
+                       });
 }
 
 void Network::set_link_state(LinkId link, bool up) {
   const topo::Link& l = graph_.link(link);
   if (graph_.link_up(link) == up) return;
   graph_.set_link_up(link, up);
-  // Notify both endpoints via the event queue so that reactions are ordered
-  // with in-flight messages.
-  sim_.schedule(0, [this, a = l.a, b = l.b, up] {
+  // Notify the endpoints via the event queue so that reactions are ordered
+  // with in-flight messages.  Each endpoint gets its own node-tagged event
+  // (rather than one event touching both) so that the notification storm of
+  // a partition or flap burst can batch-execute; with intra-threads == 1
+  // the two events still run back-to-back in seq order.
+  sim_.schedule_tagged(0, l.a, [this, a = l.a, b = l.b, up] {
     nodes_.at(a)->on_link_change(b, up);
-    if (event_hook_) event_hook_(a);
+    notify_event_hook(a);
+  });
+  sim_.schedule_tagged(0, l.b, [this, a = l.a, b = l.b, up] {
     nodes_.at(b)->on_link_change(a, up);
-    if (event_hook_) event_hook_(b);
+    notify_event_hook(b);
   });
 }
 

@@ -92,8 +92,11 @@ class Network {
   /// link that is already down drops immediately.
   void send(NodeId from, NodeId to, MessagePtr msg);
 
-  /// Changes a link's state now and synchronously notifies both endpoints,
-  /// then (caller) typically runs to convergence.
+  /// Changes a link's state now and notifies each endpoint through its own
+  /// zero-delay event (two events per flip, node-tagged so same-instant
+  /// notification bursts can batch-execute), then (caller) typically runs to
+  /// convergence.  Driver-side only: must not be called from inside a node
+  /// callback executing in a parallel batch.
   void set_link_state(LinkId link, bool up);
 
   /// Runs the simulator until quiescence; returns events processed.
@@ -124,12 +127,21 @@ class Network {
   /// processes an event (message delivery or link-change notification), so
   /// an observer can validate its state at every event boundary.  One hook
   /// at a time; pass nullptr to detach.  Hooks must not send messages or
-  /// mutate protocol state.
+  /// mutate protocol state.  Under intra-trial parallelism the invocation is
+  /// deferred to the batch's commit barrier and replayed on the simulator
+  /// thread in event order, so the hook always observes fully committed
+  /// node states and never runs concurrently with itself.
   void set_event_hook(std::function<void(NodeId)> hook) {
     event_hook_ = std::move(hook);
   }
 
  private:
+  // Shared-side-effect helpers: immediate when serial, deferred to the
+  // commit barrier when called from a parallel compute lane.
+  void note_drop();
+  void note_delivery();
+  void notify_event_hook(NodeId id);
+
   AsGraph& graph_;
   Simulator sim_;
   std::vector<std::unique_ptr<Node>> nodes_;

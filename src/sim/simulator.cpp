@@ -1,29 +1,81 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
+#include "runner/parallel.hpp"
+
 namespace centaur::sim {
+
+namespace {
+
+/// Commit queue of the batch event the calling thread is executing, or
+/// nullptr outside the parallel compute phase.
+thread_local std::vector<util::UniqueFunction>* t_commit_queue = nullptr;
+
+}  // namespace
+
+bool in_parallel_phase() { return t_commit_queue != nullptr; }
+
+void defer_commit_op(util::UniqueFunction op) {
+  if (t_commit_queue == nullptr) {
+    throw std::logic_error(
+        "defer_commit_op: called outside a parallel compute phase");
+  }
+  t_commit_queue->push_back(std::move(op));
+}
+
+Simulator::Simulator() = default;
+Simulator::~Simulator() = default;
 
 void Simulator::schedule(Time delay, util::UniqueFunction fn) {
   if (delay < 0) throw std::invalid_argument("Simulator::schedule: delay < 0");
-  schedule_at(now_ + delay, std::move(fn));
+  schedule_at_tagged(now_ + delay, kUntagged, std::move(fn));
 }
 
 void Simulator::schedule_at(Time when, util::UniqueFunction fn) {
+  schedule_at_tagged(when, kUntagged, std::move(fn));
+}
+
+void Simulator::schedule_tagged(Time delay, std::uint32_t node,
+                                util::UniqueFunction fn) {
+  if (delay < 0) throw std::invalid_argument("Simulator::schedule: delay < 0");
+  schedule_at_tagged(now_ + delay, node, std::move(fn));
+}
+
+void Simulator::schedule_at_tagged(Time when, std::uint32_t node,
+                                   util::UniqueFunction fn) {
   if (when < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  if (in_parallel_phase()) {
+    // Worker lane: queue insertion is a shared side effect — defer it to
+    // the commit barrier, where it re-enters this function on the simulator
+    // thread.  Replay happens in event seq order, so the seq this insert
+    // receives is exactly the seq a serial execution would have assigned.
+    defer_commit_op([this, when, node, f = std::move(fn)]() mutable {
+      schedule_at_tagged(when, node, std::move(f));
+    });
+    return;
   }
   if (when == now_) {
     // Same-time burst: FIFO order is seq order (seq grows monotonically and
     // every same-time event still in the heap was scheduled earlier, while
     // now_ was smaller, so it carries a smaller seq).
-    burst_.push_back(Event{when, next_seq_++, std::move(fn)});
+    burst_.push_back(Event{when, next_seq_++, node, std::move(fn)});
     return;
   }
-  heap_.push_back(Event{when, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{when, next_seq_++, node, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void Simulator::set_intra_threads(std::size_t threads) {
+  const std::size_t want = threads < 1 ? 1 : threads;
+  if (want == intra_threads_) return;
+  intra_threads_ = want;
+  pool_.reset();  // re-created lazily at the next parallel batch
 }
 
 void Simulator::reserve(std::size_t events) { heap_.reserve(events); }
@@ -45,12 +97,135 @@ void Simulator::pop_next(Event& out) {
   }
 }
 
+void Simulator::collect_batch(std::size_t limit, std::vector<Event>& batch) {
+  batch.clear();
+  const bool burst_ready = burst_head_ < burst_.size();
+  const Time t = burst_ready ? now_ : heap_.front().at;
+  bool blocked = false;  // stopped at an untagged same-time event
+  // Heap events at <= t precede every burst event (strictly smaller seq).
+  while (batch.size() < limit && !heap_.empty() && heap_.front().at <= t) {
+    if (heap_.front().node == kUntagged) {
+      blocked = true;
+      break;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    batch.push_back(std::move(heap_.back()));
+    heap_.pop_back();
+  }
+  if (!blocked && burst_ready) {
+    while (batch.size() < limit && burst_head_ < burst_.size() &&
+           burst_[burst_head_].node != kUntagged) {
+      batch.push_back(std::move(burst_[burst_head_++]));
+    }
+    if (burst_head_ >= burst_.size()) {
+      burst_.clear();
+      burst_head_ = 0;
+    }
+  }
+}
+
+void Simulator::execute_batch(std::vector<Event>& batch) {
+  if (batch.size() == 1) {
+    // Singleton — the common case on delivery cascades (continuous link
+    // delays rarely coincide).  Identical to the unbatched path, with no
+    // partition/commit machinery on the hot path.
+    batch[0].fn();
+    batch[0].fn.reset();
+    return;
+  }
+  // Partition event indices by node tag; within a node, seq order (== batch
+  // order) is preserved, so causally dependent same-node events (a delivery
+  // followed by the flush it scheduled) run in order on one lane.
+  auto& keyed = keyed_;
+  keyed.clear();
+  keyed.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    keyed.emplace_back(batch[i].node, i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  auto& groups = groups_;  // [begin, end) runs of one node's events
+  groups.clear();
+  for (std::size_t i = 0; i < keyed.size();) {
+    std::size_t j = i + 1;
+    while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
+    groups.emplace_back(i, j);
+    i = j;
+  }
+
+  // Below this many distinct nodes the barrier costs more than the overlap
+  // buys: flooding traffic is full of 2-node coincidences (both directions
+  // of a link share one delay, so symmetric A<->B exchanges land at the
+  // same instant), and dispatching those pairs to the pool made runs
+  // slower, not faster.  The threshold only inspects batch composition, so
+  // the execution path — and with it the observable behaviour — stays a
+  // pure function of the event sequence.
+  constexpr std::size_t kMinPoolGroups = 4;
+  if (groups.size() < kMinPoolGroups) {
+    // Few nodes (or one event): nothing worth overlapping — run serially
+    // with immediate side effects, exactly the unbatched path.
+    for (Event& ev : batch) {
+      ev.fn();
+      ev.fn.reset();
+    }
+    return;
+  }
+
+  if (!pool_) pool_ = std::make_unique<runner::WorkerPool>(intra_threads_);
+  commit_queues_.resize(batch.size());
+  for (auto& q : commit_queues_) q.clear();
+  batch_errors_.assign(batch.size(), nullptr);
+
+  // Parallel compute phase: each lane executes whole node groups; callbacks
+  // mutate only their node's private state, and every shared side effect
+  // they attempt is deferred into the event's commit queue.
+  pool_->parallel_for_deterministic(groups.size(), [&](std::size_t g) {
+    const auto [begin, end] = groups[g];
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t idx = keyed[k].second;
+      t_commit_queue = &commit_queues_[idx];
+      try {
+        batch[idx].fn();
+        batch[idx].fn.reset();
+      } catch (...) {
+        batch_errors_[idx] = std::current_exception();
+        t_commit_queue = nullptr;
+        break;  // same-node successors depend on the failed event
+      }
+      t_commit_queue = nullptr;
+    }
+  });
+
+  // Ordered commit: replay side effects in event seq order on this thread.
+  // A failed event commits the ops it deferred before throwing (matching
+  // the serial partial execution) and then rethrows; queues of later events
+  // are dropped, as a serial run would never have executed them.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (util::UniqueFunction& op : commit_queues_[i]) {
+      op();
+      op.reset();
+    }
+    commit_queues_[i].clear();
+    if (batch_errors_[i]) std::rethrow_exception(batch_errors_[i]);
+  }
+}
+
 std::size_t Simulator::run(std::size_t max_events) {
   std::size_t processed = 0;
   Event ev;
   while (!idle()) {
     if (processed >= max_events) {
       throw std::runtime_error("Simulator::run: event budget exhausted");
+    }
+    if (intra_threads_ > 1) {
+      collect_batch(max_events - processed, batch_);
+      if (!batch_.empty()) {
+        now_ = batch_.front().at;
+        execute_batch(batch_);
+        processed += batch_.size();
+        executed_ += batch_.size();
+        batch_.clear();
+        continue;
+      }
     }
     pop_next(ev);
     now_ = ev.at;
@@ -59,6 +234,7 @@ std::size_t Simulator::run(std::size_t max_events) {
     ++processed;
     ++executed_;
   }
+  assert(burst_.empty() && burst_head_ == 0);  // idle() implies drained burst
   return processed;
 }
 
@@ -74,6 +250,17 @@ std::size_t Simulator::run_until(Time deadline, std::size_t max_events) {
     if (processed >= max_events) {
       throw std::runtime_error("Simulator::run_until: event budget exhausted");
     }
+    if (intra_threads_ > 1) {
+      collect_batch(max_events - processed, batch_);
+      if (!batch_.empty()) {
+        now_ = batch_.front().at;
+        execute_batch(batch_);
+        processed += batch_.size();
+        executed_ += batch_.size();
+        batch_.clear();
+        continue;
+      }
+    }
     pop_next(ev);
     now_ = ev.at;
     ev.fn();
@@ -81,6 +268,12 @@ std::size_t Simulator::run_until(Time deadline, std::size_t max_events) {
     ++processed;
     ++executed_;
   }
+  // Deadline exits can only leave heap events (at > deadline) queued: a
+  // burst event sits at now_ <= deadline, so the loop drains every burst —
+  // including one scheduled by an event executing exactly at the deadline —
+  // before now_ may be advanced to the deadline below.  (A burst can remain
+  // only if the caller passed a deadline already in the past.)
+  assert(burst_head_ >= burst_.size() || deadline < now_);
   if (now_ < deadline) now_ = deadline;
   return processed;
 }

@@ -16,23 +16,61 @@
 // order, and every burst event's sequence number is by construction larger
 // than any same-time event still in the heap, so the observable order is
 // bit-identical to the pure-heap implementation).
+//
+// Intra-trial parallelism (DESIGN.md §8): events may carry a *node tag* —
+// the id of the single protocol node whose private state their callback
+// touches.  With set_intra_threads(n > 1), maximal same-instant runs of
+// tagged events are partitioned by node across a persistent WorkerPool
+// (partition → barrier → ordered commit): callbacks execute concurrently
+// (node-local mutation only), while every shared side effect they attempt —
+// schedule() calls, and anything a caller routes through defer_commit_op()
+// such as Network's counters/sends/analysis hook — is captured into a
+// per-event commit queue and replayed on the simulator thread in sequence
+// order at the barrier.  Observable state (event seq assignment, message
+// order, counters, analyzer reports) is therefore bit-identical to the
+// serial execution for any thread count.  Untagged events are barriers:
+// batches never extend past them.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/unique_function.hpp"
+
+namespace centaur::runner {
+class WorkerPool;
+}  // namespace centaur::runner
 
 namespace centaur::sim {
 
 /// Simulated seconds.
 using Time = double;
 
+/// True while the calling thread is inside the parallel compute phase of a
+/// same-instant batch (i.e. running on a WorkerPool lane under
+/// Simulator::set_intra_threads > 1).  Shared-state mutations must be
+/// deferred through defer_commit_op() while this holds.
+bool in_parallel_phase();
+
+/// Appends `op` to the executing event's commit queue; the simulator runs
+/// the queues in event sequence order at the batch barrier, on the
+/// simulator thread.  Precondition: in_parallel_phase().
+void defer_commit_op(util::UniqueFunction op);
+
 /// Deterministic event queue: ties in time break by insertion order, so a
 /// run is a pure function of its inputs.
 class Simulator {
  public:
+  /// Tag for events whose callback may touch shared state (never batched).
+  static constexpr std::uint32_t kUntagged = 0xFFFFFFFFu;
+
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
   Time now() const { return now_; }
 
   /// Schedules `fn` to run at now() + delay (delay >= 0).
@@ -40,6 +78,21 @@ class Simulator {
 
   /// Schedules `fn` at an absolute time (>= now()).
   void schedule_at(Time when, util::UniqueFunction fn);
+
+  /// Tagged variants: `node` promises that `fn` only mutates that protocol
+  /// node's private state (plus deferred commit ops), which makes the event
+  /// eligible for same-instant parallel batching.
+  void schedule_tagged(Time delay, std::uint32_t node,
+                       util::UniqueFunction fn);
+  void schedule_at_tagged(Time when, std::uint32_t node,
+                          util::UniqueFunction fn);
+
+  /// Worker-lane count for same-instant batches (CENTAUR_INTRA_THREADS).
+  /// 1 (the default) executes everything serially on the calling thread;
+  /// the pool is created lazily on the first parallel batch and persists
+  /// for the simulator's lifetime.
+  void set_intra_threads(std::size_t threads);
+  std::size_t intra_threads() const { return intra_threads_; }
 
   /// Pre-sizes the event heap (events outstanding at once, not total).
   void reserve(std::size_t events);
@@ -50,7 +103,10 @@ class Simulator {
   std::size_t run(std::size_t max_events = 50'000'000);
 
   /// Runs until the queue is empty or `deadline` is passed (events after
-  /// the deadline stay queued).  Returns events processed.
+  /// the deadline stay queued).  Returns events processed.  An event
+  /// executing exactly at `deadline` may schedule same-instant follow-ups;
+  /// those drain before the call returns (the burst FIFO is empty whenever
+  /// run_until exits, asserted in debug builds).
   std::size_t run_until(Time deadline, std::size_t max_events = 50'000'000);
 
   bool idle() const { return heap_.empty() && burst_head_ >= burst_.size(); }
@@ -66,6 +122,7 @@ class Simulator {
   struct Event {
     Time at = 0;
     std::uint64_t seq = 0;
+    std::uint32_t node = kUntagged;
     util::UniqueFunction fn;
   };
   struct Later {
@@ -79,12 +136,31 @@ class Simulator {
   /// !idle().
   void pop_next(Event& out);
 
+  /// Moves the maximal run of ready tagged events (all at one timestamp, in
+  /// seq order, stopping at the first untagged event or at `limit`) into
+  /// `batch`.  Precondition: !idle().  Leaves `batch` empty when the next
+  /// event is untagged.
+  void collect_batch(std::size_t limit, std::vector<Event>& batch);
+
+  /// Executes `batch` (all events at now_, seq-ascending) with effects
+  /// bit-identical to running the events serially in order: node groups run
+  /// on the worker pool, commit queues replay in seq order at the barrier.
+  void execute_batch(std::vector<Event>& batch);
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::vector<Event> heap_;   // binary min-heap via std::push_heap/pop_heap
   std::vector<Event> burst_;  // FIFO of events at exactly now_
   std::size_t burst_head_ = 0;
+  std::size_t intra_threads_ = 1;
+  std::unique_ptr<runner::WorkerPool> pool_;
+  // Batch scratch, reused across batches to avoid per-batch allocation.
+  std::vector<Event> batch_;
+  std::vector<std::pair<std::uint32_t, std::size_t>> keyed_;
+  std::vector<std::pair<std::size_t, std::size_t>> groups_;
+  std::vector<std::vector<util::UniqueFunction>> commit_queues_;
+  std::vector<std::exception_ptr> batch_errors_;
 };
 
 }  // namespace centaur::sim

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <string>
+
+#include "util/env.hpp"
 
 namespace centaur::util {
 
@@ -14,6 +17,13 @@ Scale scale_from_env() {
                  [](unsigned char c) { return std::tolower(c); });
   if (v == "smoke") return Scale::kSmoke;
   if (v == "large") return Scale::kLarge;
+  if (v != "default") {
+    // A typo like CENTAUR_SCALE=lrage silently running the default sizes
+    // wastes a whole bench run; flag it once and fall back explicitly.
+    warn_once("CENTAUR_SCALE", "CENTAUR_SCALE=\"" + std::string(raw) +
+                                   "\" is not smoke|default|large; using "
+                                   "default");
+  }
   return Scale::kDefault;
 }
 

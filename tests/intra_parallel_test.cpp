@@ -1,0 +1,189 @@
+// Bit-identity proof for intra-trial parallelism (DESIGN.md §8).
+//
+// CENTAUR_INTRA_THREADS must be purely a wall-clock knob: for any thread
+// count, every observable of a run — convergence times, message/byte/event
+// counters, per-node selected paths, analyzer check counts — must equal the
+// serial (1-thread) run bit for bit.  These tests re-run the tier-1 smoke
+// analogues of the figure experiments (fig 6/7 link flips, fig 8 sweep
+// sizes) and the builtin reliability campaign at 1 vs 4 threads and compare
+// everything.  The CI TSan job runs this binary to also prove the parallel
+// phase is race-free.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "centaur/centaur_node.hpp"
+#include "eval/experiments.hpp"
+#include "faults/campaign.hpp"
+#include "faults/scenario.hpp"
+#include "topology/generator.hpp"
+#include "util/rng.hpp"
+
+namespace centaur {
+namespace {
+
+/// Sets CENTAUR_INTRA_THREADS for the duration of a scope (the Network
+/// constructor samples it), restoring the previous value on exit.
+class ScopedIntraThreads {
+ public:
+  explicit ScopedIntraThreads(std::size_t threads) {
+    const char* prev = std::getenv("CENTAUR_INTRA_THREADS");
+    if (prev != nullptr) saved_ = prev;
+    had_prev_ = prev != nullptr;
+    EXPECT_EQ(
+        setenv("CENTAUR_INTRA_THREADS", std::to_string(threads).c_str(), 1),
+        0);
+  }
+  ~ScopedIntraThreads() {
+    if (had_prev_) {
+      setenv("CENTAUR_INTRA_THREADS", saved_.c_str(), 1);
+    } else {
+      unsetenv("CENTAUR_INTRA_THREADS");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string saved_;
+};
+
+void expect_flip_series_eq(const eval::FlipSeries& serial,
+                           const eval::FlipSeries& parallel,
+                           const std::string& context) {
+  EXPECT_EQ(serial.convergence_times, parallel.convergence_times) << context;
+  EXPECT_EQ(serial.message_counts, parallel.message_counts) << context;
+  EXPECT_EQ(serial.cold_start.messages_sent, parallel.cold_start.messages_sent)
+      << context;
+  EXPECT_EQ(serial.cold_start.bytes_sent, parallel.cold_start.bytes_sent)
+      << context;
+  EXPECT_EQ(serial.cold_start.messages_dropped,
+            parallel.cold_start.messages_dropped)
+      << context;
+  EXPECT_DOUBLE_EQ(serial.cold_start_time, parallel.cold_start_time)
+      << context;
+  EXPECT_EQ(serial.events, parallel.events) << context;
+  EXPECT_EQ(serial.total_messages, parallel.total_messages) << context;
+  EXPECT_EQ(serial.total_bytes, parallel.total_bytes) << context;
+  EXPECT_EQ(serial.analysis.checks_run, parallel.analysis.checks_run)
+      << context;
+  EXPECT_EQ(serial.analysis.violations_seen, parallel.analysis.violations_seen)
+      << context;
+}
+
+// ----------------------------------------------- fig 6/7 smoke analogue ---
+
+TEST(IntraParallel, LinkFlipSeriesBitIdenticalAcrossThreadCounts) {
+  // The fig 6 (convergence time) and fig 7 (load) experiments share
+  // run_link_flips; one series per protocol covers both.  The analyzer runs
+  // in collect mode so its per-event checks are part of the comparison.
+  util::Rng topo_rng(0x16A);
+  const topo::AsGraph g = topo::brite_like(40, 2, 4, topo_rng);
+  eval::RunOptions opts;
+  opts.analysis = eval::AnalysisMode::kCollect;
+  for (const eval::Protocol proto :
+       {eval::Protocol::kCentaur, eval::Protocol::kBgp,
+        eval::Protocol::kBgpRcn, eval::Protocol::kOspf}) {
+    const auto run_with = [&](std::size_t threads) {
+      ScopedIntraThreads scoped(threads);
+      return eval::run_link_flips(g, proto, 4, util::Rng(99), opts);
+    };
+    const eval::FlipSeries serial = run_with(1);
+    const eval::FlipSeries parallel = run_with(4);
+    expect_flip_series_eq(serial, parallel,
+                          std::string("protocol ") + eval::to_string(proto));
+  }
+}
+
+// ------------------------------------------------- fig 8 smoke analogue ---
+
+TEST(IntraParallel, ScalabilitySweepPathsBitIdenticalAcrossThreadCounts) {
+  // The fig 8 sweep varies topology size; beyond the series numbers this
+  // compares the full routing outcome — every node's selected path to every
+  // destination — at each size.
+  for (const std::size_t nodes : {20u, 45u}) {
+    util::Rng topo_rng(0xF18 + nodes);
+    const topo::AsGraph g = topo::brite_like(nodes, 2, 4, topo_rng);
+    using PathMap = std::map<topo::NodeId, topo::Path>;
+    struct Outcome {
+      std::vector<PathMap> selected;
+      std::size_t cold_messages = 0;
+      std::uint64_t events = 0;
+    };
+    const auto run_with = [&](std::size_t threads) {
+      ScopedIntraThreads scoped(threads);
+      util::Rng rng(util::derive_seed(0xF18, nodes));
+      eval::ProtocolRun run(g, eval::Protocol::kCentaur, rng);
+      // A down/up flip after cold start exercises the fault-burst batches.
+      run.flip(0, false);
+      run.flip(0, true);
+      Outcome out;
+      out.cold_messages = run.cold_start().messages_sent;
+      out.events = run.network().events_executed();
+      for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
+        const auto* node =
+            dynamic_cast<const core::CentaurNode*>(&run.network().node(v));
+        if (node == nullptr) throw std::logic_error("expected CentaurNode");
+        out.selected.push_back(node->selected_paths());
+      }
+      return out;
+    };
+    const Outcome serial = run_with(1);
+    const Outcome parallel = run_with(4);
+    EXPECT_EQ(serial.selected, parallel.selected) << "nodes=" << nodes;
+    EXPECT_EQ(serial.cold_messages, parallel.cold_messages)
+        << "nodes=" << nodes;
+    EXPECT_EQ(serial.events, parallel.events) << "nodes=" << nodes;
+  }
+}
+
+// ------------------------------------------- builtin reliability campaign --
+
+TEST(IntraParallel, ReliabilityCampaignBitIdenticalAcrossThreadCounts) {
+  // The canonical campaign covers the fault shapes where same-instant
+  // parallelism actually fires: SRLG bursts, crash/restart notification
+  // storms, flap storms, and partition/heal cuts.
+  faults::ScenarioSpec spec = faults::reliability_scenario(40, 0xCA3);
+  spec.options.analysis = eval::AnalysisMode::kCollect;
+  const auto run_with = [&](std::size_t threads) {
+    ScopedIntraThreads scoped(threads);
+    return faults::run_scenario(spec);
+  };
+  const faults::CampaignResult serial = run_with(1);
+  const faults::CampaignResult parallel = run_with(4);
+
+  EXPECT_EQ(serial.cold_start, parallel.cold_start);
+  ASSERT_EQ(serial.phases.size(), parallel.phases.size());
+  for (std::size_t i = 0; i < serial.phases.size(); ++i) {
+    EXPECT_EQ(serial.phases[i], parallel.phases[i])
+        << "phase " << serial.phases[i].name;
+  }
+  EXPECT_EQ(serial.total_events, parallel.total_events);
+  EXPECT_EQ(serial.total_messages, parallel.total_messages);
+  EXPECT_EQ(serial.total_bytes, parallel.total_bytes);
+  EXPECT_EQ(serial.analysis.checks_run, parallel.analysis.checks_run);
+  EXPECT_EQ(serial.analysis.violations_seen, parallel.analysis.violations_seen);
+  EXPECT_TRUE(parallel.clean());
+}
+
+TEST(IntraParallel, ManyThreadCountsAgreeOnOneSeries) {
+  // Thread counts beyond the lane count of any batch (more threads than
+  // nodes touched) must also be bit-identical — oversubscription changes
+  // nothing observable.
+  util::Rng topo_rng(0x7C);
+  const topo::AsGraph g = topo::brite_like(24, 2, 4, topo_rng);
+  const auto run_with = [&](std::size_t threads) {
+    ScopedIntraThreads scoped(threads);
+    return eval::run_link_flips(g, eval::Protocol::kCentaur, 2, util::Rng(5));
+  };
+  const eval::FlipSeries reference = run_with(1);
+  for (const std::size_t threads : {2u, 3u, 8u, 32u}) {
+    expect_flip_series_eq(reference, run_with(threads),
+                          "threads=" + std::to_string(threads));
+  }
+}
+
+}  // namespace
+}  // namespace centaur

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <numeric>
@@ -11,6 +12,8 @@
 #include "eval/experiments.hpp"
 #include "runner/parallel.hpp"
 #include "topology/generator.hpp"
+#include "util/env.hpp"
+#include "util/scale.hpp"
 #include "util/rng.hpp"
 
 namespace centaur {
@@ -48,6 +51,191 @@ TEST(ThreadsFromEnv, ReadsOverride) {
   EXPECT_GE(runner::threads_from_env(), 1u);  // clamped to >= 1
   ASSERT_EQ(unsetenv("CENTAUR_THREADS"), 0);
   EXPECT_GE(runner::threads_from_env(), 1u);
+}
+
+TEST(ThreadsFromEnv, RejectsGarbage) {
+  util::reset_warn_once_for_testing();
+  const std::size_t fallback = runner::threads_from_env();  // unset baseline
+  for (const char* bad : {"abc", "4x", " 4", "4 ", "1e3", "0x10", "--2", ""}) {
+    ASSERT_EQ(setenv("CENTAUR_THREADS", bad, 1), 0);
+    EXPECT_EQ(runner::threads_from_env(), fallback) << "value '" << bad << "'";
+  }
+  ASSERT_EQ(setenv("CENTAUR_THREADS", "-7", 1), 0);
+  EXPECT_EQ(runner::threads_from_env(), 1u);  // numeric but < 1: clamp
+  ASSERT_EQ(unsetenv("CENTAUR_THREADS"), 0);
+}
+
+TEST(IntraThreadsFromEnv, DefaultsSerialAndParsesStrictly) {
+  util::reset_warn_once_for_testing();
+  ASSERT_EQ(unsetenv("CENTAUR_INTRA_THREADS"), 0);
+  EXPECT_EQ(runner::intra_threads_from_env(), 1u);  // opt-in: default serial
+  ASSERT_EQ(setenv("CENTAUR_INTRA_THREADS", "4", 1), 0);
+  EXPECT_EQ(runner::intra_threads_from_env(), 4u);
+  ASSERT_EQ(setenv("CENTAUR_INTRA_THREADS", "bogus", 1), 0);
+  EXPECT_EQ(runner::intra_threads_from_env(), 1u);
+  ASSERT_EQ(setenv("CENTAUR_INTRA_THREADS", "0", 1), 0);
+  EXPECT_EQ(runner::intra_threads_from_env(), 1u);
+  ASSERT_EQ(unsetenv("CENTAUR_INTRA_THREADS"), 0);
+}
+
+// -------------------------------------------------------- TrialFailure ----
+
+TEST(RunTrials, FailureReportsIndexAndCompletion) {
+  const auto boom = [](std::size_t i) -> int {
+    if (i == 3) throw std::invalid_argument("trial 3 exploded");
+    return static_cast<int>(i);
+  };
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    try {
+      runner::run_trials(8, threads, boom);
+      FAIL() << "expected TrialFailure, threads=" << threads;
+    } catch (const runner::TrialFailure& e) {
+      EXPECT_EQ(e.failed_index(), 3u) << "threads=" << threads;
+      EXPECT_LT(e.completed(), 8u);  // caller can tell results are partial
+      EXPECT_NE(std::string(e.what()).find("trial 3"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("exploded"), std::string::npos);
+      // The original exception is nested for callers that need its type.
+      bool nested_seen = false;
+      try {
+        std::rethrow_if_nested(e);
+      } catch (const std::invalid_argument&) {
+        nested_seen = true;
+      }
+      EXPECT_TRUE(nested_seen) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(RunTrials, SerialFailureReportsExactCompletedCount) {
+  // Serial execution is deterministic: exactly the trials before the failed
+  // index completed, so completed() must equal failed_index().
+  const auto boom = [](std::size_t i) -> int {
+    if (i == 5) throw std::runtime_error("boom");
+    return 0;
+  };
+  try {
+    runner::run_trials(8, 1, boom);
+    FAIL() << "expected TrialFailure";
+  } catch (const runner::TrialFailure& e) {
+    EXPECT_EQ(e.failed_index(), 5u);
+    EXPECT_EQ(e.completed(), 5u);
+  }
+}
+
+// ---------------------------------------------------------- WorkerPool ----
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  runner::WorkerPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for_deterministic(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, ReusableAcrossSections) {
+  runner::WorkerPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for_deterministic(
+        7, [&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(total.load(), 350);
+}
+
+TEST(WorkerPool, SingleThreadRunsInline) {
+  runner::WorkerPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::vector<int> order;  // safe: inline serial execution, no data race
+  pool.parallel_for_deterministic(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkerPool, RethrowsLowestIndexFailure) {
+  runner::WorkerPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for_deterministic(64, [&](std::size_t i) {
+        if (i == 7 || i == 40) {
+          throw std::runtime_error("body " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected a body failure to surface";
+    } catch (const std::runtime_error& e) {
+      // Among bodies that ran, the lowest failing index wins; index 7 is
+      // claimed before 40, so it must be the one reported.
+      EXPECT_STREQ(e.what(), "body 7");
+    }
+    // The pool stays usable after a failed section.
+    std::atomic<int> ok{0};
+    pool.parallel_for_deterministic(
+        8, [&](std::size_t) { ok.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_EQ(ok.load(), 8);
+  }
+}
+
+// ------------------------------------------------------- strict parsing ---
+
+TEST(EnvStrict, ParseIntStrict) {
+  using util::parse_int_strict;
+  EXPECT_EQ(parse_int_strict("42").value(), 42);
+  EXPECT_EQ(parse_int_strict("+42").value(), 42);
+  EXPECT_EQ(parse_int_strict("-42").value(), -42);
+  EXPECT_EQ(parse_int_strict("0").value(), 0);
+  EXPECT_FALSE(parse_int_strict(""));
+  EXPECT_FALSE(parse_int_strict("+"));
+  EXPECT_FALSE(parse_int_strict("-"));
+  EXPECT_FALSE(parse_int_strict("4 "));
+  EXPECT_FALSE(parse_int_strict(" 4"));
+  EXPECT_FALSE(parse_int_strict("4x"));
+  EXPECT_FALSE(parse_int_strict("x4"));
+  EXPECT_FALSE(parse_int_strict("1e3"));
+  EXPECT_FALSE(parse_int_strict("0x10"));
+  EXPECT_FALSE(parse_int_strict("99999999999999999999999"));  // overflow
+}
+
+TEST(EnvStrict, FlagStrictRecognisedValuesOnly) {
+  util::reset_warn_once_for_testing();
+  ASSERT_EQ(setenv("CENTAUR_TEST_FLAG", "on", 1), 0);
+  EXPECT_TRUE(util::env_flag_strict("CENTAUR_TEST_FLAG", false));
+  ASSERT_EQ(setenv("CENTAUR_TEST_FLAG", "off", 1), 0);
+  EXPECT_FALSE(util::env_flag_strict("CENTAUR_TEST_FLAG", true));
+  for (const char* t : {"1", "true", "yes"}) {
+    ASSERT_EQ(setenv("CENTAUR_TEST_FLAG", t, 1), 0);
+    EXPECT_TRUE(util::env_flag_strict("CENTAUR_TEST_FLAG", false)) << t;
+  }
+  for (const char* f : {"0", "false", "no", ""}) {
+    ASSERT_EQ(setenv("CENTAUR_TEST_FLAG", f, 1), 0);
+    EXPECT_FALSE(util::env_flag_strict("CENTAUR_TEST_FLAG", true)) << f;
+  }
+  // Unrecognised text keeps the fallback instead of silently meaning "true"
+  // (the old behaviour turned CENTAUR_COALESCE=fasle into an ablation arm).
+  ASSERT_EQ(setenv("CENTAUR_TEST_FLAG", "fasle", 1), 0);
+  EXPECT_TRUE(util::env_flag_strict("CENTAUR_TEST_FLAG", true));
+  EXPECT_FALSE(util::env_flag_strict("CENTAUR_TEST_FLAG", false));
+  ASSERT_EQ(unsetenv("CENTAUR_TEST_FLAG"), 0);
+}
+
+TEST(EnvStrict, WarnOnceIsOncePerKey) {
+  util::reset_warn_once_for_testing();
+  EXPECT_TRUE(util::warn_once("k1", "first"));
+  EXPECT_FALSE(util::warn_once("k1", "suppressed"));
+  EXPECT_TRUE(util::warn_once("k2", "different key"));
+  util::reset_warn_once_for_testing();
+  EXPECT_TRUE(util::warn_once("k1", "after reset"));
+}
+
+TEST(EnvStrict, ScaleFallsBackOnUnknownValue) {
+  util::reset_warn_once_for_testing();
+  ASSERT_EQ(setenv("CENTAUR_SCALE", "SMOKE", 1), 0);  // case-insensitive
+  EXPECT_EQ(util::scale_from_env(), util::Scale::kSmoke);
+  ASSERT_EQ(setenv("CENTAUR_SCALE", "lrage", 1), 0);  // typo -> default
+  EXPECT_EQ(util::scale_from_env(), util::Scale::kDefault);
+  ASSERT_EQ(unsetenv("CENTAUR_SCALE"), 0);
+  EXPECT_EQ(util::scale_from_env(), util::Scale::kDefault);
 }
 
 // ------------------------------------------- parallel == serial, exactly --

@@ -12,7 +12,16 @@ Exit status:
     1  at least one gated value regressed past --tolerance percent
     2  usage / unreadable input / schema mismatch
 
-Typical use (CI, warn-only while baselines settle):
+Machine-dependent metrics (e.g. the micro bench's `iterations`, which
+Google Benchmark picks from the host's speed) can be excluded from gating
+with --ignore-metric; they are still printed, marked "(ignored)".
+
+Typical use — hard gate for deterministic baselines:
+
+    python3 tools/bench_compare.py baselines/BENCH_micro.json \
+        bench-out/BENCH_micro.json --tolerance 0 --ignore-metric iterations
+
+and warn-only while a baseline settles:
 
     python3 tools/bench_compare.py baselines/BENCH_fig6.json \
         bench-out/BENCH_fig6.json --tolerance 5 || echo "::warning::..."
@@ -76,6 +85,10 @@ def main():
     ap.add_argument("--tolerance", type=float, default=None, metavar="PCT",
                     help="exit nonzero if any gated counter or metric "
                          "changes by more than PCT percent (absolute)")
+    ap.add_argument("--ignore-metric", action="append", default=[],
+                    metavar="KEY", dest="ignore_metrics",
+                    help="metric name to report but never gate (repeatable); "
+                         "for machine-dependent metrics like 'iterations'")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -110,7 +123,12 @@ def main():
             compare_row(rows, name, key, bt[key], ct[key])
         bm, cm = bt.get("metrics", {}), ct.get("metrics", {})
         for key in sorted(set(bm) & set(cm)):
-            compare_row(rows, name, key, bm[key], cm[key])
+            if key in args.ignore_metrics:
+                informational.append(
+                    (name, key + " (ignored)", bm[key], cm[key],
+                     pct_delta(bm[key], cm[key])))
+            else:
+                compare_row(rows, name, key, bm[key], cm[key])
 
     for key in GATED_COUNTERS:
         compare_row(rows, "totals", key, base["totals"][key],
