@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <set>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "centaur/build_graph.hpp"
+#include "util/flat_map.hpp"
 
 namespace centaur::check {
 
@@ -122,7 +121,7 @@ void check_adjacency_map(const PGraph::AdjMap& map, const PGraph& g,
 /// detected cycle entry point.
 void check_acyclic(const PGraph& g, std::vector<Violation>& out) {
   enum : std::uint8_t { kWhite = 0, kGray = 1, kBlack = 2 };
-  std::unordered_map<NodeId, std::uint8_t> color;
+  util::FlatMap<NodeId, std::uint8_t> color;
   struct Frame {
     NodeId node;
     std::size_t next_child = 0;
@@ -159,13 +158,14 @@ void check_root_reachable(const PGraph& g, std::vector<Violation>& out) {
   // n reaches the root via parent links iff the root reaches n via child
   // links (same edges, reversed) — so one forward BFS from the root covers
   // every node.
-  std::unordered_set<NodeId> seen{g.root()};
+  util::FlatSet<NodeId> seen;
+  seen.insert(g.root());
   std::vector<NodeId> frontier{g.root()};
   while (!frontier.empty()) {
     const NodeId n = frontier.back();
     frontier.pop_back();
     for (const NodeId child : g.children(n)) {
-      if (seen.insert(child).second) frontier.push_back(child);
+      if (seen.insert(child)) frontier.push_back(child);
     }
   }
   for (const NodeId n : all_nodes(g)) {

@@ -61,9 +61,9 @@ std::unique_ptr<sim::Node> make_protocol_node(Protocol p,
 }
 
 AnalysisMode analysis_from_env(AnalysisMode fallback) {
-  const char* env = std::getenv("CENTAUR_CHECK");
-  if (env == nullptr) return fallback;
-  const std::string v(env);
+  const std::optional<std::string> env = util::env_string("CENTAUR_CHECK");
+  if (!env) return fallback;
+  const std::string& v = *env;
   if (v.empty() || v == "0" || v == "off" || v == "false" || v == "no") {
     return AnalysisMode::kOff;
   }

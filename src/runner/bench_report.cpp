@@ -3,10 +3,12 @@
 #include <sys/resource.h>
 #include <sys/stat.h>
 
-#include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/env.hpp"
 
 namespace centaur::runner {
 namespace {
@@ -81,7 +83,10 @@ std::string BenchReport::resolve_path(int* argc, char** argv,
     }
   }
   if (path.empty()) {
-    if (const char* env = std::getenv("CENTAUR_BENCH_JSON")) path = env;
+    if (const std::optional<std::string> env =
+            util::env_string("CENTAUR_BENCH_JSON")) {
+      path = *env;
+    }
   }
   if (path.empty()) return path;
   if (is_directory(path)) {

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <deque>
-#include <unordered_set>
+
+#include "util/flat_map.hpp"
 
 namespace centaur::topo {
 
@@ -72,11 +73,11 @@ std::vector<NodeId> nodes_by_degree(const AsGraph& g) {
 
 bool is_valid_path(const AsGraph& g, const Path& path) {
   if (path.empty()) return false;
-  std::unordered_set<NodeId> seen;
+  util::FlatSet<NodeId> seen;
   seen.reserve(path.size());
   for (NodeId v : path) {
     if (v >= g.num_nodes()) return false;
-    if (!seen.insert(v).second) return false;
+    if (!seen.insert(v)) return false;
   }
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     const auto link = g.find_link(path[i], path[i + 1]);

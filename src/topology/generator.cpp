@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "topology/algorithms.hpp"
+#include "util/small_vec.hpp"
 
 namespace centaur::topo {
 namespace {
@@ -14,6 +14,17 @@ namespace {
 /// link-slot.  `slots` holds one entry per link endpoint.
 NodeId pick_by_degree(const std::vector<NodeId>& slots, util::Rng& rng) {
   return slots[rng.index(slots.size())];
+}
+
+/// Sorted-insert for the small distinct-target sets below.  Keeping the set
+/// ordered (instead of hashed) means the links derived from it are added in
+/// ascending-neighbor order — a deterministic function of the rng draws
+/// alone, not of any container's hash layout.
+bool insert_sorted(util::SmallVec<NodeId, 8>& set, NodeId v) {
+  NodeId* it = std::lower_bound(set.begin(), set.end(), v);
+  if (it != set.end() && *it == v) return false;
+  set.insert(it, v);
+  return true;
 }
 
 }  // namespace
@@ -36,9 +47,9 @@ AsGraph barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng) {
   }
 
   for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
-    std::unordered_set<NodeId> targets;
+    util::SmallVec<NodeId, 8> targets;
     while (targets.size() < m) {
-      targets.insert(pick_by_degree(slots, rng));
+      insert_sorted(targets, pick_by_degree(slots, rng));
     }
     for (NodeId t : targets) {
       g.add_link(v, t, Relationship::kPeer);
@@ -103,20 +114,20 @@ AsGraph tiered_internet(const TieredParams& params, util::Rng& rng) {
 
   for (NodeId v = static_cast<NodeId>(t1); v < n; ++v) {
     const std::size_t want = provider_count();
-    std::unordered_set<NodeId> chosen;
+    util::SmallVec<NodeId, 8> chosen;
     std::size_t attempts = 0;
     while (chosen.size() < want && attempts < want * 20 + 20) {
       ++attempts;
       const NodeId p = pick_by_degree(provider_slots, rng);
       if (p >= v || g.has_link(v, p)) continue;  // providers precede v
-      chosen.insert(p);
+      insert_sorted(chosen, p);
     }
     if (chosen.empty()) {
       // Guarantee a provider for connectivity: first core node not yet
       // linked (the core mesh is small, v has at most a few links here).
       for (NodeId p = 0; p < t1; ++p) {
         if (!g.has_link(v, p)) {
-          chosen.insert(p);
+          chosen.push_back(p);
           break;
         }
       }

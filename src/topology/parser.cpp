@@ -17,17 +17,25 @@ std::uint32_t parse_u32(std::string_view field, std::size_t line_no) {
                              std::to_string(line_no) + ": bad AS number '" +
                              std::string(field) + "'");
   }
+  if (value == 0xFFFFFFFFu) {
+    // RFC 7300 reserves the last AS number; it also doubles as the
+    // as_to_node FlatMap's empty-slot sentinel.
+    throw std::runtime_error("as-rel parse error at line " +
+                             std::to_string(line_no) +
+                             ": reserved AS number 4294967295");
+  }
   return value;
 }
 
 NodeId intern(ParsedTopology& topo, std::uint32_t as) {
-  const auto [it, inserted] =
-      topo.as_to_node.try_emplace(as, static_cast<NodeId>(topo.node_to_as.size()));
+  bool inserted = false;
+  NodeId& id = topo.as_to_node.ensure(as, inserted);
   if (inserted) {
+    id = static_cast<NodeId>(topo.node_to_as.size());
     topo.node_to_as.push_back(as);
     topo.graph.add_node();
   }
-  return it->second;
+  return id;
 }
 
 }  // namespace

@@ -14,18 +14,20 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "topology/as_graph.hpp"
+#include "util/flat_map.hpp"
 
 namespace centaur::topo {
 
-/// A parsed topology plus the AS-number <-> NodeId mapping.
+/// A parsed topology plus the AS-number <-> NodeId mapping.  AS number
+/// 4294967295 (the FlatMap sentinel) is reserved by RFC 7300 and rejected
+/// by the parser, so it can never collide with the empty-slot marker.
 struct ParsedTopology {
   AsGraph graph;
   std::vector<std::uint32_t> node_to_as;  ///< NodeId -> AS number
-  std::unordered_map<std::uint32_t, NodeId> as_to_node;
+  util::FlatMap<std::uint32_t, NodeId> as_to_node;
 
   /// Number of input lines skipped (comments / duplicates / self-loops).
   std::size_t skipped_lines = 0;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace centaur::util {
 
@@ -39,5 +40,20 @@ std::size_t env_size_t(const char* name, std::size_t fallback,
 /// false; "1", "on", "true", "yes" -> true; anything else -> warn once,
 /// fallback.  (The seed treated every unrecognised string as true.)
 bool env_flag_strict(const char* name, bool fallback);
+
+/// Raw string accessor: the ONLY sanctioned way to read an env var whose
+/// value is a free-form string (a file path, a report destination).  Unset
+/// -> nullopt; a set-but-empty variable returns "" and the caller decides.
+/// Centralising the getenv call here is what lets centaur-lint rule E1
+/// forbid getenv everywhere else.
+std::optional<std::string> env_string(const char* name);
+
+/// Enum env knob: unset -> fallback; an exact (case-sensitive) match with
+/// an entry of `allowed` -> that entry; anything else -> warn once listing
+/// the accepted spellings, fallback.  Returns the matched spelling so
+/// callers can switch on string value without re-normalising.
+std::string env_enum_strict(const char* name,
+                            const std::vector<std::string>& allowed,
+                            const std::string& fallback);
 
 }  // namespace centaur::util

@@ -199,4 +199,32 @@ class FlatMap {
   std::size_t size_ = 0;
 };
 
+/// Membership-only companion to FlatMap, for visited sets and rejection
+/// sampling.  Deliberately offers no iteration: a caller whose results
+/// depend on element *order* should keep a sorted SmallVec/vector instead,
+/// so hash-layout order can never leak into simulation output.
+template <typename Key>
+class FlatSet {
+ public:
+  static constexpr Key kEmptyKey = FlatMap<Key, char>::kEmptyKey;
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+
+  /// Returns true if `k` was newly inserted.
+  bool insert(Key k) {
+    bool inserted = false;
+    map_.ensure(k, inserted);
+    return inserted;
+  }
+
+  std::size_t count(Key k) const { return map_.count(k); }
+  bool erase(Key k) { return map_.erase(k); }
+
+ private:
+  FlatMap<Key, char> map_;
+};
+
 }  // namespace centaur::util

@@ -1,19 +1,27 @@
 #include "util/log.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <iostream>
+#include <optional>
+
+#include "util/env.hpp"
 
 namespace centaur::util {
 namespace {
 
 LogLevel level_from_env() {
-  const char* raw = std::getenv("CENTAUR_LOG");
-  if (raw == nullptr) return LogLevel::kWarn;
-  const std::string v(raw);
+  const std::optional<std::string> raw = env_string("CENTAUR_LOG");
+  if (!raw) return LogLevel::kWarn;
+  const std::string& v = *raw;
   if (v == "error") return LogLevel::kError;
+  if (v == "warn") return LogLevel::kWarn;
   if (v == "info") return LogLevel::kInfo;
   if (v == "debug") return LogLevel::kDebug;
+  // Runs during the static init of level_storage(), so this cannot go
+  // through warn_once -> log_line -> log_level (re-entrant initialization);
+  // the seed fell back silently, warn directly on stderr instead.
+  std::cerr << "[warn ] CENTAUR_LOG='" << v
+            << "' is not error|warn|info|debug; using warn\n";
   return LogLevel::kWarn;
 }
 

@@ -1,7 +1,8 @@
 #include "util/rng.hpp"
 
 #include <algorithm>
-#include <unordered_set>
+
+#include "util/flat_map.hpp"
 
 namespace centaur::util {
 namespace {
@@ -84,12 +85,13 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
       out.push_back(idx[i]);
     }
   } else {
-    // Sparse case: rejection into a hash set.
-    std::unordered_set<std::size_t> seen;
+    // Sparse case: rejection into a hash set.  (FlatSet's sentinel SIZE_MAX
+    // is unreachable: v < n.)
+    FlatSet<std::size_t> seen;
     seen.reserve(k * 2);
     while (out.size() < k) {
       std::size_t v = index(n);
-      if (seen.insert(v).second) out.push_back(v);
+      if (seen.insert(v)) out.push_back(v);
     }
   }
   return out;

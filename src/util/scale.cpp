@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "util/env.hpp"
@@ -10,9 +10,9 @@
 namespace centaur::util {
 
 Scale scale_from_env() {
-  const char* raw = std::getenv("CENTAUR_SCALE");
-  if (raw == nullptr) return Scale::kDefault;
-  std::string v(raw);
+  const std::optional<std::string> raw = env_string("CENTAUR_SCALE");
+  if (!raw) return Scale::kDefault;
+  std::string v(*raw);
   std::transform(v.begin(), v.end(), v.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   if (v == "smoke") return Scale::kSmoke;
@@ -20,7 +20,7 @@ Scale scale_from_env() {
   if (v != "default") {
     // A typo like CENTAUR_SCALE=lrage silently running the default sizes
     // wastes a whole bench run; flag it once and fall back explicitly.
-    warn_once("CENTAUR_SCALE", "CENTAUR_SCALE=\"" + std::string(raw) +
+    warn_once("CENTAUR_SCALE", "CENTAUR_SCALE=\"" + *raw +
                                    "\" is not smoke|default|large; using "
                                    "default");
   }

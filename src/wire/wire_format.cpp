@@ -46,6 +46,37 @@ std::uint64_t get_varint(const std::uint8_t** pos, const std::uint8_t* end) {
   throw DecodeError("varint: value wider than 64 bits");
 }
 
+Cursor::Cursor(const std::uint8_t* data, std::size_t size)
+    : begin_(data), pos_(data), end_(data + size) {}
+
+std::size_t Cursor::remaining() const {
+  return static_cast<std::size_t>(end_ - pos_);
+}
+
+std::size_t Cursor::consumed() const {
+  return static_cast<std::size_t>(pos_ - begin_);
+}
+
+std::uint8_t Cursor::u8(const char* what) {
+  if (pos_ == end_) {
+    throw DecodeError(std::string(what) + ": truncated input");
+  }
+  return *pos_++;
+}
+
+std::uint64_t Cursor::varint() { return get_varint(&pos_, end_); }
+
+std::uint64_t Cursor::le_u64(const char* what) {
+  if (remaining() < 8) {
+    throw DecodeError(std::string(what) + ": truncated input");
+  }
+  std::uint64_t word = 0;
+  for (int b = 0; b < 8; ++b) {
+    word |= static_cast<std::uint64_t>(*pos_++) << (8 * b);
+  }
+  return word;
+}
+
 namespace {
 
 // The encoder runs twice through one code path: once against CountSink (the
@@ -176,14 +207,12 @@ std::size_t encoded_size(const GraphDelta& delta, PlistEncoding encoding) {
 }
 
 Decoded decode(const std::uint8_t* data, std::size_t size) {
-  const std::uint8_t* pos = data;
-  const std::uint8_t* const end = data + size;
-  if (size < 2) throw DecodeError("header: truncated input");
-  const std::uint8_t version = *pos++;
+  Cursor cur(data, size);
+  const std::uint8_t version = cur.u8("header");
   if (version != kWireVersion) {
     throw DecodeError("header: unknown version " + std::to_string(version));
   }
-  const std::uint8_t flags = *pos++;
+  const std::uint8_t flags = cur.u8("header");
   if ((flags & ~(kFlagReset | kFlagBloom)) != 0) {
     throw DecodeError("header: unknown flag bits");
   }
@@ -192,33 +221,32 @@ Decoded decode(const std::uint8_t* data, std::size_t size) {
   out.delta.reset = (flags & kFlagReset) != 0;
   out.encoding = (flags & kFlagBloom) != 0 ? PlistEncoding::kBloom
                                            : PlistEncoding::kExplicit;
-  const std::uint64_t n_upserts = get_varint(&pos, end);
-  const std::uint64_t n_removes = get_varint(&pos, end);
-  const std::uint64_t n_dest_adds = get_varint(&pos, end);
-  const std::uint64_t n_dest_removes = get_varint(&pos, end);
+  const std::uint64_t n_upserts = cur.varint();
+  const std::uint64_t n_removes = cur.varint();
+  const std::uint64_t n_dest_adds = cur.varint();
+  const std::uint64_t n_dest_removes = cur.varint();
   // Every upsert/remove/dest costs at least one byte; reject counts the
   // buffer cannot possibly hold before sizing anything from them.
-  const auto remaining = static_cast<std::uint64_t>(end - pos);
   for (const std::uint64_t n :
        {n_upserts, n_removes, n_dest_adds, n_dest_removes}) {
-    if (n > remaining) {
+    if (n > cur.remaining()) {
       throw DecodeError("header: section counts exceed input size");
     }
   }
 
   std::uint64_t prev = 0;
   for (std::uint64_t i = 0; i < n_upserts; ++i) {
-    const std::uint64_t key = prev + get_varint(&pos, end);
+    const std::uint64_t key = prev + cur.varint();
     prev = key;
     PermissionList plist;
     std::vector<BloomEntry> bloom_entries;
-    const std::uint64_t n_entries = get_varint(&pos, end);
+    const std::uint64_t n_entries = cur.varint();
     std::uint64_t prev_next = 0;
     for (std::uint64_t j = 0; j < n_entries; ++j) {
       const NodeId next_hop =
-          checked_node(prev_next + get_varint(&pos, end), "plist next hop");
+          checked_node(prev_next + cur.varint(), "plist next hop");
       prev_next = next_hop;
-      const std::uint64_t n_dests = get_varint(&pos, end);
+      const std::uint64_t n_dests = cur.varint();
       if (n_dests > 0xFFFFFFFFULL) {
         throw DecodeError("plist entry: destination count overflow");
       }
@@ -226,21 +254,19 @@ Decoded decode(const std::uint8_t* data, std::size_t size) {
         std::uint64_t prev_dest = 0;
         for (std::uint64_t k = 0; k < n_dests; ++k) {
           const NodeId dest =
-              checked_node(prev_dest + get_varint(&pos, end), "plist dest");
+              checked_node(prev_dest + cur.varint(), "plist dest");
           prev_dest = dest;
           plist.add(dest, next_hop);
         }
       } else {
-        const std::uint64_t n_words = get_varint(&pos, end);
-        const std::uint64_t n_hashes = get_varint(&pos, end);
-        if (n_words > static_cast<std::uint64_t>(end - pos) / 8) {
+        const std::uint64_t n_words = cur.varint();
+        const std::uint64_t n_hashes = cur.varint();
+        if (n_words > cur.remaining() / 8) {
           throw DecodeError("bloom filter: truncated bit array");
         }
         std::vector<std::uint64_t> words(n_words, 0);
         for (std::uint64_t& word : words) {
-          for (int b = 0; b < 8; ++b) {
-            word |= static_cast<std::uint64_t>(*pos++) << (8 * b);
-          }
+          word = cur.le_u64("bloom filter");
         }
         bloom_entries.push_back(
             BloomEntry{next_hop, static_cast<std::uint32_t>(n_dests),
@@ -257,7 +283,7 @@ Decoded decode(const std::uint8_t* data, std::size_t size) {
 
   prev = 0;
   for (std::uint64_t i = 0; i < n_removes; ++i) {
-    const std::uint64_t key = prev + get_varint(&pos, end);
+    const std::uint64_t key = prev + cur.varint();
     prev = key;
     out.delta.removes.push_back(core::unpack_link(key));
   }
@@ -267,12 +293,12 @@ Decoded decode(const std::uint8_t* data, std::size_t size) {
         dests == &out.delta.dest_adds ? n_dest_adds : n_dest_removes;
     prev = 0;
     for (std::uint64_t i = 0; i < n; ++i) {
-      const NodeId d = checked_node(prev + get_varint(&pos, end), "dest mark");
+      const NodeId d = checked_node(prev + cur.varint(), "dest mark");
       prev = d;
       dests->push_back(d);
     }
   }
-  out.bytes_consumed = static_cast<std::size_t>(pos - data);
+  out.bytes_consumed = cur.consumed();
   return out;
 }
 

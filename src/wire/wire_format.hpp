@@ -73,6 +73,33 @@ class DecodeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Bounds-checked read cursor over an encoded buffer — the only sanctioned
+/// way to consume raw bytes in decode paths (centaur-lint rule W1, declared
+/// in tools/lint/contexts.txt).  Every accessor validates against the
+/// buffer end and throws DecodeError instead of reading past it, so decode
+/// logic cannot introduce an out-of-bounds read by construction.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size);
+
+  std::size_t remaining() const;
+  std::size_t consumed() const;
+
+  /// One byte; `what` names the field for the DecodeError message.
+  std::uint8_t u8(const char* what);
+
+  /// One LEB128 varint (same validation as get_varint).
+  std::uint64_t varint();
+
+  /// Eight bytes, little-endian.
+  std::uint64_t le_u64(const char* what);
+
+ private:
+  const std::uint8_t* begin_;
+  const std::uint8_t* pos_;
+  const std::uint8_t* end_;
+};
+
 /// Serializes `delta`; byte-for-byte what byte_size() accounts.
 std::vector<std::uint8_t> encode(const core::GraphDelta& delta,
                                  PlistEncoding encoding);

@@ -12,10 +12,12 @@
 
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "centaur/centaur_node.hpp"
+#include "util/env.hpp"
 #include "eval/experiments.hpp"
 #include "faults/campaign.hpp"
 #include "faults/scenario.hpp"
@@ -30,9 +32,10 @@ namespace {
 class ScopedIntraThreads {
  public:
   explicit ScopedIntraThreads(std::size_t threads) {
-    const char* prev = std::getenv("CENTAUR_INTRA_THREADS");
-    if (prev != nullptr) saved_ = prev;
-    had_prev_ = prev != nullptr;
+    const std::optional<std::string> prev =
+        util::env_string("CENTAUR_INTRA_THREADS");
+    if (prev) saved_ = *prev;
+    had_prev_ = prev.has_value();
     EXPECT_EQ(
         setenv("CENTAUR_INTRA_THREADS", std::to_string(threads).c_str(), 1),
         0);

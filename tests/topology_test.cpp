@@ -18,6 +18,12 @@ AsGraph line_graph(std::size_t n) {
   return g;
 }
 
+NodeId as_node(const ParsedTopology& t, std::uint32_t as) {
+  const NodeId* id = t.as_to_node.find(as);
+  EXPECT_NE(id, nullptr) << "AS " << as << " was not interned";
+  return id != nullptr ? *id : kInvalidNode;
+}
+
 // ------------------------------------------------------------ AsGraph ----
 
 TEST(AsGraph, AddNodesAndLinks) {
@@ -194,10 +200,10 @@ TEST(Parser, ParsesAsRelFormat) {
   EXPECT_EQ(t.graph.num_nodes(), 4u);
   EXPECT_EQ(t.graph.num_links(), 3u);
   EXPECT_EQ(t.skipped_lines, 1u);
-  const NodeId n100 = t.as_to_node.at(100);
-  const NodeId n200 = t.as_to_node.at(200);
-  const NodeId n300 = t.as_to_node.at(300);
-  const NodeId n400 = t.as_to_node.at(400);
+  const NodeId n100 = as_node(t, 100);
+  const NodeId n200 = as_node(t, 200);
+  const NodeId n300 = as_node(t, 300);
+  const NodeId n400 = as_node(t, 400);
   // 200 is 100's customer.
   EXPECT_EQ(t.graph.rel(n100, n200), Relationship::kCustomer);
   EXPECT_EQ(t.graph.rel(n200, n100), Relationship::kProvider);
@@ -217,6 +223,8 @@ TEST(Parser, RejectsMalformedLines) {
   EXPECT_THROW(parse_as_rel_text("a|2|0\n"), std::runtime_error);
   EXPECT_THROW(parse_as_rel_text("1|2|7\n"), std::runtime_error);
   EXPECT_THROW(parse_as_rel_text("1|2|0|9\n"), std::runtime_error);
+  // RFC 7300 reserved ASN, doubles as the as_to_node sentinel.
+  EXPECT_THROW(parse_as_rel_text("4294967295|2|0\n"), std::runtime_error);
 }
 
 TEST(Parser, RoundTrip) {
@@ -232,7 +240,7 @@ TEST(Parser, RoundTrip) {
   EXPECT_EQ(c1.provider, c2.provider);
   EXPECT_EQ(c1.sibling, c2.sibling);
   // Orientation preserved: 20 must still be 10's customer.
-  EXPECT_EQ(t2.graph.rel(t2.as_to_node.at(10), t2.as_to_node.at(20)),
+  EXPECT_EQ(t2.graph.rel(as_node(t2, 10), as_node(t2, 20)),
             Relationship::kCustomer);
 }
 

@@ -24,6 +24,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -38,6 +39,7 @@
 #include "topology/generator.hpp"
 #include "topology/parser.hpp"
 #include "topology/stats.hpp"
+#include "util/env.hpp"
 #include "util/scale.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -244,9 +246,9 @@ int cmd_routes(Options& opt) {
       static_cast<std::size_t>(opt.get_long("dests", 20));
   opt.finish();
 
-  const auto it = t.as_to_node.find(vantage_as);
-  if (it == t.as_to_node.end()) usage("--vantage AS not in the topology");
-  const topo::NodeId vantage = it->second;
+  const topo::NodeId* found = t.as_to_node.find(vantage_as);
+  if (found == nullptr) usage("--vantage AS not in the topology");
+  const topo::NodeId vantage = *found;
 
   util::Rng rng(7);
   const auto dests = rng.sample_without_replacement(
@@ -432,8 +434,8 @@ int run_campaign_command(Options& opt, bool canned) {
     // 4 lanes and report the per-phase wall-time ratio.  Results are
     // bit-identical by construction (tests/intra_parallel_test.cpp), so
     // only wall time can differ; notes-only, never gated.
-    const char* prev = std::getenv("CENTAUR_INTRA_THREADS");
-    const std::string saved = prev != nullptr ? prev : "";
+    const std::optional<std::string> saved =
+        util::env_string("CENTAUR_INTRA_THREADS");
     faults::ScenarioSpec arm = spec;
     arm.protocol = eval::Protocol::kCentaur;
     const auto timed = [&](const char* lanes) {
@@ -442,8 +444,8 @@ int run_campaign_command(Options& opt, bool canned) {
     };
     const faults::CampaignResult serial = timed("1");
     const faults::CampaignResult parallel = timed("4");
-    if (prev != nullptr) {
-      setenv("CENTAUR_INTRA_THREADS", saved.c_str(), 1);
+    if (saved) {
+      setenv("CENTAUR_INTRA_THREADS", saved->c_str(), 1);
     } else {
       unsetenv("CENTAUR_INTRA_THREADS");
     }

@@ -1,0 +1,56 @@
+// Heuristic function extraction and call-graph construction.
+//
+// Rule D1 ("no direct schedule / Network-counter mutation reachable from a
+// node-tagged batch handler") needs to know which function each token lives
+// in and which functions call which.  A full C++ parse is out of scope for a
+// dependency-free linter, so this pass recovers just enough structure from
+// the token stream:
+//
+//   * function definitions — a (possibly qualified) identifier followed by a
+//     balanced parameter list and a `{` body, found at namespace/class
+//     scope; constructors with init lists are handled, lambdas are treated
+//     as part of their enclosing function's body;
+//   * the qualified name — enclosing class/namespace names joined with
+//     `::`, so `Network::send` and an inline `Cursor::u8` both resolve;
+//   * the set of callee names — every identifier followed by `(` inside the
+//     body (minus keywords), which over-approximates the real call graph:
+//     calls are matched cross-file by unqualified name, never missed, and
+//     sometimes over-matched.  Over-approximation keeps D1 sound as a gate;
+//     false positives are handled with inline suppressions or `driver`
+//     declarations in contexts.txt.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace centaur::lint {
+
+struct FunctionInfo {
+  std::string qualified;  ///< e.g. "Network::send", "anon::helper" -> "helper"
+  std::string name;       ///< last component
+  std::string file;
+  std::size_t line = 0;
+  /// Token index range of the body, braces excluded: [body_begin, body_end).
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  std::vector<std::string> calls;  ///< unqualified callee names, in order
+  /// Body mentions both in_parallel_phase and defer_commit_op: the function
+  /// implements the serial-or-defer protocol itself and is exempt from D1's
+  /// direct-mutation check (DESIGN.md §11).
+  bool guard_aware = false;
+};
+
+/// Extracts function definitions from a lexed file.
+std::vector<FunctionInfo> extract_functions(const LexedFile& file);
+
+/// True if `qualified` matches a contexts.txt function pattern: exact match,
+/// suffix match on a `::` boundary ("Network::send" matches
+/// "centaur::sim::Network::send"), or — for a bare class name pattern like
+/// "Cursor" — any member of that class.
+bool matches_function_pattern(const std::string& qualified,
+                              const std::string& pattern);
+
+}  // namespace centaur::lint

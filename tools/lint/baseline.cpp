@@ -1,0 +1,79 @@
+#include "baseline.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace centaur::lint {
+
+Baseline parse_baseline(const std::string& text) {
+  Baseline out;
+  std::istringstream in(text);
+  std::string line_text;
+  std::size_t line_no = 0;
+  while (std::getline(in, line_text)) {
+    ++line_no;
+    std::istringstream ls(line_text);
+    BaselineEntry e;
+    if (!(ls >> e.rule) || e.rule[0] == '#') continue;
+    if (!(ls >> e.path >> e.token >> e.count)) {
+      out.errors.push_back("baseline line " + std::to_string(line_no) +
+                           ": want 'RULE path token count'");
+      continue;
+    }
+    if (!is_known_rule(e.rule)) {
+      out.errors.push_back("baseline line " + std::to_string(line_no) +
+                           ": unknown rule '" + e.rule + "'");
+      continue;
+    }
+    if (e.count == 0) {
+      out.errors.push_back("baseline line " + std::to_string(line_no) +
+                           ": count 0 — delete the entry instead");
+      continue;
+    }
+    e.line = line_no;
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+BaselineOutcome apply_baseline(const std::vector<Finding>& findings,
+                               const Baseline& baseline,
+                               const std::string& baseline_path) {
+  const auto key = [](const std::string& rule, const std::string& path,
+                      const std::string& token) {
+    return rule + '\0' + path + '\0' + token;
+  };
+
+  std::map<std::string, const BaselineEntry*> entries;
+  for (const BaselineEntry& e : baseline.entries) {
+    entries[key(e.rule, e.path, e.token)] = &e;
+  }
+
+  BaselineOutcome out;
+  std::map<std::string, std::size_t> used;
+  for (const Finding& f : findings) {
+    const std::string k = key(f.rule, f.file, f.token);
+    const auto it = entries.find(k);
+    if (it != entries.end() && used[k] < it->second->count) {
+      ++used[k];
+      ++out.baselined;
+    } else {
+      out.fresh.push_back(f);
+    }
+  }
+  for (const BaselineEntry& e : baseline.entries) {
+    const std::size_t have = used[key(e.rule, e.path, e.token)];
+    if (have < e.count) {
+      out.stale.push_back(Finding{
+          "BASE", baseline_path, e.line, 1,
+          "stale baseline entry: " + e.rule + " " + e.path + " " + e.token +
+              " claims " + std::to_string(e.count) + " finding(s) but only " +
+              std::to_string(have) +
+              " exist — shrink the entry (the baseline may only shrink)",
+          e.rule + ":" + e.path + ":" + e.token});
+    }
+  }
+  return out;
+}
+
+}  // namespace centaur::lint

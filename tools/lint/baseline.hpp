@@ -1,0 +1,54 @@
+// Shrink-only baseline for grandfathered findings.
+//
+// The baseline file holds one entry per (rule, file, token) group with the
+// number of such findings that existed when the rule landed:
+//
+//   # comments and blank lines are ignored
+//   D2 src/topology/generator.cpp unordered_set 2
+//
+// Matching current findings are reported as "baselined" instead of failing
+// the gate.  The file may only shrink: if the tree now has FEWER findings
+// than an entry claims, the entry is stale and itself fails the gate (rule
+// BASE) until it is trimmed — so fixed debt can never silently return, and
+// the file never drifts from reality in either direction.  Keys are
+// line-number-free so unrelated edits don't churn the baseline.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace centaur::lint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;
+  std::string token;
+  std::size_t count = 0;
+  std::size_t line = 0;  ///< line in the baseline file (for messages)
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+  std::vector<std::string> errors;  ///< parse problems
+};
+
+Baseline parse_baseline(const std::string& text);
+
+struct BaselineOutcome {
+  std::vector<Finding> fresh;     ///< findings not covered -> fail the gate
+  std::size_t baselined = 0;      ///< findings absorbed by entries
+  /// Stale entries (more baselined than present) as BASE-rule findings
+  /// against the baseline file -> also fail the gate.
+  std::vector<Finding> stale;
+};
+
+/// Applies `baseline` to `findings` (grouped by rule+path+token; within a
+/// group the first `count` findings are absorbed, the rest are fresh).
+BaselineOutcome apply_baseline(const std::vector<Finding>& findings,
+                               const Baseline& baseline,
+                               const std::string& baseline_path);
+
+}  // namespace centaur::lint

@@ -1,0 +1,32 @@
+// Fixture for rule D1.  FakeNode::on_message is declared as an `entry` in
+// ../../contexts.txt, window_ as a `counter`, Driver::run as a `driver`.
+
+struct FakeNode {
+  void on_message() {
+    schedule(1);  // D1: direct schedule() in the entry itself
+    bump();
+    guarded_bump();
+    // centaur-lint: allow(D1) fixture: next-line suppression is honored
+    schedule_at(2, 3);
+  }
+
+  void bump() {
+    ++window_;  // D1: counter mutated in a handler-reachable helper
+  }
+
+  void guarded_bump() {
+    if (in_parallel_phase()) {
+      defer_commit_op();
+    } else {
+      ++window_;  // exempt: the function implements the guard protocol
+    }
+  }
+
+  int window_ = 0;
+};
+
+struct Driver {
+  void run() {
+    schedule_at(0, 0);  // exempt: declared driver, pruned from the walk
+  }
+};

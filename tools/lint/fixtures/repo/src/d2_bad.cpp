@@ -1,0 +1,10 @@
+// Fixture for rule D2: unordered containers in src/.
+#include <unordered_map>
+
+void d2_fixture() {
+  std::unordered_map<int, int> m;
+  (void)m;
+  // centaur-lint: allow(D2) fixture: next-line suppression is honored
+  std::unordered_set<int> s;
+  (void)s;
+}

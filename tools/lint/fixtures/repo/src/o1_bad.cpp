@@ -1,0 +1,8 @@
+// Fixture for rule O1: stdout printing in library code.
+#include <cstdio>
+#include <iostream>
+
+void o1_fixture() {
+  std::cout << "hello\n";
+  printf("x");  // centaur-lint: allow(O1) fixture: same-line suppression
+}

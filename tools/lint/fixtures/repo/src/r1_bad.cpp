@@ -1,0 +1,11 @@
+// Fixture for rule R1: unsanctioned randomness and wall-clock time in src/.
+#include <cstdlib>
+#include <random>
+
+int r1_fixture() {
+  std::random_device rd;
+  int a = rand();
+  // centaur-lint: allow(R1) fixture: next-line suppression is honored
+  long b = time(nullptr);
+  return static_cast<int>(rd()) + a + static_cast<int>(b);
+}

@@ -1,0 +1,25 @@
+// Fixture for rule W1: raw byte-pointer reads in a src/wire decode path.
+// `Cursor` is declared as a sanctioned cursor class in ../../../contexts.txt.
+#include <cstdint>
+
+namespace fixture {
+
+unsigned read_header(const std::uint8_t* data) {
+  unsigned v = *data;  // W1: raw dereference outside the cursor API
+  ++data;              // W1: raw pointer advance
+  return v;
+}
+
+struct Cursor {
+  const std::uint8_t* pos_;
+  unsigned u8() {
+    return *pos_++;  // sanctioned: Cursor member
+  }
+};
+
+unsigned suppressed_read(const std::uint8_t* bytes) {
+  // centaur-lint: allow(W1) fixture: next-line suppression is honored
+  return bytes[0];
+}
+
+}  // namespace fixture

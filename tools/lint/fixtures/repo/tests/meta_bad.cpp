@@ -1,0 +1,8 @@
+// Fixture for the LINT meta rule: broken suppression directives are
+// themselves findings, and LINT findings cannot be suppressed.
+
+int lint_meta_fixture() {
+  return 0;  // centaur-lint: allow(D2)
+}
+
+// centaur-lint: allow(R9) fixture: names an unknown rule

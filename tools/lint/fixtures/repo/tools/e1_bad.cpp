@@ -1,0 +1,9 @@
+// Fixture for rule E1: raw getenv outside src/util/env.cpp.
+#include <cstdlib>
+
+const char* e1_fixture() { return std::getenv("CENTAUR_FIXTURE"); }
+
+const char* e1_suppressed() {
+  // centaur-lint: allow(E1) fixture: next-line suppression is honored
+  return getenv("CENTAUR_FIXTURE");
+}

@@ -1,0 +1,348 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace centaur::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the rules care about (longest first within
+/// each leading character).  Everything else lexes as a single char.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "+=", "-=",
+    "*=",  "/=",  "%=",  "==",  "!=", "<=", ">=", "&&", "||", "<<",
+    ">>",  "|=",  "&=",  "^=",  ".*",
+};
+
+struct Lexer {
+  const std::string& src;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  std::size_t col = 1;
+  LexedFile out;
+  // #include state: 0 = line start, 1 = saw '#', 2 = saw "include".
+  int pp_state = 0;
+
+  explicit Lexer(std::string path, const std::string& text) : src(text) {
+    out.path = std::move(path);
+  }
+
+  char peek(std::size_t off = 0) const {
+    return i + off < src.size() ? src[i + off] : '\0';
+  }
+
+  void advance() {
+    if (src[i] == '\n') {
+      ++line;
+      col = 1;
+      pp_state = 0;
+    } else {
+      ++col;
+    }
+    ++i;
+  }
+
+  void push(TokKind kind, std::string text, std::size_t tok_line,
+            std::size_t tok_col) {
+    if (pp_state == 1 && kind == TokKind::kIdent && text == "include") {
+      pp_state = 2;
+    } else if (kind == TokKind::kPunct && text == "#" && col == tok_col) {
+      // handled by caller; state set there
+    } else if (kind != TokKind::kHeaderName) {
+      if (pp_state == 2) pp_state = 0;
+    }
+    out.tokens.push_back(Token{kind, std::move(text), tok_line, tok_col});
+  }
+
+  void lex_line_comment() {
+    const std::size_t start_line = line;
+    std::string text;
+    advance();  // first '/'
+    advance();  // second '/'
+    while (i < src.size() && peek() != '\n') {
+      text.push_back(peek());
+      advance();
+    }
+    scan_directive(text, start_line);
+  }
+
+  void lex_block_comment() {
+    const std::size_t start_line = line;
+    std::string text;
+    advance();  // '/'
+    advance();  // '*'
+    while (i < src.size()) {
+      if (peek() == '*' && peek(1) == '/') {
+        advance();
+        advance();
+        break;
+      }
+      text.push_back(peek());
+      advance();
+    }
+    scan_directive(text, start_line);
+  }
+
+  /// Parses an allow() suppression directive out of comment text, if the
+  /// directive marker is present.
+  void scan_directive(const std::string& text, std::size_t comment_line) {
+    const std::size_t at = text.find("centaur-lint:");
+    if (at == std::string::npos) return;
+    std::size_t p = at + std::string("centaur-lint:").size();
+    while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p])))
+      ++p;
+    const std::string kAllow = "allow(";
+    if (text.compare(p, kAllow.size(), kAllow) != 0) {
+      out.directive_errors.emplace_back(
+          comment_line, "malformed centaur-lint directive (expected "
+                        "'centaur-lint: allow(RULE) reason')");
+      return;
+    }
+    p += kAllow.size();
+    const std::size_t close = text.find(')', p);
+    if (close == std::string::npos) {
+      out.directive_errors.emplace_back(comment_line,
+                                        "unterminated allow(...) rule list");
+      return;
+    }
+    Suppression s;
+    s.line = comment_line;
+    std::string rule;
+    for (std::size_t q = p; q <= close; ++q) {
+      const char c = q < close ? text[q] : ',';
+      if (c == ',') {
+        rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                  [](unsigned char ch) {
+                                    return std::isspace(ch) != 0;
+                                  }),
+                   rule.end());
+        if (!rule.empty()) s.rules.push_back(rule);
+        rule.clear();
+      } else {
+        rule.push_back(c);
+      }
+    }
+    std::size_t r = close + 1;
+    while (r < text.size() && std::isspace(static_cast<unsigned char>(text[r])))
+      ++r;
+    s.reason = text.substr(r);
+    while (!s.reason.empty() &&
+           std::isspace(static_cast<unsigned char>(s.reason.back()))) {
+      s.reason.pop_back();
+    }
+    if (s.rules.empty()) {
+      out.directive_errors.emplace_back(comment_line,
+                                        "allow() names no rules");
+      return;
+    }
+    if (s.reason.empty()) {
+      out.directive_errors.emplace_back(
+          comment_line, "suppression needs a reason: centaur-lint: "
+                        "allow(RULE) <why this is safe>");
+      return;
+    }
+    out.suppressions.push_back(std::move(s));
+  }
+
+  void lex_string() {
+    const std::size_t l = line, c = col;
+    advance();  // opening quote
+    std::string text;
+    while (i < src.size() && peek() != '"' && peek() != '\n') {
+      if (peek() == '\\' && i + 1 < src.size()) advance();
+      text.push_back(peek());
+      advance();
+    }
+    if (i < src.size() && peek() == '"') advance();
+    push(TokKind::kString, std::move(text), l, c);
+  }
+
+  void lex_raw_string() {
+    const std::size_t l = line, c = col;
+    advance();  // '"'
+    std::string delim;
+    while (i < src.size() && peek() != '(') {
+      delim.push_back(peek());
+      advance();
+    }
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    if (i < src.size()) advance();  // '('
+    while (i < src.size() && src.compare(i, closer.size(), closer) != 0) {
+      text.push_back(peek());
+      advance();
+    }
+    for (std::size_t k = 0; k < closer.size() && i < src.size(); ++k) advance();
+    push(TokKind::kString, std::move(text), l, c);
+  }
+
+  void lex_char() {
+    const std::size_t l = line, c = col;
+    advance();  // opening quote
+    std::string text;
+    while (i < src.size() && peek() != '\'' && peek() != '\n') {
+      if (peek() == '\\' && i + 1 < src.size()) advance();
+      text.push_back(peek());
+      advance();
+    }
+    if (i < src.size() && peek() == '\'') advance();
+    push(TokKind::kChar, std::move(text), l, c);
+  }
+
+  void lex_number() {
+    const std::size_t l = line, c = col;
+    std::string text;
+    // pp-number: digits, letters, dots, digit separators, exponent signs.
+    while (i < src.size()) {
+      const char ch = peek();
+      if (ident_char(ch) || ch == '.' || ch == '\'') {
+        text.push_back(ch);
+        advance();
+        continue;
+      }
+      if ((ch == '+' || ch == '-') && !text.empty()) {
+        const char prev = text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          text.push_back(ch);
+          advance();
+          continue;
+        }
+      }
+      break;
+    }
+    push(TokKind::kNumber, std::move(text), l, c);
+  }
+
+  void lex_header_name() {
+    const std::size_t l = line, c = col;
+    std::string text;
+    text.push_back(peek());  // '<'
+    advance();
+    while (i < src.size() && peek() != '>' && peek() != '\n') {
+      text.push_back(peek());
+      advance();
+    }
+    if (i < src.size() && peek() == '>') {
+      text.push_back('>');
+      advance();
+    }
+    pp_state = 0;
+    push(TokKind::kHeaderName, std::move(text), l, c);
+  }
+
+  void run() {
+    while (i < src.size()) {
+      const char c = peek();
+      if (c == '\\' && peek(1) == '\n') {  // line continuation
+        advance();
+        advance();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '"') {
+        lex_string();
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      // Raw string prefixes: R"..., u8R"..., uR"..., UR"..., LR"...
+      if (ident_start(c)) {
+        std::size_t j = i;
+        while (j < src.size() && ident_char(src[j])) ++j;
+        const std::string word = src.substr(i, j - i);
+        const bool raw_prefix = (word == "R" || word == "u8R" || word == "uR" ||
+                                 word == "UR" || word == "LR");
+        if (raw_prefix && j < src.size() && src[j] == '"') {
+          while (i < j) advance();  // consume the prefix
+          lex_raw_string();
+          continue;
+        }
+        const std::size_t l = line, cc = col;
+        while (i < j) advance();
+        push(TokKind::kIdent, word, l, cc);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        lex_number();
+        continue;
+      }
+      if (c == '<' && pp_state == 2) {
+        lex_header_name();
+        continue;
+      }
+      if (c == '#') {
+        // '#' only arms include-detection at the start of a line (the lexer
+        // has no horizontal state, so accept '#' anywhere a directive could
+        // begin: pp_state 0 means no token seen since the last newline).
+        const std::size_t l = line, cc = col;
+        const bool at_line_start = pp_state == 0;
+        advance();
+        push(TokKind::kPunct, "#", l, cc);
+        if (at_line_start) pp_state = 1;
+        continue;
+      }
+      // Multi-char punctuators, longest match first.
+      bool matched = false;
+      for (const char* p : kPuncts) {
+        const std::size_t n = std::char_traits<char>::length(p);
+        if (src.compare(i, n, p) == 0) {
+          const std::size_t l = line, cc = col;
+          for (std::size_t k = 0; k < n; ++k) advance();
+          push(TokKind::kPunct, p, l, cc);
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      const std::size_t l = line, cc = col;
+      std::string one(1, c);
+      advance();
+      push(TokKind::kPunct, std::move(one), l, cc);
+    }
+    mark_own_line_suppressions();
+  }
+
+  void mark_own_line_suppressions() {
+    for (Suppression& s : out.suppressions) {
+      s.own_line = true;
+      for (const Token& t : out.tokens) {
+        if (t.line == s.line) {
+          s.own_line = false;
+          break;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+LexedFile lex_file_text(std::string path, const std::string& text) {
+  Lexer lx(std::move(path), text);
+  lx.run();
+  return lx.out;
+}
+
+}  // namespace centaur::lint

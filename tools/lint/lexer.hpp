@@ -1,0 +1,65 @@
+// Minimal C++ lexer for centaur-lint.
+//
+// The linter enforces project contracts (DESIGN.md §11) with token-level
+// analysis: no libclang, no compiler dependency, so the CI gate stays
+// hermetic and builds in well under a second.  The lexer therefore only has
+// to be exact about the things rules look at — identifiers, punctuation,
+// include header-names — and has to be exact about what rules must *never*
+// look inside: comments, string/char literals (including raw strings), so a
+// doc comment mentioning std::unordered_map can never trip rule D2.
+//
+// Comments are additionally scanned for inline suppression directives: the
+// word "centaur-lint", a colon, an `allow(RULE[,RULE...])` rule list, and a
+// mandatory free-text reason.  (The syntax is spelled out in prose here
+// because a literal example in this comment would itself be parsed.)
+//
+// A directive suppresses matching findings on its own line; a directive
+// that is alone on its line suppresses the following line instead.  A
+// directive without a reason, or naming an unknown rule, is itself a
+// finding (rule LINT) — suppressions are part of the audited surface.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace centaur::lint {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,
+  kHeaderName,  ///< the <...> of an #include directive, angle brackets kept
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based
+  std::size_t col = 0;   ///< 1-based
+};
+
+/// One parsed allow() suppression directive.
+struct Suppression {
+  std::vector<std::string> rules;
+  std::string reason;
+  std::size_t line = 0;   ///< line the comment starts on
+  bool own_line = false;  ///< no code tokens share the line -> covers line+1
+};
+
+struct LexedFile {
+  std::string path;  ///< repo-relative, forward slashes
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  /// Malformed directives (the marker is present but unparseable or the
+  /// reason is missing), as (line, message).
+  std::vector<std::pair<std::size_t, std::string>> directive_errors;
+};
+
+/// Lexes `text` (the contents of `path`).  Never throws on malformed input:
+/// an unterminated literal simply consumes to end of file.
+LexedFile lex_file_text(std::string path, const std::string& text);
+
+}  // namespace centaur::lint

@@ -1,0 +1,39 @@
+// Driver: file walk, suppression + baseline application, final verdict.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baseline.hpp"
+#include "report.hpp"
+#include "rules.hpp"
+
+namespace centaur::lint {
+
+struct LintOptions {
+  /// Repo root; the default walk covers root/{src,tools,tests}.
+  std::string root = ".";
+  /// Explicit files/directories (repo-relative or absolute).  Empty ->
+  /// default walk.
+  std::vector<std::string> paths;
+  std::string contexts_path;  ///< empty -> root/tools/lint/contexts.txt
+  std::string baseline_path;  ///< empty -> root/tools/lint/baseline.txt
+};
+
+struct LintResult {
+  /// Findings that fail the gate, sorted by file/line/col.
+  std::vector<Finding> findings;
+  ReportStats stats;
+  /// Fatal problems (unreadable root, missing contexts file, ...).  When
+  /// non-empty the findings are meaningless and the exit code is 2.
+  std::vector<std::string> errors;
+};
+
+/// Collects the files the default walk would visit (sorted, repo-relative).
+std::vector<std::string> collect_files(const LintOptions& opts,
+                                       std::vector<std::string>* errors);
+
+/// Runs the full pipeline: walk, lex, rules, suppressions, baseline.
+LintResult run_lint(const LintOptions& opts);
+
+}  // namespace centaur::lint

@@ -1,0 +1,119 @@
+// centaur-lint — project-contract static analyzer (see DESIGN.md §11).
+//
+// Exit codes: 0 clean, 1 findings, 2 usage / IO / configuration error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "report.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: centaur-lint [options] [path...]\n"
+        "\n"
+        "Walks src/, tools/, and tests/ under --root (or the given paths)\n"
+        "and enforces the project-contract rules (DESIGN.md §11).\n"
+        "\n"
+        "options:\n"
+        "  --root DIR       repo root (default: .)\n"
+        "  --contexts FILE  rule contexts (default: ROOT/tools/lint/"
+        "contexts.txt)\n"
+        "  --baseline FILE  shrink-only baseline (default: ROOT/tools/lint/"
+        "baseline.txt)\n"
+        "  --format FMT     text | json | sarif (default: text)\n"
+        "  --output FILE    write the report to FILE instead of stdout\n"
+        "  --list-rules     print the rule table and exit\n"
+        "  -h, --help       this message\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace centaur::lint;
+
+  LintOptions opts;
+  std::string format = "text";
+  std::string output;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "centaur-lint: " << flag << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opts.root = next("--root");
+    } else if (arg == "--contexts") {
+      opts.contexts_path = next("--contexts");
+    } else if (arg == "--baseline") {
+      opts.baseline_path = next("--baseline");
+    } else if (arg == "--format") {
+      format = next("--format");
+    } else if (arg == "--output") {
+      output = next("--output");
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "-h" || arg == "--help") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "centaur-lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      opts.paths.push_back(arg);
+    }
+  }
+
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::cerr << "centaur-lint: unknown --format '" << format << "'\n";
+    return 2;
+  }
+
+  if (list_rules) {
+    std::cout << "centaur-lint rule set v" << kRuleSetVersion << "\n";
+    for (const RuleDescription& r : rule_table()) {
+      std::cout << "  " << r.id << "  " << r.summary << "\n";
+    }
+    return 0;
+  }
+
+  const LintResult result = run_lint(opts);
+  if (!result.errors.empty()) {
+    for (const std::string& e : result.errors) {
+      std::cerr << "centaur-lint: error: " << e << "\n";
+    }
+    return 2;
+  }
+
+  std::string report;
+  if (format == "json") {
+    report = render_json(result.findings, result.stats);
+  } else if (format == "sarif") {
+    report = render_sarif(result.findings);
+  } else {
+    report = render_text(result.findings, result.stats);
+  }
+
+  if (output.empty()) {
+    std::cout << report;
+  } else {
+    std::ofstream out(output, std::ios::binary);
+    if (!out) {
+      std::cerr << "centaur-lint: cannot write " << output << "\n";
+      return 2;
+    }
+    out << report;
+    // Keep the terminal useful even when the report goes to a file.
+    std::cout << render_text(result.findings, result.stats);
+  }
+
+  return result.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+#include "report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace centaur::lint {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_text(const std::vector<Finding>& findings,
+                        const ReportStats& stats) {
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << f.file << ":" << f.line << ":" << f.col << ": " << f.rule << ": "
+       << f.message << "\n";
+  }
+  os << "centaur-lint: " << stats.files << " file(s), " << findings.size()
+     << " finding(s)";
+  if (stats.suppressed > 0) os << ", " << stats.suppressed << " suppressed";
+  if (stats.baselined > 0) os << ", " << stats.baselined << " baselined";
+  os << "\n";
+  return os.str();
+}
+
+std::string render_json(const std::vector<Finding>& findings,
+                        const ReportStats& stats) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"tool\": \"centaur-lint\",\n";
+  os << "  \"rule_set_version\": " << kRuleSetVersion << ",\n";
+  os << "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+       << json_escape(f.file) << "\", \"line\": " << f.line
+       << ", \"col\": " << f.col << ", \"token\": \"" << json_escape(f.token)
+       << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  os << (findings.empty() ? "" : "\n  ") << "],\n";
+  os << "  \"stats\": {\"files\": " << stats.files
+     << ", \"suppressed\": " << stats.suppressed
+     << ", \"baselined\": " << stats.baselined << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  os << "  \"version\": \"2.1.0\",\n";
+  os << "  \"runs\": [\n    {\n";
+  os << "      \"tool\": {\n        \"driver\": {\n";
+  os << "          \"name\": \"centaur-lint\",\n";
+  os << "          \"version\": \"" << kRuleSetVersion << ".0\",\n";
+  os << "          \"informationUri\": "
+        "\"https://github.com/centaur/centaur\",\n";
+  os << "          \"rules\": [";
+  const auto& rules = rule_table();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    os << "            {\"id\": \"" << rules[i].id
+       << "\", \"shortDescription\": {\"text\": \""
+       << json_escape(rules[i].summary) << "\"}}";
+  }
+  os << "\n          ]\n        }\n      },\n";
+  os << "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "        {\"ruleId\": \"" << json_escape(f.rule)
+       << "\", \"level\": \"error\", \"message\": {\"text\": \""
+       << json_escape(f.message) << "\"}, \"locations\": [{"
+       << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+       << json_escape(f.file) << "\"}, \"region\": {\"startLine\": " << f.line
+       << ", \"startColumn\": " << f.col << "}}}]}";
+  }
+  os << (findings.empty() ? "" : "\n      ") << "]\n";
+  os << "    }\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace centaur::lint

@@ -1,0 +1,28 @@
+// Finding reporters: grep-style text, JSON, and SARIF 2.1.0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace centaur::lint {
+
+struct ReportStats {
+  std::size_t files = 0;
+  std::size_t suppressed = 0;
+  std::size_t baselined = 0;
+};
+
+/// `file:line:col: RULE: message` lines plus a one-line summary.
+std::string render_text(const std::vector<Finding>& findings,
+                        const ReportStats& stats);
+
+/// {"tool": ..., "rule_set_version": N, "findings": [...], "stats": {...}}
+std::string render_json(const std::vector<Finding>& findings,
+                        const ReportStats& stats);
+
+/// Minimal valid SARIF 2.1.0 log with one run.
+std::string render_sarif(const std::vector<Finding>& findings);
+
+}  // namespace centaur::lint
