@@ -94,6 +94,15 @@ int main(int argc, char** argv) {
               std::to_string(t->nodes),
           t->wall_s, t->series));
     }
+    // Wall-time gap note per scale (informational, like wall_time_s itself
+    // — never gated; bench_compare.py prints baseline vs current side by
+    // side).  The incremental recompute plane exists to close this ratio.
+    io.report.add_note(
+        "centaur_vs_bgp_wall_ratio n=" + std::to_string(centaur.nodes) +
+        ": " +
+        util::fmt_double(centaur.wall_s / std::max(bgp.wall_s, 1e-9), 2) +
+        " (centaur " + util::fmt_double(centaur.wall_s, 3) + " s, bgp " +
+        util::fmt_double(bgp.wall_s, 3) + " s)");
   }
   table.print(std::cout);
 

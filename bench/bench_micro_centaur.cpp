@@ -15,8 +15,10 @@
 
 #include "centaur/announce.hpp"
 #include "centaur/build_graph.hpp"
+#include "centaur/centaur_node.hpp"
 #include "policy/valley_free.hpp"
 #include "runner/bench_report.hpp"
+#include "sim/network.hpp"
 #include "topology/generator.hpp"
 #include "util/bloom.hpp"
 #include "util/rng.hpp"
@@ -120,6 +122,61 @@ void BM_ApplyFullDelta(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ApplyFullDelta)->Range(64, 512);
+
+void BM_ApplyDelta(benchmark::State& state) {
+  // Steady-phase counterpart of BM_ApplyFullDelta: a small incremental
+  // delta (a few destinations' paths leaving and returning) applied to an
+  // already-assembled neighbor P-graph — the per-message import cost the
+  // incremental recompute plane pays in the steady state.
+  const auto g = make_topology(static_cast<std::size_t>(state.range(0)));
+  const auto selected = selected_paths(g, 1);
+  auto shrunk = selected;
+  std::size_t idx = 0;
+  for (auto it = shrunk.begin(); it != shrunk.end();) {
+    it = (idx++ % 8 == 3) ? shrunk.erase(it) : std::next(it);
+  }
+  const auto all = [](NodeId) { return true; };
+  const core::ExportedView before =
+      core::make_export_view(core::build_local_pgraph(1, selected), all);
+  const core::ExportedView after =
+      core::make_export_view(core::build_local_pgraph(1, shrunk), all);
+  const core::GraphDelta fwd = core::diff_views(before, after);
+  const core::GraphDelta back = core::diff_views(after, before);
+  PGraph target(1);
+  core::apply_delta(target, core::diff_views(core::ExportedView{}, before), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::apply_delta(target, fwd, 2));
+    benchmark::DoNotOptimize(core::apply_delta(target, back, 2));
+  }
+  // Deterministic workload shape (gated at tolerance 0).
+  state.counters["delta_links"] =
+      static_cast<double>(fwd.upserts.size() + fwd.removes.size());
+  state.counters["delta_dests"] =
+      static_cast<double>(fwd.dest_adds.size() + fwd.dest_removes.size());
+}
+BENCHMARK(BM_ApplyDelta)->Range(64, 512);
+
+void BM_Reselect(benchmark::State& state) {
+  // The incremental-plane reselect sweep: after convergence, a
+  // policy_changed() re-ranks every known destination by rank-merging the
+  // per-neighbor candidate summaries (no selection actually changes, so
+  // nothing floods) — the per-delta decision cost of the steady phase.
+  auto g = make_topology(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(0x5EEC7);
+  sim::Network net(g, rng);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    net.attach(v, std::make_unique<core::CentaurNode>(g));
+  }
+  net.start_all_and_converge();
+  auto& node = dynamic_cast<core::CentaurNode&>(net.node(1));
+  for (auto _ : state) {
+    node.policy_changed();
+  }
+  // Deterministic workload shape (gated at tolerance 0).
+  state.counters["selected_dests"] =
+      static_cast<double>(node.selected_paths().size());
+}
+BENCHMARK(BM_Reselect)->Range(64, 512);
 
 void BM_EncodeDelta(benchmark::State& state) {
   const auto g = make_topology(static_cast<std::size_t>(state.range(0)));

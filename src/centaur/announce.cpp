@@ -105,6 +105,54 @@ bool apply_delta(PGraph& g, const GraphDelta& delta, NodeId self,
   return changed;
 }
 
+// ------------------------------------------ incremental view maintenance --
+
+void apply_link_transition(ExportedView& view, PendingDelta& pending,
+                           const DirectedLink& link,
+                           const PermissionList* now) {
+  const std::uint64_t key = pack_link(link.from, link.to);
+  PermissionList* cur = view.links.find(key);
+  if (now != nullptr) {
+    if (cur == nullptr) {
+      pending.record_upsert(link, *now, /*receiver_has_link=*/false);
+      view.links[key] = *now;
+    } else if (!(*cur == *now)) {
+      pending.record_upsert(link, *now, /*receiver_has_link=*/true);
+      *cur = *now;
+    }
+  } else if (cur != nullptr) {
+    pending.record_remove(link);
+    view.links.erase(key);
+  }
+}
+
+void apply_dest_transition(ExportedView& view, PendingDelta& pending,
+                           NodeId dest, bool now) {
+  if (now) {
+    if (util::sorted_insert(view.destinations, dest)) {
+      pending.record_dest_add(dest);
+    }
+  } else if (util::sorted_erase(view.destinations, dest)) {
+    pending.record_dest_remove(dest);
+  }
+}
+
+void record_view_transitions(ExportedView& view, PendingDelta& pending,
+                             const ExportedView& now) {
+  const GraphDelta delta = diff_views(view, now);
+  for (const auto& [link, plist] : delta.upserts) {
+    pending.record_upsert(link, plist,
+                          /*receiver_has_link=*/view.has_link(link.from,
+                                                              link.to));
+  }
+  for (const DirectedLink& link : delta.removes) pending.record_remove(link);
+  for (const NodeId dest : delta.dest_adds) pending.record_dest_add(dest);
+  for (const NodeId dest : delta.dest_removes) {
+    pending.record_dest_remove(dest);
+  }
+  view = now;
+}
+
 // ------------------------------------------------------------ coalescing --
 
 void PendingDelta::record_upsert(const DirectedLink& link,

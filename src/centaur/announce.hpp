@@ -103,6 +103,32 @@ GraphDelta diff_views(const ExportedView& before, const ExportedView& after);
 bool apply_delta(PGraph& g, const GraphDelta& delta, NodeId self,
                  const LinkFilter& import_allowed = nullptr);
 
+class PendingDelta;
+
+/// Incremental export maintenance: applies one link transition to `view`
+/// and records it in `pending`.  `now` points at the link's exported
+/// Permission List after the change; nullptr means the link leaves the
+/// view.  A key has no pending slot iff receivers already match the view,
+/// so `receiver_has_link` on a fresh slot is exactly "the view had the
+/// link".  Pointer semantics keep the common no-change probe copy-free —
+/// the Permission List is only copied when the view actually edits.
+void apply_link_transition(ExportedView& view, PendingDelta& pending,
+                           const DirectedLink& link,
+                           const PermissionList* now);
+
+/// Destination-mark counterpart: `now` says whether `dest` belongs to the
+/// view after the change; no-ops (and records nothing) when the view
+/// already agrees.
+void apply_dest_transition(ExportedView& view, PendingDelta& pending,
+                           NodeId dest, bool now);
+
+/// Scratch reference for the incremental export plane: replaces `view`
+/// with `now`, feeding every transition between them through the same
+/// per-key recording machinery the incremental path uses — the resulting
+/// wire deltas are bit-identical (CENTAUR_INCREMENTAL=0 floods use this).
+void record_view_transitions(ExportedView& view, PendingDelta& pending,
+                             const ExportedView& now);
+
 /// Outbound coalescing slot: accumulates the view changes recorded since the
 /// last flush and yields their *net* effect as one canonical delta.
 ///

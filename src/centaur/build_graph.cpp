@@ -1,8 +1,9 @@
 #include "centaur/build_graph.hpp"
 
-#include <set>
+#include <algorithm>
 #include <tuple>
 #include <stdexcept>
+#include <vector>
 
 namespace centaur::core {
 
@@ -46,62 +47,71 @@ void remove_path_from_pgraph(PGraph& g, const Path& path) {
   }
 }
 
-std::size_t minimize_permission_lists(PGraph& g) {
-  // Collect multi-homed heads first (mutating payloads below does not
-  // change the link structure, but keep the walk simple).
-  std::size_t cleared = 0;
-  std::set<NodeId> heads;
-  for (const auto& [link, data] : g.links()) {
-    if (g.multi_homed(link.to)) heads.insert(link.to);
-  }
-  for (NodeId b : heads) {
-    // Default link: the in-link whose permissions include b itself as the
-    // destination (so DerivePath(b)'s fallback lands on the right parent);
-    // ties, and heads never appearing as destinations, resolve to the
-    // in-link carrying the most destinations, then the lowest parent id.
-    NodeId best_parent = topo::kInvalidNode;
-    bool best_sentinel = false;
-    std::size_t best_count = 0;
-    for (NodeId a : g.parents(b)) {
-      const PermissionList& plist = g.link_data(a, b).plist;
-      const bool sentinel = plist.permits(b, kNoNextHop);
-      const std::size_t count = plist.dest_count();
-      const bool better = best_parent == topo::kInvalidNode ||
-                          std::tuple(sentinel, count) >
-                              std::tuple(best_sentinel, best_count);
-      if (better) {
-        best_parent = a;
-        best_sentinel = sentinel;
-        best_count = count;
-      }
+namespace {
+
+// Per-head body of the minimal scheme; reads and writes only b's in-links.
+std::size_t minimize_head(PGraph& g, NodeId b) {
+  // Default link: the in-link whose permissions include b itself as the
+  // destination (so DerivePath(b)'s fallback lands on the right parent);
+  // ties, and heads never appearing as destinations, resolve to the
+  // in-link carrying the most destinations, then the lowest parent id.
+  NodeId best_parent = topo::kInvalidNode;
+  bool best_sentinel = false;
+  std::size_t best_count = 0;
+  for (NodeId a : g.parents(b)) {
+    const PermissionList& plist = g.link_data(a, b).plist;
+    const bool sentinel = plist.permits(b, kNoNextHop);
+    const std::size_t count = plist.dest_count();
+    const bool better = best_parent == topo::kInvalidNode ||
+                        std::tuple(sentinel, count) >
+                            std::tuple(best_sentinel, best_count);
+    if (better) {
+      best_parent = a;
+      best_sentinel = sentinel;
+      best_count = count;
     }
-    for (NodeId a : g.parents(b)) {
-      PermissionList& plist = g.link_data(a, b).plist;
-      if (a == best_parent) {
-        if (!plist.empty()) ++cleared;
-        plist = PermissionList{};
-      } else {
-        // The head-as-destination case is handled by the default link;
-        // other in-links only need entries for traffic crossing the head
-        // (redundant co-optimal sentinel entries would double-resolve).
-        plist.remove(b, kNoNextHop);
-      }
+  }
+  std::size_t cleared = 0;
+  for (NodeId a : g.parents(b)) {
+    PermissionList& plist = g.link_data(a, b).plist;
+    if (a == best_parent) {
+      if (!plist.empty()) ++cleared;
+      plist = PermissionList{};
+    } else {
+      // The head-as-destination case is handled by the default link;
+      // other in-links only need entries for traffic crossing the head
+      // (redundant co-optimal sentinel entries would double-resolve).
+      plist.remove(b, kNoNextHop);
     }
   }
   return cleared;
 }
 
-PGraph build_local_pgraph(NodeId root,
-                          const std::map<NodeId, Path>& selected) {
-  PGraph g(root);
-  for (const auto& [dest, path] : selected) {
-    if (path.empty() || path.front() != root || path.back() != dest) {
-      throw std::invalid_argument(
-          "build_local_pgraph: path must run root..dest");
-    }
-    add_path_to_pgraph(g, path);
+}  // namespace
+
+std::size_t minimize_permission_lists(PGraph& g) {
+  // Collect multi-homed heads first (mutating payloads below does not
+  // change the link structure, but keep the walk simple).
+  std::vector<NodeId> heads;
+  for (const auto& [link, data] : g.links()) {
+    if (g.multi_homed(link.to)) heads.push_back(link.to);
   }
-  return g;
+  std::sort(heads.begin(), heads.end());
+  heads.erase(std::unique(heads.begin(), heads.end()), heads.end());
+  std::size_t cleared = 0;
+  for (NodeId b : heads) cleared += minimize_head(g, b);
+  return cleared;
+}
+
+std::size_t minimize_permission_lists_at(PGraph& g,
+                                         std::vector<NodeId> heads) {
+  std::sort(heads.begin(), heads.end());
+  heads.erase(std::unique(heads.begin(), heads.end()), heads.end());
+  std::size_t cleared = 0;
+  for (NodeId b : heads) {
+    if (g.multi_homed(b)) cleared += minimize_head(g, b);
+  }
+  return cleared;
 }
 
 }  // namespace centaur::core

@@ -16,6 +16,22 @@ bool cone_exportable(policy::RouteSource source) {
   return may_export(source, topo::Relationship::kPeer);
 }
 
+/// classify_path(g, {self} + sub) without materializing the joined path:
+/// the class is the relationship of the first non-sibling hop starting at
+/// self (all-sibling paths classify as sibling).
+policy::RouteSource classify_sub(const topo::AsGraph& g, NodeId self,
+                                 const Path& sub) {
+  NodeId prev = self;
+  for (const NodeId hop : sub) {
+    const topo::Relationship rel = g.rel(prev, hop);
+    if (rel != topo::Relationship::kSibling) {
+      return policy::source_from_rel(rel);
+    }
+    prev = hop;
+  }
+  return policy::RouteSource::kSibling;
+}
+
 }  // namespace
 
 std::string CentaurUpdate::describe() const {
@@ -33,12 +49,13 @@ CentaurNode::CentaurNode(const topo::AsGraph& graph, Config config)
     : graph_(graph), config_(std::move(config)) {}
 
 bool CentaurNode::neighbor_usable(NodeId neighbor) const {
-  const auto it = session_up_.find(neighbor);
-  return it != session_up_.end() && it->second;
+  const bool* up = session_up_.find(neighbor);
+  return up != nullptr && *up;
 }
 
 void CentaurNode::start() {
   local_.reset(self());
+  local_.reserve(graph_.num_nodes(), 2 * graph_.num_nodes());
   for (const topo::Neighbor& nb : graph_.neighbors(self())) {
     session_up_[nb.node] = graph_.link_up(nb.link);
   }
@@ -54,51 +71,91 @@ void CentaurNode::start() {
 
 // --------------------------------------------------------------- derive ---
 
-std::set<NodeId> CentaurNode::refresh_derived(NeighborState& state,
-                                              const std::set<NodeId>& dests) {
-  std::set<NodeId> changed;
-  std::vector<NodeId> visited;
+std::vector<NodeId> CentaurNode::refresh_derived(
+    NeighborState& state, const std::vector<NodeId>& dests) {
+  std::vector<NodeId> changed;  // ascending: dests arrives sorted
+  std::vector<NodeId>& visited = visited_scratch_;
+  Path& fresh = path_scratch_;  // reused across dests — no per-walk alloc
   for (const NodeId dest : dests) {
     const bool marked = state.graph.is_destination(dest);
-    std::optional<Path> fresh;
+    bool derivable = false;
     visited.clear();
+    fresh.clear();
     if (marked) {
-      fresh = state.graph.derive_path(dest, &visited);
+      derivable = state.graph.derive_path_into(dest, fresh, &visited);
+    }
+
+    // The indexed walk chain of `e` is reverse(path) for a successful
+    // derivation and fail_chain for a failed one; de-index it.
+    const auto erase_walk = [&state](const DestState& e, NodeId d) {
+      if (!e.path.empty()) {
+        for (auto it = e.path.rbegin(); it != e.path.rend(); ++it) {
+          util::sorted_erase(state.chain_index[*it], d);
+        }
+      } else {
+        for (const NodeId node : e.fail_chain) {
+          util::sorted_erase(state.chain_index[node], d);
+        }
+      }
+    };
+
+    DestState* entry = state.dests.find(dest);
+    if (!marked) {
+      // Unmarked: drop the whole cache slot (walk index included).
+      if (entry == nullptr) continue;
+      erase_walk(*entry, dest);
+      const bool had_path = !entry->path.empty();
+      state.dests.erase(dest);
+      if (had_path) changed.push_back(dest);
+      continue;
+    }
+
+    if (entry == nullptr) {
+      bool inserted = false;
+      entry = &state.dests.ensure(dest, inserted);
     }
 
     // Re-index the walk if it changed (failed walks are indexed too: their
     // outcome can only flip when an in-link of a walked node changes).
-    std::vector<NodeId>* chain = state.chains.find(dest);
-    if (chain == nullptr || *chain != visited) {
-      if (chain != nullptr) {
-        for (const NodeId node : *chain) {
-          auto* idx = state.chain_index.find(node);
-          if (idx != nullptr) {
-            util::sorted_erase(*idx, dest);
-            if (idx->empty()) state.chain_index.erase(node);
-          }
+    const bool was_derived = !entry->path.empty();
+    const bool chain_same =
+        was_derived
+            ? entry->path.size() == visited.size() &&
+                  std::equal(visited.begin(), visited.end(),
+                             entry->path.rbegin())
+            : entry->fail_chain == visited;
+    if (!chain_same) {
+      erase_walk(*entry, dest);
+      for (const NodeId node : visited) {
+        if (state.chain_index.size() <= node) {
+          state.chain_index.resize(std::size_t{node} + 1);
         }
-      }
-      if (marked) {
-        for (const NodeId node : visited) {
-          util::sorted_insert(state.chain_index[node], dest);
-        }
-        state.chains[dest] = visited;
-      } else if (chain != nullptr) {
-        state.chains.erase(dest);
+        util::sorted_insert(state.chain_index[node], dest);
       }
     }
 
-    // Report only selection-relevant changes (path appeared/changed/gone).
-    Path* old_path = state.derived.find(dest);
-    if (fresh) {
-      if (old_path != nullptr && *fresh == *old_path) continue;
-      state.derived[dest] = std::move(*fresh);
+    // Report only selection-relevant changes (path appeared/changed/gone);
+    // the candidate summary is refreshed in lockstep so reselect() can rank
+    // without touching the path itself.
+    if (derivable) {
+      entry->fail_chain.clear();
+      if (was_derived && fresh == entry->path) continue;
+      CandEntry& cand = entry->cand;
+      cand.length = static_cast<std::uint32_t>(fresh.size());
+      cand.usable =
+          std::find(fresh.begin(), fresh.end(), self()) == fresh.end();
+      if (cand.usable) cand.source = classify_sub(graph_, self(), fresh);
+      entry->path = fresh;  // assignment reuses the slot's capacity
     } else {
-      if (old_path == nullptr) continue;
-      state.derived.erase(dest);
+      // Keep the failed walk indexed and recorded, whether the previous
+      // state was a live path (now gone) or an older failed walk.
+      if (!chain_same || was_derived) {
+        entry->fail_chain.assign(visited.begin(), visited.end());
+      }
+      if (!was_derived) continue;
+      entry->path.clear();
     }
-    changed.insert(dest);
+    changed.push_back(dest);
   }
   return changed;
 }
@@ -151,53 +208,90 @@ void CentaurNode::note_path_added(NodeId dest, const Path& path,
   }
 }
 
-bool CentaurNode::reselect(const std::set<NodeId>& dests) {
-  bool any_change = false;
-  for (const NodeId dest : dests) {
-    if (dest == self()) continue;  // the origin route is fixed
-    std::optional<Path> best_path;
-    Candidate best{};
-    for (const auto& [nbr, state] : rib_) {
-      if (!neighbor_usable(nbr)) continue;
-      const Path* derived = state.derived.find(dest);
-      if (derived == nullptr) continue;
-      const Path& sub = *derived;
-      // Loop detection (Observation 1): discard downstream paths that
-      // already contain this node.
-      if (std::find(sub.begin(), sub.end(), self()) != sub.end()) continue;
-      Path full;
-      full.reserve(sub.size() + 1);
-      full.push_back(self());
-      full.insert(full.end(), sub.begin(), sub.end());
-      const Candidate cand{classify_path(graph_, full),
-                           static_cast<std::uint32_t>(full.size() - 1), nbr};
-      bool adopt;
-      if (!best_path) {
+std::optional<Path> CentaurNode::best_candidate_cached(
+    NodeId dest, Candidate& best) const {
+  // Rank-merge over the cached per-neighbor summaries, ascending by
+  // neighbor id (VecMap order) — the same scan order and the same strict
+  // adoption test as the scratch reference, so the winner is identical; the
+  // full path is materialized once, for the winner only.
+  const DestState* win = nullptr;
+  for (const auto& [nbr, state] : rib_) {
+    if (!neighbor_usable(nbr)) continue;
+    const DestState* entry = state.dests.find(dest);
+    if (entry == nullptr || entry->path.empty() || !entry->cand.usable) {
+      continue;
+    }
+    const Candidate cand{entry->cand.source, entry->cand.length, nbr};
+    if (win == nullptr || policy::better(cand, best)) {
+      best = cand;
+      win = entry;
+    }
+  }
+  if (win == nullptr) return std::nullopt;
+  const Path& sub = win->path;
+  Path full;
+  full.reserve(sub.size() + 1);
+  full.push_back(self());
+  full.insert(full.end(), sub.begin(), sub.end());
+  return full;
+}
+
+std::optional<Path> CentaurNode::best_candidate_scratch(
+    NodeId dest, Candidate& best) const {
+  std::optional<Path> best_path;
+  for (const auto& [nbr, state] : rib_) {
+    if (!neighbor_usable(nbr)) continue;
+    const DestState* derived = state.dests.find(dest);
+    if (derived == nullptr || derived->path.empty()) continue;
+    const Path& sub = derived->path;
+    // Loop detection (Observation 1): discard downstream paths that
+    // already contain this node.
+    if (std::find(sub.begin(), sub.end(), self()) != sub.end()) continue;
+    Path full;
+    full.reserve(sub.size() + 1);
+    full.push_back(self());
+    full.insert(full.end(), sub.begin(), sub.end());
+    const Candidate cand{classify_path(graph_, full),
+                         static_cast<std::uint32_t>(full.size() - 1), nbr};
+    bool adopt;
+    if (!best_path) {
+      adopt = true;
+    } else if (config_.ranking) {
+      if (config_.ranking(cand, full, best, *best_path)) {
         adopt = true;
-      } else if (config_.ranking) {
-        if (config_.ranking(cand, full, best, *best_path)) {
-          adopt = true;
-        } else if (config_.ranking(best, *best_path, cand, full)) {
-          adopt = false;
-        } else {
-          adopt = policy::better(cand, best);
-        }
+      } else if (config_.ranking(best, *best_path, cand, full)) {
+        adopt = false;
       } else {
         adopt = policy::better(cand, best);
       }
-      if (adopt) {
-        best = cand;
-        best_path = std::move(full);
-      }
+    } else {
+      adopt = policy::better(cand, best);
     }
+    if (adopt) {
+      best = cand;
+      best_path = std::move(full);
+    }
+  }
+  return best_path;
+}
 
-    const auto cur = selected_.find(dest);
-    const bool had = cur != selected_.end();
-    if (best_path && had && cur->second == *best_path) continue;
+bool CentaurNode::reselect(const std::vector<NodeId>& dests) {
+  const bool use_cache = config_.incremental && !config_.ranking;
+  bool any_change = false;
+  for (const NodeId dest : dests) {
+    if (dest == self()) continue;  // the origin route is fixed
+    Candidate best{};
+    std::optional<Path> best_path = use_cache
+                                        ? best_candidate_cached(dest, best)
+                                        : best_candidate_scratch(dest, best);
+
+    const Path* cur = selected_.find(dest);
+    const bool had = cur != nullptr;
+    if (best_path && had && *cur == *best_path) continue;
     if (had) {
-      const bool old_cone = cone_exportable(selected_class_.at(dest));
-      note_path_removed(dest, cur->second, old_cone);
-      remove_path_from_pgraph(local_, cur->second);
+      const bool old_cone = cone_exportable(*selected_class_.find(dest));
+      note_path_removed(dest, *cur, old_cone);
+      remove_path_from_pgraph(local_, *cur);
       if (old_cone) cone_dests_.erase(dest);
     }
     if (best_path) {
@@ -223,9 +317,8 @@ bool CentaurNode::reselect(const std::set<NodeId>& dests) {
 ExportedView CentaurNode::view_for(NodeId neighbor) const {
   const topo::Relationship rel_to = graph_.rel(self(), neighbor);
   DestFilter dest_allowed = [this, rel_to](NodeId dest) {
-    const auto it = selected_class_.find(dest);
-    if (it == selected_class_.end()) return false;
-    return may_export(it->second, rel_to);
+    const policy::RouteSource* source = selected_class_.find(dest);
+    return source != nullptr && may_export(*source, rel_to);
   };
   LinkFilter link_allowed;
   if (config_.export_link_filter) {
@@ -246,11 +339,12 @@ void CentaurNode::flood() {
     for (const topo::Neighbor& nb : graph_.neighbors(self())) {
       if (!neighbor_usable(nb.node)) continue;
       const ExportedView view = view_for(nb.node);
-      auto [it, inserted] = exported_custom_.try_emplace(nb.node);
-      GraphDelta delta = diff_views(it->second, view);
-      if (inserted) delta.reset = true;
+      bool first = false;
+      ExportedView& stored = exported_custom_.ensure(nb.node, first);
+      GraphDelta delta = diff_views(stored, view);
+      if (first) delta.reset = true;
       if (delta.empty()) continue;
-      it->second = view;
+      stored = view;
       net().send(self(), nb.node,
                  std::make_shared<CentaurUpdate>(std::move(delta),
                                                  config_.bloom_plists));
@@ -258,28 +352,30 @@ void CentaurNode::flood() {
     return;
   }
 
+  if (!config_.incremental) {
+    // Scratch reference (CENTAUR_INCREMENTAL=0): rebuild both category
+    // views in full and diff against the stored copies, ignoring the flood
+    // scratch.  The transitions feed the same pending machinery as the
+    // incremental path, so the wire stream is bit-identical.
+    touched_links_.clear();
+    changed_dests_.clear();
+    const DestFilter cone_allowed = [this](NodeId dest) {
+      const policy::RouteSource* source = selected_class_.find(dest);
+      return source != nullptr && cone_exportable(*source);
+    };
+    record_view_transitions(exported_full_, pending_full_,
+                            make_export_view(local_, nullptr));
+    record_view_transitions(exported_cone_, pending_cone_,
+                            make_export_view(local_, cone_allowed));
+    dispatch_updates();
+    return;
+  }
+
   // Incrementally update the two category views from the flood scratch,
-  // recording every view transition in the per-category pending deltas.
-  // A key has no pending slot iff receivers already match the view, so
-  // `receiver_has_link` on a fresh slot is exactly "the view had the link".
-  auto update_link = [](ExportedView& exp, PendingDelta& pending,
-                        const DirectedLink& link,
-                        std::optional<PermissionList> now) {
-    const std::uint64_t key = pack_link(link.from, link.to);
-    PermissionList* cur = exp.links.find(key);
-    if (now) {
-      if (cur == nullptr) {
-        pending.record_upsert(link, *now, /*receiver_has_link=*/false);
-        exp.links[key] = std::move(*now);
-      } else if (!(*cur == *now)) {
-        pending.record_upsert(link, *now, /*receiver_has_link=*/true);
-        *cur = std::move(*now);
-      }
-    } else if (cur != nullptr) {
-      pending.record_remove(link);
-      exp.links.erase(key);
-    }
-  };
+  // recording every view transition in the per-category pending deltas
+  // (apply_link_transition / apply_dest_transition in announce.cpp hold
+  // the per-key state machines).
+  static const PermissionList kEmptyPlist;
   std::sort(touched_links_.begin(), touched_links_.end());
   touched_links_.erase(
       std::unique(touched_links_.begin(), touched_links_.end()),
@@ -289,24 +385,24 @@ void CentaurNode::flood() {
     // wire only while the head is multi-homed.  One probe resolves both
     // presence and payload (find_link_data; the seed did has_link +
     // link_data).
-    std::optional<PermissionList> full_now;
+    const PermissionList* full_now = nullptr;
     const LinkData* data = local_.find_link_data(link.from, link.to);
     const bool present = data != nullptr;
     const bool multi = present && local_.multi_homed(link.to);
     if (present) {
-      full_now = multi ? data->plist : PermissionList{};
+      full_now = multi ? &data->plist : &kEmptyPlist;
     }
-    update_link(exported_full_, pending_full_, link, std::move(full_now));
+    apply_link_transition(exported_full_, pending_full_, link, full_now);
 
     // Cone view: only links carrying cone-class destinations, with the
     // Permission List filtered to those destinations (cone_entries_ keeps
     // exactly that).
-    std::optional<PermissionList> cone_now;
+    const PermissionList* cone_now = nullptr;
     const PermissionList* ce = cone_entries_.find(pack_link(link.from, link.to));
     if (present && ce != nullptr && !ce->empty()) {
-      cone_now = multi ? *ce : PermissionList{};
+      cone_now = multi ? ce : &kEmptyPlist;
     }
-    update_link(exported_cone_, pending_cone_, link, std::move(cone_now));
+    apply_link_transition(exported_cone_, pending_cone_, link, cone_now);
   }
   std::sort(changed_dests_.begin(), changed_dests_.end());
   changed_dests_.erase(
@@ -315,18 +411,8 @@ void CentaurNode::flood() {
   for (const NodeId dest : changed_dests_) {
     const bool full_now = selected_.count(dest) > 0;
     const bool cone_now = full_now && cone_dests_.count(dest) > 0;
-    auto update_dest = [dest](ExportedView& exp, PendingDelta& pending,
-                              bool now) {
-      if (now) {
-        if (util::sorted_insert(exp.destinations, dest)) {
-          pending.record_dest_add(dest);
-        }
-      } else if (util::sorted_erase(exp.destinations, dest)) {
-        pending.record_dest_remove(dest);
-      }
-    };
-    update_dest(exported_full_, pending_full_, full_now);
-    update_dest(exported_cone_, pending_cone_, cone_now);
+    apply_dest_transition(exported_full_, pending_full_, dest, full_now);
+    apply_dest_transition(exported_cone_, pending_cone_, dest, cone_now);
   }
   touched_links_.clear();
   changed_dests_.clear();
@@ -399,13 +485,21 @@ void CentaurNode::on_message(NodeId from, const sim::MessagePtr& msg) {
   if (update == nullptr || !neighbor_usable(from)) return;
   const GraphDelta& delta = update->delta();
 
-  auto [it, inserted] = rib_.try_emplace(from, NeighborState(from));
-  NeighborState& state = it->second;
+  bool inserted = false;
+  NeighborState& state = rib_.ensure(from, inserted);
+  if (inserted) {
+    state.graph.reset(from);
+    // Pre-size for the steady-state footprint (one entry per reachable
+    // node/destination) so cold-start assembly avoids rehash cascades.
+    const std::size_t n = graph_.num_nodes();
+    state.graph.reserve(n, 2 * n);
+    state.dests.reserve(n);
+    if (state.chain_index.size() < n) state.chain_index.resize(n);
+  }
   if (delta.reset && !inserted) {
     // Session restart: every previously derived destination is suspect.
-    state.derived.clear();
-    state.chains.clear();
-    state.chain_index.clear();
+    state.dests.clear();
+    for (auto& slot : state.chain_index) slot.clear();
   }
 
   LinkFilter import_filter;
@@ -418,27 +512,34 @@ void CentaurNode::on_message(NodeId from, const sim::MessagePtr& msg) {
   if (!changed && !inserted) return;
 
   // Dirty destinations: a delta touching node X only affects derivations
-  // whose backtracking chain visits X, plus destination-mark changes, plus
-  // (whenever the link set or permissions changed) the destinations that
-  // were underivable so far.
-  std::set<NodeId> dirty;
-  if (delta.reset) {
-    dirty = state.graph.destinations();
-    for (const auto& [dest, path] : state.derived) dirty.insert(dest);
+  // whose backtracking chain visits X (failed walks are indexed too, so
+  // formerly-underivable destinations are invalidated just as precisely),
+  // plus destination-mark changes.
+  std::vector<NodeId>& dirty = dirty_scratch_;
+  dirty.clear();
+  if (delta.reset || !config_.incremental) {
+    // Session restart — or the scratch reference plane, which re-walks
+    // every marked or previously derived destination on every delta
+    // instead of consulting the chain index.
+    dirty.assign(state.graph.destinations().begin(),
+                 state.graph.destinations().end());
+    for (const auto& [dest, ds] : state.dests) dirty.push_back(dest);
   } else {
     auto touch = [&](NodeId node) {
-      const auto* idx = state.chain_index.find(node);
-      if (idx != nullptr) {
-        dirty.insert(idx->begin(), idx->end());
+      if (node < state.chain_index.size()) {
+        const auto& idx = state.chain_index[node];
+        dirty.insert(dirty.end(), idx.begin(), idx.end());
       }
     };
     for (const auto& [link, plist] : delta.upserts) touch(link.to);
     for (const DirectedLink& link : delta.removes) touch(link.to);
-    for (const NodeId d : delta.dest_adds) dirty.insert(d);
-    for (const NodeId d : delta.dest_removes) dirty.insert(d);
+    for (const NodeId d : delta.dest_adds) dirty.push_back(d);
+    for (const NodeId d : delta.dest_removes) dirty.push_back(d);
   }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
 
-  const std::set<NodeId> derived_changed = refresh_derived(state, dirty);
+  const std::vector<NodeId> derived_changed = refresh_derived(state, dirty);
   if (derived_changed.empty()) return;
   if (reselect(derived_changed)) flood();
 }
@@ -446,14 +547,17 @@ void CentaurNode::on_message(NodeId from, const sim::MessagePtr& msg) {
 void CentaurNode::on_link_change(NodeId neighbor, bool up) {
   session_up_[neighbor] = up;
   if (!up) {
-    std::set<NodeId> affected;
-    const auto it = rib_.find(neighbor);
-    if (it != rib_.end()) {
-      for (const auto& [dest, path] : it->second.derived) {
-        affected.insert(dest);
+    std::vector<NodeId> affected;
+    NeighborState* state = rib_.find(neighbor);
+    if (state != nullptr) {
+      for (const auto& [dest, ds] : state->dests) {
+        if (!ds.path.empty()) affected.push_back(dest);
       }
-      rib_.erase(it);
+      rib_.erase(neighbor);
     }
+    // The derived cache iterates in hash-layout order; sort so reselect
+    // walks destinations ascending like every other call site.
+    std::sort(affected.begin(), affected.end());
     initialized_nbrs_.erase(neighbor);
     exported_custom_.erase(neighbor);
     if (reselect(affected)) flood();
@@ -483,19 +587,21 @@ void CentaurNode::policy_changed() {
   if (reselect(known_dests())) flood();
 }
 
-std::set<NodeId> CentaurNode::known_dests() const {
-  std::set<NodeId> dests;
+std::vector<NodeId> CentaurNode::known_dests() const {
+  std::vector<NodeId> dests;
   for (const auto& [nbr, state] : rib_) {
-    dests.insert(state.graph.destinations().begin(),
+    dests.insert(dests.end(), state.graph.destinations().begin(),
                  state.graph.destinations().end());
   }
-  for (const auto& [dest, path] : selected_) dests.insert(dest);
+  for (const auto& [dest, path] : selected_) dests.push_back(dest);
+  std::sort(dests.begin(), dests.end());
+  dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
   return dests;
 }
 
 const PGraph* CentaurNode::neighbor_pgraph(NodeId neighbor) const {
-  const auto it = rib_.find(neighbor);
-  return it == rib_.end() ? nullptr : &it->second.graph;
+  const NeighborState* state = rib_.find(neighbor);
+  return state == nullptr ? nullptr : &state->graph;
 }
 
 std::vector<NodeId> CentaurNode::rib_neighbors() const {
@@ -505,16 +611,16 @@ std::vector<NodeId> CentaurNode::rib_neighbors() const {
   return out;
 }
 
-const CentaurNode::PathCache* CentaurNode::neighbor_derived(
+const CentaurNode::DestCache* CentaurNode::neighbor_derived(
     NodeId neighbor) const {
-  const auto it = rib_.find(neighbor);
-  return it == rib_.end() ? nullptr : &it->second.derived;
+  const NeighborState* state = rib_.find(neighbor);
+  return state == nullptr ? nullptr : &state->dests;
 }
 
 std::optional<Path> CentaurNode::selected_path(NodeId dest) const {
-  const auto it = selected_.find(dest);
-  if (it == selected_.end()) return std::nullopt;
-  return it->second;
+  const Path* path = selected_.find(dest);
+  if (path == nullptr) return std::nullopt;
+  return *path;
 }
 
 }  // namespace centaur::core

@@ -21,9 +21,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -32,8 +30,10 @@
 #include "policy/policy.hpp"
 #include "policy/valley_free.hpp"
 #include "sim/network.hpp"
+#include "util/dense_map.hpp"
 #include "util/flat_map.hpp"
 #include "util/small_vec.hpp"
+#include "util/vec_map.hpp"
 
 namespace centaur::core {
 
@@ -73,6 +73,19 @@ class CentaurNode : public sim::Node {
     /// event, so arrival times are unchanged).  Off: send inline per flood,
     /// the seed behavior.
     bool coalesce_updates = true;
+    /// Use the incremental recompute plane (DESIGN.md §12): reselect()
+    /// rank-merges the per-(neighbor, destination) candidate cache
+    /// maintained by refresh_derived() and materializes only the winning
+    /// path; deltas invalidate destinations through the walk-chain index;
+    /// floods update the two category export views from the touched-link /
+    /// changed-destination scratch.  Off: the from-scratch reference —
+    /// re-derive every destination per delta, re-classify every candidate
+    /// per reselect, and rebuild + diff full export views per flood.  Both
+    /// produce bit-identical selections, floods, and counters (the
+    /// equivalence suite proves it); nodes with a ranking override always
+    /// take the reference reselect (overrides rank full paths, which the
+    /// cache does not store).
+    bool incremental = true;
     /// Extra export-side link filter: may link from->to be announced to
     /// `neighbor`?  Applied on top of the Gao-Rexford destination-based
     /// export rule.  Null means allow.
@@ -99,51 +112,104 @@ class CentaurNode : public sim::Node {
   /// policy changes (S4.3.2 treats those like link-state changes).
   void policy_changed();
 
-  /// Derived-path cache: flat hash map dest -> path (DESIGN.md §5).
-  using PathCache = util::FlatMap<NodeId, Path>;
+  /// Ranking-relevant summary of one neighbor's derived path for one
+  /// destination, refreshed whenever the derived path changes.  Lets
+  /// reselect() rank candidates without materializing or re-classifying
+  /// full paths: classification depends only on the static AS relationships
+  /// along the path, so it is computed once per derived-path change instead
+  /// of once per (dirty destination x neighbor) scan.
+  struct CandEntry {
+    policy::RouteSource source = policy::RouteSource::kProvider;
+    std::uint32_t length = 0;  ///< full-path hop count (== derived size)
+    bool usable = false;       ///< false: derived path loops through self
+  };
+
+  /// Everything the node caches about one (neighbor graph, destination)
+  /// pair, fused into a single slot so the refresh loop pays one lookup per
+  /// dirty destination instead of one per cache.
+  ///
+  /// The walk-chain invalidation set (every node the derivation walk
+  /// examined — the outcome can only change when an in-link of a walked
+  /// node changes) is not stored separately: for a successful derivation it
+  /// is exactly `path` reversed, and only failed walks record it in
+  /// `fail_chain`.
+  struct DestState {
+    Path path;  ///< derived path B..dest; empty = marked but underivable
+    /// Nodes examined by a FAILED derivation walk (dest-first, ending at
+    /// the blocking node); empty while `path` is non-empty.
+    std::vector<NodeId> fail_chain;
+    CandEntry cand;  ///< summary of `path`; valid iff path is non-empty
+
+    /// Resets to the fresh-entry state, keeping buffer capacity
+    /// (DenseMap slot-recycling hook).
+    void clear() {
+      path.clear();
+      fail_chain.clear();
+      cand = CandEntry{};
+    }
+  };
+
+  /// Derived-path cache: direct-indexed dest -> DestState (DESIGN.md §5).
+  using DestCache = util::DenseMap<DestState>;
 
   // --- inspection (tests, experiments, invariant checker) -----------------
   const PGraph& local_pgraph() const { return local_; }
   /// The assembled P-graph received from `neighbor`, if any.
   const PGraph* neighbor_pgraph(topo::NodeId neighbor) const;
   std::optional<Path> selected_path(NodeId dest) const;
-  const std::map<NodeId, Path>& selected_paths() const { return selected_; }
+  /// Selected path per destination, ascending (sorted flat storage; the
+  /// iteration order matches the former std::map exactly).
+  const util::VecMap<NodeId, Path>& selected_paths() const {
+    return selected_;
+  }
   /// Neighbors with assembled RIB state, ascending.
   std::vector<topo::NodeId> rib_neighbors() const;
-  /// The derived-path cache kept for `neighbor`'s P-graph (successful
-  /// derivations only), or nullptr if there is no RIB state for it.
-  const PathCache* neighbor_derived(topo::NodeId neighbor) const;
+  /// The per-destination cache kept for `neighbor`'s P-graph (derived
+  /// paths, walk chains, candidate summaries), or nullptr if there is no
+  /// RIB state for it.  Entries with an empty `path` are marked-but-
+  /// underivable destinations whose failed walk is indexed for re-checks.
+  const DestCache* neighbor_derived(topo::NodeId neighbor) const;
 
  private:
   /// Per-neighbor RIB state: the assembled P-graph plus caches that make
-  /// steady-phase processing incremental — the derived path per marked
-  /// destination, an index from chain nodes to the destinations whose
+  /// steady-phase processing incremental — one DestState per marked
+  /// destination and an index from chain nodes to the destinations whose
   /// derived walk visits them (a delta touching node X can only change
-  /// derivations walking through X), and the set of marked-but-underivable
-  /// destinations (rechecked whenever links appear).
-  /// All three caches are flat hash maps (the seed used node-based
-  /// std::map); chain-index destination sets are sorted small-vectors.
+  /// derivations walking through X).
+  /// Both caches are direct-indexed by dense node id (the seed used
+  /// node-based std::map); chain-index destination sets are sorted
+  /// small-vectors.
   struct NeighborState {
+    NeighborState() = default;
     explicit NeighborState(topo::NodeId root) : graph(root) {}
-    PGraph graph;       // G_{B->self}
-    PathCache derived;  // dest -> path B..dest (successes)
-    /// Nodes examined by each destination's derivation walk — recorded for
-    /// failed walks too (the outcome can only change when an in-link of a
-    /// walked node changes, so this is a precise invalidation set).
-    util::FlatMap<NodeId, std::vector<NodeId>> chains;
-    /// node -> dests whose walk visits it (sorted ascending).
-    util::FlatMap<NodeId, util::SmallVec<NodeId, 4>> chain_index;
+    PGraph graph;     // G_{B->self}
+    DestCache dests;  // dest -> derived path + walk chain + summary
+    /// node -> dests whose walk visits it (sorted ascending), direct-indexed
+    /// by NodeId (dense ids) and grown on demand; empty slot = no walks.
+    std::vector<util::SmallVec<NodeId, 4>> chain_index;
   };
 
   ExportedView view_for(topo::NodeId neighbor) const;
   bool neighbor_usable(topo::NodeId neighbor) const;
-  /// Re-derives `dests` in `state`, returning those whose result changed.
-  std::set<NodeId> refresh_derived(NeighborState& state,
-                                   const std::set<NodeId>& dests);
-  /// Re-selects routes for `dests`; updates selected_/local_, the class
-  /// cache, the cone-entry side map, and the flood scratch (touched links +
-  /// changed destinations).  Returns true if any selection changed.
-  bool reselect(const std::set<NodeId>& dests);
+  /// Re-derives `dests` (sorted ascending, duplicate-free) in `state`,
+  /// returning those whose result changed, ascending.  Also refreshes the
+  /// per-destination candidate summaries.
+  std::vector<NodeId> refresh_derived(NeighborState& state,
+                                      const std::vector<NodeId>& dests);
+  /// Re-selects routes for `dests` (sorted ascending, duplicate-free);
+  /// updates selected_/local_, the class cache, the cone-entry side map,
+  /// and the flood scratch (touched links + changed destinations).
+  /// Returns true if any selection changed.
+  bool reselect(const std::vector<NodeId>& dests);
+  /// Best candidate for `dest` by rank-merging the cached summaries; the
+  /// winning path is materialized lazily at the end (incremental plane).
+  std::optional<Path> best_candidate_cached(NodeId dest,
+                                            policy::Candidate& best) const;
+  /// Reference implementation: re-classify every usable neighbor's derived
+  /// path from scratch (also the only path that can consult a ranking
+  /// override, which ranks full paths).
+  std::optional<Path> best_candidate_scratch(NodeId dest,
+                                             policy::Candidate& best) const;
   /// Applies the flood scratch to the two category views, records the
   /// resulting changes in the pending per-category deltas, and dispatches.
   /// Always call after reselect() so the category views never go stale.
@@ -159,16 +225,20 @@ class CentaurNode : public sim::Node {
   /// the flood scratch and cone-entry map.
   void note_path_removed(NodeId dest, const Path& path, bool cone_class);
   void note_path_added(NodeId dest, const Path& path, bool cone_class);
-  /// All destinations any neighbor currently derives or marks.
-  std::set<NodeId> known_dests() const;
+  /// All destinations any neighbor currently derives or marks, ascending.
+  std::vector<NodeId> known_dests() const;
 
   const topo::AsGraph& graph_;
   Config config_;
-  std::map<topo::NodeId, NeighborState> rib_;
-  std::map<topo::NodeId, bool> session_up_;  // adjacency/session state
-  PGraph local_;                             // G_self
-  std::map<NodeId, Path> selected_;
-  std::map<NodeId, policy::RouteSource> selected_class_;  // classify cache
+  // Hot node state lives on sorted flat containers (util::VecMap): the
+  // former std::map storage paid a node allocation per entry and a pointer
+  // chase per iteration step on every reselect/flood.  Iteration stays
+  // ascending by key, bit-identical to std::map.
+  util::VecMap<topo::NodeId, NeighborState> rib_;
+  util::FlatMap<topo::NodeId, bool> session_up_;  // adjacency/session state
+  PGraph local_;                                  // G_self
+  util::VecMap<NodeId, Path> selected_;
+  util::VecMap<NodeId, policy::RouteSource> selected_class_;  // classify cache
 
   // Export machinery.  Under Gao-Rexford there are exactly two distinct
   // exported views: customers/siblings see every selected route ("full"),
@@ -194,7 +264,13 @@ class CentaurNode : public sim::Node {
   PendingDelta pending_cone_;
   bool flush_scheduled_ = false;
   // Legacy per-neighbor views, used only with a custom export_link_filter.
-  std::map<topo::NodeId, ExportedView> exported_custom_;
+  util::VecMap<topo::NodeId, ExportedView> exported_custom_;
+  // Reusable hot-path scratch (nodes process one message at a time): the
+  // per-message dirty set and the derivation walk/path buffers.  Keeping
+  // them as members removes three allocation/free pairs per delivery.
+  std::vector<NodeId> dirty_scratch_;
+  std::vector<NodeId> visited_scratch_;
+  Path path_scratch_;
 };
 
 }  // namespace centaur::core

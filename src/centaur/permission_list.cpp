@@ -4,47 +4,35 @@
 
 namespace centaur::core {
 
-void PermissionList::add(NodeId dest, NodeId next_hop) {
-  by_next_[next_hop].insert(dest);
-}
-
-bool PermissionList::remove(NodeId dest, NodeId next_hop) {
-  const auto it = by_next_.find(next_hop);
-  if (it == by_next_.end()) return false;
-  const bool erased = it->second.erase(dest) > 0;
-  if (it->second.empty()) by_next_.erase(it);
-  return erased;
-}
-
 std::size_t PermissionList::remove_dest(NodeId dest) {
-  std::size_t removed = 0;
-  for (auto it = by_next_.begin(); it != by_next_.end();) {
-    removed += it->second.erase(dest);
-    if (it->second.empty()) {
-      it = by_next_.erase(it);
-    } else {
-      ++it;
-    }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    if (pair_dest(pairs_[i]) != dest) pairs_[kept++] = pairs_[i];
   }
+  const std::size_t removed = pairs_.size() - kept;
+  while (pairs_.size() > kept) pairs_.pop_back();
   return removed;
 }
 
-bool PermissionList::permits(NodeId dest, NodeId next_hop) const {
-  const auto it = by_next_.find(next_hop);
-  return it != by_next_.end() && it->second.count(dest) > 0;
-}
-
-std::size_t PermissionList::dest_count() const {
-  std::size_t c = 0;
-  for (const auto& [next, dests] : by_next_) c += dests.size();
-  return c;
+std::size_t PermissionList::entry_count() const {
+  std::size_t groups = 0;
+  NodeId prev = kNoNextHop;
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    const NodeId next = pair_next(pairs_[i]);
+    if (i == 0 || next != prev) ++groups;
+    prev = next;
+  }
+  return groups;
 }
 
 std::vector<PermissionList::Entry> PermissionList::entries() const {
   std::vector<Entry> out;
-  out.reserve(by_next_.size());
-  for (const auto& [next, dests] : by_next_) {
-    out.push_back(Entry{next, std::vector<NodeId>(dests.begin(), dests.end())});
+  for (const std::uint64_t pair : pairs_) {
+    const NodeId next = pair_next(pair);
+    if (out.empty() || out.back().next_hop != next) {
+      out.push_back(Entry{next, {}});
+    }
+    out.back().dests.push_back(pair_dest(pair));
   }
   return out;
 }
@@ -52,23 +40,28 @@ std::vector<PermissionList::Entry> PermissionList::entries() const {
 PermissionList PermissionList::filtered(
     const std::function<bool(NodeId dest)>& keep_dest) const {
   PermissionList out;
-  for (const auto& [next, dests] : by_next_) {
-    for (NodeId d : dests) {
-      if (keep_dest(d)) out.by_next_[next].insert(d);
-    }
+  for (const std::uint64_t pair : pairs_) {
+    if (keep_dest(pair_dest(pair))) out.pairs_.push_back(pair);
   }
   return out;
 }
 
 std::size_t PermissionList::byte_size(bool bloom_compressed) const {
   std::size_t bytes = 0;
-  for (const auto& [next, dests] : by_next_) {
+  std::size_t i = 0;
+  while (i < pairs_.size()) {
+    const NodeId next = pair_next(pairs_[i]);
+    std::size_t dests = 0;
+    while (i < pairs_.size() && pair_next(pairs_[i]) == next) {
+      ++dests;
+      ++i;
+    }
     bytes += 4;  // next-hop id
     if (bloom_compressed) {
-      const util::BloomFilter f(dests.size(), 0.01);
+      const util::BloomFilter f(dests, 0.01);
       bytes += f.byte_size();
     } else {
-      bytes += 4 * dests.size();
+      bytes += 4 * dests;
     }
   }
   return bytes;

@@ -16,13 +16,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <set>
 #include <vector>
 
 #include "topology/types.hpp"
 #include "util/bloom.hpp"
+#include "util/small_vec.hpp"
 
 namespace centaur::core {
 
@@ -34,31 +35,47 @@ using topo::Path;
 inline constexpr NodeId kNoNextHop = topo::kInvalidNode;
 
 /// Per-dest-next Permission List.
+///
+/// Storage (DESIGN.md §5.1): one sorted small-vector of packed
+/// (next_hop << 32 | dest) entries.  The hot node path copies Permission
+/// Lists constantly — into exported views, pending deltas, and per-neighbor
+/// graphs — so the former std::map<NodeId, std::set<NodeId>> representation
+/// paid an allocation per destination per copy; the packed vector copies
+/// with one memcpy and keeps the identical deterministic order (next hop
+/// ascending with kNoNextHop last, destinations ascending within a next
+/// hop), so announcements and wire bytes are unchanged.
 class PermissionList {
  public:
   /// Permits destination `dest` via `next_hop` (the next hop of the
   /// multi-homed link head on the permitted path; kNoNextHop when the head
   /// is the destination).  Idempotent.
-  void add(NodeId dest, NodeId next_hop);
+  void add(NodeId dest, NodeId next_hop) {
+    util::sorted_insert(pairs_, pack_pair(next_hop, dest));
+  }
 
   /// Revokes a permission.  Returns true if the pair was present.
-  bool remove(NodeId dest, NodeId next_hop);
+  bool remove(NodeId dest, NodeId next_hop) {
+    return util::sorted_erase(pairs_, pack_pair(next_hop, dest));
+  }
 
   /// Drops every permission for `dest` regardless of next hop.
   /// Returns the number of pairs removed.
   std::size_t remove_dest(NodeId dest);
 
   /// The Permit(D, next) predicate of the DerivePath algorithm (Table 1).
-  bool permits(NodeId dest, NodeId next_hop) const;
+  /// Inline: called ~10x per multi-homed hop of every derivation.
+  bool permits(NodeId dest, NodeId next_hop) const {
+    return util::sorted_contains(pairs_, pack_pair(next_hop, dest));
+  }
 
   /// Number of (destination-list, next-hop) pair entries — the quantity
   /// whose distribution the paper reports in Table 5.
-  std::size_t entry_count() const { return by_next_.size(); }
+  std::size_t entry_count() const;
 
   /// Total destinations across all entries.
-  std::size_t dest_count() const;
+  std::size_t dest_count() const { return pairs_.size(); }
 
-  bool empty() const { return by_next_.empty(); }
+  bool empty() const { return pairs_.empty(); }
 
   /// One encoded entry: a next hop and its grouped destination list.
   struct Entry {
@@ -78,10 +95,8 @@ class PermissionList {
   /// "would filtered() be non-empty" test for export decisions.
   template <typename Pred>
   bool any_dest(Pred&& pred) const {
-    for (const auto& [next, dests] : by_next_) {
-      for (NodeId d : dests) {
-        if (pred(d)) return true;
-      }
+    for (const std::uint64_t pair : pairs_) {
+      if (pred(pair_dest(pair))) return true;
     }
     return false;
   }
@@ -98,12 +113,23 @@ class PermissionList {
                                           double fp_rate = 0.01);
 
   bool operator==(const PermissionList& other) const {
-    return by_next_ == other.by_next_;
+    return pairs_ == other.pairs_;
   }
 
  private:
-  // next hop -> destination set; std::map for deterministic iteration.
-  std::map<NodeId, std::set<NodeId>> by_next_;
+  static constexpr std::uint64_t pack_pair(NodeId next_hop, NodeId dest) {
+    return (std::uint64_t{next_hop} << 32) | std::uint64_t{dest};
+  }
+  static constexpr NodeId pair_next(std::uint64_t pair) {
+    return static_cast<NodeId>(pair >> 32);
+  }
+  static constexpr NodeId pair_dest(std::uint64_t pair) {
+    return static_cast<NodeId>(pair & 0xFFFFFFFFULL);
+  }
+
+  // Packed (next_hop, dest) permissions, sorted ascending; most lists hold
+  // a handful of pairs, so they stay inline inside LinkData.
+  util::SmallVec<std::uint64_t, 3> pairs_;
 };
 
 /// Exhaustive per-path encoding (paper S4.1, S6.1): one full path per

@@ -5,85 +5,31 @@
 #include <string>
 
 namespace centaur::core {
-namespace {
 
-const PGraph::AdjList& empty_adjlist() {
-  static const PGraph::AdjList kEmpty;
-  return kEmpty;
-}
+namespace pgraph_detail {
 
 [[noreturn]] void throw_missing_link(NodeId from, NodeId to) {
   throw std::out_of_range("PGraph::link_data: no link " +
                           std::to_string(from) + "->" + std::to_string(to));
 }
 
-}  // namespace
+}  // namespace pgraph_detail
 
 void PGraph::reset(NodeId root) {
   root_ = root;
   links_.clear();
-  parents_.clear();
-  children_.clear();
+  // Keep the dense slots (and their SmallVec spill capacity): resets happen
+  // on session restarts, where the graph re-grows to the same node range.
+  for (AdjList& adj : parents_) adj.clear();
+  for (AdjList& adj : children_) adj.clear();
   destinations_.clear();
-}
-
-bool PGraph::add_link(NodeId from, NodeId to) {
-  bool added = false;
-  ensure_link(from, to, added);
-  return added;
-}
-
-LinkData& PGraph::ensure_link(NodeId from, NodeId to, bool& added) {
-  if (from == to) throw std::invalid_argument("PGraph::add_link: self-loop");
-  LinkData& data = links_.ensure(pack_link(from, to), added);
-  if (added) {
-    bool fresh = false;
-    util::sorted_insert(parents_.ensure(to, fresh), from);
-    util::sorted_insert(children_.ensure(from, fresh), to);
-  }
-  return data;
 }
 
 bool PGraph::remove_link(NodeId from, NodeId to) {
   if (!links_.erase(pack_link(from, to))) return false;
-  AdjList* ps = parents_.find(to);
-  util::sorted_erase(*ps, from);
-  if (ps->empty()) parents_.erase(to);
-  AdjList* cs = children_.find(from);
-  util::sorted_erase(*cs, to);
-  if (cs->empty()) children_.erase(from);
+  util::sorted_erase(parents_[to], from);
+  util::sorted_erase(children_[from], to);
   return true;
-}
-
-std::size_t PGraph::in_degree(NodeId n) const {
-  const AdjList* adj = parents_.find(n);
-  return adj == nullptr ? 0 : adj->size();
-}
-
-const PGraph::AdjList& PGraph::parents(NodeId n) const {
-  const AdjList* adj = parents_.find(n);
-  return adj == nullptr ? empty_adjlist() : *adj;
-}
-
-const PGraph::AdjList& PGraph::children(NodeId n) const {
-  const AdjList* adj = children_.find(n);
-  return adj == nullptr ? empty_adjlist() : *adj;
-}
-
-bool PGraph::contains(NodeId n) const {
-  return n == root_ || parents_.count(n) > 0 || children_.count(n) > 0;
-}
-
-LinkData& PGraph::link_data(NodeId from, NodeId to) {
-  LinkData* data = find_link_data(from, to);
-  if (data == nullptr) throw_missing_link(from, to);
-  return *data;
-}
-
-const LinkData& PGraph::link_data(NodeId from, NodeId to) const {
-  const LinkData* data = find_link_data(from, to);
-  if (data == nullptr) throw_missing_link(from, to);
-  return *data;
 }
 
 std::size_t PGraph::active_plist_count() const {
@@ -96,30 +42,45 @@ std::size_t PGraph::active_plist_count() const {
 
 std::optional<Path> PGraph::derive_path(NodeId dest,
                                         std::vector<NodeId>* visited_out) const {
+  Path out;
+  if (!derive_path_into(dest, out, visited_out)) return std::nullopt;
+  return out;
+}
+
+bool PGraph::derive_path_into(NodeId dest, Path& out,
+                              std::vector<NodeId>* visited_out) const {
+  out.clear();
   if (root_ == topo::kInvalidNode) {
     throw std::logic_error("PGraph::derive_path: graph has no root");
   }
-  if (visited_out) {
-    visited_out->clear();
-    visited_out->push_back(dest);
+  if (dest == root_) {
+    if (visited_out) visited_out->assign(1, dest);
+    out.push_back(root_);
+    return true;
   }
-  if (dest == root_) return Path{root_};
-  if (!contains(dest)) return std::nullopt;
+  if (!contains(dest)) {
+    if (visited_out) visited_out->assign(1, dest);
+    return false;
+  }
 
-  Path reversed{dest};
+  // The walked-node set IS the partial path (dest-first): one buffer serves
+  // as path accumulator, cycle guard, and visited report.
+  Path& reversed = out;
+  reversed.push_back(dest);
   NodeId current = dest;
   // Next hop of `current` toward `dest` during backtracking — the node we
   // arrived from; kNoNextHop while current == dest (S4.1 per-dest-next
   // semantics; see header note on Table 1).
   NodeId came_from = kNoNextHop;
-  // Cycle guard: paths are short, so a linear scan over an inline vector
-  // beats a node-based set (no allocation on the derivation hot path).
-  util::SmallVec<NodeId, 16> visited;
-  visited.push_back(dest);
+  const auto fail = [&]() {
+    if (visited_out) visited_out->assign(reversed.begin(), reversed.end());
+    out.clear();
+    return false;
+  };
 
   while (current != root_) {
     const AdjList& ps = parents(current);
-    if (ps.empty()) return std::nullopt;
+    if (ps.empty()) return fail();
     NodeId parent = topo::kInvalidNode;
     if (ps.size() == 1) {
       parent = ps.front();  // Table 1 lines 3-5: single-homed, follow up
@@ -150,19 +111,20 @@ std::optional<Path> PGraph::derive_path(NodeId dest,
       if (parent == topo::kInvalidNode && !fallback_ambiguous) {
         parent = fallback;
       }
-      if (parent == topo::kInvalidNode) return std::nullopt;
+      if (parent == topo::kInvalidNode) return fail();
     }
-    if (std::find(visited.begin(), visited.end(), parent) != visited.end()) {
+    // Cycle guard: paths are short, so a linear scan beats a node set.
+    if (std::find(reversed.begin(), reversed.end(), parent) !=
+        reversed.end()) {
       throw std::logic_error("PGraph::derive_path: backtrace cycle");
     }
-    visited.push_back(parent);
-    if (visited_out) visited_out->push_back(parent);
     reversed.push_back(parent);
     came_from = current;
     current = parent;
   }
+  if (visited_out) visited_out->assign(reversed.begin(), reversed.end());
   std::reverse(reversed.begin(), reversed.end());
-  return reversed;
+  return true;
 }
 
 bool PGraph::operator==(const PGraph& other) const {

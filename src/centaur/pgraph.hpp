@@ -28,7 +28,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <set>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -86,7 +86,12 @@ class PGraph {
   /// Adjacency list: sorted ascending, inline up to 4 entries (the common
   /// case — most P-graph nodes have a single parent).
   using AdjList = util::SmallVec<NodeId, 4>;
-  using AdjMap = util::FlatMap<NodeId, AdjList>;
+  /// Adjacency storage: direct-indexed by NodeId (AS ids are dense,
+  /// 0..n-1), grown on demand.  An out-of-range or empty slot means "no
+  /// neighbors".  Replaces the former hash map: DerivePath does one
+  /// parents() lookup per hop, and an array index beats a hash probe on
+  /// that path by ~3x.
+  using AdjVec = std::vector<AdjList>;
 
   /// Flat link storage; iteration yields { DirectedLink-packed key, data }
   /// items via LinkView below.
@@ -133,10 +138,23 @@ class PGraph {
   NodeId root() const { return root_; }
   void reset(NodeId root);
 
+  /// Pre-sizes the link and adjacency tables for a graph of roughly
+  /// `links` links over `nodes` nodes, so assembly (cold start, session
+  /// resets) does not pay a rehash cascade while the tables grow.
+  void reserve(std::size_t nodes, std::size_t links) {
+    links_.reserve(links);
+    if (parents_.size() < nodes) parents_.resize(nodes);
+    if (children_.size() < nodes) children_.resize(nodes);
+  }
+
   // --- structure ---------------------------------------------------------
 
   /// Inserts from->to.  Returns true if the link was new.
-  bool add_link(NodeId from, NodeId to);
+  bool add_link(NodeId from, NodeId to) {
+    bool added = false;
+    ensure_link(from, to, added);
+    return added;
+  }
 
   /// Inserts from->to if absent and returns its payload in either case —
   /// the single-probe fusion of add_link + link_data.  `added` reports
@@ -152,7 +170,9 @@ class PGraph {
 
   std::size_t num_links() const { return links_.size(); }
 
-  std::size_t in_degree(NodeId n) const;
+  std::size_t in_degree(NodeId n) const {
+    return n < parents_.size() ? parents_[n].size() : 0;
+  }
 
   /// "Multi-homed": more than one parent in this P-graph (S3.2.4).
   bool multi_homed(NodeId n) const { return in_degree(n) > 1; }
@@ -164,14 +184,25 @@ class PGraph {
   const AdjList& children(NodeId n) const;
 
   /// True if `n` is the root or appears as an endpoint of some link.
-  bool contains(NodeId n) const;
+  bool contains(NodeId n) const {
+    return n == root_ || (n < parents_.size() && !parents_[n].empty()) ||
+           (n < children_.size() && !children_[n].empty());
+  }
 
   // --- destinations -------------------------------------------------------
 
-  void mark_destination(NodeId d) { destinations_.insert(d); }
-  bool unmark_destination(NodeId d) { return destinations_.erase(d) > 0; }
-  bool is_destination(NodeId d) const { return destinations_.count(d) > 0; }
-  const std::set<NodeId>& destinations() const { return destinations_; }
+  /// Destination marks, sorted ascending (iteration order matches the former
+  /// std::set storage).
+  using DestList = util::SmallVec<NodeId, 8>;
+
+  void mark_destination(NodeId d) { util::sorted_insert(destinations_, d); }
+  bool unmark_destination(NodeId d) {
+    return util::sorted_erase(destinations_, d);
+  }
+  bool is_destination(NodeId d) const {
+    return util::sorted_contains(destinations_, d);
+  }
+  const DestList& destinations() const { return destinations_; }
 
   // --- per-link payload ----------------------------------------------------
 
@@ -213,17 +244,25 @@ class PGraph {
   std::optional<Path> derive_path(NodeId dest,
                                   std::vector<NodeId>* visited = nullptr) const;
 
+  /// Allocation-free derive_path: writes the path into `out` (reusing its
+  /// capacity) and returns true, or returns false leaving `out` empty.
+  /// Refresh loops call this once per dirty destination, so the fresh-Path
+  /// allocation of the optional-returning form is the dominant cost there.
+  bool derive_path_into(NodeId dest, Path& out,
+                        std::vector<NodeId>* visited = nullptr) const;
+
   // --- iteration -----------------------------------------------------------
 
   /// All links with their payloads (unordered; sort keys if a canonical
   /// order is needed).
   LinkView links() const { return LinkView(links_); }
 
-  /// Whole-map adjacency views, values sorted ascending.  Exposed for the
+  /// Whole adjacency storage, indexed by NodeId, values sorted ascending;
+  /// empty slots are nodes with no neighbors on that side.  Exposed for the
   /// invariant checker (src/check), which cross-validates them against
   /// links(); protocol code should use parents()/children() instead.
-  const AdjMap& parent_map() const { return parents_; }
-  const AdjMap& child_map() const { return children_; }
+  const AdjVec& parent_map() const { return parents_; }
+  const AdjVec& child_map() const { return children_; }
 
   /// Equality of structure, destination marks, and Permission Lists
   /// (counters are local bookkeeping and excluded).
@@ -237,9 +276,51 @@ class PGraph {
 
   NodeId root_ = topo::kInvalidNode;
   LinkMap links_;
-  AdjMap parents_;   // sorted values
-  AdjMap children_;  // sorted values
-  std::set<NodeId> destinations_;
+  AdjVec parents_;   // sorted values, indexed by NodeId
+  AdjVec children_;  // sorted values, indexed by NodeId
+  DestList destinations_;  // sorted ascending
 };
+
+namespace pgraph_detail {
+/// Shared empty adjacency list for absent nodes.  A namespace-scope inline
+/// variable avoids the per-call thread-safe-init guard a function-local
+/// static would re-check on every parents()/children() miss.
+inline const PGraph::AdjList kEmptyAdjList{};
+[[noreturn]] void throw_missing_link(NodeId from, NodeId to);
+}  // namespace pgraph_detail
+
+// Hot-path accessors are defined here (not in pgraph.cpp) so the builds
+// without LTO can still inline them into DerivePath/BuildGraph loops.
+inline const PGraph::AdjList& PGraph::parents(NodeId n) const {
+  return n < parents_.size() ? parents_[n] : pgraph_detail::kEmptyAdjList;
+}
+
+inline const PGraph::AdjList& PGraph::children(NodeId n) const {
+  return n < children_.size() ? children_[n] : pgraph_detail::kEmptyAdjList;
+}
+
+inline LinkData& PGraph::ensure_link(NodeId from, NodeId to, bool& added) {
+  if (from == to) throw std::invalid_argument("PGraph::add_link: self-loop");
+  LinkData& data = links_.ensure(pack_link(from, to), added);
+  if (added) {
+    if (parents_.size() <= to) parents_.resize(std::size_t{to} + 1);
+    if (children_.size() <= from) children_.resize(std::size_t{from} + 1);
+    util::sorted_insert(parents_[to], from);
+    util::sorted_insert(children_[from], to);
+  }
+  return data;
+}
+
+inline LinkData& PGraph::link_data(NodeId from, NodeId to) {
+  LinkData* data = find_link_data(from, to);
+  if (data == nullptr) pgraph_detail::throw_missing_link(from, to);
+  return *data;
+}
+
+inline const LinkData& PGraph::link_data(NodeId from, NodeId to) const {
+  const LinkData* data = find_link_data(from, to);
+  if (data == nullptr) pgraph_detail::throw_missing_link(from, to);
+  return *data;
+}
 
 }  // namespace centaur::core

@@ -6,6 +6,7 @@
 
 #include "centaur/build_graph.hpp"
 #include "util/flat_map.hpp"
+#include "util/vec_map.hpp"
 
 namespace centaur::check {
 
@@ -78,27 +79,30 @@ std::set<NodeId> all_nodes(const PGraph& g) {
     nodes.insert(link.from);
     nodes.insert(link.to);
   }
-  for (const auto& [n, adj] : g.parent_map()) {
-    nodes.insert(n);
+  for (std::size_t n = 0; n < g.parent_map().size(); ++n) {
+    const PGraph::AdjList& adj = g.parent_map()[n];
+    if (adj.empty()) continue;
+    nodes.insert(static_cast<NodeId>(n));
     nodes.insert(adj.begin(), adj.end());
   }
-  for (const auto& [n, adj] : g.child_map()) {
-    nodes.insert(n);
+  for (std::size_t n = 0; n < g.child_map().size(); ++n) {
+    const PGraph::AdjList& adj = g.child_map()[n];
+    if (adj.empty()) continue;
+    nodes.insert(static_cast<NodeId>(n));
     nodes.insert(adj.begin(), adj.end());
   }
   return nodes;
 }
 
-void check_adjacency_map(const PGraph::AdjMap& map, const PGraph& g,
+void check_adjacency_map(const PGraph::AdjVec& map, const PGraph& g,
                          bool map_is_parents, std::vector<Violation>& out) {
   const char* name = map_is_parents ? "parents" : "children";
-  for (const auto& [n, adj] : map) {
-    if (adj.empty()) {
-      report(out, Invariant::kAdjacency,
-             std::string(name) + "[" + std::to_string(n) +
-                 "] is empty (should have been erased)");
-      continue;
-    }
+  for (std::size_t slot = 0; slot < map.size(); ++slot) {
+    const NodeId n = static_cast<NodeId>(slot);
+    const PGraph::AdjList& adj = map[slot];
+    // Empty slots are legal in the dense representation: they are nodes with
+    // no neighbors on this side (possibly never touched at all).
+    if (adj.empty()) continue;
     if (!std::is_sorted(adj.begin(), adj.end()) ||
         std::adjacent_find(adj.begin(), adj.end()) != adj.end()) {
       report(out, Invariant::kAdjacencySorted,
@@ -243,8 +247,9 @@ std::vector<Violation> check_pgraph(const PGraph& g,
   return out;
 }
 
-std::vector<Violation> check_counters_against(
-    const PGraph& g, const std::map<NodeId, Path>& selected) {
+template <typename SelectedPaths>
+std::vector<Violation> check_counters_against(const PGraph& g,
+                                              const SelectedPaths& selected) {
   std::vector<Violation> out;
 
   // Expected per-link traversal counts — the multiset of links over the
@@ -307,6 +312,11 @@ std::vector<Violation> check_counters_against(
   return out;
 }
 
+template std::vector<Violation> check_counters_against(
+    const PGraph& g, const std::map<NodeId, Path>& selected);
+template std::vector<Violation> check_counters_against(
+    const PGraph& g, const util::VecMap<NodeId, Path>& selected);
+
 namespace {
 
 /// Prefixes every violation in `sub` with `scope` and appends to `out`.
@@ -323,7 +333,7 @@ void merge_scoped(std::vector<Violation>& out, std::vector<Violation> sub,
 std::vector<Violation> check_centaur_node(const core::CentaurNode& node) {
   std::vector<Violation> out;
   const PGraph& local = node.local_pgraph();
-  const std::map<NodeId, Path>& selected = node.selected_paths();
+  const util::VecMap<NodeId, Path>& selected = node.selected_paths();
   if (local.root() == topo::kInvalidNode && selected.empty()) {
     return out;  // node not started yet
   }
@@ -351,7 +361,7 @@ std::vector<Violation> check_centaur_node(const core::CentaurNode& node) {
     }
     if (path.size() < 2) continue;  // the fixed origin route
     const NodeId first_hop = path[1];
-    const core::CentaurNode::PathCache* derived =
+    const core::CentaurNode::DestCache* derived =
         node.neighbor_derived(first_hop);
     if (derived == nullptr) {
       report(out, Invariant::kSelection,
@@ -359,17 +369,17 @@ std::vector<Violation> check_centaur_node(const core::CentaurNode& node) {
                  std::to_string(first_hop) + " but no RIB entry exists");
       continue;
     }
-    const Path* cached = derived->find(dest);
-    if (cached == nullptr) {
+    const core::CentaurNode::DestState* cached = derived->find(dest);
+    if (cached == nullptr || cached->path.empty()) {
       report(out, Invariant::kSelection,
              "selected path " + path_str(path) + " has no derived path in G[" +
                  std::to_string(first_hop) + "]");
-    } else if (!std::equal(path.begin() + 1, path.end(), cached->begin(),
-                           cached->end())) {
+    } else if (!std::equal(path.begin() + 1, path.end(), cached->path.begin(),
+                           cached->path.end())) {
       report(out, Invariant::kSelection,
              "selected path " + path_str(path) + " diverges from G[" +
                  std::to_string(first_hop) + "]'s derived path " +
-                 path_str(*cached));
+                 path_str(cached->path));
     }
   }
 
@@ -393,7 +403,7 @@ std::vector<Violation> check_centaur_node(const core::CentaurNode& node) {
 
   for (const NodeId nbr : node.rib_neighbors()) {
     const PGraph* g = node.neighbor_pgraph(nbr);
-    const core::CentaurNode::PathCache* derived = node.neighbor_derived(nbr);
+    const core::CentaurNode::DestCache* derived = node.neighbor_derived(nbr);
     const std::string scope = "G[" + std::to_string(nbr) + "]: ";
     if (g == nullptr || derived == nullptr) continue;  // unreachable
     if (g->root() != nbr) {
@@ -417,35 +427,38 @@ std::vector<Violation> check_centaur_node(const core::CentaurNode& node) {
                    ") threw: " + e.what());
         continue;
       }
-      const Path* cached = derived->find(dest);
+      const core::CentaurNode::DestState* cached = derived->find(dest);
+      const bool has_cached = cached != nullptr && !cached->path.empty();
       if (fresh) {
-        if (cached == nullptr) {
+        if (!has_cached) {
           report(out, Invariant::kDerivedCache,
                  scope + "destination " + std::to_string(dest) +
                      " derives to " + path_str(*fresh) +
                      " but the cache has no entry");
-        } else if (*cached != *fresh) {
+        } else if (cached->path != *fresh) {
           report(out, Invariant::kDerivedCache,
                  scope + "destination " + std::to_string(dest) + " caches " +
-                     path_str(*cached) + " but derives to " +
+                     path_str(cached->path) + " but derives to " +
                      path_str(*fresh));
         }
-      } else if (cached != nullptr) {
+      } else if (has_cached) {
         report(out, Invariant::kDerivedCache,
                scope + "destination " + std::to_string(dest) +
                    " is underivable but the cache holds " +
-                   path_str(*cached));
+                   path_str(cached->path));
       }
     }
-    for (const auto& [dest, path] : *derived) {
+    for (const auto& [dest, state] : *derived) {
+      if (state.path.empty()) continue;  // underivable: walk index only
       if (!g->is_destination(dest)) {
         report(out, Invariant::kDerivedCache,
                scope + "cache entry for unmarked destination " +
                    std::to_string(dest));
       }
-      if (revisits_a_node(path)) {
+      if (revisits_a_node(state.path)) {
         report(out, Invariant::kLoopFree,
-               scope + "derived path " + path_str(path) + " revisits a node");
+               scope + "derived path " + path_str(state.path) +
+                   " revisits a node");
       }
     }
   }

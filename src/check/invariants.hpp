@@ -121,8 +121,12 @@ std::vector<Violation> check_pgraph(const PGraph& g,
 /// `selected` traversing each link (S4.3.2), that no stored link is unused
 /// by every selected path, that destination marks match the selected path
 /// endpoints exactly, and that every selected path is loop-free.
-std::vector<Violation> check_counters_against(
-    const PGraph& g, const std::map<NodeId, Path>& selected);
+/// `selected` is any (destination, path) pair container with count();
+/// instantiated in invariants.cpp for std::map and util::VecMap (the node's
+/// own selected-path storage).
+template <typename SelectedPaths>
+std::vector<Violation> check_counters_against(const PGraph& g,
+                                              const SelectedPaths& selected);
 
 /// Full node-level check, valid at every event boundary: the local P-graph
 /// (structure, counters, marks, loop-free paths) against the selected path

@@ -52,6 +52,7 @@ std::unique_ptr<sim::Node> make_protocol_node(Protocol p,
       core::CentaurNode::Config cfg;
       cfg.coalesce_updates = util::env_flag_strict("CENTAUR_COALESCE", true);
       cfg.bloom_plists = util::env_flag_strict("CENTAUR_BLOOM_PLISTS", false);
+      cfg.incremental = util::env_flag_strict("CENTAUR_INCREMENTAL", true);
       return std::make_unique<core::CentaurNode>(graph, cfg);
     }
     case Protocol::kOspf:

@@ -67,8 +67,33 @@ void Simulator::schedule_at_tagged(Time when, std::uint32_t node,
     burst_.push_back(Event{when, next_seq_++, node, std::move(fn)});
     return;
   }
-  heap_.push_back(Event{when, next_seq_++, node, std::move(fn)});
+  heap_push(when, node, std::move(fn));
+}
+
+void Simulator::heap_push(Time when, std::uint32_t node,
+                          util::UniqueFunction fn) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    heap_fns_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(heap_fns_.size());
+    heap_fns_.push_back(std::move(fn));
+  }
+  heap_.push_back(HeapItem{when, next_seq_++, node, slot});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void Simulator::heap_pop_into(Event& out) {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const HeapItem item = heap_.back();
+  heap_.pop_back();
+  out.at = item.at;
+  out.seq = item.seq;
+  out.node = item.node;
+  out.fn = std::move(heap_fns_[item.slot]);
+  free_slots_.push_back(item.slot);
 }
 
 void Simulator::set_intra_threads(std::size_t threads) {
@@ -78,16 +103,18 @@ void Simulator::set_intra_threads(std::size_t threads) {
   pool_.reset();  // re-created lazily at the next parallel batch
 }
 
-void Simulator::reserve(std::size_t events) { heap_.reserve(events); }
+void Simulator::reserve(std::size_t events) {
+  heap_.reserve(events);
+  heap_fns_.reserve(events);
+  free_slots_.reserve(events);
+}
 
 void Simulator::pop_next(Event& out) {
   // Heap events at the current time precede every burst event (smaller seq);
   // burst events are only valid while now_ has not advanced past them.
   const bool burst_ready = burst_head_ < burst_.size();
   if (!heap_.empty() && (!burst_ready || heap_.front().at <= now_)) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    out = std::move(heap_.back());
-    heap_.pop_back();
+    heap_pop_into(out);
   } else {
     out = std::move(burst_[burst_head_++]);
     if (burst_head_ >= burst_.size()) {
@@ -108,9 +135,8 @@ void Simulator::collect_batch(std::size_t limit, std::vector<Event>& batch) {
       blocked = true;
       break;
     }
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    batch.push_back(std::move(heap_.back()));
-    heap_.pop_back();
+    batch.emplace_back();
+    heap_pop_into(batch.back());
   }
   if (!blocked && burst_ready) {
     while (batch.size() < limit && burst_head_ < burst_.size() &&

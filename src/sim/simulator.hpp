@@ -125,12 +125,27 @@ class Simulator {
     std::uint32_t node = kUntagged;
     util::UniqueFunction fn;
   };
+  /// Heap element: the ordering key plus a handle into heap_fns_.  Keeping
+  /// the ~64-byte UniqueFunction out of the heap makes every sift step a
+  /// trivial 24-byte copy instead of an indirect move_to call — pop_heap
+  /// was ~10% of fig8 wall time with callables stored inline.
+  struct HeapItem {
+    Time at = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t node = kUntagged;
+    std::uint32_t slot = 0;  ///< index into heap_fns_
+  };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
+
+  /// Parks `fn` in a free heap_fns_ slot and pushes its key onto the heap.
+  void heap_push(Time when, std::uint32_t node, util::UniqueFunction fn);
+  /// Pops the heap top into `out`, releasing its callable slot.
+  void heap_pop_into(Event& out);
 
   /// Pops the next event in (time, seq) order into `out`.  Precondition:
   /// !idle().
@@ -150,7 +165,11 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::vector<Event> heap_;   // binary min-heap via std::push_heap/pop_heap
+  std::vector<HeapItem> heap_;  // binary min-heap via std::push_heap/pop_heap
+  // Callables of heap events, owned out-of-band (slot vector + free list;
+  // slot assignment never reaches the event order, which is (at, seq) only).
+  std::vector<util::UniqueFunction> heap_fns_;
+  std::vector<std::uint32_t> free_slots_;
   std::vector<Event> burst_;  // FIFO of events at exactly now_
   std::size_t burst_head_ = 0;
   std::size_t intra_threads_ = 1;

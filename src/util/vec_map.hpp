@@ -1,0 +1,101 @@
+// Sorted flat map for ordered protocol node state.
+//
+// FlatMap (flat_map.hpp) is the right container when only lookups matter,
+// but its iteration order is hash-layout order, which must never reach
+// simulation output.  Node state that *is* iterated on the hot path — the
+// per-neighbor RIB, the selected-path table, the selection-class cache —
+// therefore stayed on node-based std::map, paying an allocation per entry
+// and a pointer chase per step.  VecMap replaces those: one contiguous
+// sorted vector of (key, value) pairs, binary-search lookups, and
+// ascending-key iteration that is bit-identical to std::map's.
+//
+// Inserts and erases shift the tail (O(n) moves), which is the right trade
+// for this state: tables are small-to-medium (neighbors, destinations), are
+// scanned far more often than they are resized, and values are movable.
+// Pointers into the map are invalidated by insert/erase, exactly like
+// std::vector — callers must not hold references across a mutation.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace centaur::util {
+
+template <typename Key, typename V>
+class VecMap {
+ public:
+  using value_type = std::pair<Key, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  VecMap() = default;
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  iterator begin() { return items_.begin(); }
+  iterator end() { return items_.end(); }
+  const_iterator begin() const { return items_.begin(); }
+  const_iterator end() const { return items_.end(); }
+
+  V* find(Key k) {
+    const auto it = lower_bound(k);
+    return (it != items_.end() && it->first == k) ? &it->second : nullptr;
+  }
+  const V* find(Key k) const {
+    const auto it = lower_bound(k);
+    return (it != items_.end() && it->first == k) ? &it->second : nullptr;
+  }
+
+  std::size_t count(Key k) const { return find(k) == nullptr ? 0 : 1; }
+
+  /// Returns the value for `k`, inserting a default-constructed one at the
+  /// sorted position if absent; `inserted` reports which happened.
+  V& ensure(Key k, bool& inserted) {
+    auto it = lower_bound(k);
+    if (it != items_.end() && it->first == k) {
+      inserted = false;
+      return it->second;
+    }
+    it = items_.emplace(it, k, V{});
+    inserted = true;
+    return it->second;
+  }
+
+  V& operator[](Key k) {
+    bool inserted = false;
+    return ensure(k, inserted);
+  }
+
+  /// Removes `k`.  Returns false if absent.
+  bool erase(Key k) {
+    const auto it = lower_bound(k);
+    if (it == items_.end() || it->first != k) return false;
+    items_.erase(it);
+    return true;
+  }
+
+  bool operator==(const VecMap& other) const {
+    return items_ == other.items_;
+  }
+
+ private:
+  iterator lower_bound(Key k) {
+    return std::lower_bound(
+        items_.begin(), items_.end(), k,
+        [](const value_type& item, Key key) { return item.first < key; });
+  }
+  const_iterator lower_bound(Key k) const {
+    return std::lower_bound(
+        items_.begin(), items_.end(), k,
+        [](const value_type& item, Key key) { return item.first < key; });
+  }
+
+  std::vector<value_type> items_;  // sorted ascending by key
+};
+
+}  // namespace centaur::util

@@ -140,46 +140,89 @@ void put_delta(Sink& sink, const GraphDelta& delta, PlistEncoding encoding) {
   sink.varint(delta.dest_removes.size());
 
   // Canonical section order: stable sort by packed key / node id.  Protocol
-  // deltas (diff_views, PendingDelta::take) are already sorted; hand-built
-  // ones get canonicalized here so byte_size stays exact for them too.
-  std::vector<std::uint32_t> order(delta.upserts.size());
-  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     const auto& la = delta.upserts[a].first;
-                     const auto& lb = delta.upserts[b].first;
-                     return core::pack_link(la.from, la.to) <
-                            core::pack_link(lb.from, lb.to);
-                   });
+  // deltas (diff_views, PendingDelta::take) are already sorted — the hot
+  // encode path must not allocate or sort for them — while hand-built ones
+  // get canonicalized here so byte_size stays exact for them too.
+  const auto upsert_key = [&](std::size_t i) {
+    const core::DirectedLink& link = delta.upserts[i].first;
+    return core::pack_link(link.from, link.to);
+  };
+  bool upserts_sorted = true;
+  for (std::size_t i = 1; i < delta.upserts.size(); ++i) {
+    if (upsert_key(i) < upsert_key(i - 1)) {
+      upserts_sorted = false;
+      break;
+    }
+  }
   std::uint64_t prev = 0;
-  for (const std::uint32_t i : order) {
-    const auto& [link, plist] = delta.upserts[i];
-    const std::uint64_t key = core::pack_link(link.from, link.to);
-    sink.varint(key - prev);
-    prev = key;
-    put_plist(sink, plist, encoding);
+  if (upserts_sorted) {
+    for (const auto& [link, plist] : delta.upserts) {
+      const std::uint64_t key = core::pack_link(link.from, link.to);
+      sink.varint(key - prev);
+      prev = key;
+      put_plist(sink, plist, encoding);
+    }
+  } else {
+    std::vector<std::uint32_t> order(delta.upserts.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return upsert_key(a) < upsert_key(b);
+                     });
+    for (const std::uint32_t i : order) {
+      const auto& [link, plist] = delta.upserts[i];
+      const std::uint64_t key = core::pack_link(link.from, link.to);
+      sink.varint(key - prev);
+      prev = key;
+      put_plist(sink, plist, encoding);
+    }
   }
 
-  std::vector<std::uint64_t> removes;
-  removes.reserve(delta.removes.size());
-  for (const core::DirectedLink& link : delta.removes) {
-    removes.push_back(core::pack_link(link.from, link.to));
+  const auto remove_key = [&](std::size_t i) {
+    return core::pack_link(delta.removes[i].from, delta.removes[i].to);
+  };
+  bool removes_sorted = true;
+  for (std::size_t i = 1; i < delta.removes.size(); ++i) {
+    if (remove_key(i) < remove_key(i - 1)) {
+      removes_sorted = false;
+      break;
+    }
   }
-  std::sort(removes.begin(), removes.end());
   prev = 0;
-  for (const std::uint64_t key : removes) {
-    sink.varint(key - prev);
-    prev = key;
+  if (removes_sorted) {
+    for (const core::DirectedLink& link : delta.removes) {
+      const std::uint64_t key = core::pack_link(link.from, link.to);
+      sink.varint(key - prev);
+      prev = key;
+    }
+  } else {
+    std::vector<std::uint64_t> removes;
+    removes.reserve(delta.removes.size());
+    for (const core::DirectedLink& link : delta.removes) {
+      removes.push_back(core::pack_link(link.from, link.to));
+    }
+    std::sort(removes.begin(), removes.end());
+    for (const std::uint64_t key : removes) {
+      sink.varint(key - prev);
+      prev = key;
+    }
   }
 
   for (const std::vector<NodeId>* dests :
        {&delta.dest_adds, &delta.dest_removes}) {
-    std::vector<NodeId> sorted(*dests);
-    std::sort(sorted.begin(), sorted.end());
     prev = 0;
-    for (const NodeId d : sorted) {
-      sink.varint(static_cast<std::uint64_t>(d) - prev);
-      prev = d;
+    if (std::is_sorted(dests->begin(), dests->end())) {
+      for (const NodeId d : *dests) {
+        sink.varint(static_cast<std::uint64_t>(d) - prev);
+        prev = d;
+      }
+    } else {
+      std::vector<NodeId> sorted(*dests);
+      std::sort(sorted.begin(), sorted.end());
+      for (const NodeId d : sorted) {
+        sink.varint(static_cast<std::uint64_t>(d) - prev);
+        prev = d;
+      }
     }
   }
 }

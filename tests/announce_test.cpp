@@ -196,7 +196,9 @@ TEST(ApplyDelta, ResetWithContentReplacesTheGraph) {
   EXPECT_EQ(g.num_links(), 1u);
   EXPECT_TRUE(g.has_link(A, B));
   EXPECT_FALSE(g.has_link(C, D));
-  EXPECT_EQ(g.destinations(), (std::set<NodeId>{B}));
+  EXPECT_EQ(std::vector<NodeId>(g.destinations().begin(),
+                                g.destinations().end()),
+            (std::vector<NodeId>{B}));
 }
 
 TEST(ApplyDelta, UpsertReplacesPlist) {
@@ -348,8 +350,8 @@ namespace {
 // P-graph, run BuildGraph over it, and recover an equivalent announcement.
 TEST(Privacy, PathVectorAndPGraphAreInterconvertible) {
   const PGraph local = build_local_pgraph(
-      2, {{2, {2}}, {0, {2, 0}}, {1, {2, 0, 1}}, {3, {2, 0, 1, 3}},
-          {4, {2, 3, 4}}});
+      2, std::map<NodeId, Path>{{2, {2}}, {0, {2, 0}}, {1, {2, 0, 1}},
+                                {3, {2, 0, 1, 3}}, {4, {2, 3, 4}}});
   const ExportedView announced =
       make_export_view(local, [](NodeId) { return true; });
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <tuple>
 
@@ -31,7 +32,9 @@ TEST(BuildGraph, LinksAndDestinations) {
   EXPECT_TRUE(g.has_link(B, D));
   EXPECT_TRUE(g.has_link(C, D));
   EXPECT_TRUE(g.has_link(D, Dp));
-  EXPECT_EQ(g.destinations(), (std::set<NodeId>{A, B, D, Dp}));
+  EXPECT_EQ(std::vector<NodeId>(g.destinations().begin(),
+                                g.destinations().end()),
+            (std::vector<NodeId>{A, B, D, Dp}));
 }
 
 TEST(BuildGraph, CountersTrackPathsPerLink) {
@@ -205,6 +208,54 @@ TEST(MinimizePlists, DerivedPathsUnchangedOnRandomTopologies) {
     ASSERT_TRUE(derived.has_value()) << dest;
     EXPECT_EQ(*derived, path) << dest;
   }
+}
+
+TEST(MinimizePlists, IncrementalBatchesMatchFullPass) {
+  util::Rng rng(77);
+  const topo::AsGraph topo =
+      topo::tiered_internet(topo::caida_like_params(60), rng);
+  const NodeId vantage = 7;
+  std::map<NodeId, Path> selected;
+  for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+    if (dest == vantage) {
+      selected[dest] = Path{vantage};
+      continue;
+    }
+    const auto routes = policy::ValleyFreeRoutes::compute(
+        topo, dest, policy::TieBreak::kPerDestRandom, 42);
+    if (routes.at(vantage).reachable()) {
+      selected[dest] = routes.path_from(vantage);
+    }
+  }
+  PGraph full = build_local_pgraph(vantage, selected);
+  PGraph batched = full;
+  std::vector<NodeId> heads;
+  for (const auto& [link, data] : full.links()) heads.push_back(link.to);
+  std::sort(heads.begin(), heads.end());
+  heads.erase(std::unique(heads.begin(), heads.end()), heads.end());
+  ASSERT_FALSE(heads.empty());
+  const std::size_t cleared_full = minimize_permission_lists(full);
+  // Partition the candidate heads (still containing single-homed entries)
+  // into two batches; batched minimization must land on the same graph and
+  // the same cleared count.  Heads may not repeat across batches — the
+  // scheme is not idempotent per head.
+  const auto half =
+      static_cast<std::ptrdiff_t>(heads.size()) / 2;
+  std::size_t cleared_batched = minimize_permission_lists_at(
+      batched, std::vector<NodeId>(heads.begin(), heads.begin() + half));
+  cleared_batched += minimize_permission_lists_at(
+      batched, std::vector<NodeId>(heads.begin() + half, heads.end()));
+  EXPECT_EQ(cleared_batched, cleared_full);
+  EXPECT_EQ(batched, full);
+}
+
+TEST(BuildGraph, AcceptsAnyDestPathPairContainer) {
+  // The template form accepts the node's own container or an ad-hoc pair
+  // vector — no std::map round trip required.
+  const std::vector<std::pair<NodeId, Path>> sel{
+      {0, {2, 0}}, {1, {2, 0, 1}}, {3, {2, 0, 1, 3}}, {4, {2, 3, 4}}};
+  const std::map<NodeId, Path> as_map(sel.begin(), sel.end());
+  EXPECT_EQ(build_local_pgraph(2, sel), build_local_pgraph(2, as_map));
 }
 
 TEST(DerivePathFallback, TwoUnlistedInLinksAreAmbiguous) {

@@ -11,6 +11,7 @@
 #include "util/rng.hpp"
 #include "util/small_vec.hpp"
 #include "util/unique_function.hpp"
+#include "util/vec_map.hpp"
 
 namespace centaur::util {
 namespace {
@@ -134,6 +135,72 @@ TEST(FlatMap, PackedLinkKeys) {
   EXPECT_EQ(*m.find(pack(1, 2)), 12);
   EXPECT_EQ(*m.find(pack(2, 1)), 21);
   EXPECT_EQ(m.find(pack(1, 1)), nullptr);
+}
+
+// ------------------------------------------------------------- VecMap -----
+
+TEST(VecMap, InsertFindEraseSorted) {
+  VecMap<std::uint32_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7), nullptr);
+
+  m[9] = 90;
+  m[7] = 70;
+  m[8] = 80;
+  EXPECT_EQ(m.size(), 3u);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 70);
+  EXPECT_EQ(m.count(9), 1u);
+  EXPECT_EQ(m.count(6), 0u);
+
+  EXPECT_TRUE(m.erase(8));
+  EXPECT_FALSE(m.erase(8));
+  EXPECT_EQ(m.find(8), nullptr);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(VecMap, IterationIsAscendingRegardlessOfInsertOrder) {
+  VecMap<std::uint32_t, int> m;
+  for (std::uint32_t k : {41u, 5u, 99u, 12u, 7u}) m[k] = static_cast<int>(k);
+  std::vector<std::uint32_t> keys;
+  for (const auto& [k, v] : m) {
+    keys.push_back(k);
+    EXPECT_EQ(v, static_cast<int>(k));
+  }
+  EXPECT_EQ(keys, (std::vector<std::uint32_t>{5, 7, 12, 41, 99}));
+}
+
+TEST(VecMap, EnsureReportsInsertion) {
+  VecMap<std::uint32_t, int> m;
+  bool inserted = false;
+  int& a = m.ensure(3, inserted);
+  EXPECT_TRUE(inserted);
+  a = 30;
+  int& b = m.ensure(3, inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(b, 30);
+}
+
+TEST(VecMap, HoldsMoveHeavyValues) {
+  VecMap<std::uint32_t, std::vector<int>> m;
+  m[2] = {2, 2};
+  m[1] = {1};
+  m[3] = {3, 3, 3};
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(m.find(3)->size(), 3u);
+  // Inserting before existing entries must shift them intact.
+  m[0] = {0};
+  EXPECT_EQ(*m.find(2), (std::vector<int>{2, 2}));
+  EXPECT_EQ(m.begin()->first, 0u);
+}
+
+TEST(VecMap, EqualityComparesContents) {
+  VecMap<std::uint32_t, int> a, b;
+  a[1] = 10;
+  b[1] = 10;
+  EXPECT_TRUE(a == b);
+  b[2] = 20;
+  EXPECT_FALSE(a == b);
 }
 
 // ----------------------------------------------------------- SmallVec -----

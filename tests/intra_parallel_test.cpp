@@ -129,7 +129,8 @@ TEST(IntraParallel, ScalabilitySweepPathsBitIdenticalAcrossThreadCounts) {
         const auto* node =
             dynamic_cast<const core::CentaurNode*>(&run.network().node(v));
         if (node == nullptr) throw std::logic_error("expected CentaurNode");
-        out.selected.push_back(node->selected_paths());
+        out.selected.emplace_back(node->selected_paths().begin(),
+                                  node->selected_paths().end());
       }
       return out;
     };

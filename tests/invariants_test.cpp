@@ -30,6 +30,7 @@ namespace centaur::core {
 struct PGraphCorruptor {
   /// Records `from` as a parent of `to` without storing the link.
   static void add_dangling_parent(PGraph& g, NodeId from, NodeId to) {
+    if (g.parents_.size() <= to) g.parents_.resize(std::size_t{to} + 1);
     PGraph::AdjList& ps = g.parents_[to];
     ps.insert(std::upper_bound(ps.begin(), ps.end(), from), from);
   }

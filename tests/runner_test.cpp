@@ -281,7 +281,8 @@ TrialObservation centaur_trial(const topo::AsGraph& g, std::size_t index) {
     if (node == nullptr) {  // thrown (not ASSERTed): trials run off-thread
       throw std::logic_error("expected a CentaurNode");
     }
-    obs.selected.push_back(node->selected_paths());
+    obs.selected.emplace_back(node->selected_paths().begin(),
+                              node->selected_paths().end());
   }
   return obs;
 }

@@ -102,9 +102,26 @@ def main():
         print(f"note: thread counts differ ({base.get('threads')} vs "
               f"{cur.get('threads')}); results should still be bit-identical",
               file=sys.stderr)
-    for doc, path in ((base, args.baseline), (cur, args.current)):
+    # Per-scale Centaur-vs-BGP wall-ratio notes (emitted by the fig8 bench)
+    # are paired baseline-vs-current so the wall-time gap trend is readable
+    # at a glance; wall time stays informational, never gated.  Other notes
+    # print as-is.
+    ratio_prefix = "centaur_vs_bgp_wall_ratio "
+    ratios = {}
+    for which, doc, path in (("baseline", base, args.baseline),
+                             ("current", cur, args.current)):
         for note in doc.get("notes", []):
-            print(f"note [{path}]: {note}")
+            if note.startswith(ratio_prefix):
+                scale = note[len(ratio_prefix):].split(":", 1)[0]
+                ratios.setdefault(scale, {})[which] = \
+                    note[len(ratio_prefix):].split(":", 1)[1].strip()
+            else:
+                print(f"note [{path}]: {note}")
+    for scale in sorted(ratios, key=lambda s: (len(s), s)):
+        pair = ratios[scale]
+        print(f"wall ratio (centaur/bgp, informational) {scale}: "
+              f"baseline {pair.get('baseline', 'n/a')} -> "
+              f"current {pair.get('current', 'n/a')}")
 
     base_trials = {t["name"]: t for t in base.get("trials", [])}
     cur_trials = {t["name"]: t for t in cur.get("trials", [])}

@@ -68,6 +68,9 @@ constexpr struct EnvVar {
      "attach the invariant analyzer to every run; --check = collect"},
     {"CENTAUR_COALESCE", "0/off/false disables (on)",
      "same-burst outbound coalescing of Centaur updates"},
+    {"CENTAUR_INCREMENTAL", "0/off/false disables (on)",
+     "incremental recompute plane (cached reselect, dirty-set derivation, "
+     "view deltas); off runs the bit-identical from-scratch reference"},
     {"CENTAUR_BLOOM_PLISTS", "1 enables (off)",
      "Bloom-compressed Permission List sizing"},
     {"CENTAUR_LOG", "error|warn|info|debug (warn)",
