@@ -41,7 +41,7 @@ void BgpNode::start() {
   for (const topo::Neighbor& nb : graph_.neighbors(self())) {
     session_up_[nb.node] = graph_.link_up(nb.link);
   }
-  if (config_.originate_prefix) {
+  if (originates()) {
     loc_rib_[self()] = Path{self()};
     export_route(self());
   }
@@ -143,7 +143,7 @@ void BgpNode::on_link_change(NodeId neighbor, bool up) {
 void BgpNode::redecide(NodeId dest) {
   std::optional<Path> best_path;
   Candidate best{};
-  if (dest == self() && config_.originate_prefix) {
+  if (dest == self() && originates()) {
     best_path = Path{self()};
     best = Candidate{policy::RouteSource::kSelf, 0, topo::kInvalidNode};
   }

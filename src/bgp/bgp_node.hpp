@@ -90,6 +90,10 @@ class BgpNode : public sim::Node {
  public:
   struct Config {
     bool originate_prefix = true;
+    /// When non-zero, only nodes with id < originate_limit originate (see
+    /// CentaurNode::Config::originate_limit — the two must match for
+    /// cross-protocol comparisons on destination-limited scale runs).
+    topo::NodeId originate_limit = 0;
     /// Minimum Route Advertisement Interval per neighbor, seconds.
     /// 0 disables batching (the paper's prototype measures raw convergence
     /// with link delays only).
@@ -129,6 +133,12 @@ class BgpNode : public sim::Node {
   void flush_pending(NodeId neighbor);
   void send_current(NodeId neighbor, NodeId dest);
   bool neighbor_usable(NodeId neighbor) const;
+  /// True when this node announces its own prefix (originate_prefix gated
+  /// by the optional low-id originate_limit).
+  bool originates() const {
+    return config_.originate_prefix &&
+           (config_.originate_limit == 0 || self() < config_.originate_limit);
+  }
   /// RCN: is this RIB entry invalidated by a notified link failure?
   bool rcn_invalidated(const RouteIn& route) const;
   /// RCN: record a failure notice and redecide every destination whose

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "wire/wire_format.hpp"
+
 namespace centaur::core {
 
 using policy::Candidate;
@@ -42,6 +44,22 @@ std::string CentaurUpdate::describe() const {
          (delta_.reset ? ", reset)" : ")");
 }
 
+CentaurBatchUpdate::CentaurBatchUpdate(
+    std::vector<std::shared_ptr<const CentaurUpdate>> updates,
+    bool bloom_compressed)
+    : updates_(std::move(updates)), bloom_(bloom_compressed) {
+  std::vector<const GraphDelta*> deltas;
+  deltas.reserve(updates_.size());
+  for (const auto& u : updates_) deltas.push_back(&u->delta());
+  byte_size_ = wire::encoded_batch_size(
+      deltas, bloom_ ? wire::PlistEncoding::kBloom
+                     : wire::PlistEncoding::kExplicit);
+}
+
+std::string CentaurBatchUpdate::describe() const {
+  return "centaur-batch(" + std::to_string(updates_.size()) + " updates)";
+}
+
 CentaurNode::CentaurNode(const topo::AsGraph& graph)
     : CentaurNode(graph, Config()) {}
 
@@ -55,11 +73,16 @@ bool CentaurNode::neighbor_usable(NodeId neighbor) const {
 
 void CentaurNode::start() {
   local_.reset(self());
-  local_.reserve(graph_.num_nodes(), 2 * graph_.num_nodes());
+  // Below the dense limit, presize for the steady-state footprint (rehash-
+  // free assembly).  At 100k+ nodes every per-node table must instead stay
+  // proportional to content — O(n) reservations per node are quadratic in
+  // aggregate memory (see util/node_map.hpp).
+  const std::size_t n = graph_.num_nodes();
+  local_.reserve(n, n < util::kNodeMapDenseLimit ? 2 * n : 0);
   for (const topo::Neighbor& nb : graph_.neighbors(self())) {
     session_up_[nb.node] = graph_.link_up(nb.link);
   }
-  if (config_.originate_prefix) {
+  if (originates()) {
     selected_[self()] = Path{self()};
     selected_class_[self()] = policy::RouteSource::kSelf;
     add_path_to_pgraph(local_, Path{self()});
@@ -88,14 +111,19 @@ std::vector<NodeId> CentaurNode::refresh_derived(
     // The indexed walk chain of `e` is reverse(path) for a successful
     // derivation and fail_chain for a failed one; de-index it.
     const auto erase_walk = [&state](const DestState& e, NodeId d) {
+      const auto de_index = [&state, d](NodeId node) {
+        // Indexed nodes always have a slot (ensure() created it), but an
+        // absent find is harmless: nothing to erase.
+        if (auto* idx = state.chain_index.find(node)) {
+          util::sorted_erase(*idx, d);
+        }
+      };
       if (!e.path.empty()) {
         for (auto it = e.path.rbegin(); it != e.path.rend(); ++it) {
-          util::sorted_erase(state.chain_index[*it], d);
+          de_index(*it);
         }
       } else {
-        for (const NodeId node : e.fail_chain) {
-          util::sorted_erase(state.chain_index[node], d);
-        }
+        for (const NodeId node : e.fail_chain) de_index(node);
       }
     };
 
@@ -127,10 +155,7 @@ std::vector<NodeId> CentaurNode::refresh_derived(
     if (!chain_same) {
       erase_walk(*entry, dest);
       for (const NodeId node : visited) {
-        if (state.chain_index.size() <= node) {
-          state.chain_index.resize(std::size_t{node} + 1);
-        }
-        util::sorted_insert(state.chain_index[node], dest);
+        util::sorted_insert(state.chain_index.ensure(node), dest);
       }
     }
 
@@ -345,9 +370,8 @@ void CentaurNode::flood() {
       if (first) delta.reset = true;
       if (delta.empty()) continue;
       stored = view;
-      net().send(self(), nb.node,
-                 std::make_shared<CentaurUpdate>(std::move(delta),
-                                                 config_.bloom_plists));
+      send_update(nb.node, std::make_shared<CentaurUpdate>(
+                               std::move(delta), config_.bloom_plists));
     }
     return;
   }
@@ -419,6 +443,45 @@ void CentaurNode::flood() {
   dispatch_updates();
 }
 
+void CentaurNode::send_update(NodeId neighbor,
+                              std::shared_ptr<const CentaurUpdate> msg) {
+  if (!config_.batch_datagrams) {
+    net().send(self(), neighbor, std::move(msg));
+    return;
+  }
+  auto slot = std::find_if(outbox_.begin(), outbox_.end(),
+                           [&](const auto& e) { return e.first == neighbor; });
+  if (slot == outbox_.end()) {
+    outbox_.emplace_back(neighbor,
+                         std::vector<std::shared_ptr<const CentaurUpdate>>{});
+    slot = std::prev(outbox_.end());
+  }
+  slot->second.push_back(std::move(msg));
+  if (outbox_flush_scheduled_) return;
+  outbox_flush_scheduled_ = true;
+  // Zero-delay, like the coalescing flush: the batch leaves within the same
+  // instant its members were emitted, so link delays (and thus arrival
+  // times) are unchanged; tagged with self() because it only touches this
+  // node's outbox.
+  net().simulator().schedule_tagged(0, self(), [this] { flush_outbox(); });
+}
+
+void CentaurNode::flush_outbox() {
+  outbox_flush_scheduled_ = false;
+  for (auto& [neighbor, updates] : outbox_) {
+    if (updates.size() == 1) {
+      // A lone update keeps the single-delta framing: batching must never
+      // cost bytes when there is nothing to batch.
+      net().send(self(), neighbor, std::move(updates.front()));
+    } else {
+      net().send(self(), neighbor,
+                 std::make_shared<CentaurBatchUpdate>(std::move(updates),
+                                                      config_.bloom_plists));
+    }
+  }
+  outbox_.clear();
+}
+
 void CentaurNode::dispatch_updates() {
   if (!config_.coalesce_updates) {
     flush_pending();
@@ -470,10 +533,10 @@ void CentaurNode::flush_pending() {
         snap = std::make_shared<CentaurUpdate>(std::move(snapshot),
                                                config_.bloom_plists);
       }
-      net().send(self(), nb.node, snap);
+      send_update(nb.node, snap);
     } else {
       const auto& msg = cone_nbr ? cone_msg : full_msg;
-      if (msg) net().send(self(), nb.node, msg);
+      if (msg) send_update(nb.node, msg);
     }
   }
 }
@@ -481,25 +544,37 @@ void CentaurNode::flush_pending() {
 // ----------------------------------------------------------------- events --
 
 void CentaurNode::on_message(NodeId from, const sim::MessagePtr& msg) {
+  if (!neighbor_usable(from)) return;
+  if (const auto* batch = dynamic_cast<const CentaurBatchUpdate*>(msg.get())) {
+    // Members apply in send order; each is processed exactly as if it had
+    // arrived in its own datagram.
+    for (const auto& update : batch->updates()) process_delta(from, *update);
+    return;
+  }
   const auto* update = dynamic_cast<const CentaurUpdate*>(msg.get());
-  if (update == nullptr || !neighbor_usable(from)) return;
-  const GraphDelta& delta = update->delta();
+  if (update != nullptr) process_delta(from, *update);
+}
+
+void CentaurNode::process_delta(NodeId from, const CentaurUpdate& update) {
+  const GraphDelta& delta = update.delta();
 
   bool inserted = false;
   NeighborState& state = rib_.ensure(from, inserted);
   if (inserted) {
     state.graph.reset(from);
     // Pre-size for the steady-state footprint (one entry per reachable
-    // node/destination) so cold-start assembly avoids rehash cascades.
+    // node/destination) so cold-start assembly avoids rehash cascades —
+    // but only below the dense limit; at 100k+ nodes per-neighbor state
+    // must stay content-sized (see util/node_map.hpp).
     const std::size_t n = graph_.num_nodes();
-    state.graph.reserve(n, 2 * n);
-    state.dests.reserve(n);
-    if (state.chain_index.size() < n) state.chain_index.resize(n);
+    state.graph.reserve(n, n < util::kNodeMapDenseLimit ? 2 * n : 0);
+    if (n < util::kNodeMapDenseLimit) state.dests.reserve(n);
+    state.chain_index.reserve_ids(n);
   }
   if (delta.reset && !inserted) {
     // Session restart: every previously derived destination is suspect.
     state.dests.clear();
-    for (auto& slot : state.chain_index) slot.clear();
+    state.chain_index.clear_values();
   }
 
   LinkFilter import_filter;
@@ -526,9 +601,8 @@ void CentaurNode::on_message(NodeId from, const sim::MessagePtr& msg) {
     for (const auto& [dest, ds] : state.dests) dirty.push_back(dest);
   } else {
     auto touch = [&](NodeId node) {
-      if (node < state.chain_index.size()) {
-        const auto& idx = state.chain_index[node];
-        dirty.insert(dirty.end(), idx.begin(), idx.end());
+      if (const auto* idx = state.chain_index.find(node)) {
+        dirty.insert(dirty.end(), idx->begin(), idx->end());
       }
     };
     for (const auto& [link, plist] : delta.upserts) touch(link.to);
@@ -571,9 +645,8 @@ void CentaurNode::on_link_change(NodeId neighbor, bool up) {
     snapshot.reset = true;
     exported_custom_[neighbor] = view;
     if (!snapshot.empty()) {
-      net().send(self(), neighbor,
-                 std::make_shared<CentaurUpdate>(std::move(snapshot),
-                                                 config_.bloom_plists));
+      send_update(neighbor, std::make_shared<CentaurUpdate>(
+                                std::move(snapshot), config_.bloom_plists));
     }
     return;
   }

@@ -21,8 +21,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "centaur/announce.hpp"
@@ -32,6 +34,7 @@
 #include "sim/network.hpp"
 #include "util/dense_map.hpp"
 #include "util/flat_map.hpp"
+#include "util/node_map.hpp"
 #include "util/small_vec.hpp"
 #include "util/vec_map.hpp"
 
@@ -61,11 +64,41 @@ class CentaurUpdate : public sim::Message {
   std::size_t byte_size_;
 };
 
+/// Wire message: several same-neighbor updates coalesced into one batch
+/// datagram (Config::batch_datagrams; wire batch framing, kBatchVersion).
+/// Receivers apply the member deltas in order, exactly as if each had
+/// arrived in its own datagram — only the datagram count (and the few
+/// framing bytes) changes.  Member payloads stay shared with the
+/// per-neighbor CentaurUpdate instances, so batching adds no delta copies.
+class CentaurBatchUpdate : public sim::Message {
+ public:
+  CentaurBatchUpdate(std::vector<std::shared_ptr<const CentaurUpdate>> updates,
+                     bool bloom_compressed);
+
+  const std::vector<std::shared_ptr<const CentaurUpdate>>& updates() const {
+    return updates_;
+  }
+  bool bloom_compressed() const { return bloom_; }
+  std::size_t byte_size() const override { return byte_size_; }
+  std::string describe() const override;
+
+ private:
+  std::vector<std::shared_ptr<const CentaurUpdate>> updates_;
+  bool bloom_;
+  std::size_t byte_size_;
+};
+
 class CentaurNode : public sim::Node {
  public:
   struct Config {
     /// Announce the node's own prefix (true for all experiment nodes).
     bool originate_prefix = true;
+    /// When non-zero, only nodes with id < originate_limit originate
+    /// (destination-limited workloads for 100k+-node scale runs; routing
+    /// for the originated set is unchanged).  Low ids are the topology
+    /// generators' core tiers, so limited destinations stay well-connected
+    /// — and per-node destination caches stay small.
+    topo::NodeId originate_limit = 0;
     /// Account Permission-List bytes as Bloom-compressed (S4.1).
     bool bloom_plists = false;
     /// Merge every delta emitted within one simulated instant into a single
@@ -73,6 +106,13 @@ class CentaurNode : public sim::Node {
     /// event, so arrival times are unchanged).  Off: send inline per flood,
     /// the seed behavior.
     bool coalesce_updates = true;
+    /// Coalesce every datagram bound for the same neighbor within one
+    /// simulated instant into a single CentaurBatchUpdate (flushed through
+    /// a zero-delay event, so arrival times are unchanged; a lone update
+    /// still goes out as a plain CentaurUpdate with identical bytes).
+    /// Mostly pays with coalesce_updates off, where each flood otherwise
+    /// emits its own datagram per neighbor.  Off: the baseline framing.
+    bool batch_datagrams = false;
     /// Use the incremental recompute plane (DESIGN.md §12): reselect()
     /// rank-merges the per-(neighbor, destination) candidate cache
     /// maintained by refresh_derived() and materializes only the winning
@@ -184,13 +224,20 @@ class CentaurNode : public sim::Node {
     explicit NeighborState(topo::NodeId root) : graph(root) {}
     PGraph graph;     // G_{B->self}
     DestCache dests;  // dest -> derived path + walk chain + summary
-    /// node -> dests whose walk visits it (sorted ascending), direct-indexed
-    /// by NodeId (dense ids) and grown on demand; empty slot = no walks.
-    std::vector<util::SmallVec<NodeId, 4>> chain_index;
+    /// node -> dests whose walk visits it (sorted ascending).  NodeMap:
+    /// direct-indexed below util::kNodeMapDenseLimit, content-sized above
+    /// it; absent/empty slot = no walks.
+    util::NodeMap<util::SmallVec<NodeId, 4>> chain_index;
   };
 
   ExportedView view_for(topo::NodeId neighbor) const;
   bool neighbor_usable(topo::NodeId neighbor) const;
+  /// True when this node announces its own prefix (originate_prefix gated
+  /// by the optional low-id originate_limit).
+  bool originates() const {
+    return config_.originate_prefix &&
+           (config_.originate_limit == 0 || self() < config_.originate_limit);
+  }
   /// Re-derives `dests` (sorted ascending, duplicate-free) in `state`,
   /// returning those whose result changed, ascending.  Also refreshes the
   /// per-destination candidate summaries.
@@ -221,6 +268,19 @@ class CentaurNode : public sim::Node {
   /// deltas and fans them out; uninitialized usable neighbors get a shared
   /// baseline snapshot of their category view instead.
   void flush_pending();
+  /// Applies one update's delta from `from`: assemble into the RIB,
+  /// invalidate dirty destinations, re-derive, re-select, flood.  The body
+  /// of message handling; on_message calls it once per plain update and
+  /// once per member of a batch.
+  void process_delta(topo::NodeId from, const CentaurUpdate& update);
+  /// All outbound updates funnel through here: sends immediately, or (with
+  /// batch_datagrams) queues into the per-neighbor outbox and schedules the
+  /// end-of-instant batch flush.
+  void send_update(topo::NodeId neighbor,
+                   std::shared_ptr<const CentaurUpdate> msg);
+  /// Emits each neighbor's queued updates as one datagram (a batch when
+  /// there is more than one).
+  void flush_outbox();
   /// Records a changed selection for dest (old path out, new path in) in
   /// the flood scratch and cone-entry map.
   void note_path_removed(NodeId dest, const Path& path, bool cone_class);
@@ -263,6 +323,13 @@ class CentaurNode : public sim::Node {
   PendingDelta pending_full_;
   PendingDelta pending_cone_;
   bool flush_scheduled_ = false;
+  // Datagram batching (batch_datagrams): updates queued this instant, per
+  // neighbor in first-send order (deterministic; neighbor counts are small
+  // enough that the linear scan beats a map).
+  std::vector<std::pair<topo::NodeId,
+                        std::vector<std::shared_ptr<const CentaurUpdate>>>>
+      outbox_;
+  bool outbox_flush_scheduled_ = false;
   // Legacy per-neighbor views, used only with a custom export_link_filter.
   util::VecMap<topo::NodeId, ExportedView> exported_custom_;
   // Reusable hot-path scratch (nodes process one message at a time): the

@@ -20,15 +20,17 @@ void PGraph::reset(NodeId root) {
   links_.clear();
   // Keep the dense slots (and their SmallVec spill capacity): resets happen
   // on session restarts, where the graph re-grows to the same node range.
-  for (AdjList& adj : parents_) adj.clear();
-  for (AdjList& adj : children_) adj.clear();
+  parents_.clear_values();
+  children_.clear_values();
   destinations_.clear();
 }
 
 bool PGraph::remove_link(NodeId from, NodeId to) {
   if (!links_.erase(pack_link(from, to))) return false;
-  util::sorted_erase(parents_[to], from);
-  util::sorted_erase(children_[from], to);
+  // The adjacency slots exist whenever the link did (ensure_link created
+  // them), so the finds cannot miss on this path.
+  util::sorted_erase(*parents_.find(to), from);
+  util::sorted_erase(*children_.find(from), to);
   return true;
 }
 

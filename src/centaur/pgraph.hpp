@@ -35,6 +35,7 @@
 #include "centaur/permission_list.hpp"
 #include "topology/types.hpp"
 #include "util/flat_map.hpp"
+#include "util/node_map.hpp"
 #include "util/small_vec.hpp"
 
 namespace centaur::core {
@@ -86,12 +87,14 @@ class PGraph {
   /// Adjacency list: sorted ascending, inline up to 4 entries (the common
   /// case — most P-graph nodes have a single parent).
   using AdjList = util::SmallVec<NodeId, 4>;
-  /// Adjacency storage: direct-indexed by NodeId (AS ids are dense,
-  /// 0..n-1), grown on demand.  An out-of-range or empty slot means "no
-  /// neighbors".  Replaces the former hash map: DerivePath does one
-  /// parents() lookup per hop, and an array index beats a hash probe on
-  /// that path by ~3x.
-  using AdjVec = std::vector<AdjList>;
+  /// Adjacency storage: dual-mode NodeMap.  Below util::kNodeMapDenseLimit
+  /// it is the direct-indexed array the hot paths want (DerivePath does one
+  /// parents() lookup per hop; an array index beats a hash probe on that
+  /// path by ~3x).  At 100k+ ids it switches to a content-sized map — each
+  /// node keeps one P-graph per neighbor, and an O(max-id) array per graph
+  /// is what made such topologies infeasible.  An absent or empty slot
+  /// means "no neighbors".
+  using AdjVec = util::NodeMap<AdjList>;
 
   /// Flat link storage; iteration yields { DirectedLink-packed key, data }
   /// items via LinkView below.
@@ -143,8 +146,8 @@ class PGraph {
   /// resets) does not pay a rehash cascade while the tables grow.
   void reserve(std::size_t nodes, std::size_t links) {
     links_.reserve(links);
-    if (parents_.size() < nodes) parents_.resize(nodes);
-    if (children_.size() < nodes) children_.resize(nodes);
+    parents_.reserve_ids(nodes);
+    children_.reserve_ids(nodes);
   }
 
   // --- structure ---------------------------------------------------------
@@ -171,7 +174,8 @@ class PGraph {
   std::size_t num_links() const { return links_.size(); }
 
   std::size_t in_degree(NodeId n) const {
-    return n < parents_.size() ? parents_[n].size() : 0;
+    const AdjList* p = parents_.find(n);
+    return p != nullptr ? p->size() : 0;
   }
 
   /// "Multi-homed": more than one parent in this P-graph (S3.2.4).
@@ -185,8 +189,11 @@ class PGraph {
 
   /// True if `n` is the root or appears as an endpoint of some link.
   bool contains(NodeId n) const {
-    return n == root_ || (n < parents_.size() && !parents_[n].empty()) ||
-           (n < children_.size() && !children_[n].empty());
+    if (n == root_) return true;
+    const AdjList* p = parents_.find(n);
+    if (p != nullptr && !p->empty()) return true;
+    const AdjList* c = children_.find(n);
+    return c != nullptr && !c->empty();
   }
 
   // --- destinations -------------------------------------------------------
@@ -257,10 +264,11 @@ class PGraph {
   /// order is needed).
   LinkView links() const { return LinkView(links_); }
 
-  /// Whole adjacency storage, indexed by NodeId, values sorted ascending;
-  /// empty slots are nodes with no neighbors on that side.  Exposed for the
-  /// invariant checker (src/check), which cross-validates them against
-  /// links(); protocol code should use parents()/children() instead.
+  /// Whole adjacency storage, keyed by NodeId, values sorted ascending;
+  /// absent/empty slots are nodes with no neighbors on that side (iterate
+  /// with AdjVec::for_each — ascending id order in both NodeMap modes).
+  /// Exposed for the invariant checker (src/check), which cross-validates
+  /// them against links(); protocol code should use parents()/children().
   const AdjVec& parent_map() const { return parents_; }
   const AdjVec& child_map() const { return children_; }
 
@@ -276,8 +284,8 @@ class PGraph {
 
   NodeId root_ = topo::kInvalidNode;
   LinkMap links_;
-  AdjVec parents_;   // sorted values, indexed by NodeId
-  AdjVec children_;  // sorted values, indexed by NodeId
+  AdjVec parents_;   // sorted values, keyed by NodeId
+  AdjVec children_;  // sorted values, keyed by NodeId
   DestList destinations_;  // sorted ascending
 };
 
@@ -292,21 +300,21 @@ inline const PGraph::AdjList kEmptyAdjList{};
 // Hot-path accessors are defined here (not in pgraph.cpp) so the builds
 // without LTO can still inline them into DerivePath/BuildGraph loops.
 inline const PGraph::AdjList& PGraph::parents(NodeId n) const {
-  return n < parents_.size() ? parents_[n] : pgraph_detail::kEmptyAdjList;
+  const AdjList* p = parents_.find(n);
+  return p != nullptr ? *p : pgraph_detail::kEmptyAdjList;
 }
 
 inline const PGraph::AdjList& PGraph::children(NodeId n) const {
-  return n < children_.size() ? children_[n] : pgraph_detail::kEmptyAdjList;
+  const AdjList* c = children_.find(n);
+  return c != nullptr ? *c : pgraph_detail::kEmptyAdjList;
 }
 
 inline LinkData& PGraph::ensure_link(NodeId from, NodeId to, bool& added) {
   if (from == to) throw std::invalid_argument("PGraph::add_link: self-loop");
   LinkData& data = links_.ensure(pack_link(from, to), added);
   if (added) {
-    if (parents_.size() <= to) parents_.resize(std::size_t{to} + 1);
-    if (children_.size() <= from) children_.resize(std::size_t{from} + 1);
-    util::sorted_insert(parents_[to], from);
-    util::sorted_insert(children_[from], to);
+    util::sorted_insert(parents_.ensure(to), from);
+    util::sorted_insert(children_.ensure(from), to);
   }
   return data;
 }

@@ -79,30 +79,23 @@ std::set<NodeId> all_nodes(const PGraph& g) {
     nodes.insert(link.from);
     nodes.insert(link.to);
   }
-  for (std::size_t n = 0; n < g.parent_map().size(); ++n) {
-    const PGraph::AdjList& adj = g.parent_map()[n];
-    if (adj.empty()) continue;
-    nodes.insert(static_cast<NodeId>(n));
+  const auto collect = [&nodes](NodeId n, const PGraph::AdjList& adj) {
+    if (adj.empty()) return;
+    nodes.insert(n);
     nodes.insert(adj.begin(), adj.end());
-  }
-  for (std::size_t n = 0; n < g.child_map().size(); ++n) {
-    const PGraph::AdjList& adj = g.child_map()[n];
-    if (adj.empty()) continue;
-    nodes.insert(static_cast<NodeId>(n));
-    nodes.insert(adj.begin(), adj.end());
-  }
+  };
+  g.parent_map().for_each(collect);
+  g.child_map().for_each(collect);
   return nodes;
 }
 
 void check_adjacency_map(const PGraph::AdjVec& map, const PGraph& g,
                          bool map_is_parents, std::vector<Violation>& out) {
   const char* name = map_is_parents ? "parents" : "children";
-  for (std::size_t slot = 0; slot < map.size(); ++slot) {
-    const NodeId n = static_cast<NodeId>(slot);
-    const PGraph::AdjList& adj = map[slot];
+  map.for_each([&](NodeId n, const PGraph::AdjList& adj) {
     // Empty slots are legal in the dense representation: they are nodes with
     // no neighbors on this side (possibly never touched at all).
-    if (adj.empty()) continue;
+    if (adj.empty()) return;
     if (!std::is_sorted(adj.begin(), adj.end()) ||
         std::adjacent_find(adj.begin(), adj.end()) != adj.end()) {
       report(out, Invariant::kAdjacencySorted,
@@ -118,7 +111,7 @@ void check_adjacency_map(const PGraph::AdjVec& map, const PGraph& g,
                    "] lists dangling link " + link_str(from, to));
       }
     }
-  }
+  });
 }
 
 /// Iterative three-color DFS over child links; reports one witness link per

@@ -40,19 +40,24 @@ std::unique_ptr<sim::Node> make_protocol_node(Protocol p,
     case Protocol::kBgp: {
       bgp::BgpNode::Config cfg;
       cfg.mrai = options.bgp_mrai;
+      cfg.originate_limit = options.origin_limit;
       return std::make_unique<bgp::BgpNode>(graph, cfg);
     }
     case Protocol::kBgpRcn: {
       bgp::BgpNode::Config cfg;
       cfg.mrai = options.bgp_mrai;
+      cfg.originate_limit = options.origin_limit;
       cfg.root_cause_notification = true;
       return std::make_unique<bgp::BgpNode>(graph, cfg);
     }
     case Protocol::kCentaur: {
       core::CentaurNode::Config cfg;
       cfg.coalesce_updates = util::env_flag_strict("CENTAUR_COALESCE", true);
+      cfg.batch_datagrams =
+          util::env_flag_strict("CENTAUR_BATCH_DATAGRAMS", false);
       cfg.bloom_plists = util::env_flag_strict("CENTAUR_BLOOM_PLISTS", false);
       cfg.incremental = util::env_flag_strict("CENTAUR_INCREMENTAL", true);
+      cfg.originate_limit = options.origin_limit;
       return std::make_unique<core::CentaurNode>(graph, cfg);
     }
     case Protocol::kOspf:

@@ -50,6 +50,13 @@ struct RunOptions {
   /// standard 30 s eBGP MRAI — the dominant term in its Fig 6 convergence
   /// times.  0 disables batching (propagation-limited BGP).
   sim::Time bgp_mrai = 0.0;
+  /// When non-zero, only nodes with id < origin_limit originate their
+  /// prefix (destination-limited workload for 100k+-node scale runs —
+  /// full-mesh origination is quadratic in routes).  Applied uniformly to
+  /// Centaur and BGP so cross-protocol numbers stay comparable; OSPF
+  /// ignores it (its LSDB is already per-link, but that also makes it
+  /// infeasible at this scale — see bench_fig8_large).
+  topo::NodeId origin_limit = 0;
   /// Invariant analysis mode.  kOff is upgraded to kAssert for Centaur runs
   /// in CENTAUR_CHECK (Debug) builds, so every tier-1 simulation doubles as
   /// an invariant test.

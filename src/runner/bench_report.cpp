@@ -127,7 +127,11 @@ std::string BenchReport::to_json() const {
        << "\"wall_time_s\": ";
     append_double(os, t.wall_time_s);
     os << ", \"events\": " << t.events << ", \"messages\": " << t.messages
-       << ", \"bytes\": " << t.bytes << ", \"metrics\": {";
+       << ", \"bytes\": " << t.bytes;
+    if (t.peak_rss_delta_kb != 0) {
+      os << ", \"peak_rss_delta_kb\": " << t.peak_rss_delta_kb;
+    }
+    os << ", \"metrics\": {";
     for (std::size_t m = 0; m < t.metrics.size(); ++m) {
       if (m > 0) os << ", ";
       os << "\"" << json_escape(t.metrics[m].first) << "\": ";

@@ -22,7 +22,9 @@
 //     "peak_rss_kb": <N>,
 //     "trials": [
 //       {"name": "...", "wall_time_s": <f>, "events": <N>,
-//        "messages": <N>, "bytes": <N>, "metrics": {"<k>": <f>, ...}},
+//        "messages": <N>, "bytes": <N>,
+//        "peak_rss_delta_kb": <N>,     // optional, present when non-zero
+//        "metrics": {"<k>": <f>, ...}},
 //       ...
 //     ],
 //     "totals": {"wall_time_s": <f>, "events": <N>,
@@ -45,6 +47,12 @@ struct TrialResult {
   std::uint64_t events = 0;    ///< simulator events executed (0 if no sim)
   std::uint64_t messages = 0;  ///< protocol messages sent
   std::uint64_t bytes = 0;     ///< protocol bytes sent
+  /// Growth of the process peak-RSS high-water mark across this trial, KiB
+  /// (peak_rss_kb() after minus before).  0 — unmeasured, or the trial fit
+  /// inside an earlier trial's footprint: the kernel counter only ever
+  /// rises, so deltas under-report once a bigger trial has run.  Emitted in
+  /// the JSON only when non-zero; never gated (machine-dependent).
+  std::uint64_t peak_rss_delta_kb = 0;
   /// Bench-specific named metrics (e.g. median convergence in ms).
   std::vector<std::pair<std::string, double>> metrics;
 };

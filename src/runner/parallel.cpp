@@ -15,6 +15,10 @@ std::size_t intra_threads_from_env() {
                           /*min_value=*/1);
 }
 
+std::size_t shards_from_env() {
+  return util::env_size_t("CENTAUR_SHARDS", /*fallback=*/1, /*min_value=*/1);
+}
+
 WorkerPool::WorkerPool(std::size_t threads) {
   if (threads <= 1) return;
   workers_.reserve(threads - 1);

@@ -45,6 +45,13 @@ std::size_t threads_from_env();
 /// batches dominate small runs.
 std::size_t intra_threads_from_env();
 
+/// Topology shard count for the sharded event plane (DESIGN.md §13):
+/// CENTAUR_SHARDS if set and valid (strict parse, clamped to >= 1, garbage
+/// warns once and is ignored), else 1 (unsharded).  The Network constructor
+/// samples it and partitions the AS graph into that many contiguous node
+/// ranges; any value is bit-identical to the unsharded run.
+std::size_t shards_from_env();
+
 /// Thrown by run_trials when a trial fails.  Carries which trial threw
 /// first (lowest index among trials that ran and failed — the index a
 /// serial run would have thrown at, unless a later-index racing worker was

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "runner/parallel.hpp"
+#include "topology/partition.hpp"
 
 namespace centaur::sim {
 
@@ -13,6 +14,17 @@ Network::Network(AsGraph& graph, util::Rng& rng, Time min_delay,
   delays_.reserve(graph.num_links());
   for (LinkId l = 0; l < graph.num_links(); ++l) {
     delays_.push_back(rng.uniform(min_delay, max_delay));
+  }
+  // Sharded event plane (DESIGN.md §13): partition the AS graph into
+  // CENTAUR_SHARDS contiguous node ranges and give each its own event
+  // queue.  Must happen before anything is scheduled; any shard count is
+  // bit-identical to the unsharded run.
+  const std::size_t shards = runner::shards_from_env();
+  if (shards > 1 && graph.num_nodes() > 0) {
+    topo::Partition part = topo::partition_contiguous(graph, shards);
+    if (part.num_shards > 1) {
+      sim_.set_shards(part.num_shards, std::move(part.shard_of_node));
+    }
   }
   // Flooding protocols keep roughly O(links) deliveries in flight during
   // initialization; pre-sizing the event heap avoids its growth
@@ -75,25 +87,42 @@ void Network::notify_event_hook(NodeId id) {
 }
 
 void Network::send(NodeId from, NodeId to, MessagePtr msg) {
-  if (in_parallel_phase()) {
-    // Counters and event-queue insertion are shared state: replay the whole
-    // send at the commit barrier, in the sending event's seq position.
-    // Link state cannot change within a batch (set_link_state is driver-
-    // side), so the deferred send sees the same topology the caller did.
+  if (in_parallel_phase() && !in_sharded_lane()) {
+    // Unsharded worker lane: counters and event-queue insertion are shared
+    // state — replay the whole send at the commit barrier, in the sending
+    // event's seq position.  Link state cannot change within a batch
+    // (set_link_state is driver-side), so the deferred send sees the same
+    // topology the caller did.
     defer_commit_op([this, from, to, msg = std::move(msg)]() mutable {
       send(from, to, std::move(msg));
     });
     return;
   }
+  // Serial, or a sharded lane.  In a sharded lane the reads below are all
+  // batch-frozen (topology and link state only change through driver
+  // events, delays are fixed at construction), counters defer to the commit
+  // barrier, and the delivery schedule is issued in-lane so a cross-shard
+  // send rides — and is counted on — the (src, dst) shard channel.  The
+  // deferred-counter op precedes the schedule in the event's op stream,
+  // preserving the serial interleaving.
   const auto link = graph_.find_link(from, to);
   if (!link) throw std::invalid_argument("Network::send: not adjacent");
   const std::size_t bytes = msg->byte_size();
-  ++window_.messages_sent;
-  window_.bytes_sent += bytes;
-  ++total_messages_;
-  total_bytes_ += bytes;
+  if (in_sharded_lane()) {
+    defer_commit_op([this, bytes] {
+      ++window_.messages_sent;
+      window_.bytes_sent += bytes;
+      ++total_messages_;
+      total_bytes_ += bytes;
+    });
+  } else {
+    ++window_.messages_sent;
+    window_.bytes_sent += bytes;
+    ++total_messages_;
+    total_bytes_ += bytes;
+  }
   if (!graph_.link_up(*link)) {
-    ++window_.messages_dropped;
+    note_drop();
     return;
   }
   const LinkId l = *link;

@@ -30,6 +30,18 @@
 // order, counters, analyzer reports) is therefore bit-identical to the
 // serial execution for any thread count.  Untagged events are barriers:
 // batches never extend past them.
+//
+// Topology sharding (DESIGN.md §13): set_shards(S, shard_of_node) replaces
+// the single event queue with S per-shard queues (each heap + burst FIFO)
+// plus a driver queue for untagged events, all sharing one global sequence
+// counter.  Same-instant batches partition by *shard* instead of by node
+// and each shard's sub-batch runs in seq order on one WorkerPool lane;
+// shared side effects stream into per-shard op queues, and schedule calls
+// targeting another shard stream into per-(src, dst) shard channels — the
+// boundary-link message fabric.  The barrier replays both streams merged in
+// (event seq, op index) order, which is exactly the serial interleaving, so
+// every observable stays bit-identical to the unsharded run for any shard
+// count, serial or parallel.
 #pragma once
 
 #include <cstddef>
@@ -58,6 +70,13 @@ bool in_parallel_phase();
 /// the queues in event sequence order at the batch barrier, on the
 /// simulator thread.  Precondition: in_parallel_phase().
 void defer_commit_op(util::UniqueFunction op);
+
+/// True while the calling thread is a sharded-plane lane (a shard sub-batch
+/// under set_shards > 1).  Implies in_parallel_phase().  In a sharded lane,
+/// schedule calls may be issued directly — cross-shard ones ride the shard
+/// channels and are counted there — whereas other shared side effects must
+/// still go through defer_commit_op().
+bool in_sharded_lane();
 
 /// Deterministic event queue: ties in time break by insertion order, so a
 /// run is a pure function of its inputs.
@@ -94,6 +113,32 @@ class Simulator {
   void set_intra_threads(std::size_t threads);
   std::size_t intra_threads() const { return intra_threads_; }
 
+  /// Switches to the sharded event plane (see file header): `count` shard
+  /// queues, `shard_of_node[tag]` owning each node tag.  Must be called on
+  /// a pristine simulator (nothing scheduled or executed yet); count <= 1
+  /// keeps the unsharded plane.  Every shard value must be < count.
+  void set_shards(std::size_t count, std::vector<std::uint32_t> shard_of_node);
+  std::size_t shards() const { return num_shards_; }
+
+  /// Deterministic per-shard execution tallies (sharded plane only).
+  /// `events` counts events executed by the shard — identical for any lane
+  /// count; `wall_s` accumulates the shard's lane compute time and is only
+  /// populated by parallel batches (intra_threads > 1).
+  struct ShardStats {
+    std::uint64_t events = 0;
+    double wall_s = 0;
+  };
+  const std::vector<ShardStats>& shard_stats() const { return shard_stats_; }
+
+  /// Messages that crossed the (src, dst) shard channel: schedules issued
+  /// by one shard's events targeting a node owned by another (deliveries on
+  /// boundary links).  Deterministic — identical for any lane count.
+  /// Always 0 on the unsharded plane (there are no channels to cross).
+  std::uint64_t channel_messages(std::size_t src, std::size_t dst) const {
+    if (num_shards_ <= 1) return 0;
+    return channel_total_.at(src * num_shards_ + dst);
+  }
+
   /// Pre-sizes the event heap (events outstanding at once, not total).
   void reserve(std::size_t events);
 
@@ -109,8 +154,12 @@ class Simulator {
   /// run_until exits, asserted in debug builds).
   std::size_t run_until(Time deadline, std::size_t max_events = 50'000'000);
 
-  bool idle() const { return heap_.empty() && burst_head_ >= burst_.size(); }
+  bool idle() const {
+    if (num_shards_ > 1) return sharded_idle();
+    return heap_.empty() && burst_head_ >= burst_.size();
+  }
   std::size_t pending() const {
+    if (num_shards_ > 1) return sharded_pending();
     return heap_.size() + (burst_.size() - burst_head_);
   }
 
@@ -119,6 +168,10 @@ class Simulator {
   std::uint64_t executed() const { return executed_; }
 
  private:
+  /// Lane-side deferral pushes straight into the executing shard's op
+  /// stream (sharded plane).
+  friend void defer_commit_op(util::UniqueFunction);
+
   struct Event {
     Time at = 0;
     std::uint64_t seq = 0;
@@ -162,6 +215,66 @@ class Simulator {
   /// on the worker pool, commit queues replay in seq order at the barrier.
   void execute_batch(std::vector<Event>& batch);
 
+  // --- sharded event plane (set_shards > 1; see file header) ----------------
+
+  /// One shard's private event queue: the same heap + burst FIFO pair as
+  /// the unsharded plane, keyed by the shared global (time, seq) order.
+  struct ShardQueue {
+    std::vector<HeapItem> heap;
+    std::vector<util::UniqueFunction> fns;
+    std::vector<std::uint32_t> free_slots;
+    std::vector<Event> burst;
+    std::size_t burst_head = 0;
+
+    bool empty() const { return heap.empty() && burst_head >= burst.size(); }
+    std::size_t size() const {
+      return heap.size() + (burst.size() - burst_head);
+    }
+  };
+  /// A deferred shared side effect of a lane-executed event, ordered by
+  /// (event seq, per-event op index) — the serial interleaving key.
+  struct OpEntry {
+    std::uint64_t seq = 0;
+    std::uint32_t op = 0;
+    util::UniqueFunction fn;
+  };
+  /// A schedule request crossing from one shard's lane to another shard's
+  /// queue, carried by the (src, dst) channel until the barrier drains it.
+  struct ChannelEntry {
+    std::uint64_t seq = 0;  ///< scheduling event's seq
+    std::uint32_t op = 0;   ///< its per-event op index
+    Time when = 0;
+    std::uint32_t node = kUntagged;
+    util::UniqueFunction fn;
+  };
+
+  std::uint32_t shard_of(std::uint32_t node) const;
+  bool sharded_idle() const;
+  std::size_t sharded_pending() const;
+  /// Pushes onto a shard/driver queue (same burst-vs-heap split and slot
+  /// management as the unsharded plane).
+  void queue_push(ShardQueue& q, Time when, std::uint32_t node,
+                  util::UniqueFunction fn);
+  static void queue_pop_into(ShardQueue& q, Event& out);
+  /// (time, seq) key of q's next event; false if q is empty.
+  static bool queue_next_key(const ShardQueue& q, Time& at, std::uint64_t& seq);
+  /// Pops the globally next event in (time, seq) order across every shard
+  /// queue and the driver queue; returns the owning shard (or kUntagged
+  /// for a driver event).  Precondition: !sharded_idle().
+  std::uint32_t sharded_pop_next(Event& out);
+  /// Moves the maximal same-instant run of shard events (global seq order,
+  /// stopping at the first same-time driver event or `limit`) into `batch`.
+  void sharded_collect_batch(std::size_t limit, std::vector<Event>& batch);
+  /// Sharded counterpart of execute_batch: shard groups run on lanes, op
+  /// streams and channels replay merged by (seq, op) at the barrier.
+  void sharded_execute_batch(std::vector<Event>& batch);
+  /// Replays one event's deferred ops (local ops + its shard's outgoing
+  /// channels) in op-index order, advancing the stream cursors
+  /// (shard_ops_head_ / channels_head_).
+  void replay_event_ops(std::uint64_t seq, std::uint32_t shard);
+  /// Shared main loop for the sharded plane; `bounded` gates on deadline.
+  std::size_t run_sharded(bool bounded, Time deadline, std::size_t max_events);
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
@@ -180,6 +293,23 @@ class Simulator {
   std::vector<std::pair<std::size_t, std::size_t>> groups_;
   std::vector<std::vector<util::UniqueFunction>> commit_queues_;
   std::vector<std::exception_ptr> batch_errors_;
+
+  // Sharded plane state (unused while num_shards_ == 1).
+  std::size_t num_shards_ = 1;
+  std::vector<std::uint32_t> shard_of_;  // node tag -> shard
+  std::vector<ShardQueue> shardq_;       // one queue per shard
+  ShardQueue driverq_;                   // untagged events
+  std::vector<std::vector<OpEntry>> shard_ops_;       // per-shard op stream
+  std::vector<std::vector<ChannelEntry>> channels_;   // [src * S + dst]
+  std::vector<std::size_t> shard_ops_head_;           // replay cursors
+  std::vector<std::size_t> channels_head_;
+  std::vector<std::uint64_t> channel_total_;          // lifetime counts
+  std::vector<ShardStats> shard_stats_;
+  // First failure per shard during the lane phase: (event seq, exception).
+  std::vector<std::pair<std::uint64_t, std::exception_ptr>> shard_errors_;
+  // Shard executing on the simulator thread (serial sharded pops), for
+  // cross-shard channel accounting; kUntagged outside shard events.
+  std::uint32_t current_shard_ = kUntagged;
 };
 
 }  // namespace centaur::sim

@@ -44,6 +44,12 @@ class AsGraph {
 
   NodeId add_node();
 
+  /// Pre-sizes the link table (generators at 100k+ nodes add hundreds of
+  /// thousands of links; reserving once avoids growth reallocations of the
+  /// ~24-byte Link records mid-build).  Adjacency lists stay on-demand —
+  /// they are small and per-node.
+  void reserve_links(std::size_t links) { links_.reserve(links); }
+
   /// Adds link a<->b where `rel_of_b_to_a` is b's role relative to a.
   /// Throws std::invalid_argument on self-loops, unknown nodes, or
   /// duplicate links.

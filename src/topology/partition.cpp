@@ -1,0 +1,56 @@
+#include "topology/partition.hpp"
+
+namespace centaur::topo {
+
+Partition partition_contiguous(const AsGraph& g, std::size_t shards) {
+  const std::size_t n = g.num_nodes();
+  Partition out;
+  out.total_links = g.num_links();
+  out.num_shards = shards < 1 ? 1 : shards;
+  if (out.num_shards > n) out.num_shards = n < 1 ? 1 : n;
+  out.shard_of_node.assign(n, 0);
+  if (out.num_shards <= 1) {
+    out.ranges.emplace_back(0, static_cast<NodeId>(n));
+    return out;
+  }
+
+  // Greedy quantile walk over the weight prefix sum: close shard k at the
+  // first node whose cumulative weight reaches (k+1)/S of the total, but
+  // never let fewer nodes remain than shards still to fill (every shard
+  // must own at least one node).
+  std::uint64_t total_weight = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    total_weight += 1 + static_cast<std::uint64_t>(g.degree(v));
+  }
+  const std::size_t s_count = out.num_shards;
+  std::uint64_t cum = 0;
+  NodeId first = 0;
+  std::uint32_t shard = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    out.shard_of_node[v] = shard;
+    cum += 1 + static_cast<std::uint64_t>(g.degree(v));
+    const bool last_shard = shard + 1 == s_count;
+    if (last_shard) continue;
+    // Remaining shards each need one of the remaining nodes.
+    const std::size_t nodes_left = n - (v + 1);
+    const std::size_t shards_left = s_count - (shard + 1);
+    const bool quota_met =
+        cum * s_count >= total_weight * (static_cast<std::uint64_t>(shard) + 1);
+    if (quota_met || nodes_left <= shards_left) {
+      out.ranges.emplace_back(first, v + 1);
+      first = v + 1;
+      ++shard;
+    }
+  }
+  out.ranges.emplace_back(first, static_cast<NodeId>(n));
+
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const Link& link = g.link(l);
+    if (out.shard_of_node[link.a] != out.shard_of_node[link.b]) {
+      out.boundary_links.push_back(l);
+    }
+  }
+  return out;
+}
+
+}  // namespace centaur::topo

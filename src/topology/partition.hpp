@@ -1,0 +1,48 @@
+// Deterministic edge-cut partitioning of an AS graph into contiguous node
+// ranges — the shard map for the simulator's sharded event plane
+// (DESIGN.md §13).
+//
+// Nodes are dense ids, and both generators and measured tables emit them in
+// a locality-friendly order (tier-1 core first, customers attached after
+// their providers), so contiguous ranges are a natural edge-cut heuristic:
+// most provider/customer links connect nearby ids.  Cut points are chosen
+// on the prefix sums of per-node weights (1 + degree, an estimate of the
+// node's event-processing share), so shards carry comparable expected load
+// even when degree is heavily skewed.  The result is a pure function of the
+// graph and the shard count — no RNG, no iteration-order dependence — which
+// the sharded bit-identity contract relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace centaur::topo {
+
+/// A contiguous-range shard map plus the boundary-link index.
+struct Partition {
+  /// Actual shard count (requested count clamped to [1, num_nodes]).
+  std::size_t num_shards = 1;
+  /// shard_of_node[n] = owning shard; size == num_nodes.
+  std::vector<std::uint32_t> shard_of_node;
+  /// Half-open owned range [first, second) per shard; ranges are
+  /// ascending, disjoint, non-empty, and cover [0, num_nodes).
+  std::vector<std::pair<NodeId, NodeId>> ranges;
+  /// Links whose endpoints live in different shards, ascending by LinkId —
+  /// exactly the links whose deliveries cross a shard channel.
+  std::vector<LinkId> boundary_links;
+
+  std::uint32_t shard_of(NodeId n) const { return shard_of_node.at(n); }
+  /// Links fully inside one shard.
+  std::size_t internal_links() const { return total_links - boundary_links.size(); }
+  std::size_t total_links = 0;
+};
+
+/// Partitions `g` into `shards` contiguous ranges with balanced total
+/// (1 + degree) weight.  `shards` is clamped to [1, num_nodes]; a graph
+/// with zero nodes yields one empty shard.
+Partition partition_contiguous(const AsGraph& g, std::size_t shards);
+
+}  // namespace centaur::topo

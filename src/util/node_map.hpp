@@ -1,0 +1,146 @@
+// Dual-mode node-indexed map for per-node protocol state.
+//
+// Protocol caches keyed by dense AS ids (P-graph adjacency, walk-chain
+// indexes) want a direct-indexed array: one cache line, no hash probe.  But
+// the array is sized by the *largest id touched*, and every node keeps such
+// caches per neighbor — at 100k+ ASes an O(max-id) array per (node,
+// neighbor) pair is hundreds of gigabytes while the actual content (nodes
+// on paths toward the originated destinations) stays tiny.
+//
+// NodeMap resolves the tension by switching representation on scale:
+//   * dense mode (default): std::vector<V> indexed by id, identical to the
+//     plain vector it replaces — every topology below kNodeMapDenseLimit
+//     stays on this path, so existing runs keep their exact allocation and
+//     lookup behavior;
+//   * sparse mode: a content-sized FlatMap<id, V>, entered lazily on the
+//     first ensure()/reserve_ids() that reaches kNodeMapDenseLimit.  Lookup
+//     pays a hash probe; memory is proportional to ids actually touched.
+//
+// The mode switch never leaks into simulation results: per-id lookup is
+// order-free, and whole-map iteration (for_each) visits ids ascending in
+// both modes.  Callers must treat an empty value exactly like an absent
+// one — dense mode materializes default slots below the largest touched id,
+// sparse mode does not, and conversion drops empty slots.
+//
+// V must be default-constructible and container-like: `empty()` (absence
+// test, conversion filter) and `clear()` (clear_values) are required —
+// SmallVec / std::vector values in practice.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/flat_map.hpp"
+
+namespace centaur::util {
+
+/// Node-id bound below which NodeMap keeps (or pre-sizes) the dense array.
+/// Callers also use it as the "presize everything up front" threshold: below
+/// it, O(n) reservations are cheap and buy rehash-free assembly; at or above
+/// it, state must stay content-sized.
+inline constexpr std::size_t kNodeMapDenseLimit = std::size_t{1} << 16;
+
+template <typename V>
+class NodeMap {
+ public:
+  using Key = std::uint32_t;
+
+  NodeMap() = default;
+
+  bool sparse() const { return sparse_; }
+
+  /// Value for `id`, or nullptr when the slot was never materialized.  A
+  /// non-null result may still be an empty V (dense slots below the largest
+  /// touched id exist by construction) — treat empty as absent.
+  const V* find(Key id) const {
+    if (!sparse_) {
+      return std::size_t{id} < dense_.size() ? &dense_[id] : nullptr;
+    }
+    return map_.find(id);
+  }
+  V* find(Key id) {
+    return const_cast<V*>(std::as_const(*this).find(id));
+  }
+
+  /// Value for `id`, default-constructed if absent.  Growing past
+  /// kNodeMapDenseLimit converts to sparse mode (empty slots are dropped).
+  V& ensure(Key id) {
+    if (!sparse_) {
+      if (std::size_t{id} < kNodeMapDenseLimit) {
+        if (dense_.size() <= std::size_t{id}) {
+          dense_.resize(std::size_t{id} + 1);
+        }
+        return dense_[id];
+      }
+      convert_to_sparse();
+    }
+    bool inserted = false;
+    return map_.ensure(id, inserted);
+  }
+
+  /// Pre-sizes for ids [0, count).  Below the dense limit this materializes
+  /// the array (the classic reserve); at or above it the map switches to
+  /// sparse mode instead, keeping memory proportional to content.
+  void reserve_ids(std::size_t count) {
+    if (sparse_) return;
+    if (count <= kNodeMapDenseLimit) {
+      if (dense_.size() < count) dense_.resize(count);
+    } else {
+      convert_to_sparse();
+    }
+  }
+
+  /// Empties every value in place (dense mode keeps slot capacity, matching
+  /// the plain-vector reset idiom this replaces).
+  void clear_values() {
+    if (!sparse_) {
+      for (V& v : dense_) v.clear();
+    } else {
+      map_.clear();
+    }
+  }
+
+  /// Visits (id, value) pairs in ascending id order — identical observable
+  /// order in both modes, so checker/export sweeps stay deterministic.
+  /// Dense mode also visits empty slots; treat them as absent.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (!sparse_) {
+      for (std::size_t id = 0; id < dense_.size(); ++id) {
+        fn(static_cast<Key>(id), dense_[id]);
+      }
+      return;
+    }
+    std::vector<Key> keys;
+    keys.reserve(map_.size());
+    for (const auto& [k, v] : map_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    for (const Key k : keys) fn(k, *map_.find(k));
+  }
+
+ private:
+  void convert_to_sparse() {
+    std::size_t live = 0;
+    for (const V& v : dense_) {
+      if (!v.empty()) ++live;
+    }
+    map_.reserve(live);
+    for (std::size_t id = 0; id < dense_.size(); ++id) {
+      if (dense_[id].empty()) continue;
+      bool inserted = false;
+      map_.ensure(static_cast<Key>(id), inserted) = std::move(dense_[id]);
+    }
+    dense_.clear();
+    dense_.shrink_to_fit();
+    sparse_ = true;
+  }
+
+  bool sparse_ = false;
+  std::vector<V> dense_;        // dense mode storage, indexed by id
+  FlatMap<Key, V> map_;         // sparse mode storage, content-sized
+};
+
+}  // namespace centaur::util

@@ -53,6 +53,8 @@ ScaleParams params_for(Scale s) {
           .fig8_max_nodes = 160,
           .fig8_steps = 3,
           .fig8_events_per_size = 10,
+          .fig8_large_nodes = 1000,
+          .fig8_large_origins = 16,
           .seed = 0xC3A7A0ULL,
       };
     case Scale::kLarge:
@@ -67,6 +69,8 @@ ScaleParams params_for(Scale s) {
           .fig8_max_nodes = 500,
           .fig8_steps = 4,
           .fig8_events_per_size = 60,
+          .fig8_large_nodes = 150000,
+          .fig8_large_origins = 32,
           .seed = 0xC3A7A0ULL,
       };
     case Scale::kDefault:
@@ -83,6 +87,8 @@ ScaleParams params_for(Scale s) {
       .fig8_max_nodes = 300,
       .fig8_steps = 4,
       .fig8_events_per_size = 40,
+      .fig8_large_nodes = 100000,
+      .fig8_large_origins = 32,
       .seed = 0xC3A7A0ULL,
   };
 }

@@ -30,13 +30,12 @@ namespace centaur::core {
 struct PGraphCorruptor {
   /// Records `from` as a parent of `to` without storing the link.
   static void add_dangling_parent(PGraph& g, NodeId from, NodeId to) {
-    if (g.parents_.size() <= to) g.parents_.resize(std::size_t{to} + 1);
-    PGraph::AdjList& ps = g.parents_[to];
+    PGraph::AdjList& ps = g.parents_.ensure(to);
     ps.insert(std::upper_bound(ps.begin(), ps.end(), from), from);
   }
   /// Destroys the sorted-ascending ordering of children[of].
   static void unsort_children(PGraph& g, NodeId of) {
-    PGraph::AdjList& cs = g.children_[of];
+    PGraph::AdjList& cs = g.children_.ensure(of);
     std::reverse(cs.begin(), cs.end());
   }
 };

@@ -1,0 +1,105 @@
+// util::NodeMap — dual-mode node-indexed map (dense below the id limit,
+// content-sized above it).  The protocol-level guarantee that matters is
+// mode transparency: every observable (find/ensure/for_each order) is
+// identical whether the map is dense, sparse, or converted mid-life.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/node_map.hpp"
+#include "util/small_vec.hpp"
+
+namespace centaur::util {
+namespace {
+
+using List = SmallVec<std::uint32_t, 4>;
+
+TEST(NodeMap, DenseFindAndEnsureMatchPlainVectorSemantics) {
+  NodeMap<List> m;
+  EXPECT_FALSE(m.sparse());
+  EXPECT_EQ(m.find(0), nullptr);
+
+  m.ensure(5).push_back(50);
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(m.find(5)->size(), 1u);
+  // Dense mode materializes slots below the largest touched id — present
+  // but empty, exactly like the plain vector it replaces.
+  ASSERT_NE(m.find(3), nullptr);
+  EXPECT_TRUE(m.find(3)->empty());
+  EXPECT_EQ(m.find(6), nullptr);
+  EXPECT_FALSE(m.sparse());
+}
+
+TEST(NodeMap, ReserveIdsBelowLimitStaysDense) {
+  NodeMap<List> m;
+  m.reserve_ids(1000);
+  EXPECT_FALSE(m.sparse());
+  ASSERT_NE(m.find(999), nullptr);
+  EXPECT_TRUE(m.find(999)->empty());
+}
+
+TEST(NodeMap, ReserveIdsAtLimitSwitchesSparse) {
+  NodeMap<List> m;
+  m.ensure(7).push_back(70);
+  m.reserve_ids(kNodeMapDenseLimit + 1);
+  EXPECT_TRUE(m.sparse());
+  // Content survives conversion; empty dense slots are dropped.
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ((*m.find(7))[0], 70u);
+  EXPECT_EQ(m.find(3), nullptr);
+}
+
+TEST(NodeMap, EnsurePastLimitConvertsLazily) {
+  NodeMap<List> m;
+  m.ensure(2).push_back(20);
+  m.ensure(4);  // stays empty -> dropped at conversion
+  EXPECT_FALSE(m.sparse());
+
+  const auto big = static_cast<std::uint32_t>(kNodeMapDenseLimit) + 17;
+  m.ensure(big).push_back(99);
+  EXPECT_TRUE(m.sparse());
+  ASSERT_NE(m.find(2), nullptr);
+  EXPECT_EQ((*m.find(2))[0], 20u);
+  EXPECT_EQ(m.find(4), nullptr);
+  ASSERT_NE(m.find(big), nullptr);
+  EXPECT_EQ((*m.find(big))[0], 99u);
+}
+
+TEST(NodeMap, ForEachVisitsAscendingInBothModes) {
+  NodeMap<List> dense;
+  NodeMap<List> sparse;
+  sparse.reserve_ids(kNodeMapDenseLimit + 1);
+  for (const std::uint32_t id : {40u, 7u, 19u, 3u}) {
+    dense.ensure(id).push_back(id);
+    sparse.ensure(id).push_back(id);
+  }
+  const auto non_empty_ids = [](const NodeMap<List>& m) {
+    std::vector<std::uint32_t> out;
+    m.for_each([&](std::uint32_t id, const List& v) {
+      if (!v.empty()) out.push_back(id);
+    });
+    return out;
+  };
+  const std::vector<std::uint32_t> want{3, 7, 19, 40};
+  EXPECT_EQ(non_empty_ids(dense), want);
+  EXPECT_EQ(non_empty_ids(sparse), want);
+}
+
+TEST(NodeMap, ClearValuesEmptiesBothModes) {
+  for (const bool go_sparse : {false, true}) {
+    NodeMap<List> m;
+    if (go_sparse) m.reserve_ids(kNodeMapDenseLimit + 1);
+    m.ensure(11).push_back(1);
+    m.ensure(12).push_back(2);
+    m.clear_values();
+    std::size_t non_empty = 0;
+    m.for_each([&](std::uint32_t, const List& v) {
+      if (!v.empty()) ++non_empty;
+    });
+    EXPECT_EQ(non_empty, 0u) << (go_sparse ? "sparse" : "dense");
+  }
+}
+
+}  // namespace
+}  // namespace centaur::util

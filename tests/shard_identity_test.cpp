@@ -1,0 +1,442 @@
+// Bit-identity proof for the sharded event plane (DESIGN.md §13).
+//
+// CENTAUR_SHARDS must be purely a wall-clock/memory knob: for any shard
+// count, serial or with worker lanes, every observable of a run —
+// convergence times, message/byte/event counters, per-node selected paths,
+// analyzer check counts — must equal the unsharded serial run bit for bit.
+// These tests re-run the tier-1 smoke analogues of the figure experiments
+// and the builtin reliability campaign across the {shards} x {lanes} matrix
+// and compare everything, plus unit tests of the partitioner and of the
+// shard channel/barrier ordering contract at the Simulator level.  The CI
+// TSan job runs this binary to also prove the lane phase is race-free.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "centaur/centaur_node.hpp"
+#include "eval/experiments.hpp"
+#include "faults/campaign.hpp"
+#include "faults/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "topology/generator.hpp"
+#include "topology/partition.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+namespace centaur {
+namespace {
+
+/// Sets one environment variable for the duration of a scope (the Network
+/// constructor samples CENTAUR_SHARDS / CENTAUR_INTRA_THREADS), restoring
+/// the previous value on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, std::size_t value) : name_(name) {
+    const std::optional<std::string> prev = util::env_string(name);
+    if (prev) saved_ = *prev;
+    had_prev_ = prev.has_value();
+    EXPECT_EQ(setenv(name, std::to_string(value).c_str(), 1), 0);
+  }
+  ~ScopedEnv() {
+    if (had_prev_) {
+      setenv(name_, saved_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_prev_ = false;
+  std::string saved_;
+};
+
+// ------------------------------------------------------------ partitioner --
+
+TEST(Partition, CoversAllNodesWithContiguousNonEmptyRanges) {
+  util::Rng rng(0x9A7);
+  const topo::AsGraph g = topo::brite_like(53, 2, 4, rng);
+  for (const std::size_t shards : {1u, 2u, 3u, 4u, 8u}) {
+    const topo::Partition p = topo::partition_contiguous(g, shards);
+    ASSERT_EQ(p.num_shards, shards);
+    ASSERT_EQ(p.ranges.size(), shards);
+    ASSERT_EQ(p.shard_of_node.size(), g.num_nodes());
+    topo::NodeId expect_first = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto [first, last] = p.ranges[s];
+      EXPECT_EQ(first, expect_first) << "shard " << s;
+      EXPECT_LT(first, last) << "shard " << s << " must own >= 1 node";
+      for (topo::NodeId v = first; v < last; ++v) {
+        EXPECT_EQ(p.shard_of(v), s);
+      }
+      expect_first = last;
+    }
+    EXPECT_EQ(expect_first, g.num_nodes());
+  }
+}
+
+TEST(Partition, BoundaryLinksAreExactlyTheCrossShardLinks) {
+  util::Rng rng(0x9A8);
+  const topo::AsGraph g = topo::brite_like(40, 2, 4, rng);
+  const topo::Partition p = topo::partition_contiguous(g, 4);
+  std::vector<topo::LinkId> expect;
+  for (topo::LinkId l = 0; l < g.num_links(); ++l) {
+    const topo::Link& link = g.link(l);
+    if (p.shard_of(link.a) != p.shard_of(link.b)) expect.push_back(l);
+  }
+  EXPECT_EQ(p.boundary_links, expect);
+  EXPECT_EQ(p.internal_links() + p.boundary_links.size(), g.num_links());
+}
+
+TEST(Partition, IsDeterministic) {
+  util::Rng rng(0x9A9);
+  const topo::AsGraph g = topo::brite_like(31, 2, 4, rng);
+  const topo::Partition a = topo::partition_contiguous(g, 3);
+  const topo::Partition b = topo::partition_contiguous(g, 3);
+  EXPECT_EQ(a.shard_of_node, b.shard_of_node);
+  EXPECT_EQ(a.ranges, b.ranges);
+  EXPECT_EQ(a.boundary_links, b.boundary_links);
+}
+
+TEST(Partition, ClampsShardCountToNodeCount) {
+  util::Rng rng(0x9AA);
+  const topo::AsGraph g = topo::brite_like(5, 1, 2, rng);
+  const topo::Partition p = topo::partition_contiguous(g, 64);
+  EXPECT_EQ(p.num_shards, 5u);
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(p.ranges[s].second - p.ranges[s].first, 1u);
+  }
+}
+
+// --------------------------------------- channel / barrier ordering unit ---
+
+std::vector<std::uint32_t> shard_map(std::initializer_list<std::uint32_t> m) {
+  return std::vector<std::uint32_t>(m);
+}
+
+TEST(ShardedSimulator, CrossShardSchedulesKeepSerialOrder) {
+  // Two nodes in different shards ping-pong zero-delay events; the
+  // observable execution log must match the unsharded run exactly, for
+  // serial sharded and for lane-parallel sharded execution.
+  const auto run_with = [&](std::size_t shards, std::size_t lanes) {
+    sim::Simulator sim;
+    if (shards > 1) sim.set_shards(2, shard_map({0, 1}));
+    sim.set_intra_threads(lanes);
+    std::vector<int> log;
+    int hops = 0;
+    // Every batch here is a singleton (the ping-pong advances time each
+    // hop), so the log push always runs inline on the simulator thread.
+    std::function<void(std::uint32_t)> hop = [&](std::uint32_t at_node) {
+      log.push_back(static_cast<int>(at_node));
+      if (++hops >= 8) return;
+      const std::uint32_t next = at_node == 0 ? 1 : 0;
+      sim.schedule_tagged(0.001, next, [&, next] { hop(next); });
+    };
+    sim.schedule_tagged(0, 0, [&] { hop(0); });
+    sim.run();
+    return log;
+  };
+  const std::vector<int> reference = run_with(1, 1);
+  EXPECT_EQ(run_with(2, 1), reference);
+  EXPECT_EQ(run_with(2, 4), reference);
+}
+
+TEST(ShardedSimulator, SameInstantFanOutMatchesSerialSeqOrder) {
+  // One event fans out same-instant work to every node across 4 shards;
+  // those events fan out again.  Execution order must equal the unsharded
+  // serial order for every (shards, lanes) combination.
+  const auto run_with = [&](std::size_t shards, std::size_t lanes) {
+    constexpr std::uint32_t kNodes = 8;
+    sim::Simulator sim;
+    if (shards > 1) {
+      sim.set_shards(shards == 2 ? 2 : 4,
+                     shards == 2 ? shard_map({0, 0, 0, 0, 1, 1, 1, 1})
+                                 : shard_map({0, 0, 1, 1, 2, 2, 3, 3}));
+    }
+    sim.set_intra_threads(lanes);
+    std::vector<std::vector<int>> per_node(kNodes);  // lane-private slots
+    std::vector<int> commit_log;                     // barrier-ordered
+    const auto commit = [&](int v) {
+      if (sim::in_parallel_phase()) {
+        sim::defer_commit_op([&, v] { commit_log.push_back(v); });
+      } else {
+        commit_log.push_back(v);
+      }
+    };
+    for (std::uint32_t n = 0; n < kNodes; ++n) {
+      sim.schedule_tagged(0.001, n, [&, n] {
+        per_node[n].push_back(static_cast<int>(n));
+        commit(static_cast<int>(n));
+        // Same-instant follow-up into the "next" node — cross-shard for
+        // boundary nodes, same-shard otherwise.
+        const std::uint32_t next = (n + 1) % kNodes;
+        sim.schedule_tagged(0, next, [&, n, next] {
+          per_node[next].push_back(100 + static_cast<int>(n));
+          commit(100 + static_cast<int>(n));
+        });
+      });
+    }
+    sim.run();
+    return std::make_pair(per_node, commit_log);
+  };
+  const auto reference = run_with(1, 1);
+  for (const std::size_t shards : {2u, 4u}) {
+    for (const std::size_t lanes : {1u, 4u}) {
+      EXPECT_EQ(run_with(shards, lanes), reference)
+          << "shards=" << shards << " lanes=" << lanes;
+    }
+  }
+}
+
+TEST(ShardedSimulator, ChannelCountsAreLaneCountInvariant) {
+  // channel_messages() is part of the determinism contract: counted at the
+  // issuing event (lane push or serial direct schedule), never at replay.
+  const auto run_with = [&](std::size_t lanes) {
+    sim::Simulator sim;
+    sim.set_shards(2, shard_map({0, 0, 1, 1}));
+    sim.set_intra_threads(lanes);
+    for (std::uint32_t n = 0; n < 4; ++n) {
+      sim.schedule_tagged(0.001, n, [&sim, n] {
+        // Every node messages every other node: 2 cross-shard sends each.
+        for (std::uint32_t to = 0; to < 4; ++to) {
+          if (to != n) sim.schedule_tagged(0.001, to, [] {});
+        }
+      });
+    }
+    sim.run();
+    std::vector<std::uint64_t> counts;
+    for (std::size_t s = 0; s < 2; ++s) {
+      for (std::size_t d = 0; d < 2; ++d) {
+        counts.push_back(sim.channel_messages(s, d));
+      }
+    }
+    std::vector<std::uint64_t> events;
+    for (const auto& st : sim.shard_stats()) events.push_back(st.events);
+    return std::make_pair(counts, events);
+  };
+  const auto serial = run_with(1);
+  const auto parallel = run_with(4);
+  EXPECT_EQ(serial, parallel);
+  // 2 nodes per shard x 2 cross-shard targets each, on each side; the
+  // diagonal (same-shard) never counts.
+  EXPECT_EQ(serial.first, (std::vector<std::uint64_t>{0, 4, 4, 0}));
+  // 2 initial events per shard + 6 fan-out deliveries per shard.
+  EXPECT_EQ(serial.second, (std::vector<std::uint64_t>{8, 8}));
+}
+
+TEST(ShardedSimulator, ExceptionsPropagateAtTheSerialSeqPosition) {
+  // An event that throws inside a sharded batch must surface after the
+  // effects of every earlier-seq event committed and none of the later
+  // ones, matching the unsharded batch contract.
+  const auto run_with = [&](std::size_t shards, std::size_t lanes) {
+    sim::Simulator sim;
+    if (shards > 1) sim.set_shards(2, shard_map({0, 0, 1, 1}));
+    sim.set_intra_threads(lanes);
+    std::vector<int> commit_log;
+    for (std::uint32_t n = 0; n < 4; ++n) {
+      sim.schedule_tagged(0.001, n, [&, n] {
+        if (sim::in_parallel_phase()) {
+          sim::defer_commit_op([&, n] { commit_log.push_back(static_cast<int>(n)); });
+        } else {
+          commit_log.push_back(static_cast<int>(n));
+        }
+        if (n == 2) throw std::runtime_error("boom");
+      });
+    }
+    std::string what;
+    try {
+      sim.run();
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+    }
+    return std::make_pair(commit_log, what);
+  };
+  const auto reference = run_with(1, 1);
+  EXPECT_EQ(reference.second, "boom");
+  EXPECT_EQ(reference.first, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(run_with(2, 1), reference);
+  EXPECT_EQ(run_with(2, 4), reference);
+}
+
+TEST(ShardedSimulator, RunUntilHonorsDeadlineAndDrainsBursts) {
+  const auto run_with = [&](std::size_t shards, std::size_t lanes) {
+    sim::Simulator sim;
+    if (shards > 1) sim.set_shards(2, shard_map({0, 1}));
+    sim.set_intra_threads(lanes);
+    std::vector<int> log;
+    sim.schedule_tagged(1.0, 0, [&] {
+      log.push_back(1);
+      // Same-instant follow-up exactly at the deadline must still run.
+      sim.schedule_tagged(0, 1, [&] { log.push_back(2); });
+    });
+    sim.schedule_tagged(2.0, 1, [&] { log.push_back(3); });
+    const std::size_t n = sim.run_until(1.0);
+    EXPECT_EQ(n, 2u);
+    EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.run();
+    return log;
+  };
+  const std::vector<int> reference = run_with(1, 1);
+  EXPECT_EQ(reference, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(run_with(2, 1), reference);
+  EXPECT_EQ(run_with(2, 4), reference);
+}
+
+TEST(ShardedSimulator, SetShardsRequiresPristineSimulator) {
+  sim::Simulator sim;
+  sim.schedule(0.5, [] {});
+  EXPECT_THROW(sim.set_shards(2, shard_map({0, 1})), std::logic_error);
+  sim::Simulator sim2;
+  EXPECT_THROW(sim2.set_shards(2, shard_map({0, 2})), std::invalid_argument);
+}
+
+// ------------------------------------------------ figure smoke analogues ---
+
+void expect_flip_series_eq(const eval::FlipSeries& a, const eval::FlipSeries& b,
+                           const std::string& context) {
+  EXPECT_EQ(a.convergence_times, b.convergence_times) << context;
+  EXPECT_EQ(a.message_counts, b.message_counts) << context;
+  EXPECT_EQ(a.cold_start.messages_sent, b.cold_start.messages_sent) << context;
+  EXPECT_EQ(a.cold_start.bytes_sent, b.cold_start.bytes_sent) << context;
+  EXPECT_EQ(a.cold_start.messages_dropped, b.cold_start.messages_dropped)
+      << context;
+  EXPECT_DOUBLE_EQ(a.cold_start_time, b.cold_start_time) << context;
+  EXPECT_EQ(a.events, b.events) << context;
+  EXPECT_EQ(a.total_messages, b.total_messages) << context;
+  EXPECT_EQ(a.total_bytes, b.total_bytes) << context;
+  EXPECT_EQ(a.analysis.checks_run, b.analysis.checks_run) << context;
+  EXPECT_EQ(a.analysis.violations_seen, b.analysis.violations_seen) << context;
+}
+
+TEST(ShardIdentity, LinkFlipSeriesBitIdenticalAcrossShardAndLaneCounts) {
+  // Fig 6/7 smoke analogue, all four protocols, analyzer in collect mode,
+  // across the full {1,2,4,8} shards x {1,4} lanes matrix.
+  util::Rng topo_rng(0x16A);
+  const topo::AsGraph g = topo::brite_like(40, 2, 4, topo_rng);
+  eval::RunOptions opts;
+  opts.analysis = eval::AnalysisMode::kCollect;
+  for (const eval::Protocol proto :
+       {eval::Protocol::kCentaur, eval::Protocol::kBgp, eval::Protocol::kBgpRcn,
+        eval::Protocol::kOspf}) {
+    const auto run_with = [&](std::size_t shards, std::size_t lanes) {
+      ScopedEnv scoped_shards("CENTAUR_SHARDS", shards);
+      ScopedEnv scoped_lanes("CENTAUR_INTRA_THREADS", lanes);
+      return eval::run_link_flips(g, proto, 4, util::Rng(99), opts);
+    };
+    const eval::FlipSeries reference = run_with(1, 1);
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      for (const std::size_t lanes : {1u, 4u}) {
+        if (shards == 1 && lanes == 1) continue;
+        expect_flip_series_eq(reference, run_with(shards, lanes),
+                              std::string("protocol ") + eval::to_string(proto) +
+                                  " shards=" + std::to_string(shards) +
+                                  " lanes=" + std::to_string(lanes));
+      }
+    }
+  }
+}
+
+TEST(ShardIdentity, ScalabilitySweepPathsBitIdenticalAcrossShardCounts) {
+  // Fig 8 smoke analogue: beyond the series numbers this compares the full
+  // routing outcome — every node's selected path to every destination — and
+  // the deterministic per-shard tallies across lane counts.
+  for (const std::size_t nodes : {20u, 45u}) {
+    util::Rng topo_rng(0xF18 + nodes);
+    const topo::AsGraph g = topo::brite_like(nodes, 2, 4, topo_rng);
+    using PathMap = std::map<topo::NodeId, topo::Path>;
+    struct Outcome {
+      std::vector<PathMap> selected;
+      std::size_t cold_messages = 0;
+      std::uint64_t events = 0;
+      std::vector<std::uint64_t> shard_events;
+      std::vector<std::uint64_t> channel_counts;
+      bool operator==(const Outcome&) const = default;
+    };
+    const auto run_with = [&](std::size_t shards, std::size_t lanes) {
+      ScopedEnv scoped_shards("CENTAUR_SHARDS", shards);
+      ScopedEnv scoped_lanes("CENTAUR_INTRA_THREADS", lanes);
+      util::Rng rng(util::derive_seed(0xF18, nodes));
+      eval::ProtocolRun run(g, eval::Protocol::kCentaur, rng);
+      run.flip(0, false);
+      run.flip(0, true);
+      Outcome out;
+      out.cold_messages = run.cold_start().messages_sent;
+      out.events = run.network().events_executed();
+      for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
+        const auto* node =
+            dynamic_cast<const core::CentaurNode*>(&run.network().node(v));
+        if (node == nullptr) throw std::logic_error("expected CentaurNode");
+        out.selected.emplace_back(node->selected_paths().begin(),
+                                  node->selected_paths().end());
+      }
+      const sim::Simulator& sim = run.network().simulator();
+      for (const auto& st : sim.shard_stats()) out.shard_events.push_back(st.events);
+      for (std::size_t s = 0; s < sim.shards(); ++s) {
+        for (std::size_t d = 0; d < sim.shards(); ++d) {
+          out.channel_counts.push_back(sim.channel_messages(s, d));
+        }
+      }
+      return out;
+    };
+    const Outcome reference = run_with(1, 1);
+    for (const std::size_t shards : {2u, 4u, 8u}) {
+      // Routing outcome matches the unsharded reference...
+      const Outcome serial = run_with(shards, 1);
+      EXPECT_EQ(serial.selected, reference.selected)
+          << "nodes=" << nodes << " shards=" << shards;
+      EXPECT_EQ(serial.cold_messages, reference.cold_messages)
+          << "nodes=" << nodes << " shards=" << shards;
+      EXPECT_EQ(serial.events, reference.events)
+          << "nodes=" << nodes << " shards=" << shards;
+      // ...and the full outcome, including per-shard event tallies and
+      // channel counts, is lane-count invariant.
+      const Outcome parallel = run_with(shards, 4);
+      EXPECT_EQ(serial, parallel) << "nodes=" << nodes << " shards=" << shards;
+    }
+  }
+}
+
+// ------------------------------------------- builtin reliability campaign --
+
+TEST(ShardIdentity, ReliabilityCampaignBitIdenticalAcrossShardCounts) {
+  // SRLG bursts, crash/restart storms, flap storms, partition/heal — the
+  // fault shapes where wide same-instant batches cross shard boundaries.
+  faults::ScenarioSpec spec = faults::reliability_scenario(40, 0xCA3);
+  spec.options.analysis = eval::AnalysisMode::kCollect;
+  const auto run_with = [&](std::size_t shards, std::size_t lanes) {
+    ScopedEnv scoped_shards("CENTAUR_SHARDS", shards);
+    ScopedEnv scoped_lanes("CENTAUR_INTRA_THREADS", lanes);
+    return faults::run_scenario(spec);
+  };
+  const faults::CampaignResult reference = run_with(1, 1);
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    for (const std::size_t lanes : {1u, 4u}) {
+      const faults::CampaignResult got = run_with(shards, lanes);
+      const std::string ctx =
+          "shards=" + std::to_string(shards) + " lanes=" + std::to_string(lanes);
+      EXPECT_EQ(reference.cold_start, got.cold_start) << ctx;
+      ASSERT_EQ(reference.phases.size(), got.phases.size()) << ctx;
+      for (std::size_t i = 0; i < reference.phases.size(); ++i) {
+        EXPECT_EQ(reference.phases[i], got.phases[i])
+            << ctx << " phase " << reference.phases[i].name;
+      }
+      EXPECT_EQ(reference.total_events, got.total_events) << ctx;
+      EXPECT_EQ(reference.total_messages, got.total_messages) << ctx;
+      EXPECT_EQ(reference.total_bytes, got.total_bytes) << ctx;
+      EXPECT_EQ(reference.analysis.checks_run, got.analysis.checks_run) << ctx;
+      EXPECT_EQ(reference.analysis.violations_seen,
+                got.analysis.violations_seen)
+          << ctx;
+      EXPECT_TRUE(got.clean()) << ctx;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace centaur

@@ -80,6 +80,16 @@ def validate(path):
         else:
             names.add(t["name"])
         ok = _check_counters(path, t, where) and ok
+        # Optional per-trial peak-RSS growth (KiB); machine-dependent, so it
+        # is reported but never gated, and writers omit it when zero.
+        rss_delta = t.get("peak_rss_delta_kb")
+        if rss_delta is not None and (
+            not isinstance(rss_delta, int)
+            or isinstance(rss_delta, bool)
+            or rss_delta < 0
+        ):
+            ok = _fail(path, f"{where}: 'peak_rss_delta_kb' must be a "
+                             "non-negative integer when present")
         metrics = t.get("metrics")
         if not isinstance(metrics, dict):
             ok = _fail(path, f"{where}: 'metrics' must be an object")

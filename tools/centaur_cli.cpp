@@ -62,12 +62,18 @@ constexpr struct EnvVar {
     {"CENTAUR_INTRA_THREADS", "integer >= 1 (1)",
      "worker lanes for same-instant event batches inside one trial; any "
      "value is bit-identical to serial"},
+    {"CENTAUR_SHARDS", "integer >= 1 (1)",
+     "topology sharding: per-shard event queues with deterministic "
+     "cross-shard channels; any shard count is bit-identical to unsharded"},
     {"CENTAUR_BENCH_JSON", "file or directory path (off)",
      "emit BENCH_<name>.json reports; --json <path> overrides"},
     {"CENTAUR_CHECK", "off|collect|assert (off)",
      "attach the invariant analyzer to every run; --check = collect"},
     {"CENTAUR_COALESCE", "0/off/false disables (on)",
      "same-burst outbound coalescing of Centaur updates"},
+    {"CENTAUR_BATCH_DATAGRAMS", "1 enables (off)",
+     "coalesce same-neighbor updates within one instant into one batch "
+     "datagram; routing state identical, datagram counts change"},
     {"CENTAUR_INCREMENTAL", "0/off/false disables (on)",
      "incremental recompute plane (cached reselect, dirty-set derivation, "
      "view deltas); off runs the bit-identical from-scratch reference"},
