@@ -105,7 +105,8 @@ std::vector<NodeId> CentaurNode::refresh_derived(
     visited.clear();
     fresh.clear();
     if (marked) {
-      derivable = state.graph.derive_path_into(dest, fresh, &visited);
+      derivable = query_path_into(state.graph, PathQuery{dest, &visited},
+                                  fresh) == PathStatus::kFound;
     }
 
     // The indexed walk chain of `e` is reverse(path) for a successful
@@ -167,8 +168,7 @@ std::vector<NodeId> CentaurNode::refresh_derived(
       if (was_derived && fresh == entry->path) continue;
       CandEntry& cand = entry->cand;
       cand.length = static_cast<std::uint32_t>(fresh.size());
-      cand.usable =
-          std::find(fresh.begin(), fresh.end(), self()) == fresh.end();
+      cand.usable = !path_uses(fresh, self());
       if (cand.usable) cand.source = classify_sub(graph_, self(), fresh);
       entry->path = fresh;  // assignment reuses the slot's capacity
     } else {
@@ -271,7 +271,7 @@ std::optional<Path> CentaurNode::best_candidate_scratch(
     const Path& sub = derived->path;
     // Loop detection (Observation 1): discard downstream paths that
     // already contain this node.
-    if (std::find(sub.begin(), sub.end(), self()) != sub.end()) continue;
+    if (path_uses(sub, self())) continue;
     Path full;
     full.reserve(sub.size() + 1);
     full.push_back(self());
@@ -355,6 +355,14 @@ ExportedView CentaurNode::view_for(NodeId neighbor) const {
 }
 
 void CentaurNode::flood() {
+  if (config_.snapshot_sink &&
+      (!changed_dests_.empty() || !touched_links_.empty())) {
+    // Serving-plane publish (DESIGN.md §14.2): hand the dirty sets to the
+    // snapshot sink before any flood branch consumes or clears them.  Runs
+    // in handler context — the sink writes only this node's single-writer
+    // snapshot cell, so lane-parallel floods stay race-free.
+    config_.snapshot_sink(self(), local_, changed_dests_, touched_links_);
+  }
   if (config_.export_link_filter) {
     // Legacy per-neighbor path: a custom link filter breaks the two-view
     // sharing, so recompute each neighbor's view in full (used by the

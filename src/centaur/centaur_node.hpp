@@ -29,6 +29,7 @@
 
 #include "centaur/announce.hpp"
 #include "centaur/build_graph.hpp"
+#include "centaur/query.hpp"
 #include "policy/policy.hpp"
 #include "policy/valley_free.hpp"
 #include "sim/network.hpp"
@@ -139,6 +140,13 @@ class CentaurNode : public sim::Node {
     /// Gao-Rexford ranking when null or when it reports no preference both
     /// ways.
     policy::RankingOverride ranking;
+    /// Serving-plane snapshot export hook (DESIGN.md §14.2): invoked at the
+    /// top of every flood whose selection commit changed the local P-graph,
+    /// with the flood-scratch dirty sets (possibly duplicated entries)
+    /// before they are consumed — a publisher copies only the dirty
+    /// adjacency.  Null means off; see core::SnapshotSink for the
+    /// handler-context rules the callee must follow.
+    SnapshotSink snapshot_sink;
   };
 
   explicit CentaurNode(const topo::AsGraph& graph);

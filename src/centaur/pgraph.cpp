@@ -1,5 +1,7 @@
 #include "centaur/pgraph.hpp"
 
+#include "centaur/query.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 #include <string>
@@ -51,82 +53,11 @@ std::optional<Path> PGraph::derive_path(NodeId dest,
 
 bool PGraph::derive_path_into(NodeId dest, Path& out,
                               std::vector<NodeId>* visited_out) const {
-  out.clear();
-  if (root_ == topo::kInvalidNode) {
-    throw std::logic_error("PGraph::derive_path: graph has no root");
-  }
-  if (dest == root_) {
-    if (visited_out) visited_out->assign(1, dest);
-    out.push_back(root_);
-    return true;
-  }
-  if (!contains(dest)) {
-    if (visited_out) visited_out->assign(1, dest);
-    return false;
-  }
-
-  // The walked-node set IS the partial path (dest-first): one buffer serves
-  // as path accumulator, cycle guard, and visited report.
-  Path& reversed = out;
-  reversed.push_back(dest);
-  NodeId current = dest;
-  // Next hop of `current` toward `dest` during backtracking — the node we
-  // arrived from; kNoNextHop while current == dest (S4.1 per-dest-next
-  // semantics; see header note on Table 1).
-  NodeId came_from = kNoNextHop;
-  const auto fail = [&]() {
-    if (visited_out) visited_out->assign(reversed.begin(), reversed.end());
-    out.clear();
-    return false;
-  };
-
-  while (current != root_) {
-    const AdjList& ps = parents(current);
-    if (ps.empty()) return fail();
-    NodeId parent = topo::kInvalidNode;
-    if (ps.size() == 1) {
-      parent = ps.front();  // Table 1 lines 3-5: single-homed, follow up
-    } else {
-      // Table 1 lines 6-11: multi-homed, consult Permission Lists.
-      // Links with entries are explicit permissions; if none permits, an
-      // in-link *without* a Permission List acts as the default (the
-      // paper's Figure 4(c) lists only the exceptional link C->D and
-      // leaves B->D unlisted).  More than one unlisted in-link would be
-      // ambiguous, so derivation fails then.
-      NodeId fallback = topo::kInvalidNode;
-      bool fallback_ambiguous = false;
-      for (NodeId p : ps) {
-        const PermissionList& plist = link_data(p, current).plist;
-        if (plist.empty()) {
-          if (fallback == topo::kInvalidNode) {
-            fallback = p;
-          } else {
-            fallback_ambiguous = true;
-          }
-          continue;
-        }
-        if (plist.permits(dest, came_from)) {
-          parent = p;
-          break;
-        }
-      }
-      if (parent == topo::kInvalidNode && !fallback_ambiguous) {
-        parent = fallback;
-      }
-      if (parent == topo::kInvalidNode) return fail();
-    }
-    // Cycle guard: paths are short, so a linear scan beats a node set.
-    if (std::find(reversed.begin(), reversed.end(), parent) !=
-        reversed.end()) {
-      throw std::logic_error("PGraph::derive_path: backtrace cycle");
-    }
-    reversed.push_back(parent);
-    came_from = current;
-    current = parent;
-  }
-  if (visited_out) visited_out->assign(reversed.begin(), reversed.end());
-  std::reverse(reversed.begin(), reversed.end());
-  return true;
+  // Deprecated wrapper: the walk lives in centaur/query.hpp now (the
+  // unified PathQuery/PathResult surface); both legacy entry points share
+  // its contract, including dest == root() => {root}.
+  return query_path_into(*this, PathQuery{dest, visited_out}, out) ==
+         PathStatus::kFound;
 }
 
 bool PGraph::operator==(const PGraph& other) const {

@@ -238,10 +238,16 @@ class PGraph {
 
   // --- DerivePath (Table 1) -------------------------------------------------
 
+  /// DEPRECATED (kept as a thin wrapper so existing callers and the seed
+  /// tests compile unchanged): prefer `core::query_path` in
+  /// centaur/query.hpp — the consolidated PathQuery/PathResult surface.
+  /// See DESIGN.md §14.3 for the migration guide.
+  ///
   /// Derives the unique policy-compliant path root..dest, or nullopt if no
   /// permitted parent chain reaches the root.  For dest == root returns
-  /// {root}.  Throws std::logic_error if the backtrace cycles (corrupt
-  /// graph).
+  /// {root} (the unified self-destination contract shared by every query
+  /// entry point).  Throws std::logic_error if the backtrace cycles
+  /// (corrupt graph).
   ///
   /// If `visited` is non-null it receives every node the backtracking walk
   /// examined (including `dest` and, on failure, the blocking node).  The
@@ -251,6 +257,9 @@ class PGraph {
   std::optional<Path> derive_path(NodeId dest,
                                   std::vector<NodeId>* visited = nullptr) const;
 
+  /// DEPRECATED (thin wrapper, same contract as derive_path): prefer
+  /// `core::query_path_into` in centaur/query.hpp.
+  ///
   /// Allocation-free derive_path: writes the path into `out` (reusing its
   /// capacity) and returns true, or returns false leaving `out` empty.
   /// Refresh loops call this once per dirty destination, so the fresh-Path

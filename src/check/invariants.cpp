@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "centaur/build_graph.hpp"
+#include "centaur/query.hpp"
 #include "util/flat_map.hpp"
 #include "util/vec_map.hpp"
 
@@ -409,11 +410,12 @@ std::vector<Violation> check_centaur_node(const core::CentaurNode& node) {
     merge_scoped(out, check_pgraph(*g, nbr_options), scope);
 
     // Derived-path cache consistency: for every marked destination the
-    // cache must hold exactly what DerivePath returns today.
+    // cache must hold exactly what DerivePath returns today (via the
+    // unified query API, centaur/query.hpp).
     for (const NodeId dest : g->destinations()) {
-      std::optional<Path> fresh;
+      core::PathResult fresh;
       try {
-        fresh = g->derive_path(dest);
+        fresh = core::query_path(*g, core::PathQuery{dest});
       } catch (const std::exception& e) {
         report(out, Invariant::kDerivedCache,
                scope + "DerivePath(" + std::to_string(dest) +
@@ -426,13 +428,13 @@ std::vector<Violation> check_centaur_node(const core::CentaurNode& node) {
         if (!has_cached) {
           report(out, Invariant::kDerivedCache,
                  scope + "destination " + std::to_string(dest) +
-                     " derives to " + path_str(*fresh) +
+                     " derives to " + path_str(fresh.path) +
                      " but the cache has no entry");
-        } else if (cached->path != *fresh) {
+        } else if (cached->path != fresh.path) {
           report(out, Invariant::kDerivedCache,
                  scope + "destination " + std::to_string(dest) + " caches " +
                      path_str(cached->path) + " but derives to " +
-                     path_str(*fresh));
+                     path_str(fresh.path));
         }
       } else if (has_cached) {
         report(out, Invariant::kDerivedCache,

@@ -58,12 +58,35 @@ std::unique_ptr<sim::Node> make_protocol_node(Protocol p,
       cfg.bloom_plists = util::env_flag_strict("CENTAUR_BLOOM_PLISTS", false);
       cfg.incremental = util::env_flag_strict("CENTAUR_INCREMENTAL", true);
       cfg.originate_limit = options.origin_limit;
+      cfg.snapshot_sink = options.centaur_snapshot_sink;
       return std::make_unique<core::CentaurNode>(graph, cfg);
     }
     case Protocol::kOspf:
       return std::make_unique<linkstate::OspfNode>(graph);
   }
   return nullptr;
+}
+
+const char* to_string(SnapshotPolicy p) {
+  switch (p) {
+    case SnapshotPolicy::kDelta:
+      return "delta";
+    case SnapshotPolicy::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+ServeOptions serve_options_from_env() {
+  ServeOptions opts;
+  opts.query_k = util::env_size_t("CENTAUR_QUERY_K", opts.query_k);
+  opts.query_threads =
+      util::env_size_t("CENTAUR_SERVE_THREADS", opts.query_threads);
+  const std::string policy = util::env_enum_strict(
+      "CENTAUR_SNAPSHOT_POLICY", {"delta", "full"}, "delta");
+  opts.snapshot_policy =
+      policy == "full" ? SnapshotPolicy::kFull : SnapshotPolicy::kDelta;
+  return opts;
 }
 
 AnalysisMode analysis_from_env(AnalysisMode fallback) {

@@ -1,0 +1,235 @@
+#include "serve/query_bench.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "eval/experiments.hpp"
+#include "runner/parallel.hpp"
+#include "topology/generator.hpp"
+#include "util/rng.hpp"
+
+namespace centaur::serve {
+
+namespace {
+
+using topo::NodeId;
+
+/// Nearest-rank percentile over an unsorted sample vector.
+double percentile(std::vector<float>& samples, double p) {
+  if (samples.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                   samples.end());
+  return static_cast<double>(samples[rank]);
+}
+
+void accumulate(EvalTotals& totals, const QueryEngine::QueryResult& r) {
+  switch (r.status) {
+    case QueryEngine::QueryStatus::kOk:
+      ++totals.found;
+      break;
+    case QueryEngine::QueryStatus::kUnreachable:
+      ++totals.unreachable;
+      break;
+    case QueryEngine::QueryStatus::kNotDestination:
+      ++totals.not_destination;
+      break;
+    case QueryEngine::QueryStatus::kNoSnapshot:
+      ++totals.no_snapshot;
+      break;
+  }
+  totals.paths_returned += r.paths.size();
+  for (const topo::Path& p : r.paths) totals.total_hops += p.size();
+  if (r.truncated) ++totals.truncated;
+  if (r.status == QueryEngine::QueryStatus::kOk) {
+    if (r.disjoint <= 1) {
+      ++totals.disjoint_1;
+    } else if (r.disjoint == 2) {
+      ++totals.disjoint_2;
+    } else {
+      ++totals.disjoint_3plus;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<QuerySpec> canonical_queries(std::size_t nodes,
+                                         std::uint64_t seed,
+                                         std::size_t count) {
+  util::Rng rng(util::derive_seed(seed, 0xC0DE));
+  std::vector<QuerySpec> specs;
+  specs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    QuerySpec spec;
+    spec.src = static_cast<NodeId>(rng.index(nodes));
+    // Every 16th query probes the self-destination contract (§14.3).
+    spec.dst = (i % 16 == 15) ? spec.src
+                              : static_cast<NodeId>(rng.index(nodes));
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+std::string format_result(const QueryEngine::QueryResult& result) {
+  std::string out = to_string(result.status);
+  out += " v" + std::to_string(result.version);
+  out += " disjoint=" + std::to_string(result.disjoint);
+  if (result.truncated) out += " truncated";
+  out += " paths=[";
+  for (std::size_t i = 0; i < result.paths.size(); ++i) {
+    if (i > 0) out += '|';
+    const topo::Path& p = result.paths[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      if (j > 0) out += '>';
+      out += std::to_string(p[j]);
+    }
+  }
+  out += ']';
+  return out;
+}
+
+std::vector<std::string> evaluate_queries(const QueryEngine& engine,
+                                          const std::vector<QuerySpec>& specs,
+                                          std::size_t threads,
+                                          EvalTotals* totals) {
+  std::vector<QueryEngine::QueryResult> results(specs.size());
+  runner::WorkerPool pool(threads);
+  pool.parallel_for_deterministic(specs.size(), [&](std::size_t i) {
+    results[i] = engine.query(specs[i].src, specs[i].dst, specs[i].k);
+  });
+  std::vector<std::string> out;
+  out.reserve(results.size());
+  for (const QueryEngine::QueryResult& r : results) {
+    if (totals != nullptr) accumulate(*totals, r);
+    out.push_back(format_result(r));
+  }
+  return out;
+}
+
+QueryBenchResult run_query_bench(const QueryBenchConfig& config) {
+  util::Rng topo_rng(config.seed);
+  const topo::AsGraph graph = topo::brite_like(
+      config.nodes, 2, std::max<std::size_t>(4, config.nodes / 40), topo_rng);
+
+  QueryEngine engine(config.nodes, config.serve);
+  eval::RunOptions options;
+  options.centaur_snapshot_sink = engine.make_sink();
+
+  QueryBenchResult bench;
+
+  // ---- live phase: query lanes race cold start + link flips ------------
+  const std::size_t lanes = config.serve.query_threads;
+  std::vector<std::vector<float>> lane_latency(lanes);
+  std::optional<eval::ProtocolRun> run;
+  std::exception_ptr protocol_error;
+
+  const runner::Stopwatch live_wall;
+  std::thread protocol([&] {
+    try {
+      util::Rng run_rng(util::derive_seed(config.seed, 1));
+      run.emplace(graph, eval::Protocol::kCentaur, run_rng, options);
+      util::Rng flip_rng(util::derive_seed(config.seed, 2));
+      for (std::size_t f = 0; f < config.flip_sample; ++f) {
+        const auto link =
+            static_cast<topo::LinkId>(flip_rng.index(graph.num_links()));
+        run->flip(link, false);
+        run->flip(link, true);
+      }
+    } catch (...) {
+      protocol_error = std::current_exception();
+    }
+  });
+  {
+    runner::WorkerPool pool(lanes);
+    pool.parallel_for_deterministic(lanes, [&](std::size_t lane) {
+      util::Rng rng(util::derive_seed(config.seed, 100 + lane));
+      std::vector<float>& latency = lane_latency[lane];
+      latency.reserve(config.live_iters);
+      for (std::size_t i = 0; i < config.live_iters; ++i) {
+        const auto src = static_cast<NodeId>(rng.index(config.nodes));
+        const auto dst = static_cast<NodeId>(rng.index(config.nodes));
+        const auto t0 = std::chrono::steady_clock::now();
+        const QueryEngine::QueryResult r = engine.query(src, dst);
+        const auto t1 = std::chrono::steady_clock::now();
+        (void)r;
+        latency.push_back(
+            std::chrono::duration<float, std::micro>(t1 - t0).count());
+      }
+    });
+  }
+  protocol.join();
+  const double live_s = live_wall.seconds();
+  if (protocol_error) std::rethrow_exception(protocol_error);
+
+  const QueryEngine::PublishStats publish = engine.publish_stats();
+  std::vector<float> all_latency;
+  for (std::vector<float>& lane : lane_latency) {
+    all_latency.insert(all_latency.end(), lane.begin(), lane.end());
+  }
+  bench.live.name = "live";
+  bench.live.wall_time_s = live_s;
+  bench.live.events = run->network().events_executed();
+  bench.live.messages = run->network().total_messages();
+  bench.live.bytes = run->network().total_bytes();
+  bench.live.metrics.emplace_back(
+      "queries_issued", static_cast<double>(lanes * config.live_iters));
+  bench.live.metrics.emplace_back(
+      "qps", live_s > 0
+                 ? static_cast<double>(lanes * config.live_iters) / live_s
+                 : 0);
+  bench.live.metrics.emplace_back("query_p50_us",
+                                  percentile(all_latency, 0.50));
+  bench.live.metrics.emplace_back("query_p99_us",
+                                  percentile(all_latency, 0.99));
+  bench.live.metrics.emplace_back("publish_p50_us", publish.p50_us);
+  bench.live.metrics.emplace_back("publish_p99_us", publish.p99_us);
+
+  // ---- steady phase: deterministic answers, gated counters -------------
+  const runner::Stopwatch steady_wall;
+  const std::vector<QuerySpec> specs =
+      canonical_queries(config.nodes, config.seed, config.query_sample);
+  EvalTotals totals;
+  const std::vector<std::string> serial =
+      evaluate_queries(engine, specs, 1, &totals);
+  const std::vector<std::string> threaded =
+      evaluate_queries(engine, specs, lanes, nullptr);
+  if (serial != threaded) {
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      if (serial[i] != threaded[i]) {
+        throw std::runtime_error(
+            "querybench: answers diverged across thread counts at query " +
+            std::to_string(i) + ": serial '" + serial[i] + "' vs threaded '" +
+            threaded[i] + "'");
+      }
+    }
+  }
+
+  bench.steady.name = "steady";
+  bench.steady.wall_time_s = steady_wall.seconds();
+  auto metric = [&](const char* key, std::uint64_t value) {
+    bench.steady.metrics.emplace_back(key, static_cast<double>(value));
+  };
+  metric("found", totals.found);
+  metric("unreachable", totals.unreachable);
+  metric("not_destination", totals.not_destination);
+  metric("no_snapshot", totals.no_snapshot);
+  metric("paths_returned", totals.paths_returned);
+  metric("total_hops", totals.total_hops);
+  metric("truncated", totals.truncated);
+  metric("disjoint_1", totals.disjoint_1);
+  metric("disjoint_2", totals.disjoint_2);
+  metric("disjoint_3plus", totals.disjoint_3plus);
+  metric("publishes", publish.publishes);
+  metric("full_builds", publish.full_builds);
+  metric("cells_live", publish.cells_live);
+  metric("identity_checked", 1);
+  return bench;
+}
+
+}  // namespace centaur::serve

@@ -1,0 +1,82 @@
+// Shared driver for `centaur querybench` and bench/bench_query.cpp
+// (DESIGN.md §14.5).
+//
+// Two phases over one brite-like topology:
+//
+//   * live — query lanes (runner::WorkerPool) hammer the engine while the
+//     protocol cold-starts and flips links on another thread, so reads race
+//     publishes (the TSan target).  Query *counts* are fixed per lane, so
+//     queries_issued is gated; latency/QPS depend on the race and are
+//     reported but never gated.
+//   * steady — after convergence the canonical query set is evaluated at
+//     1 thread and at ServeOptions::query_threads; the two answer vectors
+//     must be bit-identical (throws otherwise), and the resulting counters
+//     (statuses, hops, disjoint histogram, publish counts) are the gated
+//     datapoints of BENCH_query.json.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/protocol_config.hpp"
+#include "runner/bench_report.hpp"
+#include "serve/engine.hpp"
+#include "serve/query_file.hpp"
+
+namespace centaur::serve {
+
+struct QueryBenchConfig {
+  std::size_t nodes = 96;
+  std::uint64_t seed = 0x5E62E;
+  eval::ServeOptions serve;
+  std::size_t live_iters = 64;    ///< live-phase queries per lane
+  std::size_t flip_sample = 4;    ///< links flipped (down+up) during live
+  std::size_t query_sample = 64;  ///< canonical steady-phase query count
+};
+
+/// Deterministic canonical query set: `count` (src, dst) pairs drawn from
+/// Rng(seed), including a self-destination probe (the §14.3 contract).
+std::vector<QuerySpec> canonical_queries(std::size_t nodes,
+                                         std::uint64_t seed,
+                                         std::size_t count);
+
+/// Deterministic-phase counters (all gated at tolerance 0).
+struct EvalTotals {
+  std::uint64_t found = 0;
+  std::uint64_t unreachable = 0;
+  std::uint64_t not_destination = 0;
+  std::uint64_t no_snapshot = 0;
+  std::uint64_t paths_returned = 0;
+  std::uint64_t total_hops = 0;  ///< path vertices across all returned paths
+  std::uint64_t truncated = 0;
+  std::uint64_t disjoint_1 = 0;      ///< answers with exactly 1 disjoint path
+  std::uint64_t disjoint_2 = 0;      ///< exactly 2
+  std::uint64_t disjoint_3plus = 0;  ///< 3 or more
+};
+
+/// One answer rendered canonically ("ok v3 disjoint=2 paths=[0>4>7|0>2>7]")
+/// — the unit of the cross-thread-count bit-identity check and the `serve`
+/// output format.
+std::string format_result(const QueryEngine::QueryResult& result);
+
+/// Evaluates `specs` against `engine` on `threads` WorkerPool lanes and
+/// returns the formatted answers in spec order.  Pure reads: results are
+/// bit-identical for any thread count.  `totals` (optional) accumulates the
+/// gated counters.
+std::vector<std::string> evaluate_queries(const QueryEngine& engine,
+                                          const std::vector<QuerySpec>& specs,
+                                          std::size_t threads,
+                                          EvalTotals* totals);
+
+struct QueryBenchResult {
+  runner::TrialResult live;    ///< protocol totals + ungated latency metrics
+  runner::TrialResult steady;  ///< gated deterministic counters
+};
+
+/// Runs both phases.  Throws std::runtime_error if the steady-phase answers
+/// differ between 1 and query_threads lanes.
+QueryBenchResult run_query_bench(const QueryBenchConfig& config);
+
+}  // namespace centaur::serve

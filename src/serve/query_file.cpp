@@ -1,0 +1,96 @@
+#include "serve/query_file.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace centaur::serve {
+
+namespace {
+
+using util::json::JsonValue;
+
+[[noreturn]] void spec_fail(const std::string& where,
+                            const std::string& what) {
+  throw std::runtime_error("queries JSON: " + where + ": " + what);
+}
+
+void reject_unknown_keys(const JsonValue& obj, const std::string& where,
+                         std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : obj.object) {
+    (void)value;
+    bool ok = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) spec_fail(where, "unknown key \"" + key + "\"");
+  }
+}
+
+std::uint64_t get_id(const JsonValue& obj, const std::string& where,
+                     const char* key, bool required, std::uint64_t fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    if (required) spec_fail(where, std::string("missing \"") + key + "\"");
+    return fallback;
+  }
+  if (v->type != JsonValue::Type::kNumber) {
+    spec_fail(where, std::string("\"") + key + "\" must be a number");
+  }
+  const double d = v->number;
+  if (d < 0 || d != std::floor(d)) {
+    spec_fail(where,
+              std::string("\"") + key + "\" must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+std::vector<QuerySpec> parse_queries_json(const std::string& text) {
+  const JsonValue doc = util::json::parse_json(text, "queries JSON");
+  if (doc.type != JsonValue::Type::kObject) {
+    spec_fail("top level", "must be an object");
+  }
+  reject_unknown_keys(doc, "top level", {"queries"});
+  const JsonValue* queries = doc.find("queries");
+  if (queries == nullptr) spec_fail("top level", "missing \"queries\"");
+  if (queries->type != JsonValue::Type::kArray) {
+    spec_fail("queries", "must be an array");
+  }
+
+  std::vector<QuerySpec> out;
+  out.reserve(queries->array.size());
+  for (std::size_t i = 0; i < queries->array.size(); ++i) {
+    const std::string where = "queries[" + std::to_string(i) + "]";
+    const JsonValue& entry = queries->array[i];
+    if (entry.type != JsonValue::Type::kObject) {
+      spec_fail(where, "must be an object");
+    }
+    reject_unknown_keys(entry, where, {"src", "dst", "k"});
+    QuerySpec spec;
+    spec.src = static_cast<topo::NodeId>(get_id(entry, where, "src", true, 0));
+    spec.dst = static_cast<topo::NodeId>(get_id(entry, where, "dst", true, 0));
+    spec.k = static_cast<std::size_t>(get_id(entry, where, "k", false, 0));
+    out.push_back(spec);
+  }
+  return out;
+}
+
+std::vector<QuerySpec> load_queries(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("queries JSON: cannot read file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_queries_json(buf.str());
+}
+
+}  // namespace centaur::serve

@@ -1,0 +1,39 @@
+// Query-file format for `centaur serve` (DESIGN.md §14.4).
+//
+// A queries file is a small strict-JSON document listing the (src, dst, k)
+// path queries to evaluate against the converged run:
+//
+//   {
+//     "queries": [
+//       {"src": 0, "dst": 5},
+//       {"src": 3, "dst": 5, "k": 8}
+//     ]
+//   }
+//
+// "k" is optional; 0 / absent means the engine default (CENTAUR_QUERY_K /
+// ServeOptions::query_k).  Unknown keys are rejected, as in scenario files.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "topology/types.hpp"
+
+namespace centaur::serve {
+
+struct QuerySpec {
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+  std::size_t k = 0;  ///< 0 = engine default
+};
+
+/// Parses a queries document from JSON text.  Throws std::runtime_error
+/// naming the offending key/line on malformed input.
+std::vector<QuerySpec> parse_queries_json(const std::string& text);
+
+/// Reads and parses a queries file.  Throws std::runtime_error when the
+/// file cannot be read.
+std::vector<QuerySpec> load_queries(const std::string& path);
+
+}  // namespace centaur::serve

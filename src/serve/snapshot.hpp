@@ -1,0 +1,151 @@
+// Immutable P-graph snapshots for the serving plane (DESIGN.md §14.1).
+//
+// A PGraphSnapshot is a frozen, self-contained view of one node's local
+// P-graph at a commit point: per-node in-link lists with their Permission
+// Lists, plus the destination marks.  Readers traverse it with the generic
+// walk in centaur/query.hpp (it satisfies the View requirements), so a
+// query answered from a snapshot is bit-identical to DerivePath on the live
+// graph it was taken from.
+//
+// Publish cost is the design constraint: the protocol hands the publisher
+// the flood-scratch dirty sets (PR 7's changed_dests_/touched_links_), so a
+// delta snapshot copies *only the dirty nodes' in-links* and overlays its
+// predecessor — an immutable chain with structural sharing.  The chain is
+// collapsed geometrically (flatten when the accumulated overlay volume
+// reaches the size of the last full level), keeping amortised publish cost
+// proportional to the delta while bounding lookup depth.
+//
+// Thread model: a snapshot is immutable after construction and safe to read
+// from any thread; SnapshotBuilder is single-writer per node (the owning
+// CentaurNode's handler lane — per-node cells is what makes lane-parallel
+// floods race-free, DESIGN.md §14.2).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "centaur/pgraph.hpp"
+#include "eval/protocol_config.hpp"
+#include "util/small_vec.hpp"
+#include "util/vec_map.hpp"
+
+namespace centaur::serve {
+
+using core::DirectedLink;
+using core::PGraph;
+using topo::NodeId;
+
+/// Frozen in-link state of one node: parents ascending, Permission Lists
+/// parallel to them.  An entry with no parents shadows the node as
+/// "currently link-less" in overlay levels.
+struct SnapNode {
+  PGraph::AdjList parents;
+  std::vector<core::PermissionList> plists;  // parallel to parents
+};
+
+class PGraphSnapshot {
+ public:
+  NodeId root() const { return root_; }
+  /// Per-node publish sequence number (1 = first publish).  Deterministic:
+  /// it counts this node's commits, independent of thread interleaving.
+  std::uint64_t version() const { return version_; }
+  /// Overlay chain length under this snapshot (1 = full/flattened).
+  std::size_t depth() const { return depth_; }
+  bool full() const { return full_; }
+  /// Nodes materialised at this level only (the delta size for overlays).
+  std::size_t level_nodes() const { return nodes_.size(); }
+
+  /// In-link state of `n`, or nullptr when `n` has no in-links.  Walks the
+  /// overlay chain: the first level that materialised `n` wins.
+  const SnapNode* in_links(NodeId n) const {
+    for (const PGraphSnapshot* level = this; level != nullptr;
+         level = level->base_.get()) {
+      if (const SnapNode* sn = level->nodes_.find(n)) {
+        return sn->parents.empty() ? nullptr : sn;
+      }
+      if (level->full_) break;
+    }
+    return nullptr;
+  }
+
+  bool is_destination(NodeId d) const {
+    for (const PGraphSnapshot* level = this; level != nullptr;
+         level = level->base_.get()) {
+      if (level->full_) return util::sorted_contains(level->dests_, d);
+      if (const std::uint8_t* mark = level->marks_.find(d)) {
+        return *mark != 0;
+      }
+    }
+    return false;
+  }
+
+  // --- View interface for the centaur/query.hpp walk templates ----------
+
+  const PGraph::AdjList& parents(NodeId n) const {
+    const SnapNode* sn = in_links(n);
+    return sn != nullptr ? sn->parents : kEmptyAdj;
+  }
+
+  const core::PermissionList* plist(NodeId from, NodeId to) const {
+    const SnapNode* sn = in_links(to);
+    if (sn == nullptr) return nullptr;
+    const auto it =
+        std::lower_bound(sn->parents.begin(), sn->parents.end(), from);
+    if (it == sn->parents.end() || *it != from) return nullptr;
+    return &sn->plists[static_cast<std::size_t>(it - sn->parents.begin())];
+  }
+
+ private:
+  friend class SnapshotBuilder;
+
+  static const PGraph::AdjList kEmptyAdj;
+
+  std::shared_ptr<const PGraphSnapshot> base_;    // null at a full level
+  util::VecMap<NodeId, SnapNode> nodes_;          // this level's materialised nodes
+  util::VecMap<NodeId, std::uint8_t> marks_;      // overlay mark flips
+  PGraph::DestList dests_;                        // full level: complete set
+  NodeId root_ = topo::kInvalidNode;
+  std::uint64_t version_ = 0;
+  std::size_t depth_ = 1;
+  bool full_ = false;
+};
+
+/// Single-writer snapshot publisher for one node.  publish() turns the
+/// current local P-graph plus the flood-scratch dirty sets into the next
+/// immutable snapshot; under SnapshotPolicy::kDelta it materialises only
+/// the dirty nodes and collapses the chain geometrically, under kFull every
+/// publish is a complete copy (the ablation reference).
+class SnapshotBuilder {
+ public:
+  explicit SnapshotBuilder(eval::SnapshotPolicy policy =
+                               eval::SnapshotPolicy::kDelta)
+      : policy_(policy) {}
+
+  /// Builds the successor snapshot.  `changed_dests` / `touched_links` may
+  /// contain duplicates (they are the raw flood scratch).
+  std::shared_ptr<const PGraphSnapshot> publish(
+      const PGraph& local, const std::vector<NodeId>& changed_dests,
+      const std::vector<DirectedLink>& touched_links);
+
+  /// Full snapshots built so far (collapses + kFull publishes) — the
+  /// publish-cost observable the delta-vs-full tests assert on.
+  std::uint64_t full_builds() const { return full_builds_; }
+
+ private:
+  std::shared_ptr<const PGraphSnapshot> build_full(const PGraph& local);
+
+  eval::SnapshotPolicy policy_;
+  std::shared_ptr<const PGraphSnapshot> prev_;
+  std::uint64_t next_version_ = 1;
+  std::uint64_t full_builds_ = 0;
+  /// Overlay volume accumulated since the last full level; a flatten is due
+  /// when it reaches the full level's size (geometric collapse).
+  std::size_t overlay_accum_ = 0;
+  std::size_t full_nodes_ = 0;
+  std::vector<NodeId> dirty_scratch_;
+};
+
+}  // namespace centaur::serve

@@ -1,0 +1,195 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace centaur::util::json {
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, const std::string& doc_name)
+      : text_(text), doc_name_(doc_name) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw std::runtime_error(doc_name_ + ": " + what + " at line " +
+                             std::to_string(line) + ", column " +
+                             std::to_string(col));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.string = string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return JsonValue{};
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = string();
+      if (v.find(key) != nullptr) fail("duplicate key \"" + key + "\"");
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+          case '\\':
+          case '/':
+            out.push_back(e);
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          default:
+            fail("unsupported escape sequence");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    try {
+      std::size_t used = 0;
+      v.number = std::stod(text_.substr(start, pos_ - start), &used);
+      if (used != pos_ - start) throw std::invalid_argument("junk");
+    } catch (const std::exception&) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  const std::string& doc_name_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text, const std::string& doc_name) {
+  return JsonParser(text, doc_name).parse();
+}
+
+}  // namespace centaur::util::json

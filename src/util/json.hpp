@@ -1,0 +1,45 @@
+// Minimal strict JSON reader shared by every file-format entry point
+// (scenario files, serve query files).
+//
+// The inputs are small and hand-written; this is a strict, stdlib-only
+// reader for the JSON subset they need (objects, arrays, strings, numbers,
+// booleans, null).  No dependency policy: the container ships no JSON
+// library and we do not add one.  It grew up inside src/faults/scenario.cpp
+// and moved here when the serve plane needed a second document format.
+//
+// Strictness contract (tested via the scenario and query-file suites):
+// duplicate object keys are rejected, trailing characters after the
+// document are rejected, and every parse error reports line/column plus the
+// caller-supplied document name ("scenario JSON", "queries JSON", ...).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace centaur::util::json {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion-ordered map; the documents are tiny.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses `text` as one JSON document.  `doc_name` prefixes every error
+/// message ("scenario JSON", "queries JSON") so a failing file names its
+/// format.  Throws std::runtime_error with line/column on malformed input.
+JsonValue parse_json(const std::string& text, const std::string& doc_name);
+
+}  // namespace centaur::util::json

@@ -1,0 +1,689 @@
+// Serving-plane tests (DESIGN.md §14): snapshot correctness, RCU swap
+// linearizability (the tsan CI job runs this binary), k-path enumeration
+// properties, the unified self-destination contract across every query
+// entry point, and cross-thread-count bit-identity of query answers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "centaur/centaur_node.hpp"
+#include "centaur/query.hpp"
+#include "eval/experiments.hpp"
+#include "eval/static_eval.hpp"
+#include "serve/engine.hpp"
+#include "serve/query_bench.hpp"
+#include "serve/query_file.hpp"
+#include "serve/snapshot.hpp"
+#include "topology/generator.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+namespace centaur {
+namespace {
+
+using core::kNoNextHop;
+using core::PGraph;
+using serve::PGraphSnapshot;
+using serve::QueryEngine;
+using topo::NodeId;
+using topo::Path;
+
+/// Sets one environment variable for the duration of a scope, restoring the
+/// prior value (ServeOptions samples the environment on each call).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const std::optional<std::string> prev = util::env_string(name_);
+    if (prev) saved_ = *prev;
+    had_prev_ = prev.has_value();
+    EXPECT_EQ(setenv(name_, value.c_str(), 1), 0);
+  }
+  ~ScopedEnv() {
+    if (had_prev_) {
+      setenv(name_, saved_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_prev_ = false;
+  std::string saved_;
+};
+
+/// The paper's Figure 4 shape as a hand-built local P-graph: root 0 reaches
+/// destination 3 through 1 or through 2; both links into the multi-homed
+/// head 3 carry an explicit permission for 3.
+PGraph diamond() {
+  PGraph g(0);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  g.add_link(1, 3);
+  g.add_link(2, 3);
+  g.link_data(1, 3).plist.add(3, kNoNextHop);
+  g.link_data(2, 3).plist.add(3, kNoNextHop);
+  g.mark_destination(3);
+  return g;
+}
+
+/// Diamond with a third branch 0->4->3 (three interior-disjoint paths).
+PGraph triple_diamond() {
+  PGraph g = diamond();
+  g.add_link(0, 4);
+  g.add_link(4, 3);
+  g.link_data(4, 3).plist.add(3, kNoNextHop);
+  return g;
+}
+
+/// Diamond whose only permitted branch for destination 3 goes through
+/// `via` (the other branch's entry does not permit 3).
+PGraph diamond_via(NodeId via) {
+  PGraph g(0);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  g.add_link(1, 3);
+  g.add_link(2, 3);
+  // Both links listed, exactly one permitting 3 — no unlisted fallback.
+  g.link_data(1, 3).plist.add(via == 1 ? NodeId{3} : NodeId{99}, kNoNextHop);
+  g.link_data(2, 3).plist.add(via == 2 ? NodeId{3} : NodeId{99}, kNoNextHop);
+  g.mark_destination(3);
+  return g;
+}
+
+std::shared_ptr<const PGraphSnapshot> full_snapshot(
+    serve::SnapshotBuilder& builder, const PGraph& g) {
+  return builder.publish(g, {}, {});
+}
+
+/// Policy-compliance predicate for an enumerated path root..dest: every hop
+/// must be a real in-link, and at multi-homed heads the hop must be either
+/// explicitly permitted for (dest, next-hop-of-head) or the unique unlisted
+/// default (paper Table 1 / Figure 4(c)).
+template <typename View>
+bool policy_compliant(const View& g, const Path& path, NodeId dest) {
+  if (path.empty() || path.front() != g.root() || path.back() != dest) {
+    return false;
+  }
+  for (std::size_t j = 1; j < path.size(); ++j) {
+    const NodeId from = path[j - 1];
+    const NodeId to = path[j];
+    const PGraph::AdjList& ps = g.parents(to);
+    if (std::find(ps.begin(), ps.end(), from) == ps.end()) return false;
+    if (ps.size() <= 1) continue;
+    const NodeId came_from = (j + 1 < path.size()) ? path[j + 1] : kNoNextHop;
+    const core::PermissionList* pl = g.plist(from, to);
+    if (pl != nullptr && !pl->empty()) {
+      if (!pl->permits(dest, came_from)) return false;
+      continue;
+    }
+    // Fallback hop: `from` must be the *unique* unlisted in-link of `to`.
+    std::size_t unlisted = 0;
+    for (const NodeId p : ps) {
+      const core::PermissionList* q = g.plist(p, to);
+      if (q == nullptr || q->empty()) ++unlisted;
+    }
+    if (unlisted != 1) return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- snapshots --
+
+TEST(Snapshot, FullMatchesLiveGraph) {
+  const PGraph g = diamond();
+  serve::SnapshotBuilder builder(eval::SnapshotPolicy::kFull);
+  const auto snap = full_snapshot(builder, g);
+
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->root(), 0u);
+  EXPECT_EQ(snap->version(), 1u);
+  EXPECT_TRUE(snap->full());
+  EXPECT_TRUE(snap->is_destination(3));
+  EXPECT_FALSE(snap->is_destination(1));
+
+  for (NodeId n = 0; n <= 3; ++n) {
+    const PGraph::AdjList& live = g.parents(n);
+    const PGraph::AdjList& frozen = snap->parents(n);
+    ASSERT_EQ(live.size(), frozen.size()) << n;
+    EXPECT_TRUE(std::equal(live.begin(), live.end(), frozen.begin())) << n;
+  }
+  EXPECT_NE(snap->plist(1, 3), nullptr);
+  EXPECT_TRUE(snap->plist(1, 3)->permits(3, kNoNextHop));
+  EXPECT_EQ(snap->plist(0, 3), nullptr);
+
+  Path from_snap, from_live;
+  EXPECT_EQ(core::query_path_over(*snap, core::PathQuery{3}, from_snap),
+            core::PathStatus::kFound);
+  EXPECT_EQ(core::query_path_over(core::PGraphView{&g}, core::PathQuery{3},
+                                  from_live),
+            core::PathStatus::kFound);
+  EXPECT_EQ(from_snap, from_live);
+}
+
+TEST(Snapshot, DeltaOverlayTracksChangesAndShadowsEmptyNodes) {
+  PGraph g = diamond();
+  serve::SnapshotBuilder builder(eval::SnapshotPolicy::kDelta);
+  const auto v1 = builder.publish(g, {}, {});
+  ASSERT_TRUE(v1->full());
+
+  // Retract 1->3: only node 3's in-links are dirty.
+  g.remove_link(1, 3);
+  const auto v2 = builder.publish(g, {3}, {{1, 3}});
+  EXPECT_EQ(v2->version(), 2u);
+  EXPECT_FALSE(v2->full());
+  EXPECT_EQ(v2->depth(), 2u);
+  ASSERT_EQ(v2->parents(3).size(), 1u);
+  EXPECT_EQ(v2->parents(3).front(), 2u);
+  // The predecessor is untouched (immutability / structural sharing).
+  EXPECT_EQ(v1->parents(3).size(), 2u);
+
+  Path p;
+  ASSERT_EQ(core::query_path_over(*v2, core::PathQuery{3}, p),
+            core::PathStatus::kFound);
+  EXPECT_EQ(p, (Path{0, 2, 3}));
+
+  // Retract the last in-link: the overlay must *shadow* node 3 as link-less,
+  // not fall through to the stale full level.
+  g.remove_link(2, 3);
+  g.unmark_destination(3);
+  const auto v3 = builder.publish(g, {3}, {{2, 3}});
+  EXPECT_TRUE(v3->parents(3).empty());
+  EXPECT_FALSE(v3->is_destination(3));
+  EXPECT_EQ(core::query_path_over(*v3, core::PathQuery{3}, p),
+            core::PathStatus::kUnreachable);
+  // Untouched nodes still resolve through the chain.
+  EXPECT_EQ(v3->parents(1).size(), 1u);
+}
+
+TEST(Snapshot, DeltaChainCollapsesGeometrically) {
+  PGraph g = diamond();
+  serve::SnapshotBuilder builder(eval::SnapshotPolicy::kDelta);
+  std::shared_ptr<const PGraphSnapshot> snap = builder.publish(g, {}, {});
+  // 64 no-op deltas over the same dirty node: the chain must flatten
+  // periodically instead of growing without bound.
+  std::size_t max_depth = 0;
+  for (int i = 0; i < 64; ++i) {
+    snap = builder.publish(g, {3}, {{1, 3}});
+    max_depth = std::max(max_depth, snap->depth());
+  }
+  EXPECT_LE(max_depth, 20u);
+  EXPECT_GE(builder.full_builds(), 2u);  // initial + at least one collapse
+  EXPECT_LT(builder.full_builds(), 64u);
+
+  Path p;
+  ASSERT_EQ(core::query_path_over(*snap, core::PathQuery{3}, p),
+            core::PathStatus::kFound);
+  EXPECT_EQ(p, (Path{0, 1, 3}));
+}
+
+TEST(Snapshot, DeltaAndFullPoliciesAnswerIdentically) {
+  PGraph g = diamond();
+  serve::SnapshotBuilder delta(eval::SnapshotPolicy::kDelta);
+  serve::SnapshotBuilder full(eval::SnapshotPolicy::kFull);
+
+  const auto step = [&](const std::vector<NodeId>& dests,
+                        const std::vector<core::DirectedLink>& links) {
+    const auto d = delta.publish(g, dests, links);
+    const auto f = full.publish(g, dests, links);
+    EXPECT_EQ(d->version(), f->version());
+    for (NodeId dest = 0; dest <= 4; ++dest) {
+      Path pd, pf;
+      const auto sd = core::query_path_over(*d, core::PathQuery{dest}, pd);
+      const auto sf = core::query_path_over(*f, core::PathQuery{dest}, pf);
+      EXPECT_EQ(sd, sf) << dest;
+      EXPECT_EQ(pd, pf) << dest;
+      EXPECT_EQ(d->is_destination(dest), f->is_destination(dest)) << dest;
+    }
+  };
+
+  step({}, {});
+  g.remove_link(1, 3);
+  step({3}, {{1, 3}});
+  g.add_link(1, 3);
+  g.link_data(1, 3).plist.add(3, kNoNextHop);
+  step({3}, {{1, 3}});
+  g.mark_destination(2);
+  step({2}, {});
+
+  // The ablation observable: full pays a complete build per publish.
+  EXPECT_EQ(full.full_builds(), 4u);
+  EXPECT_LT(delta.full_builds(), full.full_builds());
+}
+
+// --------------------------------------------------------------------- RCU --
+
+TEST(Rcu, PinnedReaderBlocksReclamationUnpinnedDrains) {
+  serve::ReaderRegistry reg(4);
+  serve::SnapshotCell cell;
+  serve::SnapshotBuilder builder(eval::SnapshotPolicy::kFull);
+  const PGraph g = diamond();
+
+  cell.publish(full_snapshot(builder, g), reg);
+  EXPECT_EQ(cell.retired_count(), 0u);
+
+  {
+    serve::ReadPin pin(reg);
+    const PGraphSnapshot* held = cell.current();
+    ASSERT_NE(held, nullptr);
+    EXPECT_EQ(held->version(), 1u);
+
+    cell.publish(full_snapshot(builder, g), reg);
+    cell.publish(full_snapshot(builder, g), reg);
+    // Both predecessors were retired while we were pinned: neither may be
+    // freed (ASan would flag the reads below if they were).
+    EXPECT_EQ(cell.retired_count(), 2u);
+    EXPECT_EQ(held->version(), 1u);
+    EXPECT_EQ(held->parents(3).size(), 2u);
+    EXPECT_EQ(cell.current()->version(), 3u);
+  }
+
+  // Reader quiescent: the next publish reclaims the whole retire list.
+  cell.publish(full_snapshot(builder, g), reg);
+  EXPECT_EQ(cell.retired_count(), 0u);
+  EXPECT_EQ(reg.min_pinned(), UINT64_MAX);
+}
+
+TEST(Rcu, ReadersNeverObserveTornState) {
+  // Writer alternates between two complete snapshots whose derived paths
+  // differ; concurrent readers must always see exactly one of the two
+  // answers — never a mix, never a freed snapshot (tsan/asan back this up).
+  const PGraph ga = diamond_via(1);
+  const PGraph gb = diamond_via(2);
+  const Path path_a{0, 1, 3};
+  const Path path_b{0, 2, 3};
+
+  constexpr std::size_t kReaders = 3;
+  serve::ReaderRegistry reg(kReaders + 1);
+  serve::SnapshotCell cell;
+  serve::SnapshotBuilder builder(eval::SnapshotPolicy::kFull);
+  cell.publish(full_snapshot(builder, ga), reg);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> reads{0};
+  std::atomic<bool> torn{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      Path p;
+      while (!done.load(std::memory_order_relaxed)) {
+        serve::ReadPin pin(reg);
+        const PGraphSnapshot* snap = cell.current();
+        if (snap == nullptr) continue;
+        if (core::query_path_over(*snap, core::PathQuery{3}, p) !=
+                core::PathStatus::kFound ||
+            (p != path_a && p != path_b) || !snap->is_destination(3)) {
+          torn.store(true);
+          return;
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Keep publishing until every reader has raced at least a few answers
+  // (a fixed publish count can finish before the readers are scheduled).
+  for (int i = 0; i < 800 || reads.load(std::memory_order_relaxed) <
+                                 kReaders * 8;
+       ++i) {
+    if (torn.load()) break;
+    cell.publish(full_snapshot(builder, (i % 2 == 0) ? gb : ga), reg);
+  }
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_FALSE(torn.load());
+  EXPECT_GT(reads.load(), 0u);
+  // With every reader quiescent one more publish drains the retire list.
+  cell.publish(full_snapshot(builder, ga), reg);
+  EXPECT_EQ(cell.retired_count(), 0u);
+}
+
+// ----------------------------------------------------------------- k paths --
+
+TEST(KPaths, CanonicalFirstSortedDistinctAndCompliant) {
+  const PGraph g = triple_diamond();
+  const core::PGraphView view{&g};
+
+  const core::KPathResult kp = core::query_k_paths(view, 3, 8);
+  ASSERT_EQ(kp.paths.size(), 3u);
+  EXPECT_FALSE(kp.truncated);
+
+  // paths[0] is exactly DerivePath.
+  const auto canonical = g.derive_path(3);
+  ASSERT_TRUE(canonical.has_value());
+  EXPECT_EQ(kp.paths[0], *canonical);
+
+  for (const Path& p : kp.paths) {
+    EXPECT_TRUE(policy_compliant(view, p, 3)) << ::testing::PrintToString(p);
+  }
+  // Alternates sorted by (length, lex), no duplicates anywhere.
+  for (std::size_t i = 2; i < kp.paths.size(); ++i) {
+    const Path& a = kp.paths[i - 1];
+    const Path& b = kp.paths[i];
+    EXPECT_TRUE(a.size() < b.size() || (a.size() == b.size() && a < b));
+  }
+  for (std::size_t i = 0; i < kp.paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < kp.paths.size(); ++j) {
+      EXPECT_NE(kp.paths[i], kp.paths[j]);
+    }
+  }
+
+  // k truncates the alternates, keeps the canonical head.
+  const core::KPathResult k1 = core::query_k_paths(view, 3, 1);
+  ASSERT_EQ(k1.paths.size(), 1u);
+  EXPECT_EQ(k1.paths[0], *canonical);
+
+  EXPECT_EQ(core::disjoint_path_count(view, 3), 3u);
+}
+
+TEST(KPaths, ExpansionBudgetSetsTruncated) {
+  const PGraph g = triple_diamond();
+  const core::PGraphView view{&g};
+  const core::KPathResult kp =
+      core::query_k_paths(view, 3, 8, /*max_expansions=*/2);
+  EXPECT_TRUE(kp.truncated);
+  EXPECT_LE(kp.paths.size(), 1u);
+}
+
+TEST(KPaths, UnreachableAndSinglePathShapes) {
+  PGraph g = diamond_via(1);
+  const core::PGraphView view{&g};
+  // Exactly one permitted branch -> exactly one path; the impermissible
+  // branch must not appear as an alternate.
+  const core::KPathResult kp = core::query_k_paths(view, 3, 8);
+  ASSERT_EQ(kp.paths.size(), 1u);
+  EXPECT_EQ(kp.paths[0], (Path{0, 1, 3}));
+  EXPECT_EQ(core::disjoint_path_count(view, 3), 1u);
+
+  // Destination with no in-links: unreachable, count 0.
+  g.mark_destination(9);
+  EXPECT_TRUE(core::query_k_paths(view, 9, 4).paths.empty());
+  EXPECT_EQ(core::disjoint_path_count(view, 9), 0u);
+}
+
+TEST(KPaths, MatchesDerivePathOnConvergedNodeGraphs) {
+  // On every converged per-vantage P-graph, k=1 enumeration and the
+  // canonical head of k=4 must agree with the deprecated derive_path
+  // wrapper for every destination.
+  util::Rng rng(21);
+  const topo::AsGraph g = topo::brite_like(18, 2, 4, rng);
+  for (NodeId vantage = 0; vantage < g.num_nodes(); vantage += 5) {
+    const PGraph pg = eval::build_node_pgraph(g, vantage);
+    const core::PGraphView view{&pg};
+    for (NodeId dest = 0; dest < g.num_nodes(); ++dest) {
+      const auto legacy = pg.derive_path(dest);
+      const core::KPathResult kp = core::query_k_paths(view, dest, 4);
+      if (legacy.has_value()) {
+        ASSERT_FALSE(kp.paths.empty()) << vantage << "->" << dest;
+        EXPECT_EQ(kp.paths[0], *legacy) << vantage << "->" << dest;
+        for (const Path& p : kp.paths) {
+          EXPECT_TRUE(policy_compliant(view, p, dest))
+              << vantage << "->" << dest;
+        }
+      } else {
+        EXPECT_TRUE(kp.paths.empty()) << vantage << "->" << dest;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- self-destination contract --
+
+TEST(SelfDestination, UnifiedAcrossEveryEntryPoint) {
+  const PGraph g = diamond();
+
+  // Deprecated wrappers (the historic divergence this contract fixes).
+  const auto legacy = g.derive_path(0);
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(*legacy, Path{0});
+  Path out{7, 7, 7};  // dirty buffer: must be replaced, not appended
+  std::vector<NodeId> visited;
+  EXPECT_TRUE(g.derive_path_into(0, out, &visited));
+  EXPECT_EQ(out, Path{0});
+  EXPECT_EQ(visited, std::vector<NodeId>{0});
+
+  // Consolidated API.
+  const core::PathResult r = core::query_path(g, core::PathQuery{0});
+  EXPECT_TRUE(r.found());
+  EXPECT_EQ(r.path, Path{0});
+
+  // Snapshot view + k paths.
+  serve::SnapshotBuilder builder(eval::SnapshotPolicy::kFull);
+  const auto snap = full_snapshot(builder, g);
+  Path p;
+  EXPECT_EQ(core::query_path_over(*snap, core::PathQuery{0}, p),
+            core::PathStatus::kFound);
+  EXPECT_EQ(p, Path{0});
+  const core::KPathResult kp = core::query_k_paths(*snap, 0, 4);
+  ASSERT_EQ(kp.paths.size(), 1u);
+  EXPECT_EQ(kp.paths[0], Path{0});
+  EXPECT_EQ(core::disjoint_path_count(*snap, 0), 1u);
+
+  // Engine: src == dst answers {src} even though src is no marked
+  // destination.
+  eval::ServeOptions opts;
+  QueryEngine engine(4, opts);
+  engine.publish(0, g, {3}, {{1, 3}, {2, 3}});
+  const QueryEngine::QueryResult qr = engine.query(0, 0);
+  EXPECT_EQ(qr.status, QueryEngine::QueryStatus::kOk);
+  ASSERT_EQ(qr.paths.size(), 1u);
+  EXPECT_EQ(qr.paths[0], Path{0});
+  EXPECT_EQ(qr.disjoint, 1u);
+}
+
+// -------------------------------------------------------------- QueryEngine --
+
+TEST(QueryEngine, StatusesCoverTheContract) {
+  eval::ServeOptions opts;
+  QueryEngine engine(4, opts);
+
+  // Before the first publish: no snapshot, including out-of-range ids.
+  EXPECT_EQ(engine.query(0, 3).status, QueryEngine::QueryStatus::kNoSnapshot);
+  EXPECT_EQ(engine.query(99, 3).status,
+            QueryEngine::QueryStatus::kNoSnapshot);
+
+  PGraph g = diamond();
+  g.mark_destination(9);  // marked but link-less -> unreachable
+  engine.publish(0, g, {3, 9}, {{1, 3}, {2, 3}});
+
+  const QueryEngine::QueryResult ok = engine.query(0, 3);
+  EXPECT_EQ(ok.status, QueryEngine::QueryStatus::kOk);
+  ASSERT_EQ(ok.paths.size(), 2u);
+  EXPECT_EQ(ok.paths[0], *g.derive_path(3));
+  EXPECT_EQ(ok.paths[1], (Path{0, 2, 3}));
+  EXPECT_EQ(ok.disjoint, 2u);
+  EXPECT_EQ(ok.version, 1u);
+  EXPECT_FALSE(ok.truncated);
+
+  EXPECT_EQ(engine.query(0, 2).status,
+            QueryEngine::QueryStatus::kNotDestination);
+  EXPECT_EQ(engine.query(0, 9).status,
+            QueryEngine::QueryStatus::kUnreachable);
+  // Other nodes have not published.
+  EXPECT_EQ(engine.query(1, 3).status,
+            QueryEngine::QueryStatus::kNoSnapshot);
+
+  // k=1 narrows the answer; the engine default (query_k) applies at k=0.
+  EXPECT_EQ(engine.query(0, 3, 1).paths.size(), 1u);
+  EXPECT_EQ(engine.query(0, 3).paths.size(), 2u);
+
+  const QueryEngine::PublishStats stats = engine.publish_stats();
+  EXPECT_EQ(stats.publishes, 1u);
+  EXPECT_EQ(stats.cells_live, 1u);
+}
+
+TEST(QueryEngine, EvaluateQueriesBitIdenticalAcrossThreadCounts) {
+  util::Rng rng(5);
+  const topo::AsGraph g = topo::brite_like(16, 2, 4, rng);
+  eval::ServeOptions opts;
+  opts.snapshot_policy = eval::SnapshotPolicy::kFull;
+  QueryEngine engine(g.num_nodes(), opts);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    engine.publish(v, eval::build_node_pgraph(g, v), {}, {});
+  }
+
+  const std::vector<serve::QuerySpec> specs =
+      serve::canonical_queries(g.num_nodes(), 0xBEEF, 48);
+  serve::EvalTotals t1, t4;
+  const std::vector<std::string> serial =
+      serve::evaluate_queries(engine, specs, 1, &t1);
+  const std::vector<std::string> threaded =
+      serve::evaluate_queries(engine, specs, 4, &t4);
+  ASSERT_EQ(serial.size(), specs.size());
+  EXPECT_EQ(serial, threaded);
+  EXPECT_EQ(t1.found, t4.found);
+  EXPECT_EQ(t1.total_hops, t4.total_hops);
+  EXPECT_EQ(t1.found + t1.unreachable + t1.not_destination + t1.no_snapshot,
+            specs.size());
+  EXPECT_GT(t1.found, 0u);
+}
+
+TEST(QueryEngine, ServesProtocolStateThroughTheSink) {
+  // End-to-end: a Centaur run publishes through the sink; after convergence
+  // every engine answer must match the owning node's live P-graph.
+  util::Rng rng(11);
+  const topo::AsGraph g = topo::brite_like(20, 2, 4, rng);
+  eval::ServeOptions opts;
+  QueryEngine engine(g.num_nodes(), opts);
+  eval::RunOptions run_opts;
+  run_opts.centaur_snapshot_sink = engine.make_sink();
+  util::Rng run_rng(12);
+  eval::ProtocolRun run(g, eval::Protocol::kCentaur, run_rng, run_opts);
+  run.flip(0, false);
+  run.flip(0, true);
+
+  const QueryEngine::PublishStats stats = engine.publish_stats();
+  EXPECT_EQ(stats.cells_live, g.num_nodes());
+  EXPECT_GT(stats.publishes, g.num_nodes());
+
+  for (NodeId src = 0; src < g.num_nodes(); src += 3) {
+    const auto* node =
+        dynamic_cast<const core::CentaurNode*>(&run.network().node(src));
+    ASSERT_NE(node, nullptr);
+    const PGraph& live = node->local_pgraph();
+    for (NodeId dst = 0; dst < g.num_nodes(); ++dst) {
+      const QueryEngine::QueryResult qr = engine.query(src, dst, 1);
+      if (dst == src) {
+        EXPECT_EQ(qr.status, QueryEngine::QueryStatus::kOk);
+        ASSERT_EQ(qr.paths.size(), 1u);
+        EXPECT_EQ(qr.paths[0], Path{src});
+        continue;
+      }
+      if (!live.is_destination(dst)) {
+        EXPECT_EQ(qr.status, QueryEngine::QueryStatus::kNotDestination)
+            << src << "->" << dst;
+        continue;
+      }
+      const auto derived = live.derive_path(dst);
+      if (derived.has_value()) {
+        EXPECT_EQ(qr.status, QueryEngine::QueryStatus::kOk)
+            << src << "->" << dst;
+        ASSERT_EQ(qr.paths.size(), 1u) << src << "->" << dst;
+        EXPECT_EQ(qr.paths[0], *derived) << src << "->" << dst;
+      } else {
+        EXPECT_EQ(qr.status, QueryEngine::QueryStatus::kUnreachable)
+            << src << "->" << dst;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- ServeOptions --
+
+TEST(ServeOptions, EnvParsingIsStrict) {
+  util::reset_warn_once_for_testing();
+  {
+    ScopedEnv k("CENTAUR_QUERY_K", "7");
+    ScopedEnv t("CENTAUR_SERVE_THREADS", "2");
+    ScopedEnv p("CENTAUR_SNAPSHOT_POLICY", "full");
+    const eval::ServeOptions opts = eval::serve_options_from_env();
+    EXPECT_EQ(opts.query_k, 7u);
+    EXPECT_EQ(opts.query_threads, 2u);
+    EXPECT_EQ(opts.snapshot_policy, eval::SnapshotPolicy::kFull);
+  }
+  {
+    // Garbage falls back to the defaults (and warns once, not asserted
+    // here); enum matching is exact, so "FULL" is garbage.
+    ScopedEnv k("CENTAUR_QUERY_K", "4x");
+    ScopedEnv t("CENTAUR_SERVE_THREADS", "0");
+    ScopedEnv p("CENTAUR_SNAPSHOT_POLICY", "FULL");
+    const eval::ServeOptions opts = eval::serve_options_from_env();
+    EXPECT_EQ(opts.query_k, 4u);
+    EXPECT_EQ(opts.query_threads, 1u);  // numeric but < 1 clamps to 1
+    EXPECT_EQ(opts.snapshot_policy, eval::SnapshotPolicy::kDelta);
+  }
+  util::reset_warn_once_for_testing();
+}
+
+// --------------------------------------------------------------- query file --
+
+TEST(QueryFile, ParsesTheDocumentedFormat) {
+  const std::vector<serve::QuerySpec> specs = serve::parse_queries_json(
+      R"({"queries": [{"src": 0, "dst": 5}, {"src": 3, "dst": 5, "k": 8}]})");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].src, 0u);
+  EXPECT_EQ(specs[0].dst, 5u);
+  EXPECT_EQ(specs[0].k, 0u);  // absent -> engine default
+  EXPECT_EQ(specs[1].src, 3u);
+  EXPECT_EQ(specs[1].k, 8u);
+}
+
+TEST(QueryFile, RejectsMalformedDocuments) {
+  EXPECT_THROW(serve::parse_queries_json("[]"), std::runtime_error);
+  EXPECT_THROW(serve::parse_queries_json(R"({"queries": 3})"),
+               std::runtime_error);
+  EXPECT_THROW(  // unknown top-level key
+      serve::parse_queries_json(R"({"queries": [], "extra": 1})"),
+      std::runtime_error);
+  EXPECT_THROW(  // unknown entry key
+      serve::parse_queries_json(
+          R"({"queries": [{"src": 0, "dst": 1, "hops": 2}]})"),
+      std::runtime_error);
+  EXPECT_THROW(  // missing src
+      serve::parse_queries_json(R"({"queries": [{"dst": 1}]})"),
+      std::runtime_error);
+  EXPECT_THROW(  // non-integer id
+      serve::parse_queries_json(R"({"queries": [{"src": 1.5, "dst": 1}]})"),
+      std::runtime_error);
+  EXPECT_THROW(  // negative id
+      serve::parse_queries_json(R"({"queries": [{"src": -1, "dst": 1}]})"),
+      std::runtime_error);
+}
+
+// -------------------------------------------------------------- querybench --
+
+TEST(QueryBench, TwoPhaseRunIsDeterministicWhereGated) {
+  serve::QueryBenchConfig config;
+  config.nodes = 24;
+  config.seed = 99;
+  config.live_iters = 8;
+  config.flip_sample = 2;
+  config.query_sample = 24;
+  config.serve.query_threads = 4;
+
+  const serve::QueryBenchResult a = serve::run_query_bench(config);
+  const serve::QueryBenchResult b = serve::run_query_bench(config);
+
+  // The live trial's protocol totals and the whole steady trial are the
+  // gated-at-0 surface; they must be bit-stable run to run.
+  EXPECT_EQ(a.live.events, b.live.events);
+  EXPECT_EQ(a.live.messages, b.live.messages);
+  EXPECT_EQ(a.live.bytes, b.live.bytes);
+  ASSERT_EQ(a.steady.metrics.size(), b.steady.metrics.size());
+  for (std::size_t i = 0; i < a.steady.metrics.size(); ++i) {
+    EXPECT_EQ(a.steady.metrics[i].first, b.steady.metrics[i].first);
+    EXPECT_DOUBLE_EQ(a.steady.metrics[i].second, b.steady.metrics[i].second)
+        << a.steady.metrics[i].first;
+  }
+}
+
+}  // namespace
+}  // namespace centaur

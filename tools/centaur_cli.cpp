@@ -10,10 +10,17 @@
 //             and report per-phase convergence/message/byte numbers.
 //   bench     The canned reliability campaign across all four protocols
 //             (campaign with --builtin defaults), for baseline capture.
+//   serve     Run a Centaur scenario with the serving plane attached and
+//             answer a queries file (k paths + disjoint count per query)
+//             from the converged RCU snapshots.
+//   querybench  The two-phase serving-plane bench (queries racing live
+//             convergence, then gated deterministic counters) — the
+//             BENCH_query.json producer.
 //
-// simulate / campaign / bench share one option-parsing path: the same
-// --seed/--mrai/--check/--json spellings everywhere, each mirroring an
-// environment variable from the README table (printed by `centaur help`).
+// simulate / campaign / bench / serve / querybench share one option-parsing
+// path: the same --seed/--mrai/--check/--json spellings everywhere, each
+// mirroring an environment variable from the README table (printed by
+// `centaur help`).
 //
 // Topologies are as-rel files (`a|b|-1` provider, `a|b|0` peer, `a|b|2`
 // sibling); `centaur generate ... > topo.txt` round-trips into every other
@@ -35,6 +42,9 @@
 #include "policy/valley_free.hpp"
 #include "runner/bench_report.hpp"
 #include "runner/parallel.hpp"
+#include "serve/engine.hpp"
+#include "serve/query_bench.hpp"
+#include "serve/query_file.hpp"
 #include "topology/algorithms.hpp"
 #include "topology/generator.hpp"
 #include "topology/parser.hpp"
@@ -79,6 +89,14 @@ constexpr struct EnvVar {
      "view deltas); off runs the bit-identical from-scratch reference"},
     {"CENTAUR_BLOOM_PLISTS", "1 enables (off)",
      "Bloom-compressed Permission List sizing"},
+    {"CENTAUR_SERVE_THREADS", "integer >= 1 (4)",
+     "serving-plane query lanes (serve / querybench); results are "
+     "bit-identical for any value"},
+    {"CENTAUR_QUERY_K", "integer >= 1 (4)",
+     "paths returned per query (canonical DerivePath result first)"},
+    {"CENTAUR_SNAPSHOT_POLICY", "delta|full (delta)",
+     "serving-plane snapshot publishing: delta-proportional overlays with "
+     "geometric collapse, or a full copy per publish (ablation)"},
     {"CENTAUR_LOG", "error|warn|info|debug (warn)",
      "library logging verbosity"},
 };
@@ -96,11 +114,22 @@ constexpr struct EnvVar {
       "                   [--protocol centaur|bgp|bgp-rcn|ospf|all] [--seed S]\n"
       "                   [--mrai SECONDS] [--check] [--json PATH]\n"
       "  centaur bench    [--nodes N] [--seed S] [--json PATH]\n"
+      "  centaur serve    --queries FILE.json [--scenario FILE.json]\n"
+      "                   [--topology FILE] [--nodes N] [--seed S]\n"
+      "                   [--mrai SECONDS] [--check]\n"
+      "  centaur querybench [--nodes N] [--seed S] [--json PATH]\n"
       "\n"
       "campaign runs a scripted fault-injection campaign (SRLG bursts, node\n"
       "crash/restart, flap storms, partition/heal) to quiescence phase by\n"
       "phase; without --scenario it uses the builtin reliability script.\n"
       "bench is the same with all four protocols forced.\n"
+      "\n"
+      "serve replays a Centaur scenario with the serving plane attached and\n"
+      "answers the queries file ({\"queries\":[{\"src\":A,\"dst\":B[,\"k\":K]}]})\n"
+      "from the converged RCU snapshots: up to k policy-compliant paths\n"
+      "(canonical DerivePath first) plus the disjoint-path count per query.\n"
+      "querybench races query lanes against live convergence, then emits the\n"
+      "gated deterministic counters as BENCH_query.json.\n"
       "\n"
       "environment (run subcommands):\n";
   for (const EnvVar& e : kEnvVars) {
@@ -500,6 +529,123 @@ int run_campaign_command(Options& opt, bool canned) {
 int cmd_campaign(Options& opt) { return run_campaign_command(opt, false); }
 int cmd_bench(Options& opt) { return run_campaign_command(opt, true); }
 
+/// serve: replay a Centaur scenario with the serving plane attached, then
+/// answer the --queries file from the converged snapshots.
+int cmd_serve(Options& opt) {
+  const util::ScaleParams params = util::params_for(util::scale_from_env());
+  const std::string queries_file = opt.get("queries");
+  const auto nodes = static_cast<std::size_t>(
+      opt.get_long("nodes", static_cast<long>(params.proto_nodes)));
+  const bool seed_given = opt.has("seed");
+  const auto seed = static_cast<std::uint64_t>(
+      opt.get_long("seed", static_cast<long>(params.seed)));
+  const std::string scenario_file = opt.get_optional("scenario");
+
+  faults::ScenarioSpec spec =
+      scenario_file.empty() ? faults::reliability_scenario(nodes, seed)
+                            : faults::load_scenario_file(scenario_file);
+  if (!scenario_file.empty() && seed_given) spec.seed = seed;
+  if (opt.has("topology")) spec.topology.file = opt.get("topology");
+  if (opt.has("mrai") || opt.has("check") ||
+      spec.options.analysis == eval::AnalysisMode::kOff) {
+    const eval::RunOptions cli = run_options_from(opt);
+    if (opt.has("mrai")) spec.options.bgp_mrai = cli.bgp_mrai;
+    if (opt.has("check") ||
+        spec.options.analysis == eval::AnalysisMode::kOff) {
+      spec.options.analysis = cli.analysis;
+    }
+  }
+  opt.finish();
+
+  const std::vector<serve::QuerySpec> queries =
+      serve::load_queries(queries_file);
+  const eval::ServeOptions serve_options = eval::serve_options_from_env();
+
+  const topo::AsGraph graph = spec.topology.build();
+  for (const serve::QuerySpec& q : queries) {
+    if (q.src >= graph.num_nodes() || q.dst >= graph.num_nodes()) {
+      usage("queries file references node " +
+            std::to_string(std::max(q.src, q.dst)) + " but the topology has " +
+            std::to_string(graph.num_nodes()) + " nodes");
+    }
+  }
+
+  // Snapshots are published by Centaur's selection commits, so serve always
+  // runs the Centaur protocol regardless of the scenario's protocol field.
+  serve::QueryEngine engine(graph.num_nodes(), serve_options);
+  spec.options.centaur_snapshot_sink = engine.make_sink();
+  util::Rng rng(spec.seed);
+  eval::ProtocolRun run(graph, eval::Protocol::kCentaur, rng, spec.options);
+  faults::CampaignEngine campaign(run);
+  faults::CampaignResult campaign_result = campaign.run(spec.script);
+  campaign_result.scenario = spec.name;
+
+  std::cout << "scenario " << spec.name << ": cold start + "
+            << campaign_result.phases.size() << " phases converged ("
+            << util::fmt_count(campaign_result.total_messages)
+            << " messages), serving " << queries.size() << " queries at "
+            << serve_options.query_threads << " threads, k="
+            << serve_options.query_k << "\n\n";
+
+  serve::EvalTotals totals;
+  const std::vector<std::string> answers = serve::evaluate_queries(
+      engine, queries, serve_options.query_threads, &totals);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    std::cout << queries[i].src << " -> " << queries[i].dst << ": "
+              << answers[i] << "\n";
+  }
+  std::cout << "\nanswered " << queries.size() << " queries: "
+            << totals.found << " ok, " << totals.unreachable
+            << " unreachable, " << totals.not_destination
+            << " not-a-destination, " << totals.no_snapshot
+            << " no-snapshot\n";
+  if (!campaign_result.clean()) {
+    campaign_result.analysis.print(std::cout);
+    return 1;
+  }
+  return 0;
+}
+
+/// querybench: the two-phase serving-plane bench (BENCH_query.json).
+int cmd_querybench(Options& opt) {
+  const util::ScaleParams params = util::params_for(util::scale_from_env());
+  serve::QueryBenchConfig config;
+  config.nodes = static_cast<std::size_t>(
+      opt.get_long("nodes", static_cast<long>(params.proto_nodes)));
+  config.seed = static_cast<std::uint64_t>(opt.get_long(
+      "seed", static_cast<long>(params.seed ^ 0x5E62E)));
+  config.serve = eval::serve_options_from_env();
+  runner::BenchReport report("query",
+                             util::to_string(util::scale_from_env()),
+                             config.serve.query_threads);
+  report.set_path(resolve_json_path(opt, "query"));
+  opt.finish();
+
+  std::cout << "querybench: nodes=" << config.nodes << " query_threads="
+            << config.serve.query_threads << " k=" << config.serve.query_k
+            << " snapshots=" << eval::to_string(config.serve.snapshot_policy)
+            << "\n\n";
+  const serve::QueryBenchResult result = serve::run_query_bench(config);
+
+  util::TextTable table("querybench");
+  table.header({"trial", "metric", "value"});
+  for (const runner::TrialResult* trial : {&result.live, &result.steady}) {
+    for (const auto& [key, value] : trial->metrics) {
+      table.row({trial->name, key, util::fmt_double(value, 1)});
+    }
+  }
+  table.print(std::cout);
+
+  report.add(result.live);
+  report.add(result.steady);
+  report.add_note("steady answers asserted bit-identical at 1 vs " +
+                  std::to_string(config.serve.query_threads) +
+                  " query threads");
+  report.write();
+  if (report.enabled()) std::cout << "wrote query JSON report\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -507,9 +653,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   // Dispatch table: every subcommand parses through the same Options class.
   static const std::map<std::string, int (*)(Options&)> kCommands{
-      {"generate", cmd_generate}, {"stats", cmd_stats},
-      {"routes", cmd_routes},     {"simulate", cmd_simulate},
-      {"campaign", cmd_campaign}, {"bench", cmd_bench},
+      {"generate", cmd_generate},     {"stats", cmd_stats},
+      {"routes", cmd_routes},         {"simulate", cmd_simulate},
+      {"campaign", cmd_campaign},     {"bench", cmd_bench},
+      {"serve", cmd_serve},           {"querybench", cmd_querybench},
   };
   try {
     if (cmd == "help" || cmd == "--help" || cmd == "-h") usage();
