@@ -1,0 +1,145 @@
+// Adversarial scenario packs — detection latency and blast radius.
+//
+// Runs the three builtin adversarial packs (route leak, interception,
+// policy churn; DESIGN.md §15) across all four protocol arms and reports,
+// per pack x arm, the audit flag counts, the detection latency (node
+// checks and virtual time until the analyzer first flags a poisoned
+// route), and the blast radius (nodes whose selected paths transit the
+// misbehaving AS).  The policy arms must detect every pack; the OSPF
+// control arm (no policy layer, no RouteView) must stay silent — that
+// contrast is the point of the bench.
+//
+// Every quantity is a deterministic simulation output for the fixed pack
+// topology (40 nodes, topology seed 61793, run seed 1 — identical to the
+// committed scenarios/*.json), so the JSON baseline gates at tolerance 0.
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "faults/campaign.hpp"
+#include "faults/scenario.hpp"
+
+namespace {
+
+using namespace centaur;
+
+// The pack construction parameters — must match scenarios/*.json (the
+// CommittedJsonPacksMatchBuilders test pins the builders to the files).
+constexpr std::size_t kPackNodes = 40;
+constexpr std::uint64_t kPackSeed = 1;
+
+struct Pack {
+  const char* name;
+  faults::ScenarioSpec spec;
+};
+
+const char* arm_name(eval::Protocol p) {
+  switch (p) {
+    case eval::Protocol::kBgp:
+      return "bgp";
+    case eval::Protocol::kBgpRcn:
+      return "bgp_rcn";
+    case eval::Protocol::kCentaur:
+      return "centaur";
+    case eval::Protocol::kOspf:
+      return "ospf";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto io = bench::bench_setup(
+      &argc, argv, "adversarial",
+      "Adversarial packs: detection latency + blast radius per protocol");
+  io.report.add_note(
+      "fixed pack size (40 nodes, topo seed 61793, run seed 1) at every "
+      "scale — identical to the committed scenarios/*.json");
+
+  std::vector<Pack> packs;
+  packs.push_back({"route_leak",
+                   faults::route_leak_scenario(kPackNodes, kPackSeed)});
+  packs.push_back({"interception",
+                   faults::interception_scenario(kPackNodes, kPackSeed)});
+  packs.push_back({"policy_churn",
+                   faults::policy_churn_scenario(kPackNodes, kPackSeed)});
+
+  // All packs share one topology (same style/nodes/seed); build it once.
+  const topo::AsGraph graph = packs.front().spec.topology.build();
+  std::cout << topo::compute_stats(graph, "adversarial pack topology")
+            << "\n\n";
+
+  // One trial per pack x protocol arm, fanned across the trial driver.
+  // Inputs are a pure function of the index, so results are bit-identical
+  // for any CENTAUR_THREADS.
+  constexpr std::size_t kArms = std::size(eval::kAllProtocols);
+  struct Timed {
+    faults::CampaignResult result;
+    double wall_s = 0;
+  };
+  const auto results = runner::run_trials(
+      packs.size() * kArms, io.threads, [&](std::size_t i) {
+        faults::ScenarioSpec spec = packs[i / kArms].spec;
+        spec.protocol = eval::kAllProtocols[i % kArms];
+        // rel_change mutates the graph's relationship table, so arms that
+        // rewire must not share one AsGraph across concurrent trials.
+        const runner::Stopwatch sw;
+        Timed t;
+        t.result = faults::run_scenario(spec);
+        t.wall_s = sw.seconds();
+        return t;
+      });
+
+  util::TextTable table(
+      "Adversarial packs — first adversarial phase, per protocol arm");
+  table.header({"pack", "arm", "flagged", "det evts", "det ms", "blast"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Pack& pack = packs[i / kArms];
+    const faults::CampaignResult& r = results[i].result;
+
+    runner::TrialResult trial;
+    trial.name = std::string(pack.name) + "_" + arm_name(r.protocol);
+    trial.wall_time_s = results[i].wall_s;
+    trial.events = r.total_events;
+    trial.messages = r.total_messages;
+    trial.bytes = r.total_bytes;
+    trial.metrics.emplace_back(
+        "violations", static_cast<double>(r.analysis.violations_seen));
+    const faults::PhaseReport* first_flagged = nullptr;
+    for (const faults::PhaseReport& p : r.phases) {
+      trial.metrics.emplace_back(
+          p.name + "_flagged", static_cast<double>(p.audit_routes_flagged));
+      trial.metrics.emplace_back(p.name + "_detection_events",
+                                 static_cast<double>(p.detection_events));
+      trial.metrics.emplace_back(p.name + "_blast",
+                                 static_cast<double>(p.blast_radius));
+      if (first_flagged == nullptr && p.audit_routes_flagged > 0) {
+        first_flagged = &p;
+      }
+    }
+    io.report.add(trial);
+
+    const faults::PhaseReport& shown =
+        first_flagged != nullptr ? *first_flagged : r.phases.front();
+    table.row({pack.name, arm_name(r.protocol),
+               util::fmt_count(shown.audit_routes_flagged),
+               shown.detection_events < 0
+                   ? "-"
+                   : util::fmt_count(
+                         static_cast<std::size_t>(shown.detection_events)),
+               shown.detection_time < 0
+                   ? "-"
+                   : util::fmt_double(shown.detection_time * 1e3, 2),
+               util::fmt_count(shown.blast_radius)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPolicy arms flag every pack while the adversary is "
+               "active; the OSPF control arm has no policy layer and "
+               "must report zero flags and zero blast.\n";
+  io.report.write();
+  return 0;
+}

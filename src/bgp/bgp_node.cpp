@@ -143,6 +143,18 @@ void BgpNode::on_link_change(NodeId neighbor, bool up) {
 void BgpNode::redecide(NodeId dest) {
   std::optional<Path> best_path;
   Candidate best{};
+  if (intercepted_.count(dest) > 0) {
+    // Interception pins a fabricated customer route to the victim; it never
+    // goes through classification (the hop is not an adjacency) and
+    // outranks every real candidate, so the RIB scan is skipped.
+    best_path = Path{self(), dest};
+    best = Candidate{policy::RouteSource::kCustomer, 1, topo::kInvalidNode};
+    const auto cur = loc_rib_.find(dest);
+    if (cur != loc_rib_.end() && cur->second == *best_path) return;
+    loc_rib_[dest] = std::move(*best_path);
+    export_route(dest);
+    return;
+  }
   if (dest == self() && originates()) {
     best_path = Path{self()};
     best = Candidate{policy::RouteSource::kSelf, 0, topo::kInvalidNode};
@@ -236,9 +248,13 @@ void BgpNode::send_current(NodeId neighbor, NodeId dest) {
   if (allowed) {
     const Path& path = it->second;
     const NodeId next_hop = path.size() > 1 ? path[1] : topo::kInvalidNode;
-    allowed = next_hop != neighbor &&  // split horizon
-              may_export(classify_path(graph_, path),
-                         graph_.rel(self(), neighbor));
+    // A leaking node bypasses the export rule wholesale; an intercepted
+    // destination is announced everywhere (and never classified — its
+    // first hop is fabricated).  Split horizon applies regardless.
+    allowed = next_hop != neighbor &&
+              (leak_all_ || intercepted_.count(dest) > 0 ||
+               may_export(classify_path(graph_, path),
+                          graph_.rel(self(), neighbor)));
   }
   const auto oit = out.find(dest);
   if (allowed) {
@@ -255,6 +271,51 @@ void BgpNode::send_current(NodeId neighbor, NodeId dest) {
                              ? active_cause_
                              : std::nullopt)));
   }
+}
+
+// ------------------------------------------------- adversarial fault hooks --
+
+void BgpNode::set_route_leak(bool enabled) {
+  if (leak_all_ == enabled) return;
+  leak_all_ = enabled;
+  for (const auto& [dest, path] : loc_rib_) export_route(dest);
+}
+
+void BgpNode::set_intercept(NodeId victim, bool enabled) {
+  if (enabled == (intercepted_.count(victim) > 0)) return;
+  if (enabled) {
+    intercepted_.insert(victim);
+  } else {
+    intercepted_.erase(victim);
+  }
+  redecide(victim);
+}
+
+void BgpNode::set_ranking_override(RankingOverride ranking) {
+  config_.ranking = std::move(ranking);
+  redecide_all();
+}
+
+void BgpNode::relationships_changed() {
+  redecide_all();
+  // Export permissions depend on relationships too: refresh the Adj-RIB-Out
+  // even for destinations whose selection did not change (send_current
+  // dedups, so this emits exactly the announce/withdraw diff).
+  for (const auto& [dest, path] : loc_rib_) export_route(dest);
+}
+
+void BgpNode::redecide_all() {
+  std::set<NodeId> dests;
+  for (const auto& [dest, path] : loc_rib_) dests.insert(dest);
+  for (const auto& [nbr, rib] : rib_in_) {
+    for (const auto& [dest, route] : rib) dests.insert(dest);
+  }
+  for (const NodeId dest : dests) redecide(dest);
+}
+
+void BgpNode::for_each_selected_route(
+    const std::function<void(NodeId dest, const Path& path)>& fn) const {
+  for (const auto& [dest, path] : loc_rib_) fn(dest, path);
 }
 
 std::optional<Path> BgpNode::selected_path(NodeId dest) const {

@@ -27,6 +27,7 @@
 #include <utility>
 
 #include "policy/policy.hpp"
+#include "policy/route_view.hpp"
 #include "policy/valley_free.hpp"
 #include "sim/network.hpp"
 
@@ -86,7 +87,7 @@ class BgpUpdate : public sim::Message {
   std::optional<AsLink> cause_;
 };
 
-class BgpNode : public sim::Node {
+class BgpNode : public sim::Node, public policy::RouteView {
  public:
   struct Config {
     bool originate_prefix = true;
@@ -113,6 +114,28 @@ class BgpNode : public sim::Node {
   void on_message(NodeId from, const sim::MessagePtr& msg) override;
   void on_link_change(NodeId neighbor, bool up) override;
 
+  // --- adversarial fault hooks (DESIGN.md §15; driver context only) -------
+  /// Route leak: while enabled, the Gao-Rexford export filter is bypassed —
+  /// every selected route is announced to every neighbor (split horizon
+  /// still applies).  Toggling re-sends current state; the Adj-RIB-Out
+  /// dedup turns that into exactly the announce/withdraw diff.
+  void set_route_leak(bool enabled);
+  /// Interception: while enabled, this node claims `victim` as a directly
+  /// attached customer destination and announces the fabricated path
+  /// {self, victim} (a blackhole; the hop is not a real adjacency).
+  void set_intercept(NodeId victim, bool enabled);
+  /// Installs (or clears, when null) a runtime ranking override and
+  /// re-decides every known destination (the local-pref flip).
+  void set_ranking_override(RankingOverride ranking);
+  /// Re-decides every known destination and refreshes exports after the
+  /// driver rewired a link's business relationship (AsGraph::set_rel).
+  void relationships_changed();
+
+  // policy::RouteView (route audit / blast-radius sweeps, driver context).
+  void for_each_selected_route(
+      const std::function<void(NodeId dest, const Path& path)>& fn)
+      const override;
+
   // --- inspection ---------------------------------------------------------
   /// Selected path self..dest, if any.
   std::optional<Path> selected_path(NodeId dest) const;
@@ -127,6 +150,8 @@ class BgpNode : public sim::Node {
   };
 
   void redecide(NodeId dest);
+  /// Re-decides every destination known from Loc-RIB or any Adj-RIB-In.
+  void redecide_all();
   void export_route(NodeId dest);
   void enqueue_or_send(NodeId neighbor, NodeId dest);
   void arm_mrai(NodeId neighbor);
@@ -159,6 +184,9 @@ class BgpNode : public sim::Node {
   // handling a caused event inherit it.
   std::map<AsLink, sim::Time> failed_links_;
   std::optional<AsLink> active_cause_;
+  // Adversarial state (driver-toggled; see the fault hooks above).
+  bool leak_all_ = false;
+  std::set<NodeId> intercepted_;  // victim set
 };
 
 }  // namespace centaur::bgp

@@ -25,9 +25,13 @@ policy::RouteSource classify_sub(const topo::AsGraph& g, NodeId self,
                                  const Path& sub) {
   NodeId prev = self;
   for (const NodeId hop : sub) {
-    const topo::Relationship rel = g.rel(prev, hop);
-    if (rel != topo::Relationship::kSibling) {
-      return policy::source_from_rel(rel);
+    // Like classify_path: a fabricated (non-adjacent) hop injected by an
+    // interception adversary classifies the path as provider-learned, the
+    // least preferred class, instead of aborting.
+    const std::optional<topo::Relationship> rel = g.maybe_rel(prev, hop);
+    if (!rel) return policy::RouteSource::kProvider;
+    if (*rel != topo::Relationship::kSibling) {
+      return policy::source_from_rel(*rel);
     }
     prev = hop;
   }
@@ -306,9 +310,17 @@ bool CentaurNode::reselect(const std::vector<NodeId>& dests) {
   for (const NodeId dest : dests) {
     if (dest == self()) continue;  // the origin route is fixed
     Candidate best{};
-    std::optional<Path> best_path = use_cache
-                                        ? best_candidate_cached(dest, best)
-                                        : best_candidate_scratch(dest, best);
+    std::optional<Path> best_path;
+    if (intercepting(dest)) {
+      // Interception pins a fabricated customer route to the victim; it
+      // never goes through classification (the hop is not an adjacency) and
+      // stays stable under any churn of real candidates.
+      best = Candidate{policy::RouteSource::kCustomer, 1, dest};
+      best_path = Path{self(), dest};
+    } else {
+      best_path = use_cache ? best_candidate_cached(dest, best)
+                            : best_candidate_scratch(dest, best);
+    }
 
     const Path* cur = selected_.find(dest);
     const bool had = cur != nullptr;
@@ -525,8 +537,12 @@ void CentaurNode::flush_pending() {
   std::shared_ptr<const CentaurUpdate> full_snap, cone_snap;
   for (const topo::Neighbor& nb : graph_.neighbors(self())) {
     if (!neighbor_usable(nb.node)) continue;
-    const bool cone_nbr = nb.rel == topo::Relationship::kPeer ||
-                          nb.rel == topo::Relationship::kProvider;
+    // A leaking node serves everyone the full view (the Gao-Rexford
+    // violation under test); set_route_leak re-baselined the affected
+    // sessions when it flipped the flag.
+    const bool cone_nbr = !leak_all_ &&
+                          (nb.rel == topo::Relationship::kPeer ||
+                           nb.rel == topo::Relationship::kProvider);
     bool first = false;
     initialized_nbrs_.ensure(nb.node, first);
     if (first) {
@@ -579,11 +595,14 @@ void CentaurNode::process_delta(NodeId from, const CentaurUpdate& update) {
     if (n < util::kNodeMapDenseLimit) state.dests.reserve(n);
     state.chain_index.reserve_ids(n);
   }
-  if (delta.reset && !inserted) {
-    // Session restart: every previously derived destination is suspect.
-    state.dests.clear();
-    state.chain_index.clear_values();
-  }
+  // A reset on a *live* session (re-baseline after an export-category
+  // change, e.g. a route leak starting or stopping) keeps the derived
+  // cache: the dirty union below re-walks every previously derived
+  // destination against the rebuilt view, and refresh_derived() retires —
+  // and de-indexes — the ones the new view no longer supports.  Clearing
+  // the cache here instead would silently orphan selected paths whose
+  // destination vanished with the reset (they would never re-enter the
+  // dirty set, so reselect() would never run for them).
 
   LinkFilter import_filter;
   if (config_.import_link_filter) {
@@ -666,6 +685,112 @@ void CentaurNode::on_link_change(NodeId neighbor, bool up) {
 
 void CentaurNode::policy_changed() {
   if (reselect(known_dests())) flood();
+}
+
+// ------------------------------------------------- adversarial fault hooks --
+
+void CentaurNode::set_route_leak(bool enabled) {
+  if (leak_all_ == enabled) return;
+  leak_all_ = enabled;
+  // Peers and providers flip category view (cone <-> full): drop their
+  // session baseline so the next flush re-sends a reset snapshot of the new
+  // view.  Both category views are maintained regardless of the flag, so
+  // the snapshot is always current.
+  for (const topo::Neighbor& nb : graph_.neighbors(self())) {
+    if (nb.rel == topo::Relationship::kPeer ||
+        nb.rel == topo::Relationship::kProvider) {
+      initialized_nbrs_.erase(nb.node);
+    }
+  }
+  dispatch_updates();
+}
+
+void CentaurNode::set_intercept(NodeId victim, bool enabled) {
+  if (enabled == intercepting(victim)) return;
+  if (enabled) {
+    intercepted_[victim] = 1;
+  } else {
+    intercepted_.erase(victim);
+  }
+  if (reselect({victim})) flood();
+}
+
+void CentaurNode::set_ranking_override(policy::RankingOverride ranking) {
+  config_.ranking = std::move(ranking);
+  policy_changed();
+}
+
+void CentaurNode::relationships_changed() {
+  // 1. The candidate summaries cache each derived path's classification;
+  //    the relationships changed under them, so re-classify in place.
+  //    (Flat containers expose const iteration only — collect keys first,
+  //    then mutate through find().)
+  std::vector<NodeId> nbrs;
+  for (const auto& [nbr, state] : rib_) nbrs.push_back(nbr);
+  for (const NodeId nbr : nbrs) {
+    NeighborState* state = rib_.find(nbr);
+    std::vector<NodeId>& dests = dirty_scratch_;
+    dests.clear();
+    for (const auto& [dest, ds] : state->dests) dests.push_back(dest);
+    for (const NodeId dest : dests) {
+      DestState* entry = state->dests.find(dest);
+      if (!entry->path.empty() && entry->cand.usable) {
+        entry->cand.source = classify_sub(graph_, self(), entry->path);
+      }
+    }
+  }
+
+  // 2. Rebuild the class cache and the cone bookkeeping wholesale for the
+  //    current selections, so the removal half of any reselect below works
+  //    against entries consistent with the new relationships.
+  cone_entries_.clear();
+  cone_dests_.clear();
+  std::vector<NodeId> cur_dests;
+  for (const auto& [dest, path] : selected_) cur_dests.push_back(dest);
+  for (const NodeId dest : cur_dests) {
+    const Path& path = *selected_.find(dest);
+    policy::RouteSource source;
+    if (dest == self()) {
+      source = policy::RouteSource::kSelf;
+    } else if (intercepting(dest)) {
+      source = policy::RouteSource::kCustomer;
+    } else {
+      source = classify_path(graph_, path);
+    }
+    selected_class_[dest] = source;
+    if (!cone_exportable(source)) continue;
+    cone_dests_[dest] = 1;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const NodeId next = (i + 2 < path.size()) ? path[i + 2] : kNoNextHop;
+      cone_entries_[pack_link(path[i], path[i + 1])].add(dest, next);
+    }
+  }
+
+  // 3. Re-rank everything under the new preference classes.
+  reselect(known_dests());
+
+  // 4. Neighbor export categories may have flipped (a peer became a
+  //    customer), and view content changes even for unchanged selections.
+  //    Re-baseline every session against full-view rebuilds: the scratch
+  //    reference flood diffs both category views in full, and the flush
+  //    owes each (now uninitialized) neighbor a reset snapshot of its new
+  //    category view.
+  if (config_.export_link_filter) {
+    flood();  // legacy per-neighbor views are recomputed in full anyway
+    return;
+  }
+  for (const topo::Neighbor& nb : graph_.neighbors(self())) {
+    initialized_nbrs_.erase(nb.node);
+  }
+  const bool incremental = config_.incremental;
+  config_.incremental = false;
+  flood();
+  config_.incremental = incremental;
+}
+
+void CentaurNode::for_each_selected_route(
+    const std::function<void(NodeId dest, const Path& path)>& fn) const {
+  for (const auto& [dest, path] : selected_) fn(dest, path);
 }
 
 std::vector<NodeId> CentaurNode::known_dests() const {

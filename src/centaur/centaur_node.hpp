@@ -31,6 +31,7 @@
 #include "centaur/build_graph.hpp"
 #include "centaur/query.hpp"
 #include "policy/policy.hpp"
+#include "policy/route_view.hpp"
 #include "policy/valley_free.hpp"
 #include "sim/network.hpp"
 #include "util/dense_map.hpp"
@@ -89,7 +90,7 @@ class CentaurBatchUpdate : public sim::Message {
   std::size_t byte_size_;
 };
 
-class CentaurNode : public sim::Node {
+class CentaurNode : public sim::Node, public policy::RouteView {
  public:
   struct Config {
     /// Announce the node's own prefix (true for all experiment nodes).
@@ -159,6 +160,34 @@ class CentaurNode : public sim::Node {
   /// Re-runs selection and floods any resulting deltas — used to inject
   /// policy changes (S4.3.2 treats those like link-state changes).
   void policy_changed();
+
+  // --- adversarial fault hooks (DESIGN.md §15) ----------------------------
+  // Driver/commit context only (the campaign engine applies them between
+  // batches); they must never run from a message handler.
+
+  /// Route leak: while enabled, peers and providers are served the full
+  /// exported view instead of the customer-cone view, violating the
+  /// Gao-Rexford export rule.  Toggling re-baselines the affected sessions
+  /// (they get a reset snapshot of their new category view).
+  void set_route_leak(bool enabled);
+  /// Interception: while enabled, this node claims `victim` as a directly
+  /// attached customer destination — selection pins the fabricated path
+  /// {self, victim} and floods it like any other route (a blackhole; the
+  /// fabricated hop is not a real adjacency).
+  void set_intercept(topo::NodeId victim, bool enabled);
+  /// Installs (or clears, when null) a runtime ranking override and re-runs
+  /// selection — the local-pref flip of the policy-churn scenarios.
+  void set_ranking_override(policy::RankingOverride ranking);
+  /// Recomputes every relationship-derived cache after the driver rewired a
+  /// link's business relationship (AsGraph::set_rel): candidate classes,
+  /// selection, cone bookkeeping, export views.  Every session is
+  /// re-baselined, because neighbor export categories may have flipped.
+  void relationships_changed();
+
+  // policy::RouteView (route audit / blast-radius sweeps, driver context).
+  void for_each_selected_route(
+      const std::function<void(topo::NodeId dest, const Path& path)>& fn)
+      const override;
 
   /// Ranking-relevant summary of one neighbor's derived path for one
   /// destination, refreshed whenever the derived path changes.  Lets
@@ -295,6 +324,10 @@ class CentaurNode : public sim::Node {
   void note_path_added(NodeId dest, const Path& path, bool cone_class);
   /// All destinations any neighbor currently derives or marks, ascending.
   std::vector<NodeId> known_dests() const;
+  /// Is `dest` currently claimed by an interception (set_intercept)?
+  bool intercepting(NodeId dest) const {
+    return intercepted_.find(dest) != nullptr;
+  }
 
   const topo::AsGraph& graph_;
   Config config_;
@@ -340,6 +373,9 @@ class CentaurNode : public sim::Node {
   bool outbox_flush_scheduled_ = false;
   // Legacy per-neighbor views, used only with a custom export_link_filter.
   util::VecMap<topo::NodeId, ExportedView> exported_custom_;
+  // Adversarial state (driver-toggled; see the fault hooks above).
+  bool leak_all_ = false;
+  util::FlatMap<NodeId, std::uint8_t> intercepted_;  // victim set
   // Reusable hot-path scratch (nodes process one message at a time): the
   // per-message dirty set and the derivation walk/path buffers.  Keeping
   // them as members removes three allocation/free pairs per delivery.

@@ -39,6 +39,38 @@ struct AnalysisEntry {
   Violation violation;
 };
 
+/// Route-audit configuration (DESIGN.md §15): when enabled, every node
+/// check also audits the node's selected routes (via policy::RouteView)
+/// against the ground-truth AS graph, flagging valley violations
+/// (kLeakedRoute) and fabricated/mis-terminated paths (kInterceptedRoute).
+/// Known adversary nodes are excluded from all checks — their local state
+/// is deliberately inconsistent; the audit measures the *spread* of their
+/// misbehavior through honest nodes.
+struct RouteAuditConfig {
+  bool enabled = false;
+  std::vector<topo::NodeId> adversaries;  ///< sorted ascending
+};
+
+/// Route-audit results for the current audit window.  Everything here is a
+/// pure function of the deterministic event stream: `events_observed`
+/// counts analyzer node-checks (one per hook replay / sweep entry), which
+/// are replayed in event order under intra-trial parallelism — unlike the
+/// simulator's raw event counter, which advances batch-at-once.
+struct RouteAuditReport {
+  std::size_t routes_checked = 0;
+  std::size_t leaked = 0;       ///< valley-violating selected routes seen
+  std::size_t intercepted = 0;  ///< fabricated/mis-terminated routes seen
+  std::size_t events_observed = 0;  ///< node-checks run this window
+  bool detected = false;
+  std::size_t first_events = 0;  ///< events_observed at the first flag
+  sim::Time first_time = 0;      ///< virtual time at the first flag
+  std::vector<topo::NodeId> flagged;  ///< distinct flagged nodes, ascending
+  /// Detail entries (capped like AnalysisReport): kept separate from the
+  /// structural report so CENTAUR_CHECK=assert stays clean on adversarial
+  /// runs — the audit flags *are* the measurement, not a test failure.
+  std::vector<AnalysisEntry> entries;
+};
+
 struct AnalysisReport {
   std::vector<AnalysisEntry> entries;
   std::size_t checks_run = 0;       ///< node-level checks executed
@@ -65,14 +97,28 @@ class Analyzer {
 
   const AnalysisReport& report() const { return report_; }
 
+  /// Enables (or reconfigures) the route audit.  `adversaries` need not be
+  /// sorted; it is normalized here.
+  void set_route_audit(RouteAuditConfig config);
+  /// Resets the audit counters/flags for a new measurement window (the
+  /// campaign engine calls this per phase).
+  void begin_audit_window();
+  const RouteAuditReport& audit_report() const { return audit_report_; }
+
   /// Throws std::logic_error carrying the printed report if any violation
   /// has been recorded — the CENTAUR_CHECK assert mode.
   void expect_clean() const;
 
  private:
+  /// Audits `node`'s selected routes against the AS graph; records flags
+  /// into audit_report_ (never into the structural report).
+  void audit_routes(topo::NodeId id);
+
   sim::Network& net_;
   AnalysisOptions options_;
   AnalysisReport report_;
+  RouteAuditConfig audit_;
+  RouteAuditReport audit_report_;
 };
 
 }  // namespace centaur::check

@@ -43,6 +43,10 @@ const char* to_string(Invariant inv) {
       return "derived-cache";
     case Invariant::kSelection:
       return "selection-consistent";
+    case Invariant::kLeakedRoute:
+      return "leaked-route";
+    case Invariant::kInterceptedRoute:
+      return "intercepted-route";
   }
   return "?";
 }

@@ -44,6 +44,11 @@ enum class Invariant {
   kNeighborRoot,     ///< RIB P-graph for neighbor B must be rooted at B
   kDerivedCache,     ///< cached derived paths == fresh DerivePath results
   kSelection,        ///< selected paths extend the first hop's derived path
+  // Route-audit classes (DESIGN.md §15): breaches of the *policy* contract
+  // against the ground-truth AS graph, reported by the analyzer's route
+  // audit rather than the structural node checks above.
+  kLeakedRoute,       ///< selected path violates valley-freeness
+  kInterceptedRoute,  ///< selected path crosses a fabricated adjacency
 };
 
 const char* to_string(Invariant inv);

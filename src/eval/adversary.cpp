@@ -1,0 +1,111 @@
+#include "eval/adversary.hpp"
+
+#include <algorithm>
+
+#include "bgp/bgp_node.hpp"
+#include "centaur/centaur_node.hpp"
+#include "policy/route_view.hpp"
+
+namespace centaur::eval {
+
+using topo::NodeId;
+
+bool set_route_leak(sim::Node& node, bool enabled) {
+  if (auto* c = dynamic_cast<core::CentaurNode*>(&node)) {
+    c->set_route_leak(enabled);
+    return true;
+  }
+  if (auto* b = dynamic_cast<bgp::BgpNode*>(&node)) {
+    b->set_route_leak(enabled);
+    return true;
+  }
+  return false;
+}
+
+bool set_intercept(sim::Node& node, NodeId victim, bool enabled) {
+  if (auto* c = dynamic_cast<core::CentaurNode*>(&node)) {
+    c->set_intercept(victim, enabled);
+    return true;
+  }
+  if (auto* b = dynamic_cast<bgp::BgpNode*>(&node)) {
+    b->set_intercept(victim, enabled);
+    return true;
+  }
+  return false;
+}
+
+bool set_local_pref_flip(sim::Node& node, bool enabled) {
+  policy::RankingOverride ranking =
+      enabled ? local_pref_flip_ranking() : policy::RankingOverride{};
+  if (auto* c = dynamic_cast<core::CentaurNode*>(&node)) {
+    c->set_ranking_override(std::move(ranking));
+    return true;
+  }
+  if (auto* b = dynamic_cast<bgp::BgpNode*>(&node)) {
+    b->set_ranking_override(std::move(ranking));
+    return true;
+  }
+  return false;
+}
+
+void relationships_changed(sim::Node& node) {
+  if (auto* c = dynamic_cast<core::CentaurNode*>(&node)) {
+    c->relationships_changed();
+    return;
+  }
+  if (auto* b = dynamic_cast<bgp::BgpNode*>(&node)) {
+    b->relationships_changed();
+  }
+}
+
+void relationships_changed_all(sim::Network& net, std::size_t num_nodes) {
+  for (NodeId id = 0; id < num_nodes; ++id) {
+    relationships_changed(net.node(id));
+  }
+}
+
+policy::RankingOverride local_pref_flip_ranking() {
+  // Swap the peer(2) and provider(3) classes; report a strict preference
+  // only across distinct flipped classes so equal-class comparisons fall
+  // through to the standard ranking (class, length, next hop).
+  const auto flipped_class = [](policy::RouteSource s) {
+    const int c = policy::preference_class(s);
+    if (c == 2) return 3;
+    if (c == 3) return 2;
+    return c;
+  };
+  return [flipped_class](const policy::Candidate& a, const topo::Path&,
+                         const policy::Candidate& b, const topo::Path&) {
+    return flipped_class(a.source) < flipped_class(b.source);
+  };
+}
+
+std::size_t blast_radius(sim::Network& net, std::size_t num_nodes,
+                         const std::vector<NodeId>& targets) {
+  if (targets.empty()) return 0;
+  const auto is_target = [&targets](NodeId id) {
+    return std::binary_search(targets.begin(), targets.end(), id);
+  };
+  std::size_t count = 0;
+  for (NodeId id = 0; id < num_nodes; ++id) {
+    if (is_target(id)) continue;  // the misbehaving AS itself never counts
+    const auto* view = dynamic_cast<const policy::RouteView*>(&net.node(id));
+    if (view == nullptr) continue;
+    bool transits = false;
+    view->for_each_selected_route(
+        [&](NodeId dest, const topo::Path& path) {
+          if (transits) return;
+          for (std::size_t i = 1; i < path.size(); ++i) {
+            const bool terminal = i + 1 == path.size();
+            if (is_target(path[i]) && (!terminal || path[i] != dest)) {
+              transits = true;
+              return;
+            }
+          }
+        });
+    if (transits) ++count;
+  }
+  return count;
+}
+
+}  // namespace centaur::eval

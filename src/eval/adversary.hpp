@@ -1,0 +1,55 @@
+// Protocol-agnostic dispatch for the adversarial fault actions (DESIGN.md
+// §15): the campaign engine speaks FaultScript actions, and these helpers
+// translate them onto whichever node type a protocol arm runs.  BGP and
+// Centaur implement the hooks; OSPF (and the DeadNode crash stub) have no
+// policy layer to misbehave against, so dispatch is a no-op there — the
+// OSPF arm doubles as the "adversary has no effect" control.
+//
+// Everything here runs in driver context only (between batches), exactly
+// like Network::set_link_state.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "policy/policy.hpp"
+#include "sim/network.hpp"
+#include "topology/types.hpp"
+
+namespace centaur::eval {
+
+/// Applies (or clears) the route-leak misbehavior on one node.  Returns
+/// true when the node type supports the hook (BGP/Centaur).
+bool set_route_leak(sim::Node& node, bool enabled);
+
+/// Applies (or clears) an interception of `victim` on one node.
+bool set_intercept(sim::Node& node, topo::NodeId victim, bool enabled);
+
+/// Installs (or clears, when `enabled` is false) the local-pref-flip
+/// ranking override on one node.
+bool set_local_pref_flip(sim::Node& node, bool enabled);
+
+/// Notifies one node that link relationships changed under it
+/// (AsGraph::set_rel); no-op for nodes without a policy layer.
+void relationships_changed(sim::Node& node);
+
+/// Notifies every node, ascending by id — the deterministic fan-out the
+/// campaign engine uses after a rel_change action.
+void relationships_changed_all(sim::Network& net, std::size_t num_nodes);
+
+/// The local-pref flip of the policy-churn pack: swaps the peer and
+/// provider preference classes (customer routes stay on top), with ties
+/// falling through to the standard ranking.  A strict partial order, so
+/// both protocols' override contracts hold.
+policy::RankingOverride local_pref_flip_ranking();
+
+/// Blast radius (DESIGN.md §15): the number of non-adversary nodes with at
+/// least one selected route that *transits* a node in `targets` (sorted
+/// ascending) — the target appears as an intermediate hop, or as the
+/// terminal hop of a route for a different destination (a fabricated
+/// interception edge).  Routes *to* a target do not count.  Nodes without
+/// a RouteView (OSPF) contribute zero.
+std::size_t blast_radius(sim::Network& net, std::size_t num_nodes,
+                         const std::vector<topo::NodeId>& targets);
+
+}  // namespace centaur::eval

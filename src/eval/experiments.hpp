@@ -65,6 +65,9 @@ class ProtocolRun {
 
   /// The analyzer attached to this run, or nullptr when analysis is off.
   const check::Analyzer* analyzer() const { return analyzer_.get(); }
+  /// Mutable access for drivers that configure the route audit / reset its
+  /// measurement window (the campaign engine).
+  check::Analyzer* analyzer() { return analyzer_.get(); }
 
   /// Quiescence sweep + kAssert enforcement; no-op when analysis is off.
   /// The campaign engine calls this after every phase reconverges.

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "eval/adversary.hpp"
 #include "runner/bench_report.hpp"
 #include "util/rng.hpp"
 
@@ -56,16 +57,65 @@ std::size_t CampaignEngine::violations_now() const {
 
 CampaignResult CampaignEngine::run(const FaultScript& script) {
   script.validate(run_.graph());
+  configure_adversarial(script);
   for (const FaultPhase& phase : script.phases) run_phase(script, phase);
   return result();
 }
 
+void CampaignEngine::configure_adversarial(const FaultScript& script) {
+  if (adversarial_checked_) return;
+  adversarial_checked_ = true;
+  // The route audit must skip the misbehaving nodes themselves: a leaker's
+  // or hijacker's local state is inconsistent by construction, and the
+  // flags exist to measure how far the damage *spreads*.
+  std::vector<topo::NodeId> adversaries;
+  for (const FaultPhase& phase : script.phases) {
+    for (const FaultAction& a : phase.actions) {
+      switch (a.kind) {
+        case ActionKind::kRouteLeak:
+        case ActionKind::kRouteLeakStop:
+        case ActionKind::kIntercept:
+        case ActionKind::kInterceptStop:
+          adversaries.push_back(a.node);
+          blast_targets_.push_back(a.node);
+          adversarial_ = true;
+          break;
+        case ActionKind::kLocalPrefFlip:
+        case ActionKind::kLocalPrefRestore:
+          blast_targets_.push_back(a.node);
+          adversarial_ = true;
+          break;
+        case ActionKind::kRelChange: {
+          const topo::Link& lk = run_.graph().link(a.link);
+          blast_targets_.push_back(lk.a);
+          blast_targets_.push_back(lk.b);
+          adversarial_ = true;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  if (!adversarial_) return;
+  std::sort(blast_targets_.begin(), blast_targets_.end());
+  blast_targets_.erase(
+      std::unique(blast_targets_.begin(), blast_targets_.end()),
+      blast_targets_.end());
+  if (check::Analyzer* analyzer = run_.analyzer()) {
+    analyzer->set_route_audit({true, std::move(adversaries)});
+  }
+}
+
 PhaseReport CampaignEngine::run_phase(const FaultScript& script,
                                       const FaultPhase& phase) {
+  configure_adversarial(script);
   sim::Network& net = run_.network();
+  check::Analyzer* analyzer = run_.analyzer();
   const std::size_t violations_before = violations_now();
   const runner::Stopwatch wall;
   net.mark();
+  if (adversarial_ && analyzer != nullptr) analyzer->begin_audit_window();
   const sim::Time start = net.simulator().now();
   for (const FaultAction& action : phase.actions) {
     if (action.at <= 0) {
@@ -90,6 +140,19 @@ PhaseReport CampaignEngine::run_phase(const FaultScript& script,
   report.convergence_time = net.window_convergence_time();
   report.events = net.events_executed() - events_seen_;
   report.violations = violations_now() - violations_before;
+  if (adversarial_) {
+    if (analyzer != nullptr) {
+      const check::RouteAuditReport& audit = analyzer->audit_report();
+      report.audit_routes_flagged = audit.leaked + audit.intercepted;
+      if (audit.detected) {
+        report.detection_events =
+            static_cast<std::int64_t>(audit.first_events);
+        report.detection_time = audit.first_time - start;
+      }
+    }
+    report.blast_radius = eval::blast_radius(net, run_.graph().num_nodes(),
+                                             blast_targets_);
+  }
   events_seen_ = net.events_executed();
   result_.phases.push_back(report);
   result_.phase_wall_s.push_back(wall.seconds());
@@ -147,11 +210,17 @@ void CampaignEngine::apply(const FaultScript& script,
           net.set_link_state(l, false);
         }
       }
+      // Remember the side membership while the cut is active: raise_link
+      // consults it so a restart cannot resurrect a partitioned session.
+      cut_sides_[action.group] = std::move(in_side);
       return;
     }
     case ActionKind::kHeal: {
       const auto it = cuts_.find(action.group);
       if (it == cuts_.end()) return;  // validate() precludes this
+      // Retire the side membership first, or raise_link would defer the
+      // cut's own links right back onto this heal.
+      cut_sides_.erase(action.group);
       for (const topo::LinkId l : it->second) raise_link(l);
       cuts_.erase(it);
       return;
@@ -175,6 +244,30 @@ void CampaignEngine::apply(const FaultScript& script,
       }
       return;
     }
+    case ActionKind::kRouteLeak:
+      eval::set_route_leak(net.node(action.node), true);
+      return;
+    case ActionKind::kRouteLeakStop:
+      eval::set_route_leak(net.node(action.node), false);
+      return;
+    case ActionKind::kIntercept:
+      eval::set_intercept(net.node(action.node), action.target, true);
+      return;
+    case ActionKind::kInterceptStop:
+      eval::set_intercept(net.node(action.node), action.target, false);
+      return;
+    case ActionKind::kLocalPrefFlip:
+      eval::set_local_pref_flip(net.node(action.node), true);
+      return;
+    case ActionKind::kLocalPrefRestore:
+      eval::set_local_pref_flip(net.node(action.node), false);
+      return;
+    case ActionKind::kRelChange:
+      // Operator-plane provider switch: rewire the shared graph, then tell
+      // every node in ascending id order (deterministic fan-out).
+      run_.graph().set_rel(action.link, action.rel);
+      eval::relationships_changed_all(net, run_.graph().num_nodes());
+      return;
   }
 }
 
@@ -213,11 +306,27 @@ void CampaignEngine::raise_link(topo::LinkId link) {
     const auto it = crashed_.find(end);
     if (it == crashed_.end()) continue;
     // A dead router cannot open a session; hand the link to its restart.
+    // With both endpoints crashed this defers twice — the first restart
+    // re-enters here and hands the link on to the survivor, so it only
+    // comes up after the *last* endpoint is back.
     if (std::find(it->second.begin(), it->second.end(), link) ==
         it->second.end()) {
       it->second.push_back(link);
     }
     return;
+  }
+  // A link crossing a still-active partition cut may not come back up
+  // either (a crash can pre-empt the partition's claim on the link, and
+  // the restart would otherwise resurrect a session across the cut); hand
+  // it to that cut's heal.
+  for (auto& [group, in_side] : cut_sides_) {
+    if (in_side[lk.a] != in_side[lk.b]) {
+      std::vector<topo::LinkId>& cut = cuts_[group];
+      if (std::find(cut.begin(), cut.end(), link) == cut.end()) {
+        cut.push_back(link);
+      }
+      return;
+    }
   }
   run_.network().set_link_state(link, true);
 }

@@ -39,6 +39,16 @@
 namespace centaur::faults {
 
 /// One phase's measured convergence window.
+///
+/// The adversarial metrics (DESIGN.md §15) are filled only when the script
+/// contains adversarial actions: `audit_routes_flagged` counts selected
+/// routes the per-event route audit flagged this phase, `detection_events`
+/// / `detection_time` report how long the misbehavior ran before the first
+/// flag (analyzer node-checks observed, and virtual seconds from the phase
+/// start; -1 when nothing was flagged), and `blast_radius` counts the
+/// quiescent non-adversary nodes whose selected path transits a misbehaving
+/// AS.  All four are deterministic counters, inside the bit-identity
+/// contract and the default equality.
 struct PhaseReport {
   std::string name;
   std::size_t actions = 0;
@@ -48,6 +58,10 @@ struct PhaseReport {
   sim::Time convergence_time = 0;  ///< last delivery - phase start
   std::uint64_t events = 0;        ///< simulator events this phase
   std::size_t violations = 0;      ///< analyzer violations this phase
+  std::size_t audit_routes_flagged = 0;  ///< leaked+intercepted flags
+  std::int64_t detection_events = -1;    ///< node-checks to first flag
+  sim::Time detection_time = -1;         ///< virtual s to first flag
+  std::size_t blast_radius = 0;          ///< nodes transiting an adversary
 
   friend bool operator==(const PhaseReport&, const PhaseReport&) = default;
 };
@@ -103,8 +117,14 @@ class CampaignEngine {
   void crash(topo::NodeId node);
   void restart(topo::NodeId node);
   /// Raises `link`, unless an endpoint is crashed — then the link is moved
-  /// to that node's restart list (a dead router cannot open a session).
+  /// to that node's restart list (a dead router cannot open a session) —
+  /// or it crosses a still-active partition cut — then it is moved to that
+  /// cut's heal list (a restart may not resurrect a partitioned session).
   void raise_link(topo::LinkId link);
+  /// Prescans `script` for adversarial actions (idempotent): collects the
+  /// route-audit skip set (leak/intercept nodes) and the blast-radius
+  /// target set, and arms the analyzer's route audit.
+  void configure_adversarial(const FaultScript& script);
   std::size_t violations_now() const;
 
   eval::ProtocolRun& run_;
@@ -112,6 +132,12 @@ class CampaignEngine {
   std::uint64_t events_seen_ = 0;  ///< lifetime events through last phase
   std::map<topo::NodeId, std::vector<topo::LinkId>> crashed_;
   std::map<std::size_t, std::vector<topo::LinkId>> cuts_;
+  /// Side membership of each *active* partition cut (kPartition fills,
+  /// kHeal erases) — raise_link consults it so restarts defer to heals.
+  std::map<std::size_t, std::vector<bool>> cut_sides_;
+  bool adversarial_checked_ = false;  ///< configure_adversarial ran
+  bool adversarial_ = false;          ///< script has adversarial actions
+  std::vector<topo::NodeId> blast_targets_;  ///< sorted ascending
 };
 
 /// Builds the topology and run from `spec` and replays its script.

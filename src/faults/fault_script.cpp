@@ -1,5 +1,6 @@
 #include "faults/fault_script.hpp"
 
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -26,6 +27,20 @@ const char* to_string(ActionKind k) {
       return "heal";
     case ActionKind::kFlapStorm:
       return "flap_storm";
+    case ActionKind::kRouteLeak:
+      return "route_leak";
+    case ActionKind::kRouteLeakStop:
+      return "route_leak_stop";
+    case ActionKind::kIntercept:
+      return "intercept";
+    case ActionKind::kInterceptStop:
+      return "intercept_stop";
+    case ActionKind::kLocalPrefFlip:
+      return "local_pref_flip";
+    case ActionKind::kLocalPrefRestore:
+      return "local_pref_restore";
+    case ActionKind::kRelChange:
+      return "rel_change";
   }
   return "?";
 }
@@ -97,6 +112,61 @@ FaultAction FaultAction::flap_storm(topo::LinkId l, std::uint32_t cycles,
   return a;
 }
 
+FaultAction FaultAction::route_leak(topo::NodeId n, sim::Time at) {
+  FaultAction a;
+  a.kind = ActionKind::kRouteLeak;
+  a.node = n;
+  a.at = at;
+  return a;
+}
+
+FaultAction FaultAction::route_leak_stop(topo::NodeId n, sim::Time at) {
+  FaultAction a = route_leak(n, at);
+  a.kind = ActionKind::kRouteLeakStop;
+  return a;
+}
+
+FaultAction FaultAction::intercept(topo::NodeId n, topo::NodeId victim,
+                                   sim::Time at) {
+  FaultAction a;
+  a.kind = ActionKind::kIntercept;
+  a.node = n;
+  a.target = victim;
+  a.at = at;
+  return a;
+}
+
+FaultAction FaultAction::intercept_stop(topo::NodeId n, topo::NodeId victim,
+                                        sim::Time at) {
+  FaultAction a = intercept(n, victim, at);
+  a.kind = ActionKind::kInterceptStop;
+  return a;
+}
+
+FaultAction FaultAction::local_pref_flip(topo::NodeId n, sim::Time at) {
+  FaultAction a;
+  a.kind = ActionKind::kLocalPrefFlip;
+  a.node = n;
+  a.at = at;
+  return a;
+}
+
+FaultAction FaultAction::local_pref_restore(topo::NodeId n, sim::Time at) {
+  FaultAction a = local_pref_flip(n, at);
+  a.kind = ActionKind::kLocalPrefRestore;
+  return a;
+}
+
+FaultAction FaultAction::rel_change(topo::LinkId l, topo::Relationship rel,
+                                    sim::Time at) {
+  FaultAction a;
+  a.kind = ActionKind::kRelChange;
+  a.link = l;
+  a.rel = rel;
+  a.at = at;
+  return a;
+}
+
 std::size_t FaultScript::total_actions() const {
   std::size_t n = 0;
   for (const FaultPhase& p : phases) n += p.actions.size();
@@ -148,10 +218,22 @@ void FaultScript::validate(const topo::AsGraph& graph) const {
     }
   }
 
-  // Walk the script in execution order, tracking crashed nodes and active
-  // partitions so pairing errors are caught before a campaign starts.
+  // Walk the script in execution order, tracking crashed nodes, active
+  // partitions, explicit link downs, and adversarial state so pairing
+  // errors (double-down, heal-less up, stop-less start, crash of an active
+  // adversary) are caught before a campaign starts.
   std::set<topo::NodeId> dead;
   std::set<std::size_t> cut_active;
+  std::set<topo::LinkId> link_down_active;
+  std::set<topo::NodeId> leaking;
+  std::set<topo::NodeId> pref_flipped;
+  std::map<topo::NodeId, topo::NodeId> intercepting;  // node -> victim
+  const auto check_live_node = [&](topo::NodeId n, const std::string& where) {
+    if (n >= graph.num_nodes()) invalid(where, "node out of range");
+    if (dead.count(n)) {
+      invalid(where, "node " + std::to_string(n) + " is crashed");
+    }
+  };
   for (std::size_t pi = 0; pi < phases.size(); ++pi) {
     const FaultPhase& phase = phases[pi];
     if (phase.name.empty()) {
@@ -165,23 +247,55 @@ void FaultScript::validate(const topo::AsGraph& graph) const {
       if (a.at < 0) invalid(where, "negative offset");
       switch (a.kind) {
         case ActionKind::kLinkDown:
+          check_link(graph, dead, a.link, where);
+          if (!link_down_active.insert(a.link).second) {
+            invalid(where, "link " + std::to_string(a.link) +
+                               " is already down (overlapping down)");
+          }
+          break;
         case ActionKind::kLinkUp:
           check_link(graph, dead, a.link, where);
+          if (link_down_active.erase(a.link) == 0) {
+            invalid(where,
+                    "link " + std::to_string(a.link) + " is not down");
+          }
           break;
         case ActionKind::kFlapStorm:
           check_link(graph, dead, a.link, where);
+          if (link_down_active.count(a.link)) {
+            invalid(where, "link " + std::to_string(a.link) +
+                               " is down (storm starts with a down)");
+          }
           if (a.cycles == 0) invalid(where, "cycles must be >= 1");
           if (a.period <= 0) invalid(where, "period must be > 0");
           break;
         case ActionKind::kSrlgDown:
+          if (a.group >= srlgs.size()) invalid(where, "no such SRLG");
+          for (const topo::LinkId l : srlgs[a.group]) {
+            check_link(graph, dead, l, where);
+            if (!link_down_active.insert(l).second) {
+              invalid(where, "link " + std::to_string(l) +
+                                 " is already down (overlapping down)");
+            }
+          }
+          break;
         case ActionKind::kSrlgUp:
           if (a.group >= srlgs.size()) invalid(where, "no such SRLG");
           for (const topo::LinkId l : srlgs[a.group]) {
             check_link(graph, dead, l, where);
+            if (link_down_active.erase(l) == 0) {
+              invalid(where, "link " + std::to_string(l) + " is not down");
+            }
           }
           break;
         case ActionKind::kNodeCrash:
           if (a.node >= graph.num_nodes()) invalid(where, "node out of range");
+          if (leaking.count(a.node) || pref_flipped.count(a.node) ||
+              intercepting.count(a.node)) {
+            invalid(where, "node " + std::to_string(a.node) +
+                               " has active adversarial state (a restart "
+                               "would silently drop it)");
+          }
           if (!dead.insert(a.node).second) invalid(where, "already crashed");
           break;
         case ActionKind::kNodeRestart:
@@ -198,6 +312,59 @@ void FaultScript::validate(const topo::AsGraph& graph) const {
           if (a.group >= partitions.size()) invalid(where, "no such partition");
           if (cut_active.erase(a.group) == 0) {
             invalid(where, "partition is not active");
+          }
+          break;
+        case ActionKind::kRouteLeak:
+          check_live_node(a.node, where);
+          if (!leaking.insert(a.node).second) {
+            invalid(where, "node is already leaking");
+          }
+          break;
+        case ActionKind::kRouteLeakStop:
+          check_live_node(a.node, where);
+          if (leaking.erase(a.node) == 0) {
+            invalid(where, "node is not leaking");
+          }
+          break;
+        case ActionKind::kIntercept: {
+          check_live_node(a.node, where);
+          if (a.target >= graph.num_nodes()) {
+            invalid(where, "target out of range");
+          }
+          if (a.target == a.node) invalid(where, "cannot intercept self");
+          if (!intercepting.emplace(a.node, a.target).second) {
+            invalid(where, "node is already intercepting");
+          }
+          break;
+        }
+        case ActionKind::kInterceptStop: {
+          check_live_node(a.node, where);
+          const auto it = intercepting.find(a.node);
+          if (it == intercepting.end()) {
+            invalid(where, "node is not intercepting");
+          }
+          if (it->second != a.target) {
+            invalid(where, "target does not match the active interception");
+          }
+          intercepting.erase(it);
+          break;
+        }
+        case ActionKind::kLocalPrefFlip:
+          check_live_node(a.node, where);
+          if (!pref_flipped.insert(a.node).second) {
+            invalid(where, "ranking is already flipped");
+          }
+          break;
+        case ActionKind::kLocalPrefRestore:
+          check_live_node(a.node, where);
+          if (pref_flipped.erase(a.node) == 0) {
+            invalid(where, "ranking is not flipped");
+          }
+          break;
+        case ActionKind::kRelChange:
+          check_link(graph, dead, a.link, where);
+          if (a.rel == topo::Relationship::kSibling) {
+            invalid(where, "sibling rewires are not supported");
           }
           break;
       }

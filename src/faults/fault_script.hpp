@@ -23,6 +23,17 @@
 //     the heal restores exactly the links the partition took down,
 //   * flap storm — a link cycles down/up at a fixed period without waiting
 //     for convergence between transitions (interacts with BGP MRAI).
+//
+// Adversarial kinds (DESIGN.md §15; ROADMAP "adversarial & policy-churn
+// scenario packs"):
+//   * route leak / stop — a node mis-exports provider/peer routes to other
+//     providers/peers, violating Gao-Rexford valley-freeness,
+//   * intercept / stop — a node announces a fabricated direct route to a
+//     destination it does not own (`target`) and blackholes the traffic,
+//   * local-pref flip / restore — runtime policy churn: a node swaps its
+//     peer/provider preference classes,
+//   * rel change — the operator-plane provider switch: rewires a link's
+//     business relationship (`rel`) and notifies every node.
 #pragma once
 
 #include <cstddef>
@@ -46,6 +57,13 @@ enum class ActionKind {
   kHeal,         ///< restore the links the matching kPartition took down
   kFlapStorm,    ///< `cycles` down/up cycles on `link`, one transition per
                  ///< `period` seconds, no convergence wait in between
+  kRouteLeak,        ///< `node` starts mis-exporting its full route table
+  kRouteLeakStop,    ///< `node` stops leaking (sessions re-baseline)
+  kIntercept,        ///< `node` claims `target` as a fabricated customer
+  kInterceptStop,    ///< `node` withdraws the interception of `target`
+  kLocalPrefFlip,    ///< `node` swaps peer/provider preference classes
+  kLocalPrefRestore, ///< `node` reverts to the standard ranking
+  kRelChange,        ///< rewire `link`'s business relationship to `rel`
 };
 
 const char* to_string(ActionKind k);
@@ -58,12 +76,16 @@ struct FaultAction {
   /// applied synchronously in script order before the phase runs; later
   /// offsets are scheduled on the simulator.
   sim::Time at = 0;
-  topo::LinkId link = 0;      ///< kLinkDown/kLinkUp/kFlapStorm
-  topo::NodeId node = 0;      ///< kNodeCrash/kNodeRestart
+  topo::LinkId link = 0;      ///< kLinkDown/kLinkUp/kFlapStorm/kRelChange
+  topo::NodeId node = 0;      ///< kNodeCrash/kNodeRestart and the
+                              ///< adversarial kinds (the misbehaving AS)
   std::size_t group = 0;      ///< kSrlgDown/kSrlgUp -> srlgs index;
                               ///< kPartition/kHeal -> partitions index
   std::uint32_t cycles = 0;   ///< kFlapStorm: down+up cycles (>= 1)
   sim::Time period = 0;       ///< kFlapStorm: seconds between transitions
+  topo::NodeId target = 0;    ///< kIntercept/kInterceptStop: the victim
+  /// kRelChange: the new role of link.b relative to link.a.
+  topo::Relationship rel = topo::Relationship::kPeer;
 
   static FaultAction link_down(topo::LinkId l, sim::Time at = 0);
   static FaultAction link_up(topo::LinkId l, sim::Time at = 0);
@@ -75,6 +97,16 @@ struct FaultAction {
   static FaultAction heal(std::size_t group, sim::Time at = 0);
   static FaultAction flap_storm(topo::LinkId l, std::uint32_t cycles,
                                 sim::Time period, sim::Time at = 0);
+  static FaultAction route_leak(topo::NodeId n, sim::Time at = 0);
+  static FaultAction route_leak_stop(topo::NodeId n, sim::Time at = 0);
+  static FaultAction intercept(topo::NodeId n, topo::NodeId victim,
+                               sim::Time at = 0);
+  static FaultAction intercept_stop(topo::NodeId n, topo::NodeId victim,
+                                    sim::Time at = 0);
+  static FaultAction local_pref_flip(topo::NodeId n, sim::Time at = 0);
+  static FaultAction local_pref_restore(topo::NodeId n, sim::Time at = 0);
+  static FaultAction rel_change(topo::LinkId l, topo::Relationship rel,
+                                sim::Time at = 0);
 };
 
 /// One measured campaign step: apply actions, converge, sweep invariants.
@@ -99,7 +131,13 @@ struct FaultScript {
   /// flap storms with cycles >= 1 and period > 0, offsets >= 0, and
   /// crash/restart well-paired in script order (no restart without a crash,
   /// no double crash, no link/SRLG/flap action naming a link incident to a
-  /// node while it is crashed).  Throws std::invalid_argument with context.
+  /// node while it is crashed).  Explicit link downs/ups must pair too: no
+  /// double-down (including overlapping SRLGs), no up of a link that is not
+  /// explicitly down, no flap storm on a downed link.  Adversarial kinds
+  /// pair start/stop per node, reject self-interception, reject sibling
+  /// rewires, and may not name crashed nodes — nor may a node crash while
+  /// its adversarial state is active (a restart would silently drop it).
+  /// Throws std::invalid_argument with context.
   void validate(const topo::AsGraph& graph) const;
 };
 

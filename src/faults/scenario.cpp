@@ -111,15 +111,26 @@ std::vector<Id> id_array(const JsonValue& v, const std::string& where) {
   return out;
 }
 
+topo::Relationship parse_rel(const JsonValue& obj, const std::string& where) {
+  const std::string rel = get_string(obj, where, "rel", "", true);
+  if (rel == "customer") return topo::Relationship::kCustomer;
+  if (rel == "provider") return topo::Relationship::kProvider;
+  if (rel == "peer") return topo::Relationship::kPeer;
+  spec_fail(where,
+            "\"rel\" must be customer|provider|peer, got \"" + rel + "\"");
+}
+
 FaultAction parse_action(const JsonValue& obj, const std::string& where) {
   if (obj.type != JsonValue::Type::kObject) {
     spec_fail(where, "action must be an object");
   }
   reject_unknown_keys(obj, where,
                       {"do", "at", "link", "node", "group", "cycles",
-                       "period"});
+                       "period", "target", "rel"});
   const std::string kind = get_string(obj, where, "do", "", true);
-  const auto at = static_cast<sim::Time>(get_number(obj, where, "at", 0));
+  const double at_raw = get_number(obj, where, "at", 0);
+  if (at_raw < 0) spec_fail(where, "\"at\" must be >= 0");
+  const auto at = static_cast<sim::Time>(at_raw);
   const auto link =
       static_cast<topo::LinkId>(get_u64(obj, where, "link", 0));
   const auto node =
@@ -140,6 +151,24 @@ FaultAction parse_action(const JsonValue& obj, const std::string& where) {
     const auto period =
         static_cast<sim::Time>(get_number(obj, where, "period", 0, true));
     return FaultAction::flap_storm(link, cycles, period, at);
+  }
+  if (kind == "route_leak") return FaultAction::route_leak(node, at);
+  if (kind == "route_leak_stop") {
+    return FaultAction::route_leak_stop(node, at);
+  }
+  if (kind == "intercept" || kind == "intercept_stop") {
+    const auto target =
+        static_cast<topo::NodeId>(get_u64(obj, where, "target", 0, true));
+    return kind == "intercept"
+               ? FaultAction::intercept(node, target, at)
+               : FaultAction::intercept_stop(node, target, at);
+  }
+  if (kind == "local_pref_flip") return FaultAction::local_pref_flip(node, at);
+  if (kind == "local_pref_restore") {
+    return FaultAction::local_pref_restore(node, at);
+  }
+  if (kind == "rel_change") {
+    return FaultAction::rel_change(link, parse_rel(obj, where), at);
   }
   spec_fail(where, "unknown action \"" + kind + "\"");
 }
@@ -346,6 +375,147 @@ ScenarioSpec reliability_scenario(std::size_t nodes, std::uint64_t base_seed) {
   spec.seed = base_seed;
   spec.script = make_reliability_script(spec.topology.build(),
                                         base_seed ^ 0xFA017);
+  return spec;
+}
+
+// --------------------------------------------- adversarial packs ---------
+
+namespace {
+
+ScenarioSpec adversarial_base(const char* name, std::size_t nodes,
+                              std::uint64_t base_seed) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.topology.style = "brite";
+  spec.topology.nodes = nodes;
+  spec.topology.seed = base_seed ^ 0xF160;  // the bench_fig6 construction
+  spec.seed = base_seed;
+  // The packs exist to be measured: route audits need an analyzer.
+  spec.options.analysis = eval::AnalysisMode::kCollect;
+  return spec;
+}
+
+/// Peer+provider session count at `v` — the sessions a route leak
+/// mis-exports across.
+std::size_t transit_degree(const topo::AsGraph& g, topo::NodeId v) {
+  std::size_t n = 0;
+  for (const topo::Neighbor& nb : g.neighbors(v)) {
+    if (nb.rel == topo::Relationship::kPeer ||
+        nb.rel == topo::Relationship::kProvider) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t provider_count(const topo::AsGraph& g, topo::NodeId v) {
+  std::size_t n = 0;
+  for (const topo::Neighbor& nb : g.neighbors(v)) {
+    if (nb.rel == topo::Relationship::kProvider) ++n;
+  }
+  return n;
+}
+
+topo::NodeId max_transit_node(const topo::AsGraph& g) {
+  topo::NodeId best = 0;
+  for (topo::NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (transit_degree(g, v) > transit_degree(g, best)) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+ScenarioSpec route_leak_scenario(std::size_t nodes, std::uint64_t base_seed) {
+  ScenarioSpec spec = adversarial_base("route_leak", nodes, base_seed);
+  const topo::AsGraph g = spec.topology.build();
+  // Leaker: the classic leak is a multi-homed customer re-exporting one
+  // provider's routes to its other providers, who each see an attractive
+  // customer-class path straight into a valley.  Pick the node with the
+  // most provider sessions (ties to the best-connected one, whose leak
+  // also carries the largest table); a tier-1 node would be the *worst*
+  // pick — nothing above it to leak.
+  topo::NodeId leaker = 0;
+  for (topo::NodeId v = 1; v < g.num_nodes(); ++v) {
+    const auto score = [&g](topo::NodeId n) {
+      return std::make_pair(provider_count(g, n), g.degree(n));
+    };
+    if (score(v) > score(leaker)) leaker = v;
+  }
+  spec.script.phases.push_back(
+      {"leak_start", {FaultAction::route_leak(leaker)}});
+  spec.script.phases.push_back(
+      {"leak_stop", {FaultAction::route_leak_stop(leaker)}});
+  spec.script.validate(g);
+  return spec;
+}
+
+ScenarioSpec interception_scenario(std::size_t nodes,
+                                   std::uint64_t base_seed) {
+  ScenarioSpec spec = adversarial_base("interception", nodes, base_seed);
+  const topo::AsGraph g = spec.topology.build();
+  // Hijacker: the best-connected node — a fabricated customer route is
+  // exportable to every session, so degree bounds the spread.
+  topo::NodeId hijacker = 0;
+  for (topo::NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > g.degree(hijacker)) hijacker = v;
+  }
+  // Victim: the lowest-id node with no real adjacency to the hijacker, so
+  // the fabricated edge cannot be mistaken for a legitimate session.
+  topo::NodeId victim = hijacker == 0 ? 1 : 0;
+  for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v != hijacker && !g.maybe_rel(hijacker, v).has_value()) {
+      victim = v;
+      break;
+    }
+  }
+  spec.script.phases.push_back(
+      {"hijack", {FaultAction::intercept(hijacker, victim)}});
+  spec.script.phases.push_back(
+      {"withdraw", {FaultAction::intercept_stop(hijacker, victim)}});
+  spec.script.validate(g);
+  return spec;
+}
+
+ScenarioSpec policy_churn_scenario(std::size_t nodes,
+                                   std::uint64_t base_seed) {
+  ScenarioSpec spec = adversarial_base("policy_churn", nodes, base_seed);
+  const topo::AsGraph g = spec.topology.build();
+  // Churn node: the best-connected multi-homed customer (most provider
+  // sessions, ties to degree).  The phases compose: first the node flips
+  // its peer/provider preference classes (a latent policy change — tiered
+  // topologies give a node either peers or providers, not both), then a
+  // provider switch rewires one of its provider links into a peering.
+  // While the peering holds, the flipped ranking actually reorders the
+  // node's candidates (its new peer routes now rank below its remaining
+  // provider routes), and the switch-back + restore unwind both.
+  topo::NodeId churn = 0;
+  for (topo::NodeId v = 1; v < g.num_nodes(); ++v) {
+    const auto score = [&g](topo::NodeId n) {
+      return std::make_pair(provider_count(g, n), g.degree(n));
+    };
+    if (score(v) > score(churn)) churn = v;
+  }
+  // The switch target: the churn node's first provider session.
+  topo::LinkId switch_link = 0;
+  topo::Relationship original = g.link(0).rel_ab;
+  for (const topo::Neighbor& nb : g.neighbors(churn)) {
+    if (nb.rel == topo::Relationship::kProvider) {
+      switch_link = nb.link;
+      original = g.link(nb.link).rel_ab;
+      break;
+    }
+  }
+  spec.script.phases.push_back(
+      {"pref_flip", {FaultAction::local_pref_flip(churn)}});
+  spec.script.phases.push_back(
+      {"provider_switch",
+       {FaultAction::rel_change(switch_link, topo::Relationship::kPeer)}});
+  spec.script.phases.push_back(
+      {"switch_back", {FaultAction::rel_change(switch_link, original)}});
+  spec.script.phases.push_back(
+      {"pref_restore", {FaultAction::local_pref_restore(churn)}});
+  spec.script.validate(g);
   return spec;
 }
 

@@ -27,8 +27,11 @@
 // A topology may instead be {"file": "topo.txt"} (CAIDA as-rel format).
 // Action objects take: "do" (an ActionKind spelling from fault_script.hpp),
 // optional "at" offset seconds, and the kind's operand — "link", "node",
-// "group", plus "cycles"/"period" for flap storms.  The parser rejects
-// unknown keys so typos fail loudly instead of silently no-opping.
+// "group", plus "cycles"/"period" for flap storms, "target" for
+// interceptions, and "rel" (customer|provider|peer — the new role of the
+// link's b endpoint relative to a) for rel_change.  The parser rejects
+// unknown keys so typos fail loudly instead of silently no-opping, and
+// rejects negative "at" offsets at parse time with the offending position.
 #pragma once
 
 #include <cstddef>
@@ -88,5 +91,29 @@ FaultScript make_reliability_script(const topo::AsGraph& graph,
 /// (BRITE-style, `nodes` nodes, topology seed `base_seed ^ 0xF160` — the
 /// exact bench_fig6 construction).
 ScenarioSpec reliability_scenario(std::size_t nodes, std::uint64_t base_seed);
+
+// ------------------------------------------- adversarial packs -----------
+//
+// The three builtin adversarial scenario packs (DESIGN.md §15).  Each picks
+// its adversary/victim deterministically from the generated topology (by
+// degree rank, so the choice is stable under the fixed topology seed), runs
+// an adversary-on phase followed by an adversary-off phase, and validates
+// the script before returning.  `scenarios/*.json` commit the same packs
+// for the CLI; these builders are what the tests and bench harness use.
+
+/// Route-leak pack: a mid-degree node starts re-exporting its full table to
+/// peers and providers (valley-freeness violation), then stops.
+ScenarioSpec route_leak_scenario(std::size_t nodes, std::uint64_t base_seed);
+
+/// Interception pack: a node claims a fabricated customer route to a victim
+/// it has no business with, blackholing the traffic, then withdraws it.
+ScenarioSpec interception_scenario(std::size_t nodes,
+                                   std::uint64_t base_seed);
+
+/// Policy-churn pack: a node flips its peer/provider preference classes,
+/// then a provider switch rewires a link's relationship there and back,
+/// and finally the preference flip is restored.
+ScenarioSpec policy_churn_scenario(std::size_t nodes,
+                                   std::uint64_t base_seed);
 
 }  // namespace centaur::faults

@@ -1,0 +1,29 @@
+// Read-only cross-protocol view of a node's selected routes.
+//
+// Protocol nodes that keep full AS paths (BGP, Centaur) implement this so
+// the route audit (src/check) and the blast-radius sweep (src/eval) can walk
+// selected routes without depending on concrete node types.  OSPF keeps a
+// next-hop LSDB only and does not implement it; auditors skip nodes whose
+// dynamic_cast fails.
+#pragma once
+
+#include <functional>
+
+#include "topology/types.hpp"
+
+namespace centaur::policy {
+
+class RouteView {
+ public:
+  virtual ~RouteView() = default;
+
+  /// Invokes `fn(dest, path)` for every currently selected route, in
+  /// ascending destination order.  `path` runs self..dest; the self-route is
+  /// included.  Must be called from driver/commit context only — the
+  /// iteration reads protocol state that handlers mutate.
+  virtual void for_each_selected_route(
+      const std::function<void(topo::NodeId dest, const topo::Path& path)>&
+          fn) const = 0;
+};
+
+}  // namespace centaur::policy

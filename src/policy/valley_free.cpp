@@ -1,6 +1,7 @@
 #include "policy/valley_free.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 namespace centaur::policy {
@@ -312,7 +313,12 @@ Path ValleyFreeRoutes::path_from(NodeId src) const {
   while (cur != dest_) {
     cur = entries_[cur].next_hop;
     if (cur == kInvalidNode || ++steps > entries_.size()) {
-      throw std::logic_error("ValleyFreeRoutes: inconsistent next-hop chain");
+      // Inconsistent next-hop chain: the source looked reachable but the
+      // walk dead-ends or loops.  This happens mid-campaign when the graph
+      // is partitioned or rewired under the solver; treat it like an
+      // unreachable source instead of aborting the analysis.
+      path.clear();
+      return path;
     }
     path.push_back(cur);
   }
@@ -333,7 +339,11 @@ bool is_valley_free(const topo::AsGraph& g, const Path& path) {
   // Phase 1: descending only.
   int phase = 0;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    const Relationship rel = g.rel(path[i], path[i + 1]);
+    // A hop between non-adjacent nodes (fabricated by an interception
+    // adversary) is never valley-free.
+    const std::optional<Relationship> maybe = g.maybe_rel(path[i], path[i + 1]);
+    if (!maybe) return false;
+    const Relationship rel = *maybe;
     switch (rel) {
       case Relationship::kSibling:
         break;  // transparent
@@ -356,8 +366,12 @@ RouteSource classify_path(const topo::AsGraph& g, const Path& path) {
   if (path.empty()) throw std::invalid_argument("classify_path: empty path");
   if (path.size() == 1) return RouteSource::kSelf;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    const Relationship rel = g.rel(path[i], path[i + 1]);
-    if (rel != Relationship::kSibling) return source_from_rel(rel);
+    // Paths crossing a fabricated (non-adjacent) hop classify as
+    // provider-learned — the least preferred class — so honest nodes that
+    // received an intercepted route keep working without aborting.
+    const std::optional<Relationship> rel = g.maybe_rel(path[i], path[i + 1]);
+    if (!rel) return RouteSource::kProvider;
+    if (*rel != Relationship::kSibling) return source_from_rel(*rel);
   }
   return RouteSource::kSibling;
 }

@@ -42,6 +42,25 @@ Relationship AsGraph::rel(NodeId a, NodeId b) const {
   throw std::out_of_range("AsGraph::rel: no link between nodes");
 }
 
+std::optional<Relationship> AsGraph::maybe_rel(NodeId a, NodeId b) const {
+  if (a >= adj_.size() || b >= adj_.size()) return std::nullopt;
+  for (const Neighbor& nb : adj_[a]) {
+    if (nb.node == b) return nb.rel;
+  }
+  return std::nullopt;
+}
+
+void AsGraph::set_rel(LinkId id, Relationship rel_of_b_to_a) {
+  Link& lk = links_.at(id);
+  lk.rel_ab = rel_of_b_to_a;
+  for (Neighbor& nb : adj_[lk.a]) {
+    if (nb.node == lk.b) nb.rel = rel_of_b_to_a;
+  }
+  for (Neighbor& nb : adj_[lk.b]) {
+    if (nb.node == lk.a) nb.rel = invert(rel_of_b_to_a);
+  }
+}
+
 AsGraph::LinkCounts AsGraph::count_links() const {
   LinkCounts c;
   for (const Link& l : links_) {

@@ -77,6 +77,16 @@ class AsGraph {
   /// Role of `b` relative to `a`.  Throws std::out_of_range if no link.
   Relationship rel(NodeId a, NodeId b) const;
 
+  /// Role of `b` relative to `a`, or nullopt if the nodes are not adjacent
+  /// (or out of range).  Lets policy code classify paths that contain
+  /// fabricated hops (interception) without aborting the run.
+  std::optional<Relationship> maybe_rel(NodeId a, NodeId b) const;
+
+  /// Rewires an existing link's business relationship in place (provider
+  /// switches, peering upgrades).  Updates both endpoints' adjacency views;
+  /// the up/down state is untouched.
+  void set_rel(LinkId id, Relationship rel_of_b_to_a);
+
   void set_link_up(LinkId id, bool up) { links_.at(id).up = up; }
   bool link_up(LinkId id) const { return links_.at(id).up; }
 

@@ -104,6 +104,48 @@ TEST(ScenarioJson, RejectsMalformedInput) {
   EXPECT_THROW(faults::parse_scenario_json(R"({"phases": [{"name": "p",
                    "actions": [{"do": "link_down", "lnik": 3}]}]})"),
                std::runtime_error);  // unknown action key
+  EXPECT_THROW(faults::parse_scenario_json(R"({"phases": [{"name": "p",
+                   "actions": [{"do": "link_down", "at": -0.5}]}]})"),
+               std::runtime_error);  // negative offset
+  EXPECT_THROW(faults::parse_scenario_json(R"({"phases": [{"name": "p",
+                   "actions": [{"do": "intercept", "node": 1}]}]})"),
+               std::runtime_error);  // interception without a victim
+  EXPECT_THROW(faults::parse_scenario_json(R"({"phases": [{"name": "p",
+                   "actions": [{"do": "rel_change", "link": 0,
+                                "rel": "sibling"}]}]})"),
+               std::runtime_error);  // rel must be customer|provider|peer
+}
+
+TEST(ScenarioJson, ParsesAdversarialActions) {
+  const auto spec = faults::parse_scenario_json(R"({
+    "phases": [
+      {"name": "leak", "actions": [{"do": "route_leak", "node": 3}]},
+      {"name": "grab", "actions": [
+        {"do": "intercept", "node": 3, "target": 9, "at": 0.5}]},
+      {"name": "churn", "actions": [
+        {"do": "local_pref_flip", "node": 4},
+        {"do": "rel_change", "link": 2, "rel": "peer"}]},
+      {"name": "mend", "actions": [
+        {"do": "intercept_stop", "node": 3, "target": 9},
+        {"do": "route_leak_stop", "node": 3},
+        {"do": "local_pref_restore", "node": 4},
+        {"do": "rel_change", "link": 2, "rel": "customer"}]}
+    ]
+  })");
+  ASSERT_EQ(spec.script.phases.size(), 4u);
+  EXPECT_EQ(spec.script.phases[0].actions[0].kind,
+            faults::ActionKind::kRouteLeak);
+  EXPECT_EQ(spec.script.phases[0].actions[0].node, 3u);
+  const faults::FaultAction& grab = spec.script.phases[1].actions[0];
+  EXPECT_EQ(grab.kind, faults::ActionKind::kIntercept);
+  EXPECT_EQ(grab.target, 9u);
+  EXPECT_DOUBLE_EQ(grab.at, 0.5);
+  EXPECT_EQ(spec.script.phases[2].actions[1].kind,
+            faults::ActionKind::kRelChange);
+  EXPECT_EQ(spec.script.phases[2].actions[1].rel,
+            topo::Relationship::kPeer);
+  EXPECT_EQ(spec.script.phases[3].actions[3].rel,
+            topo::Relationship::kCustomer);
 }
 
 // ------------------------------------------------- script validation -----
@@ -163,6 +205,93 @@ TEST(FaultScriptValidate, CatchesPairingAndRangeErrors) {
   // A well-paired script passes.
   faults::FaultScript ok = script_with(
       {{"p", {FA::node_crash(1)}}, {"q", {FA::node_restart(1)}}});
+  EXPECT_NO_THROW(ok.validate(g));
+}
+
+TEST(FaultScriptValidate, CatchesLinkPairingErrors) {
+  const AsGraph g = smoke_graph(20);
+  using FA = faults::FaultAction;
+  auto script_with = [](std::vector<faults::FaultPhase> phases) {
+    faults::FaultScript s;
+    s.phases = std::move(phases);
+    return s;
+  };
+
+  // Double-down of the same link; up of a link that is not down; a flap
+  // storm starting on a downed link.
+  EXPECT_THROW(
+      script_with({{"p", {FA::link_down(0), FA::link_down(0)}}}).validate(g),
+      std::invalid_argument);
+  EXPECT_THROW(script_with({{"p", {FA::link_up(0)}}}).validate(g),
+               std::invalid_argument);
+  EXPECT_THROW(script_with({{"p", {FA::link_down(0)}},
+                            {"q", {FA::flap_storm(0, 2, 0.001)}}})
+                   .validate(g),
+               std::invalid_argument);
+  // Overlapping SRLGs double-down their shared link.
+  faults::FaultScript overlap = script_with(
+      {{"p", {FA::srlg_down(0), FA::srlg_down(1)}}});
+  overlap.srlgs.push_back({0, 1});
+  overlap.srlgs.push_back({1, 2});
+  EXPECT_THROW(overlap.validate(g), std::invalid_argument);
+  // Paired down/up (and disjoint SRLGs) pass.
+  faults::FaultScript ok = script_with(
+      {{"p", {FA::link_down(0)}}, {"q", {FA::link_up(0), FA::link_down(0)}},
+       {"r", {FA::link_up(0)}}});
+  EXPECT_NO_THROW(ok.validate(g));
+}
+
+TEST(FaultScriptValidate, CatchesAdversarialPairingErrors) {
+  const AsGraph g = smoke_graph(20);
+  using FA = faults::FaultAction;
+  auto script_with = [](std::vector<faults::FaultPhase> phases) {
+    faults::FaultScript s;
+    s.phases = std::move(phases);
+    return s;
+  };
+
+  // Stop without a start; double start; self-interception; a stop naming
+  // the wrong victim.
+  EXPECT_THROW(script_with({{"p", {FA::route_leak_stop(1)}}}).validate(g),
+               std::invalid_argument);
+  EXPECT_THROW(
+      script_with({{"p", {FA::route_leak(1), FA::route_leak(1)}}}).validate(g),
+      std::invalid_argument);
+  EXPECT_THROW(script_with({{"p", {FA::intercept(1, 1)}}}).validate(g),
+               std::invalid_argument);
+  EXPECT_THROW(script_with({{"p", {FA::intercept(1, 2)}},
+                            {"q", {FA::intercept_stop(1, 3)}}})
+                   .validate(g),
+               std::invalid_argument);
+  EXPECT_THROW(
+      script_with({{"p", {FA::local_pref_restore(1)}}}).validate(g),
+      std::invalid_argument);
+  // Out-of-range victim; sibling rewires unsupported.
+  EXPECT_THROW(
+      script_with({{"p", {FA::intercept(
+                       1, static_cast<NodeId>(g.num_nodes()))}}})
+          .validate(g),
+      std::invalid_argument);
+  EXPECT_THROW(
+      script_with({{"p", {FA::rel_change(
+                       0, topo::Relationship::kSibling)}}})
+          .validate(g),
+      std::invalid_argument);
+  // A crash while adversarial state is active would silently drop it on
+  // restart; a crashed node cannot start misbehaving either.
+  EXPECT_THROW(script_with({{"p", {FA::route_leak(1)}},
+                            {"q", {FA::node_crash(1)}}})
+                   .validate(g),
+               std::invalid_argument);
+  EXPECT_THROW(script_with({{"p", {FA::node_crash(1)}},
+                            {"q", {FA::local_pref_flip(1)}}})
+                   .validate(g),
+               std::invalid_argument);
+  // Well-paired adversarial scripts pass.
+  faults::FaultScript ok = script_with(
+      {{"p", {FA::route_leak(1), FA::intercept(2, 7)}},
+       {"q", {FA::route_leak_stop(1), FA::intercept_stop(2, 7)}},
+       {"r", {FA::node_crash(1)}}, {"s", {FA::node_restart(1)}}});
   EXPECT_NO_THROW(ok.validate(g));
 }
 
@@ -248,6 +377,88 @@ TEST(CampaignEngine, HealDefersLinksOfCrashedEndpointToItsRestart) {
   for (const topo::Neighbor& nb : run.graph().neighbors(v)) {
     EXPECT_FALSE(run.graph().link_up(nb.link))
         << "heal must not raise a dead node's link " << nb.link;
+  }
+  engine.run_phase(script, script.phases[3]);
+  for (const topo::Neighbor& nb : run.graph().neighbors(v)) {
+    EXPECT_TRUE(run.graph().link_up(nb.link));
+  }
+  EXPECT_TRUE(engine.result().clean());
+}
+
+TEST(CampaignEngine, LinkOfTwoCrashedEndpointsComesUpAfterLastRestart) {
+  // Both endpoints of a link crash; the link may only come back up after
+  // the *last* endpoint restarts.  The first restart re-enters the raise
+  // and must hand the link on to the still-dead survivor.
+  const AsGraph g = smoke_graph(30);
+  // Any link whose endpoints are both multi-homed keeps the rest of the
+  // graph connected while the pair is dead.
+  LinkId shared = 0;
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    if (g.degree(g.link(l).a) >= 2 && g.degree(g.link(l).b) >= 2) {
+      shared = l;
+      break;
+    }
+  }
+  const NodeId a = g.link(shared).a;
+  const NodeId b = g.link(shared).b;
+
+  util::Rng rng(17);
+  eval::ProtocolRun run(g, eval::Protocol::kCentaur, rng);
+  faults::FaultScript script;
+  script.phases.push_back({"crash_a", {faults::FaultAction::node_crash(a)}});
+  script.phases.push_back({"crash_b", {faults::FaultAction::node_crash(b)}});
+  script.phases.push_back(
+      {"restart_a", {faults::FaultAction::node_restart(a)}});
+  script.phases.push_back(
+      {"restart_b", {faults::FaultAction::node_restart(b)}});
+  script.validate(run.graph());
+
+  faults::CampaignEngine engine(run);
+  engine.run_phase(script, script.phases[0]);
+  engine.run_phase(script, script.phases[1]);
+  engine.run_phase(script, script.phases[2]);
+  EXPECT_FALSE(run.graph().link_up(shared))
+      << "restart of one endpoint must not raise a link whose far end is "
+         "still dead";
+  for (const topo::Neighbor& nb : run.graph().neighbors(a)) {
+    EXPECT_EQ(run.graph().link_up(nb.link), nb.link != shared);
+  }
+  engine.run_phase(script, script.phases[3]);
+  EXPECT_TRUE(run.graph().link_up(shared));
+  for (const topo::Neighbor& nb : run.graph().neighbors(b)) {
+    EXPECT_TRUE(run.graph().link_up(nb.link));
+  }
+  EXPECT_TRUE(engine.result().clean());
+}
+
+TEST(CampaignEngine, RestartDefersCutLinksToTheActiveHeal) {
+  // A crash pre-empts the partition's claim on the node's links (the cut
+  // only records links it took down itself).  The restart must not
+  // resurrect sessions across the still-active cut: they belong to the
+  // heal.
+  const AsGraph g = smoke_graph(30);
+  NodeId v = 0;
+  while (g.degree(v) < 2) ++v;
+
+  util::Rng rng(21);
+  eval::ProtocolRun run(g, eval::Protocol::kCentaur, rng);
+  faults::FaultScript script;
+  script.partitions.push_back({v});
+  script.phases.push_back({"crash", {faults::FaultAction::node_crash(v)}});
+  script.phases.push_back({"cut", {faults::FaultAction::partition(0)}});
+  script.phases.push_back(
+      {"restart", {faults::FaultAction::node_restart(v)}});
+  script.phases.push_back({"stitch", {faults::FaultAction::heal(0)}});
+  script.validate(run.graph());
+
+  faults::CampaignEngine engine(run);
+  engine.run_phase(script, script.phases[0]);
+  engine.run_phase(script, script.phases[1]);
+  engine.run_phase(script, script.phases[2]);
+  for (const topo::Neighbor& nb : run.graph().neighbors(v)) {
+    EXPECT_FALSE(run.graph().link_up(nb.link))
+        << "restart must not resurrect link " << nb.link
+        << " across the active cut";
   }
   engine.run_phase(script, script.phases[3]);
   for (const topo::Neighbor& nb : run.graph().neighbors(v)) {

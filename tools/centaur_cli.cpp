@@ -120,8 +120,13 @@ constexpr struct EnvVar {
       "  centaur querybench [--nodes N] [--seed S] [--json PATH]\n"
       "\n"
       "campaign runs a scripted fault-injection campaign (SRLG bursts, node\n"
-      "crash/restart, flap storms, partition/heal) to quiescence phase by\n"
-      "phase; without --scenario it uses the builtin reliability script.\n"
+      "crash/restart, flap storms, partition/heal, plus the adversarial\n"
+      "actions route_leak, intercept, local_pref_flip and rel_change) to\n"
+      "quiescence phase by phase; without --scenario it uses the builtin\n"
+      "reliability script.  The committed scenarios/*.json packs cover the\n"
+      "route-leak, interception and policy-churn scenarios; adversarial\n"
+      "phases additionally report routes flagged by the valley-freeness /\n"
+      "interception audit, detection latency, and blast radius.\n"
       "bench is the same with all four protocols forced.\n"
       "\n"
       "serve replays a Centaur scenario with the serving plane attached and\n"
@@ -212,13 +217,33 @@ topo::ParsedTopology load(const std::string& path) {
 // spellings, each with an environment-variable equivalent (see kEnvVars).
 
 /// --mrai / --check (CENTAUR_CHECK is the env-side spelling of --check).
+/// --check means "at least collect": a stricter CENTAUR_CHECK=assert still
+/// wins, so CI can escalate flagged runs to hard aborts without a flag.
 eval::RunOptions run_options_from(Options& opt) {
   eval::RunOptions run_options;
   run_options.bgp_mrai = static_cast<double>(opt.get_long("mrai", 0));
-  run_options.analysis = opt.get("check", "0") == "1"
-                             ? eval::AnalysisMode::kCollect
-                             : eval::analysis_from_env();
+  const eval::AnalysisMode env_mode = eval::analysis_from_env();
+  run_options.analysis =
+      opt.get("check", "0") == "1" && env_mode != eval::AnalysisMode::kAssert
+          ? eval::AnalysisMode::kCollect
+          : env_mode;
   return run_options;
+}
+
+/// The --protocol spelling for a protocol (to_string() returns display
+/// names like "BGP-RCN" that protocol_from_string rejects).
+std::string cli_protocol_name(eval::Protocol p) {
+  switch (p) {
+    case eval::Protocol::kBgp:
+      return "bgp";
+    case eval::Protocol::kBgpRcn:
+      return "bgp-rcn";
+    case eval::Protocol::kCentaur:
+      return "centaur";
+    case eval::Protocol::kOspf:
+      return "ospf";
+  }
+  return "centaur";
 }
 
 /// --protocol, with "all" allowed when `allow_all` (campaign sweeps).
@@ -382,7 +407,7 @@ int run_campaign_command(Options& opt, bool canned) {
     }
   }
   const std::vector<eval::Protocol> arms = protocols_from(
-      opt, canned ? "all" : eval::to_string(spec.protocol), true);
+      opt, canned ? "all" : cli_protocol_name(spec.protocol), true);
   const std::string bench_name = "campaign_" + spec.name;
   runner::BenchReport report(bench_name,
                              util::to_string(util::scale_from_env()), threads);
@@ -412,19 +437,60 @@ int run_campaign_command(Options& opt, bool canned) {
         return t;
       });
 
+  // Adversarial scripts grow the per-phase table by the DESIGN.md §15
+  // metrics: routes flagged by the audit, detection latency (analyzer
+  // node-checks and virtual milliseconds until the first flag; "-" when
+  // nothing was flagged), and blast radius.
+  const bool adversarial = [&spec] {
+    for (const faults::FaultPhase& ph : spec.script.phases) {
+      for (const faults::FaultAction& a : ph.actions) {
+        switch (a.kind) {
+          case faults::ActionKind::kRouteLeak:
+          case faults::ActionKind::kRouteLeakStop:
+          case faults::ActionKind::kIntercept:
+          case faults::ActionKind::kInterceptStop:
+          case faults::ActionKind::kLocalPrefFlip:
+          case faults::ActionKind::kLocalPrefRestore:
+          case faults::ActionKind::kRelChange:
+            return true;
+          default:
+            break;
+        }
+      }
+    }
+    return false;
+  }();
+
   bool all_clean = true;
   for (std::size_t i = 0; i < arms.size(); ++i) {
     const faults::CampaignResult& r = results[i].result;
     util::TextTable table(std::string("campaign ") + spec.name + " — " +
                           eval::to_string(r.protocol));
-    table.header({"phase", "actions", "messages", "bytes", "dropped",
-                  "conv ms", "events", "violations"});
+    std::vector<std::string> header = {"phase",   "actions", "messages",
+                                       "bytes",   "dropped", "conv ms",
+                                       "events",  "violations"};
+    if (adversarial) {
+      header.insert(header.end(), {"flagged", "det evts", "det ms", "blast"});
+    }
+    table.header(header);
     auto phase_row = [&](const faults::PhaseReport& p) {
-      table.row({p.name, util::fmt_count(p.actions),
-                 util::fmt_count(p.messages), util::fmt_count(p.bytes),
-                 util::fmt_count(p.dropped),
-                 util::fmt_double(p.convergence_time * 1e3, 2),
-                 util::fmt_count(p.events), util::fmt_count(p.violations)});
+      std::vector<std::string> row = {
+          p.name, util::fmt_count(p.actions), util::fmt_count(p.messages),
+          util::fmt_count(p.bytes), util::fmt_count(p.dropped),
+          util::fmt_double(p.convergence_time * 1e3, 2),
+          util::fmt_count(p.events), util::fmt_count(p.violations)};
+      if (adversarial) {
+        row.push_back(util::fmt_count(p.audit_routes_flagged));
+        row.push_back(p.detection_events < 0
+                          ? "-"
+                          : util::fmt_count(static_cast<std::size_t>(
+                                p.detection_events)));
+        row.push_back(p.detection_time < 0
+                          ? "-"
+                          : util::fmt_double(p.detection_time * 1e3, 2));
+        row.push_back(util::fmt_count(p.blast_radius));
+      }
+      table.row(row);
     };
     phase_row(r.cold_start);
     for (const faults::PhaseReport& p : r.phases) phase_row(p);
@@ -461,6 +527,16 @@ int run_campaign_command(Options& opt, bool canned) {
                                  p.convergence_time);
       trial.metrics.emplace_back(p.name + "_messages",
                                  static_cast<double>(p.messages));
+      if (adversarial) {
+        trial.metrics.emplace_back(
+            p.name + "_flagged",
+            static_cast<double>(p.audit_routes_flagged));
+        trial.metrics.emplace_back(
+            p.name + "_detection_events",
+            static_cast<double>(p.detection_events));
+        trial.metrics.emplace_back(p.name + "_blast",
+                                   static_cast<double>(p.blast_radius));
+      }
     }
     report.add(std::move(trial));
   }
